@@ -1,0 +1,652 @@
+(* Benchmark harness: regenerates, for every quantitative claim of the
+   paper (see DESIGN.md §3, experiments C1–C8), the table or series that
+   supports it, and times the core operations with Bechamel.
+
+   The paper (SIGMOD 1989) reports no absolute numbers — its evaluation
+   is the worked figures plus performance arguments (storage compression
+   in §1; footnote 1's repeated-join degradation; consolidation and
+   explication costs in §3.3). Accordingly each experiment below prints
+   the paper's *shape*: who wins, by what factor, and how the gap scales.
+
+   Run with: dune exec bench/main.exe *)
+
+module Hierarchy = Hr_hierarchy.Hierarchy
+module Workload = Hr_workload.Workload
+module Traditional = Hr_flat.Traditional
+module Flat_relation = Hr_flat.Flat_relation
+module Mine = Hr_mine.Mine
+module Prng = Hr_util.Prng
+module Texttable = Hr_util.Texttable
+open Hierel
+
+let section title = Format.printf "@.==== %s ====@." title
+
+(* ---- Bechamel helpers ----------------------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+let run_benches ~label tests =
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:label ~fmt:"%s %s" tests) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  let table = Texttable.create ~aligns:[ Texttable.Left; Texttable.Right ] [ "benchmark"; "ns/op" ] in
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, ols) ->
+         let ns =
+           match Analyze.OLS.estimates ols with
+           | Some (e :: _) -> Printf.sprintf "%.0f" e
+           | Some [] | None -> "n/a"
+         in
+         Texttable.add_row table [ name; ns ]);
+  print_string (Texttable.render table)
+
+(* ---- C1: storage compression (paper §1) ------------------------------ *)
+
+let bench_storage () =
+  section "C1 — storage: one class tuple vs enumerated extension (paper §1)";
+  let table =
+    Texttable.create
+      ~aligns:[ Texttable.Right; Texttable.Right; Texttable.Right; Texttable.Right ]
+      [ "extension size"; "hierarchical tuples"; "flat rows"; "flat bytes" ]
+  in
+  List.iter
+    (fun (depth, fanout, ipl) ->
+      let h = Workload.tree_hierarchy ~name:(Printf.sprintf "c1_%d_%d" depth ipl) ~depth ~fanout ~instances_per_leaf:ipl () in
+      let schema = Schema.make [ ("v", h) ] in
+      let rel =
+        Relation.of_tuples ~name:"r" schema
+          [ (Types.Pos, [ Hierarchy.node_label h (Hierarchy.root h) ]) ]
+      in
+      let flat = Traditional.extension_relation rel in
+      Texttable.add_row table
+        [
+          string_of_int (Explicate.extension_size rel);
+          string_of_int (Relation.cardinality rel);
+          string_of_int (Flat_relation.cardinality flat);
+          string_of_int (Flat_relation.approx_bytes flat);
+        ])
+    [ (1, 10, 1); (2, 10, 1); (2, 10, 10); (3, 10, 10) ];
+  print_string (Texttable.render table);
+  Format.printf
+    "shape check: hierarchical storage is O(1) in the class size; flat storage is O(n).@."
+
+(* ---- C2: membership queries vs repeated joins (footnote 1) ----------- *)
+
+let bench_membership () =
+  section "C2 — membership: O(1) binding vs one join per level (footnote 1)";
+  let depths = [ 2; 4; 8; 16 ] in
+  let table =
+    Texttable.create
+      ~aligns:[ Texttable.Right; Texttable.Right; Texttable.Right ]
+      [ "hierarchy depth"; "traditional join rounds"; "hierarchical lookups" ]
+  in
+  let setups =
+    List.map
+      (fun d ->
+        let h = Workload.chain_hierarchy ~name:(Printf.sprintf "c2_%d" d) ~depth:d () in
+        (d, h, Traditional.of_hierarchy h))
+      depths
+  in
+  List.iter
+    (fun (d, _, t) ->
+      let _, joins = Traditional.member_join_count t ~instance:"leaf" ~cls:"c0" in
+      Texttable.add_row table [ string_of_int d; string_of_int joins; "1" ])
+    setups;
+  print_string (Texttable.render table);
+  let tests =
+    List.concat_map
+      (fun (d, h, t) ->
+        let leaf = Hierarchy.find_exn h "leaf" and c0 = Hierarchy.find_exn h "c0" in
+        ignore (Hierarchy.subsumes h c0 leaf) (* warm the reachability index *);
+        [
+          Test.make
+            ~name:(Printf.sprintf "hier/depth %02d" d)
+            (Staged.stage (fun () -> Hierarchy.subsumes h c0 leaf));
+          Test.make
+            ~name:(Printf.sprintf "trad/depth %02d" d)
+            (Staged.stage (fun () -> Traditional.member t ~instance:"leaf" ~cls:"c0"));
+        ])
+      setups
+  in
+  run_benches ~label:"membership" tests;
+  Format.printf
+    "shape check: traditional latency grows with depth; hierarchical stays flat.@."
+
+(* ---- C3: consolidation (paper §3.3.1) -------------------------------- *)
+
+let bench_consolidate () =
+  section "C3 — consolidation: compression vs redundancy rate (§3.3.1)";
+  let g = Prng.create 11L in
+  let h = Workload.tree_hierarchy ~name:"c3" ~depth:3 ~fanout:4 ~instances_per_leaf:2 () in
+  let table =
+    Texttable.create
+      ~aligns:[ Texttable.Right; Texttable.Right; Texttable.Right; Texttable.Right ]
+      [ "redundancy"; "tuples before"; "tuples after"; "extension preserved" ]
+  in
+  let cases =
+    List.map
+      (fun redundancy ->
+        let rel = Workload.redundant_relation (Prng.split g) h ~redundancy ~tuples:60 in
+        let c = Consolidate.consolidate rel in
+        Texttable.add_row table
+          [
+            Printf.sprintf "%.0f%%" (redundancy *. 100.);
+            string_of_int (Relation.cardinality rel);
+            string_of_int (Relation.cardinality c);
+            string_of_bool (Flatten.equal_extension rel c);
+          ];
+        (redundancy, rel))
+      [ 0.0; 0.3; 0.6; 0.9 ]
+  in
+  print_string (Texttable.render table);
+  let tests =
+    List.map
+      (fun (redundancy, rel) ->
+        Test.make
+          ~name:(Printf.sprintf "redundancy %.0f%%" (redundancy *. 100.))
+          (Staged.stage (fun () -> Consolidate.consolidate rel)))
+      cases
+  in
+  run_benches ~label:"consolidate" tests
+
+(* ---- C4: explication (paper §3.3.2) ----------------------------------- *)
+
+let bench_explicate () =
+  section "C4 — explication cost tracks extension size (§3.3.2)";
+  let cases =
+    List.map
+      (fun (fanout, ipl) ->
+        let h =
+          Workload.tree_hierarchy ~name:(Printf.sprintf "c4_%d_%d" fanout ipl) ~depth:2 ~fanout
+            ~instances_per_leaf:ipl ()
+        in
+        let schema = Schema.make [ ("v", h) ] in
+        (* exception on the first depth-1 class actually present *)
+        let some_leaf_class =
+          List.find
+            (fun c ->
+              String.length (Hierarchy.node_label h c) > 1
+              && (Hierarchy.node_label h c).[1] = '1')
+            (Hierarchy.classes h)
+        in
+        let rel =
+          Relation.of_tuples ~name:"r" schema
+            [
+              (Types.Pos, [ Hierarchy.node_label h (Hierarchy.root h) ]);
+              (Types.Neg, [ Hierarchy.node_label h some_leaf_class ]);
+            ]
+        in
+        (Explicate.extension_size rel, rel))
+      [ (4, 4); (8, 4); (8, 16) ]
+  in
+  let tests =
+    List.map
+      (fun (size, rel) ->
+        Test.make
+          ~name:(Printf.sprintf "extension %5d" size)
+          (Staged.stage (fun () -> Explicate.explicate rel)))
+      cases
+  in
+  run_benches ~label:"explicate" tests
+
+(* ---- C5: lifted set operations vs explicate-then-flat ----------------- *)
+
+let bench_setops () =
+  section "C5 — set ops: lifted (hierarchical) vs explicate-then-flat (§3.4)";
+  let h = Workload.tree_hierarchy ~name:"c5" ~depth:2 ~fanout:6 ~instances_per_leaf:8 () in
+  let schema = Schema.make [ ("v", h) ] in
+  let deep_classes =
+    List.filter
+      (fun c ->
+        let l = Hierarchy.node_label h c in
+        String.length l > 1 && l.[0] = 'c' && l.[1] = '1')
+      (Hierarchy.classes h)
+    |> List.map (Hierarchy.node_label h)
+  in
+  let ca, cb =
+    match deep_classes with a :: b :: _ -> (a, b) | _ -> assert false
+  in
+  let r1 =
+    Relation.of_tuples ~name:"r1" schema [ (Types.Pos, [ "c5" ]); (Types.Neg, [ ca ]) ]
+  in
+  let r2 =
+    Relation.of_tuples ~name:"r2" schema [ (Types.Pos, [ ca ]); (Types.Pos, [ cb ]) ]
+  in
+  let flat1 = Traditional.extension_relation r1 and flat2 = Traditional.extension_relation r2 in
+  Format.printf "operands: %d and %d stored tuples (extensions %d and %d)@."
+    (Relation.cardinality r1) (Relation.cardinality r2)
+    (Flat_relation.cardinality flat1) (Flat_relation.cardinality flat2);
+  let tests =
+    [
+      Test.make ~name:"lifted union" (Staged.stage (fun () -> Ops.union r1 r2));
+      Test.make ~name:"lifted diff" (Staged.stage (fun () -> Ops.diff r1 r2));
+      Test.make ~name:"flat union (pre-explicated)"
+        (Staged.stage (fun () -> Flat_relation.union flat1 flat2));
+      Test.make ~name:"flat union + explication cost"
+        (Staged.stage (fun () ->
+             Flat_relation.union (Traditional.extension_relation r1)
+               (Traditional.extension_relation r2)));
+    ]
+  in
+  run_benches ~label:"setops" tests;
+  Format.printf
+    "shape check: lifted ops work on O(tuples); the flat path pays O(extension) each time.@."
+
+(* ---- C6: integrity checking (§3.1) ------------------------------------ *)
+
+let bench_integrity () =
+  section "C6 — ambiguity-constraint checking cost (§3.1)";
+  let g = Prng.create 23L in
+  let cases =
+    List.map
+      (fun tuples ->
+        let h =
+          Workload.random_hierarchy (Prng.split g)
+            { Workload.default_hierarchy_spec with name = Printf.sprintf "c6_%d" tuples }
+        in
+        let schema = Schema.make [ ("v", h) ] in
+        let rel =
+          Workload.consistent_random_relation (Prng.split g) schema
+            { Workload.default_relation_spec with tuples }
+        in
+        (tuples, rel))
+      [ 10; 30; 60 ]
+  in
+  let tests =
+    List.map
+      (fun (tuples, rel) ->
+        Test.make
+          ~name:(Printf.sprintf "%2d tuples" tuples)
+          (Staged.stage (fun () -> Integrity.is_consistent rel)))
+      cases
+  in
+  run_benches ~label:"integrity" tests
+
+(* ---- C7: preemption semantics ablation (Appendix) --------------------- *)
+
+let bench_preemption () =
+  section "C7 — preemption semantics ablation (Appendix)";
+  let h, rel = Workload.exception_chain ~name:"c7dom" ~depth:10 ~instances_per_class:2 () in
+  let schema = Relation.schema rel in
+  let deepest = Item.of_names schema [ "i9_1" ] in
+  let answers =
+    List.map
+      (fun sem ->
+        ( Format.asprintf "%a" Types.pp_semantics sem,
+          match Binding.verdict ~semantics:sem rel deepest with
+          | Binding.Asserted (s, _) -> Format.asprintf "%a" Types.pp_sign s
+          | Binding.Unasserted -> "unasserted"
+          | Binding.Conflict _ -> "conflict" ))
+      [ Types.Off_path; Types.On_path; Types.No_preemption ]
+  in
+  let table = Texttable.create [ "semantics"; "verdict at depth-10 instance" ] in
+  List.iter (fun (s, v) -> Texttable.add_row table [ s; v ]) answers;
+  print_string (Texttable.render table);
+  ignore h;
+  let tests =
+    List.map
+      (fun sem ->
+        Test.make
+          ~name:(Format.asprintf "%a" Types.pp_semantics sem)
+          (Staged.stage (fun () -> Binding.verdict ~semantics:sem rel deepest)))
+      [ Types.Off_path; Types.On_path; Types.No_preemption ]
+  in
+  run_benches ~label:"preemption" tests
+
+(* ---- C8: storage-minimizing organization (Conclusion) ----------------- *)
+
+let bench_mine () =
+  section "C8 — mechanical organization minimizes storage (Conclusion)";
+  let h = Workload.tree_hierarchy ~name:"c8" ~depth:3 ~fanout:4 ~instances_per_leaf:4 () in
+  let instances = Hierarchy.instances h in
+  let n = List.length instances in
+  let table =
+    Texttable.create
+      ~aligns:[ Texttable.Left; Texttable.Right; Texttable.Right; Texttable.Right ]
+      [ "membership pattern"; "members"; "tuples stored"; "compression" ]
+  in
+  let patterns =
+    [
+      ("everything", List.map (Hierarchy.node_label h) instances);
+      ( "all but one",
+        List.map (Hierarchy.node_label h) (List.tl instances) );
+      ( "every other subtree",
+        List.filteri (fun i _ -> i / 16 mod 2 = 0) instances
+        |> List.map (Hierarchy.node_label h) );
+      ( "random half",
+        let g = Prng.create 31L in
+        List.filter (fun _ -> Prng.bool g) instances |> List.map (Hierarchy.node_label h) );
+    ]
+  in
+  let organized =
+    List.map
+      (fun (label, members) ->
+        let rel = Mine.organize h ~members in
+        Texttable.add_row table
+          [
+            label;
+            Printf.sprintf "%d/%d" (List.length members) n;
+            string_of_int (Relation.cardinality rel);
+            Printf.sprintf "%.1fx" (Mine.compression_ratio rel);
+          ];
+        (label, members))
+      patterns
+  in
+  print_string (Texttable.render table);
+  let tests =
+    List.map
+      (fun (label, members) ->
+        Test.make ~name:label (Staged.stage (fun () -> Mine.organize h ~members)))
+      organized
+  in
+  run_benches ~label:"mine" tests
+
+(* ---- C9: indexed vs scanned binding queries (§4 efficiency) ----------- *)
+
+let bench_index () =
+  section "C9 — binding queries: indexed vs full scan (§4 efficiency promise)";
+  let g = Prng.create 41L in
+  let cases =
+    List.map
+      (fun tuples ->
+        let h =
+          Workload.random_hierarchy (Prng.split g)
+            {
+              Workload.name = Printf.sprintf "c9_%d" tuples;
+              classes = 60;
+              instances = 200;
+              multi_parent_prob = 0.15;
+            }
+        in
+        let schema = Schema.make [ ("v", h) ] in
+        let rel =
+          Workload.consistent_random_relation (Prng.split g) schema
+            { Workload.default_relation_spec with tuples }
+        in
+        let idx = Index.build rel in
+        let probe =
+          Item.make schema [| List.hd (Hierarchy.instances h) |]
+        in
+        (tuples, rel, idx, probe))
+      [ 25; 100; 400 ]
+  in
+  let tests =
+    List.concat_map
+      (fun (tuples, rel, idx, probe) ->
+        [
+          Test.make
+            ~name:(Printf.sprintf "scan/%3d tuples" tuples)
+            (Staged.stage (fun () -> Binding.verdict rel probe));
+          Test.make
+            ~name:(Printf.sprintf "index/%3d tuples" tuples)
+            (Staged.stage (fun () -> Index.verdict idx probe));
+        ])
+      cases
+  in
+  run_benches ~label:"binding" tests;
+  Format.printf
+    "shape check: scan cost grows with relation size; indexed probes stay near-flat.@."
+
+(* ---- C10: storage engine costs ----------------------------------------- *)
+
+let bench_storage_engine () =
+  section "C10 — storage engine: snapshot codec and WAL append";
+  let g = Prng.create 53L in
+  let cat = Catalog.create () in
+  let h =
+    Workload.random_hierarchy (Prng.split g)
+      { Workload.default_hierarchy_spec with name = "c10"; classes = 40; instances = 120 }
+  in
+  Catalog.define_hierarchy cat h;
+  let schema = Schema.make [ ("v", h) ] in
+  Catalog.define_relation cat
+    (Workload.consistent_random_relation (Prng.split g) schema
+       { Workload.default_relation_spec with rel_name = "c10_rel"; tuples = 80 });
+  let encoded = Hr_storage.Snapshot.encode cat in
+  Format.printf "snapshot size for 160-node hierarchy + 80-tuple relation: %d bytes@."
+    (String.length encoded);
+  let wal_dir = Filename.temp_file "hrbench" "" in
+  Sys.remove wal_dir;
+  Sys.mkdir wal_dir 0o755;
+  let wal_path = Filename.concat wal_dir "wal.log" in
+  let wal = Hr_storage.Wal.open_ wal_path in
+  let tests =
+    [
+      Test.make ~name:"snapshot encode" (Staged.stage (fun () -> Hr_storage.Snapshot.encode cat));
+      Test.make ~name:"snapshot decode" (Staged.stage (fun () -> Hr_storage.Snapshot.decode encoded));
+      Test.make ~name:"wal append+flush"
+        (Staged.stage (fun () ->
+             Hr_storage.Wal.append wal "INSERT INTO c10_rel VALUES (+ c10_i1);"));
+    ]
+  in
+  run_benches ~label:"storage" tests;
+  Hr_storage.Wal.close wal;
+  Sys.remove wal_path;
+  Sys.rmdir wal_dir
+
+(* ---- C12: page-level I/O of both representations ------------------------ *)
+
+let bench_page_io () =
+  section "C12 — page I/O: hierarchical stored form vs enumerated extension";
+  let table =
+    Texttable.create
+      ~aligns:
+        [ Texttable.Right; Texttable.Right; Texttable.Right; Texttable.Right; Texttable.Right ]
+      [ "extension"; "hier rows"; "hier pages"; "flat rows"; "flat pages" ]
+  in
+  List.iter
+    (fun (fanout, ipl) ->
+      let h =
+        Workload.tree_hierarchy ~name:(Printf.sprintf "c12_%d_%d" fanout ipl) ~depth:2 ~fanout
+          ~instances_per_leaf:ipl ()
+      in
+      let schema = Schema.make [ ("v", h) ] in
+      let rel =
+        Relation.of_tuples ~name:"r" schema
+          [ (Types.Pos, [ Hierarchy.node_label h (Hierarchy.root h) ]) ]
+      in
+      let flat = Traditional.extension_relation rel in
+      let with_heap fill =
+        let path = Filename.temp_file "hrc12" ".db" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let hf = Hr_storage.Heap_file.create path in
+            fill hf;
+            let pages = Hr_storage.Heap_file.page_count hf in
+            let rows = Hr_storage.Heap_file.row_count hf in
+            Hr_storage.Heap_file.close hf;
+            (rows, pages))
+      in
+      let hier_rows, hier_pages =
+        with_heap (fun hf ->
+            Relation.iter
+              (fun (t : Relation.tuple) ->
+                Hr_storage.Heap_file.append hf
+                  (Format.asprintf "%a%s" Types.pp_sign t.Relation.sign
+                     (Item.to_string schema t.Relation.item)))
+              rel)
+      in
+      let flat_rows, flat_pages =
+        with_heap (fun hf ->
+            Flat_relation.fold
+              (fun row () -> Hr_storage.Heap_file.append hf (String.concat "," row))
+              flat ())
+      in
+      Texttable.add_row table
+        [
+          string_of_int (Explicate.extension_size rel);
+          string_of_int hier_rows;
+          string_of_int hier_pages;
+          string_of_int flat_rows;
+          string_of_int flat_pages;
+        ])
+    [ (8, 8); (16, 16); (32, 32) ];
+  print_string (Texttable.render table);
+  Format.printf
+    "shape check: the hierarchical form stays within one page while the flat form grows.@."
+
+(* ---- C13: semantic-net geometric growth (§2.1) --------------------------- *)
+
+let bench_semantic_net () =
+  section "C13 — semantic nets: product-taxonomy blow-up vs tuples (§2.1)";
+  (* A semantic net folds associations into the taxonomy: a k-attribute
+     association needs class nodes for the product regions and their
+     ancestors, while the hierarchical model keeps the k taxonomies
+     separate and stores one tuple per association. Count both. *)
+  let domain k =
+    Workload.tree_hierarchy ~name:(Printf.sprintf "c13_%d" k) ~depth:2 ~fanout:3
+      ~instances_per_leaf:2 ()
+  in
+  let table =
+    Texttable.create
+      ~aligns:[ Texttable.Right; Texttable.Right; Texttable.Right; Texttable.Right ]
+      [ "attributes k"; "taxonomy nodes (ours)"; "tuples (ours)"; "semantic-net product nodes" ]
+  in
+  List.iter
+    (fun k ->
+      let hs = List.init k domain in
+      let per_domain = Hierarchy.node_count (List.hd hs) in
+      (* one association asserted on a mid-level class of each coordinate *)
+      let mid h =
+        List.find
+          (fun c ->
+            c <> Hierarchy.root h
+            &&
+            let l = Hierarchy.node_label h c in
+            String.length l > 2 && l.[0] = 'c' && l.[1] = '1' && l.[2] = '_')
+          (Hierarchy.classes h)
+      in
+      (* net nodes: every ancestor combination of the asserted region must
+         exist as an explicit class in the folded taxonomy *)
+      let net_nodes =
+        List.fold_left
+          (fun acc h -> acc * List.length (Hierarchy.ancestors h (mid h)))
+          1 hs
+        |> fun product_region ->
+        (* plus the k base taxonomies themselves *)
+        (per_domain * k) + product_region
+      in
+      let ours_taxonomy = per_domain * k in
+      let ours_tuples = 1 in
+      Texttable.add_row table
+        [
+          string_of_int k;
+          string_of_int ours_taxonomy;
+          string_of_int ours_tuples;
+          string_of_int net_nodes;
+        ])
+    [ 1; 2; 3; 4 ];
+  print_string (Texttable.render table);
+  Format.printf
+    "shape check: our storage is linear in k; the folded-taxonomy encoding grows geometrically.@."
+
+(* ---- C11: HRQL end-to-end ----------------------------------------------- *)
+
+let bench_hrql () =
+  section "C11 — HRQL: parse, optimize, evaluate";
+  let cat = Catalog.create () in
+  let setup =
+    {|
+    CREATE DOMAIN animal;
+    CREATE CLASS bird UNDER animal;
+    CREATE CLASS penguin UNDER bird;
+    CREATE CLASS afp UNDER penguin;
+    CREATE INSTANCE tweety OF bird;
+    CREATE INSTANCE paul OF penguin;
+    CREATE INSTANCE pamela OF afp;
+    CREATE RELATION jack (creature: animal);
+    CREATE RELATION jill (creature: animal);
+    INSERT INTO jack VALUES (+ ALL bird), (- ALL penguin);
+    INSERT INTO jill VALUES (+ ALL penguin), (- ALL afp);
+    |}
+  in
+  (match Hr_query.Eval.run_script cat setup with Ok _ -> () | Error e -> failwith e);
+  let ask = "ASK jack (pamela);" in
+  let select = "SELECT * FROM SELECT (jack UNION jill) WHERE creature = penguin;" in
+  let tests =
+    [
+      Test.make ~name:"parse only"
+        (Staged.stage (fun () -> Hr_query.Parser.parse select));
+      Test.make ~name:"ASK end-to-end"
+        (Staged.stage (fun () -> Hr_query.Eval.run_script cat ask));
+      Test.make ~name:"SELECT over UNION end-to-end"
+        (Staged.stage (fun () -> Hr_query.Eval.run_script cat select));
+    ]
+  in
+  run_benches ~label:"hrql" tests
+
+(* ---- figure regeneration check (F1–F11) -------------------------------- *)
+
+let check_figures () =
+  section "F1–F11 — figure regeneration summary (details: dune exec bin/figures.exe)";
+  let h = Hierarchy.create "animal_b" in
+  ignore (Hierarchy.add_class h "bird");
+  ignore (Hierarchy.add_class h ~parents:[ "bird" ] "penguin");
+  ignore (Hierarchy.add_class h ~parents:[ "penguin" ] "afp");
+  ignore (Hierarchy.add_instance h ~parents:[ "bird" ] "tweety");
+  ignore (Hierarchy.add_instance h ~parents:[ "penguin" ] "paul");
+  ignore (Hierarchy.add_instance h ~parents:[ "afp" ] "pamela");
+  let schema = Schema.make [ ("creature", h) ] in
+  let flies =
+    Relation.of_tuples ~name:"flies" schema
+      [ (Types.Pos, [ "bird" ]); (Types.Neg, [ "penguin" ]); (Types.Pos, [ "afp" ]) ]
+  in
+  let checks =
+    [
+      ("F1 exception chain verdicts",
+       Binding.holds flies (Item.of_names schema [ "tweety" ])
+       && (not (Binding.holds flies (Item.of_names schema [ "paul" ])))
+       && Binding.holds flies (Item.of_names schema [ "pamela" ]));
+      ("F5/F6 consolidation fixpoint", Consolidate.is_consolidated (Consolidate.consolidate flies));
+      ("F10 union extension", List.length (Flatten.extension_list (Ops.union flies flies)) = 2);
+      ("ambiguity constraint", Integrity.is_consistent flies);
+    ]
+  in
+  let table = Texttable.create [ "check"; "status" ] in
+  List.iter
+    (fun (name, ok) -> Texttable.add_row table [ name; (if ok then "ok" else "FAILED") ])
+    checks;
+  print_string (Texttable.render table)
+
+let experiments =
+  [
+    ("C1", bench_storage);
+    ("C2", bench_membership);
+    ("C3", bench_consolidate);
+    ("C4", bench_explicate);
+    ("C5", bench_setops);
+    ("C6", bench_integrity);
+    ("C7", bench_preemption);
+    ("C8", bench_mine);
+    ("C9", bench_index);
+    ("C10", bench_storage_engine);
+    ("C11", bench_hrql);
+    ("C12", bench_page_io);
+    ("C13", bench_semantic_net);
+    ("F", check_figures);
+  ]
+
+let () =
+  Format.printf
+    "hierel benchmark harness — experiments C1..C13 (see DESIGN.md / EXPERIMENTS.md)@.";
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    match requested with
+    | [] -> experiments
+    | _ ->
+      List.filter
+        (fun (id, _) -> List.exists (String.equal id) requested)
+        experiments
+  in
+  if selected = [] then
+    Format.printf "no such experiment; available: %s@."
+      (String.concat " " (List.map fst experiments))
+  else List.iter (fun (_, run) -> run ()) selected;
+  Format.printf "@.done.@." 

@@ -1,0 +1,169 @@
+(* hrdb — an interactive shell (and script runner) for the hierarchical
+   relational model, speaking HRQL.
+
+   Usage:
+     dune exec bin/hrdb.exe                   # in-memory REPL
+     dune exec bin/hrdb.exe -- -d ./mydb      # durable: snapshot + WAL
+     dune exec bin/hrdb.exe -- -f x.hrql      # run a script, then exit
+     dune exec bin/hrdb.exe -- -f x.hrql -i   # run a script, then REPL *)
+
+module Eval = Hr_query.Eval
+module Persist = Hr_query.Persist
+module Db = Hr_storage.Db
+open Hierel
+
+let banner durable =
+  Printf.sprintf
+    "hrdb — hierarchical relational database (Jagadish, SIGMOD 1989)%s\n\
+     Type HRQL statements terminated by ';'. Try: SHOW RELATIONS;  \\h for help, \\q to quit.\n"
+    (if durable then " [durable]" else "")
+
+let help =
+  {|Statements (see lib/query/parser.mli for the full grammar):
+  CREATE DOMAIN d;                       CREATE CLASS c UNDER parent;
+  CREATE INSTANCE i OF c;                CREATE ISA sub UNDER super;
+  CREATE PREFERENCE a OVER b;            CREATE RELATION r (attr: domain, ...);
+  INSERT INTO r VALUES (+ ALL c, x), (- y, z);
+  DELETE FROM r VALUES (ALL c, x);
+  SELECT * FROM r WHERE attr = v [WITH JUSTIFICATION];
+  LET s = r UNION t;   (also INTERSECT, EXCEPT, JOIN, PROJECT..ON, RENAME..TO)
+  ASK r (x, y) [UNDER OFF-PATH|ON-PATH|NO-PREEMPTION];
+  CONSOLIDATE r;   EXPLICATE r [ON (attr)];   CHECK r;
+  COUNT r [BY attr];   EXPLAIN PLAN <expr>;
+  SHOW HIERARCHY d;   SHOW RELATIONS;   SHOW HIERARCHIES;
+  EXPLAIN r (x, y);   DROP RELATION r;
+REPL commands:
+  \save FILE     dump the whole catalog as an HRQL script
+  \load FILE     replay an HRQL script into the catalog
+  \checkpoint    write the binary snapshot, truncate the WAL (durable mode)
+  \h             this help            \q   quit
+|}
+
+(* One backend interface over the in-memory and durable modes. *)
+type backend = {
+  run : string -> (string list, string) result;
+  cat : unit -> Catalog.t;
+  checkpoint : (unit -> unit) option;
+  shutdown : unit -> unit;
+}
+
+let memory_backend () =
+  let cat = Catalog.create () in
+  {
+    run = (fun input -> Eval.run_script cat input);
+    cat = (fun () -> cat);
+    checkpoint = None;
+    shutdown = ignore;
+  }
+
+let durable_backend dir =
+  let db = Db.open_dir dir in
+  {
+    run = (fun input -> Db.exec db input);
+    cat = (fun () -> Db.catalog db);
+    checkpoint = Some (fun () -> Db.checkpoint db);
+    shutdown = (fun () -> Db.close db);
+  }
+
+let run_input backend input =
+  match backend.run input with
+  | Ok outputs -> List.iter print_endline outputs
+  | Error msg -> Printf.printf "error: %s\n" msg
+
+let strip_prefix ~prefix line =
+  let n = String.length prefix in
+  if String.length line > n && String.sub line 0 n = prefix then
+    Some (String.trim (String.sub line n (String.length line - n)))
+  else None
+
+let repl backend durable =
+  print_string (banner durable);
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buffer = 0 then "hrdb> " else "  ... ");
+    match read_line () with
+    | exception End_of_file -> print_endline "bye."
+    | "\\q" | "\\quit" -> print_endline "bye."
+    | "\\h" | "\\help" ->
+      print_string help;
+      loop ()
+    | "\\checkpoint" ->
+      (match backend.checkpoint with
+      | Some f ->
+        f ();
+        print_endline "checkpoint written"
+      | None -> print_endline "error: not in durable mode (start with -d DIR)");
+      loop ()
+    | line when strip_prefix ~prefix:"\\save " line <> None ->
+      let path = Option.get (strip_prefix ~prefix:"\\save " line) in
+      (try
+         Persist.save (backend.cat ()) path;
+         Printf.printf "catalog saved to %s\n" path
+       with Sys_error e -> Printf.printf "error: %s\n" e);
+      loop ()
+    | line when strip_prefix ~prefix:"\\load " line <> None ->
+      let path = Option.get (strip_prefix ~prefix:"\\load " line) in
+      (try
+         let ic = open_in path in
+         let contents = really_input_string ic (in_channel_length ic) in
+         close_in ic;
+         run_input backend contents
+       with Sys_error e -> Printf.printf "error: %s\n" e);
+      loop ()
+    | line ->
+      Buffer.add_string buffer line;
+      Buffer.add_char buffer '\n';
+      if String.contains line ';' then begin
+        let input = Buffer.contents buffer in
+        Buffer.clear buffer;
+        run_input backend input
+      end;
+      loop ()
+  in
+  loop ()
+
+let main file interactive dir =
+  let durable = Option.is_some dir in
+  let backend =
+    match dir with Some d -> durable_backend d | None -> memory_backend ()
+  in
+  Fun.protect ~finally:backend.shutdown (fun () ->
+      (match file with
+      | Some path ->
+        let ic = open_in path in
+        let contents = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        run_input backend contents
+      | None -> ());
+      if interactive || file = None then repl backend durable)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "f"; "file" ] ~docv:"SCRIPT" ~doc:"Run the HRQL $(docv) before anything else.")
+
+let interactive_arg =
+  Arg.(
+    value & flag
+    & info [ "i"; "interactive" ]
+        ~doc:"Start the REPL even when a script file was given.")
+
+let dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "d"; "dir" ] ~docv:"DIR"
+        ~doc:
+          "Durable mode: keep the database in $(docv) (binary snapshot plus \
+           write-ahead log; state survives restarts).")
+
+let cmd =
+  let doc = "interactive shell for the hierarchical relational model" in
+  Cmd.v
+    (Cmd.info "hrdb" ~version:"1.0.0" ~doc)
+    Term.(const main $ file_arg $ interactive_arg $ dir_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,42 @@
+(* hrdb_server — serve a hierarchical relational database over TCP.
+
+   Usage:
+     dune exec bin/hrdb_server.exe -- -p 7799            # in-memory
+     dune exec bin/hrdb_server.exe -- -p 7799 -d ./mydb  # durable
+
+   Protocol (see lib/server/server.mli): length-framed HRQL scripts.
+   A quick manual client:
+     printf 'EXEC 16\nSHOW RELATIONS;' | nc 127.0.0.1 7799 *)
+
+module Server = Hr_server.Server
+
+let main port dir =
+  let server =
+    match dir with
+    | Some dir -> Server.create_durable ~port ~dir ()
+    | None -> Server.create_memory ~port ()
+  in
+  Printf.printf "hrdb_server listening on 127.0.0.1:%d%s\n%!" (Server.port server)
+    (match dir with Some d -> Printf.sprintf " (durable: %s)" d | None -> " (in-memory)");
+  Server.serve_forever server
+
+open Cmdliner
+
+let port_arg =
+  Arg.(
+    value & opt int 7799
+    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on (0 = ephemeral).")
+
+let dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Durable mode: database directory.")
+
+let cmd =
+  let doc = "TCP server for the hierarchical relational model" in
+  Cmd.v
+    (Cmd.info "hrdb_server" ~version:"1.0.0" ~doc)
+    Term.(const main $ port_arg $ dir_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/access_control.ml: Binding Explicate Format Hierel Hr_hierarchy Integrity Item List Relation Schema Types

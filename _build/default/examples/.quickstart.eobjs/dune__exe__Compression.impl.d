@@ -1,0 +1,1 @@
+examples/compression.ml: Flatten Format Hierel Hr_flat Hr_hierarchy Hr_mine Hr_workload List Relation

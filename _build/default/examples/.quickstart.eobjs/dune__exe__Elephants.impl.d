@@ -1,0 +1,1 @@
+examples/elephants.ml: Binding Format Hierel Hr_frontend Hr_hierarchy Item List Ops Relation Schema Types

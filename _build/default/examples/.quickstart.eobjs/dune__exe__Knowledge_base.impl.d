@@ -1,0 +1,1 @@
+examples/knowledge_base.ml: Catalog Format Hierel Hr_datalog Hr_query List String

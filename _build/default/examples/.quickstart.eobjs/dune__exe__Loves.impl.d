@@ -1,0 +1,1 @@
+examples/loves.ml: Flatten Format Hierel Hr_hierarchy Item List Ops Relation Schema String Types

@@ -1,0 +1,1 @@
+examples/university.ml: Consolidate Flatten Format Hierel Hr_hierarchy Integrity List Ops Relation Schema Types

@@ -1,0 +1,1 @@
+examples/zoo_frames.ml: Format Hr_datalog Hr_frames Hr_query List Option String

@@ -1,0 +1,1 @@
+examples/zoo_frames.mli:

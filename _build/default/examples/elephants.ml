@@ -1,0 +1,73 @@
+(* Clyde the royal elephant (Figures 4, 9, 11): explicit cancellation
+   through the functional front end, justification, join and projection.
+
+   Run with: dune exec examples/elephants.exe *)
+
+module Hierarchy = Hr_hierarchy.Hierarchy
+module Frontend = Hr_frontend.Frontend
+open Hierel
+
+let () =
+  let animals = Hierarchy.create "animal" in
+  ignore (Hierarchy.add_class animals "elephant");
+  ignore (Hierarchy.add_class animals ~parents:[ "elephant" ] "african_elephant");
+  ignore (Hierarchy.add_class animals ~parents:[ "elephant" ] "indian_elephant");
+  ignore (Hierarchy.add_class animals ~parents:[ "elephant" ] "royal_elephant");
+  ignore (Hierarchy.add_instance animals ~parents:[ "royal_elephant" ] "clyde");
+  ignore
+    (Hierarchy.add_instance animals ~parents:[ "royal_elephant"; "indian_elephant" ] "appu");
+  let colors = Hierarchy.create "color" in
+  List.iter (fun c -> ignore (Hierarchy.add_instance colors c)) [ "grey"; "white"; "dappled" ];
+
+  let schema = Schema.make [ ("animal", animals); ("color", colors) ] in
+
+  (* Build Fig 4 with the functional front end: each positive assertion
+     auto-generates the explicit cancellation of the inherited color. *)
+  let color = Relation.of_tuples ~name:"color" schema [ (Types.Pos, [ "elephant"; "grey" ]) ] in
+  let color =
+    Frontend.assert_functional color ~entity_attr:"animal"
+      (Item.of_names schema [ "royal_elephant"; "white" ])
+  in
+  let color =
+    Frontend.assert_functional color ~entity_attr:"animal"
+      (Item.of_names schema [ "clyde"; "dappled" ])
+  in
+  Format.printf "Animal-Color (Fig 4, cancellations auto-generated):@.%a@." Relation.pp color;
+
+  (* Appu is both royal and indian; royal binds closer than elephant, and
+     indian is silent, so appu is white. *)
+  List.iter
+    (fun (animal, c) ->
+      let item = Item.of_names schema [ animal; c ] in
+      Format.printf "%-6s %-8s -> %s@." animal c
+        (if Binding.holds color item then "yes" else "no"))
+    [ ("clyde", "dappled"); ("clyde", "grey"); ("appu", "white"); ("appu", "grey") ];
+
+  (* Fig 9: a selection and its justification. *)
+  let result, applicable = Ops.select_justified color ~attr:"animal" ~value:"appu" in
+  Format.printf "@.What do we know about appu? (Fig 9)@.%a@.justified by:@." Relation.pp result;
+  List.iter
+    (fun (t : Relation.tuple) ->
+      Format.printf "  %a%s@." Types.pp_sign t.Relation.sign (Item.to_string schema t.Relation.item))
+    applicable;
+
+  (* Fig 11: join with enclosure sizes, then project back. *)
+  let sizes = Hierarchy.create "size" in
+  ignore (Hierarchy.add_instance sizes "s2000");
+  ignore (Hierarchy.add_instance sizes "s3000");
+  let enclosure =
+    Relation.of_tuples ~name:"enclosure"
+      (Schema.make [ ("animal", animals); ("enclosure", sizes) ])
+      [
+        (Types.Pos, [ "elephant"; "s3000" ]);
+        (Types.Neg, [ "indian_elephant"; "s3000" ]);
+        (Types.Pos, [ "indian_elephant"; "s2000" ]);
+      ]
+  in
+  let joined = Ops.join enclosure color in
+  Format.printf "@.Enclosure joined with Color (Fig 11b):@.%a@." Relation.pp joined;
+  let back = Ops.project joined [ "animal"; "color" ] in
+  Format.printf "Projected back on Animal-Color (Fig 11c):@.%a@." Relation.pp back;
+  Format.printf "no information lost: clyde dappled = %b, appu grey = %b@."
+    (Binding.holds back (Item.of_names schema [ "clyde"; "dappled" ]))
+    (Binding.holds back (Item.of_names schema [ "appu"; "grey" ]))

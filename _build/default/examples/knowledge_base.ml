@@ -1,0 +1,64 @@
+(* A small knowledge base driven end to end through HRQL and Datalog —
+   the paper's pitch of the model as a back end for frame-based knowledge
+   representation systems (§1) with logic-programming inference on top
+   (§2.1).
+
+   Run with: dune exec examples/knowledge_base.exe *)
+
+module Eval = Hr_query.Eval
+module Datalog = Hr_datalog.Datalog
+open Hierel
+
+let script =
+  {|
+  CREATE DOMAIN animal;
+  CREATE CLASS bird UNDER animal;
+  CREATE CLASS canary UNDER bird;
+  CREATE CLASS penguin UNDER bird;
+  CREATE CLASS amazing_flying_penguin UNDER penguin;
+  CREATE INSTANCE tweety OF canary;
+  CREATE INSTANCE paul OF penguin;
+  CREATE INSTANCE pamela OF amazing_flying_penguin;
+
+  CREATE RELATION flies (creature: animal);
+  INSERT INTO flies VALUES (+ ALL bird), (- ALL penguin), (+ ALL amazing_flying_penguin);
+
+  CREATE DOMAIN place;
+  CREATE INSTANCE antarctica OF place;
+  CREATE INSTANCE amazon OF place;
+  CREATE RELATION lives_in (creature: animal, place: place);
+  INSERT INTO lives_in VALUES (+ ALL penguin, antarctica), (+ tweety, amazon);
+  |}
+
+let () =
+  let cat = Catalog.create () in
+  (match Eval.run_script cat script with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+
+  (* interactive-style queries through the language *)
+  List.iter
+    (fun q ->
+      match Eval.run_script cat q with
+      | Ok outputs -> List.iter (fun o -> Format.printf "> %s@.%s@." (String.trim q) o) outputs
+      | Error msg -> Format.printf "error: %s@." msg)
+    [
+      "ASK flies (pamela);";
+      "SELECT * FROM flies WHERE creature = paul WITH JUSTIFICATION;";
+      "SELECT * FROM lives_in WHERE place = antarctica;";
+    ];
+
+  (* Datalog rules on top: taxonomy membership and relations combine. *)
+  let p = Datalog.create cat in
+  Datalog.add_rule_str p "travels_far(X) :- flies(X).";
+  Datalog.add_rule_str p
+    "antarctic_flyer(X) :- flies(X), lives_in(X, antarctica).";
+  Datalog.add_rule_str p "famous(X) :- antarctic_flyer(X), member_of(X, penguin).";
+
+  Format.printf "@.Datalog on top of the hierarchical EDB:@.";
+  List.iter
+    (fun pred ->
+      let rows = Datalog.query p (Datalog.parse_atom (pred ^ "(X)")) in
+      Format.printf "%-16s = {%s}@." pred
+        (String.concat ", " (List.map (String.concat " ") rows)))
+    [ "travels_far"; "antarctic_flyer"; "famous" ]

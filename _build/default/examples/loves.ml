@@ -1,0 +1,41 @@
+(* Set operations on hierarchical relations (Figure 10): Jack and Jill.
+
+   Run with: dune exec examples/loves.exe *)
+
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+let () =
+  let animals = Hierarchy.create "animal" in
+  ignore (Hierarchy.add_class animals "bird");
+  ignore (Hierarchy.add_class animals ~parents:[ "bird" ] "canary");
+  ignore (Hierarchy.add_class animals ~parents:[ "bird" ] "penguin");
+  ignore (Hierarchy.add_instance animals ~parents:[ "canary" ] "tweety");
+  ignore (Hierarchy.add_instance animals ~parents:[ "penguin" ] "peter");
+  ignore (Hierarchy.add_instance animals ~parents:[ "penguin" ] "paul");
+
+  let schema = Schema.make [ ("creature", animals) ] in
+  let jack =
+    Relation.of_tuples ~name:"jack_loves" schema
+      [ (Types.Pos, [ "bird" ]); (Types.Neg, [ "penguin" ]) ]
+  in
+  let jill = Relation.of_tuples ~name:"jill_loves" schema [ (Types.Pos, [ "penguin" ]) ] in
+
+  Format.printf "Jack loves:@.%a@.Jill loves:@.%a@." Relation.pp jack Relation.pp jill;
+
+  let show title rel =
+    Format.printf "%s@.%a  extension: {%s}@.@." title Relation.pp rel
+      (String.concat ", "
+         (List.map (fun it -> Item.to_string schema it) (Flatten.extension_list rel)))
+  in
+  show "Jack and Jill between them love (Fig 10c):" (Ops.union jack jill);
+  show "Jack and Jill both love (Fig 10d):" (Ops.inter jack jill);
+  show "Jack loves but Jill does not (Fig 10e):" (Ops.diff jack jill);
+  show "Jill loves but Jack does not (Fig 10f):" (Ops.diff jill jack);
+
+  (* The results stay hierarchical: set operations work on the implied
+     extensions but the stored form keeps class tuples. *)
+  let u = Ops.union jack jill in
+  Format.printf "union stored in %d tuples for an extension of %d creatures@."
+    (Relation.cardinality u)
+    (List.length (Flatten.extension_list u))

@@ -1,0 +1,61 @@
+(* The Respects relation of Figures 2, 3, 6, 7 and 8: multi-attribute
+   items, conflict detection and resolution, consolidation, selection.
+
+   Run with: dune exec examples/university.exe *)
+
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+let () =
+  let students = Hierarchy.create "student" in
+  ignore (Hierarchy.add_class students "obsequious_student");
+  ignore (Hierarchy.add_instance students ~parents:[ "obsequious_student" ] "john");
+  ignore (Hierarchy.add_instance students "mary");
+  let teachers = Hierarchy.create "teacher" in
+  ignore (Hierarchy.add_class teachers "incoherent_teacher");
+  ignore (Hierarchy.add_instance teachers ~parents:[ "incoherent_teacher" ] "smith");
+  ignore (Hierarchy.add_instance teachers "jones");
+
+  let schema = Schema.make [ ("student", students); ("teacher", teachers) ] in
+
+  (* The two facts above the dashed line in Fig 3: obsequious students
+     respect all teachers; no student respects an incoherent teacher.
+     Together they are ambiguous about obsequious students and incoherent
+     teachers. *)
+  let unresolved =
+    Relation.of_tuples ~name:"respects" schema
+      [
+        (Types.Pos, [ "obsequious_student"; "teacher" ]);
+        (Types.Neg, [ "student"; "incoherent_teacher" ]);
+      ]
+  in
+  Format.printf "Unresolved relation:@.%a@." Relation.pp unresolved;
+  (match Integrity.check unresolved with
+  | [] -> Format.printf "unexpectedly consistent?!@."
+  | conflicts ->
+    List.iter
+      (fun c -> Format.printf "%a@." (Integrity.pp_conflict schema) c)
+      conflicts);
+
+  (* Resolve as the paper does, with an explicit tuple. *)
+  let respects =
+    Relation.add_named unresolved Types.Pos [ "obsequious_student"; "incoherent_teacher" ]
+  in
+  Format.printf "@.Resolved (Fig 3):@.%a consistent: %b@." Relation.pp respects
+    (Integrity.is_consistent respects);
+
+  (* Fig 7: who do obsequious students respect? *)
+  Format.printf "@.Who do obsequious students respect? (Fig 7)@.%a@." Relation.pp
+    (Ops.select respects ~attr:"student" ~value:"obsequious_student");
+
+  (* Fig 8: who does John respect? *)
+  Format.printf "Who does john respect? (Fig 8)@.%a@." Relation.pp
+    (Ops.select respects ~attr:"student" ~value:"john");
+
+  (* Fig 6: consolidation discovers that, extensionally, one tuple is
+     enough. *)
+  let consolidated, removed = Consolidate.consolidate_verbose respects in
+  Format.printf "Consolidation removed %d tuples (Fig 6):@.%a@." (List.length removed)
+    Relation.pp consolidated;
+  Format.printf "same extension as before: %b@."
+    (Flatten.equal_extension respects consolidated)

@@ -1,0 +1,62 @@
+(* A frame-based knowledge base on the hierarchical relational back end —
+   the paper's §1 pitch, as a zoo management system.
+
+   Run with: dune exec examples/zoo_frames.exe *)
+
+module Frames = Hr_frames.Frames
+module Datalog = Hr_datalog.Datalog
+
+let () =
+  let kb = Frames.create ~entity_domain:"animal" () in
+
+  (* taxonomy *)
+  Frames.define_frame kb "mammal";
+  Frames.define_frame kb ~is_a:[ "mammal" ] "elephant";
+  Frames.define_frame kb ~is_a:[ "elephant" ] "royal_elephant";
+  Frames.define_frame kb ~is_a:[ "elephant" ] "indian_elephant";
+  Frames.define_frame kb ~is_a:[ "mammal" ] "big_cat";
+  Frames.define_frame kb ~is_a:[ "big_cat" ] "lion";
+  Frames.define_individual kb ~is_a:[ "royal_elephant" ] "clyde";
+  Frames.define_individual kb ~is_a:[ "royal_elephant"; "indian_elephant" ] "appu";
+  Frames.define_individual kb ~is_a:[ "lion" ] "leo";
+
+  (* slots with defaults and exceptions *)
+  Frames.define_slot kb ~slot:"color" ~values:[ "grey"; "white"; "dappled"; "tawny" ];
+  Frames.set_slot kb ~frame:"elephant" ~slot:"color" ~value:"grey";
+  Frames.set_slot kb ~frame:"royal_elephant" ~slot:"color" ~value:"white";
+  Frames.set_slot kb ~frame:"clyde" ~slot:"color" ~value:"dappled";
+  Frames.set_slot kb ~frame:"lion" ~slot:"color" ~value:"tawny";
+
+  Frames.define_slot ~multi:true kb ~slot:"diet" ~values:[ "hay"; "fruit"; "meat" ];
+  Frames.set_slot kb ~frame:"elephant" ~slot:"diet" ~value:"hay";
+  Frames.set_slot kb ~frame:"elephant" ~slot:"diet" ~value:"fruit";
+  Frames.set_slot kb ~frame:"big_cat" ~slot:"diet" ~value:"meat";
+
+  (* query with inheritance + exceptions *)
+  List.iter
+    (fun individual ->
+      Format.printf "%-6s color=%-8s diet=%s@." individual
+        (Option.value ~default:"?" (Frames.slot_value kb ~frame:individual ~slot:"color"))
+        (String.concat "," (Frames.get_slot kb ~frame:individual ~slot:"diet")))
+    (Frames.individuals kb);
+
+  (* explanation: why is appu white? *)
+  Format.printf "@.%s@.@." (Frames.explain_slot kb ~frame:"appu" ~slot:"color" ~value:"white");
+
+  (* the same KB through HRQL... *)
+  (match Hr_query.Eval.run_script (Frames.catalog kb) "SELECT * FROM color;" with
+  | Ok outputs -> List.iter print_endline outputs
+  | Error e -> print_endline e);
+
+  (* ...and through Datalog rules on top *)
+  let p = Datalog.create (Frames.catalog kb) in
+  Datalog.add_rule_str p "herbivore(X) :- diet(X, hay).";
+  Datalog.add_rule_str p
+    "needs_special_keeper(X) :- member_of(X, elephant), not herbivore(X).";
+  Format.printf "herbivores: %s@."
+    (String.concat ", "
+       (List.map (String.concat " ") (Datalog.query p (Datalog.parse_atom "herbivore(X)"))));
+  Format.printf "need a special keeper: %s@."
+    (String.concat ", "
+       (List.map (String.concat " ")
+          (Datalog.query p (Datalog.parse_atom "needs_special_keeper(X)"))))

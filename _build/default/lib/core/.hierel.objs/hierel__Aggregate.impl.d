@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Explicate Flatten Hashtbl Hr_hierarchy Int Item List Option Relation Schema String

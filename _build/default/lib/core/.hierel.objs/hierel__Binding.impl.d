@@ -1,0 +1,1 @@
+lib/core/binding.ml: Array Format Fun Hashtbl Hr_hierarchy Item List Relation Schema Types

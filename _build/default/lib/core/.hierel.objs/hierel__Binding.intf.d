@@ -1,0 +1,1 @@
+lib/core/binding.mli: Format Item Relation Schema Types

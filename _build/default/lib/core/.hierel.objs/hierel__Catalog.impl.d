@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Hr_hierarchy Hr_util Integrity Relation Types

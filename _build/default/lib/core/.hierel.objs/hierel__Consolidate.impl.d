@@ -1,0 +1,1 @@
+lib/core/consolidate.ml: Hr_graph List Relation Subsumption Types

@@ -1,0 +1,1 @@
+lib/core/explicate.ml: Fun Item List Relation Schema Subsumption Types

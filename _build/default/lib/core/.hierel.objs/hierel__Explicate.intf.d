@@ -1,0 +1,1 @@
+lib/core/explicate.mli: Relation

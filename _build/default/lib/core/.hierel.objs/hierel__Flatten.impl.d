@@ -1,0 +1,1 @@
+lib/core/flatten.ml: Binding Explicate Item Relation Schema Set

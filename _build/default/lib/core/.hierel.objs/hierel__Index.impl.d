@@ -1,0 +1,1 @@
+lib/core/index.ml: Array Binding Hashtbl Hr_hierarchy Int Item List Option Relation Schema Types

@@ -1,0 +1,1 @@
+lib/core/integrity.ml: Array Binding Format Fun Item List Option Relation Seq Set Types

@@ -1,0 +1,1 @@
+lib/core/integrity.mli: Format Item Relation Schema Types

@@ -1,0 +1,1 @@
+lib/core/item.ml: Array Format Fun Hashtbl Hr_hierarchy List Schema Stdlib Types

@@ -1,0 +1,1 @@
+lib/core/ops.ml: Array Binding Consolidate Explicate Fun Hr_hierarchy Item List Option Queue Relation Schema Set Types

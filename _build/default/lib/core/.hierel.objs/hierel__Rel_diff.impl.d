@@ -1,0 +1,1 @@
+lib/core/rel_diff.ml: Flatten Format Item List Relation Schema Types

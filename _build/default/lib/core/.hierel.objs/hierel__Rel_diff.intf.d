@@ -1,0 +1,1 @@
+lib/core/rel_diff.mli: Format Item Relation Schema Types

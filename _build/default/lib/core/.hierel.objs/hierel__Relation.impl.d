@@ -1,0 +1,1 @@
+lib/core/relation.ml: Format Hr_hierarchy Hr_util Item List Map Schema Types

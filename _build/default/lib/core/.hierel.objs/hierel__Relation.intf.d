@@ -1,0 +1,1 @@
+lib/core/relation.mli: Format Item Schema Types

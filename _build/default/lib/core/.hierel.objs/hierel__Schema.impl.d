@@ -1,0 +1,1 @@
+lib/core/schema.ml: Array Format Hashtbl Hr_hierarchy Hr_util List Option Types

@@ -1,0 +1,1 @@
+lib/core/schema.mli: Format Hr_hierarchy Hr_util

@@ -1,0 +1,1 @@
+lib/core/subsumption.ml: Array Format Hr_graph Item List Relation Types

@@ -1,0 +1,1 @@
+lib/core/subsumption.mli: Format Hr_graph Relation Types

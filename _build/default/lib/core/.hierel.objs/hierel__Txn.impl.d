@@ -1,0 +1,1 @@
+lib/core/txn.ml: Catalog Hr_util Integrity Item Relation

@@ -1,0 +1,34 @@
+module Hierarchy = Hr_hierarchy.Hierarchy
+
+let count rel = Explicate.extension_size rel
+
+let count_by rel ~attr =
+  let schema = Relation.schema rel in
+  let i = Schema.index_of schema attr in
+  let tally = Hashtbl.create 32 in
+  List.iter
+    (fun item ->
+      let v = Item.coord item i in
+      Hashtbl.replace tally v (1 + Option.value ~default:0 (Hashtbl.find_opt tally v)))
+    (Flatten.extension_list rel);
+  Hashtbl.fold (fun v n acc -> (v, n) :: acc) tally []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let count_under rel ~attr ~cls =
+  let schema = Relation.schema rel in
+  let i = Schema.index_of schema attr in
+  let h = Schema.hierarchy schema i in
+  let c = Hierarchy.find_exn h cls in
+  List.length
+    (List.filter
+       (fun item -> Hierarchy.subsumes h c (Item.coord item i))
+       (Flatten.extension_list rel))
+
+let histogram rel ~attr =
+  let schema = Relation.schema rel in
+  let i = Schema.index_of schema attr in
+  let h = Schema.hierarchy schema i in
+  count_by rel ~attr
+  |> List.map (fun (v, n) -> (Hierarchy.node_label h v, n))
+  |> List.sort (fun (la, na) (lb, nb) ->
+         match Int.compare nb na with 0 -> String.compare la lb | c -> c)

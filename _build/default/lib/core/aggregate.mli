@@ -1,0 +1,25 @@
+(** Statistical operations over hierarchical relations.
+
+    The paper motivates explication precisely here (§3.3.2): "This
+    operator is useful when a count, average, or other statistical
+    operation is to be performed over the relation." These helpers
+    explicate internally (over the needed attributes only) and compute on
+    the resulting atomic tuples, so callers never mistake the stored
+    tuple count for the real cardinality. *)
+
+val count : Relation.t -> int
+(** Cardinality of the equivalent flat relation. *)
+
+val count_by : Relation.t -> attr:string -> (Hr_hierarchy.Hierarchy.node * int) list
+(** Group the extension by the instance in position [attr]: one pair per
+    instance with a non-zero count, in instance order. For a
+    single-attribute relation this is the membership indicator. *)
+
+val count_under :
+  Relation.t -> attr:string -> cls:string -> int
+(** Members of the extension whose [attr] coordinate falls under [cls] —
+    "how many flying creatures are penguins?". *)
+
+val histogram : Relation.t -> attr:string -> (string * int) list
+(** {!count_by} with labels, sorted by descending count then name; ready
+    for printing. *)

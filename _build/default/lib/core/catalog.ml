@@ -1,0 +1,53 @@
+module Hierarchy = Hr_hierarchy.Hierarchy
+module Symbol = Hr_util.Symbol
+
+type t = {
+  hierarchies : Hierarchy.t Symbol.Tbl.t;
+  relations : Relation.t Symbol.Tbl.t;
+}
+
+let create () = { hierarchies = Symbol.Tbl.create 16; relations = Symbol.Tbl.create 16 }
+
+let define_hierarchy t h =
+  let key = Hierarchy.domain h in
+  if Symbol.Tbl.mem t.hierarchies key then
+    Types.model_error "hierarchy %a already defined" Symbol.pp key;
+  Symbol.Tbl.add t.hierarchies key h
+
+let find_hierarchy t name = Symbol.Tbl.find_opt t.hierarchies (Symbol.intern name)
+
+let hierarchy t name =
+  match find_hierarchy t name with
+  | Some h -> h
+  | None -> Types.model_error "no hierarchy %S" name
+
+let hierarchies t = Symbol.Tbl.fold (fun _ h acc -> h :: acc) t.hierarchies []
+
+let define_relation t r =
+  let key = Symbol.intern (Relation.name r) in
+  if Symbol.Tbl.mem t.relations key then
+    Types.model_error "relation %a already defined" Symbol.pp key;
+  (match Integrity.first_conflict r with
+  | None -> ()
+  | Some c ->
+    Types.model_error "initial contents of %S are inconsistent: %a" (Relation.name r)
+      (Integrity.pp_conflict (Relation.schema r))
+      c);
+  Symbol.Tbl.add t.relations key r
+
+let find_relation t name = Symbol.Tbl.find_opt t.relations (Symbol.intern name)
+
+let relation t name =
+  match find_relation t name with
+  | Some r -> r
+  | None -> Types.model_error "no relation %S" name
+
+let relations t = Symbol.Tbl.fold (fun _ r acc -> r :: acc) t.relations []
+
+let replace_relation t r =
+  let key = Symbol.intern (Relation.name r) in
+  if not (Symbol.Tbl.mem t.relations key) then
+    Types.model_error "no relation %S" (Relation.name r);
+  Symbol.Tbl.replace t.relations key r
+
+let drop_relation t name = Symbol.Tbl.remove t.relations (Symbol.intern name)

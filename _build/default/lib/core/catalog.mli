@@ -1,0 +1,34 @@
+(** A named collection of hierarchies and relations — the database.
+
+    Relations are immutable values; the catalog maps names to current
+    versions. All mutation goes through {!Txn} transactions, which enforce
+    the ambiguity constraint at commit time (paper, §3.1: "whenever an
+    update is made we require that the update does not create an
+    unresolved conflict ... within the same transaction"). *)
+
+type t
+
+val create : unit -> t
+
+val define_hierarchy : t -> Hr_hierarchy.Hierarchy.t -> unit
+(** Registers a hierarchy under its domain name. Raises
+    {!Types.Model_error} on duplicates. *)
+
+val hierarchy : t -> string -> Hr_hierarchy.Hierarchy.t
+val find_hierarchy : t -> string -> Hr_hierarchy.Hierarchy.t option
+val hierarchies : t -> Hr_hierarchy.Hierarchy.t list
+
+val define_relation : t -> Relation.t -> unit
+(** Registers a relation under its name; the initial contents must be
+    consistent. *)
+
+val relation : t -> string -> Relation.t
+val find_relation : t -> string -> Relation.t option
+val relations : t -> Relation.t list
+
+val replace_relation : t -> Relation.t -> unit
+(** Unchecked swap of a relation's current version (used by {!Txn.commit}
+    and by maintenance operators like consolidation, which preserve
+    semantics by construction). *)
+
+val drop_relation : t -> string -> unit

@@ -1,0 +1,31 @@
+module Dag = Hr_graph.Dag
+
+(* Walk the subsumption graph most-general first; a node whose current
+   immediate predecessors all carry its own sign is redundant and is
+   eliminated (off-path, preserving the transitive reduction) before the
+   walk continues. The initial topological order remains valid after
+   eliminations because node elimination preserves reachability among the
+   surviving nodes. *)
+let consolidate_verbose rel =
+  let g = Subsumption.build rel in
+  let dag = Subsumption.dag g in
+  let removed = ref [] in
+  let result = ref rel in
+  List.iter
+    (fun v ->
+      if v <> Subsumption.root g then begin
+        let t = Subsumption.tuple g v in
+        let preds = Dag.preds dag v in
+        let agrees u = Types.sign_equal (Subsumption.sign_of_node g u) t.Relation.sign in
+        if preds <> [] && List.for_all agrees preds then begin
+          removed := t :: !removed;
+          result := Relation.remove !result t.Relation.item;
+          Dag.eliminate_node dag ~on_path:false v
+        end
+      end)
+    (Subsumption.topological g);
+  (!result, List.rev !removed)
+
+let consolidate rel = fst (consolidate_verbose rel)
+let redundant_tuples rel = snd (consolidate_verbose rel)
+let is_consolidated rel = redundant_tuples rel = []

@@ -1,0 +1,25 @@
+(** The [consolidate] operator (paper, §3.3.1).
+
+    Removes redundant tuples: a tuple is redundant iff it has the same
+    truth value as {e all} of its immediate predecessors in the relation's
+    subsumption graph (the virtual universal negated tuple standing in for
+    absent predecessors, so an uncovered negated tuple is redundant).
+    Nodes are examined in topological order and removed with the node
+    elimination procedure, which yields the unique minimum relation with
+    no redundant tuples (paper's claim, citing [15]; property-tested
+    here). Consolidation changes only the stored form — the equivalent
+    flat relation is untouched.
+
+    Subsumption here is set inclusion over [isa] edges; preference edges
+    play no role, exactly as in the paper. *)
+
+val consolidate : Relation.t -> Relation.t
+(** The unique minimal equivalent relation. *)
+
+val consolidate_verbose : Relation.t -> Relation.t * Relation.tuple list
+(** Also reports the removed tuples, in removal order. *)
+
+val redundant_tuples : Relation.t -> Relation.tuple list
+(** The tuples {!consolidate} would remove (without removing them). *)
+
+val is_consolidated : Relation.t -> bool

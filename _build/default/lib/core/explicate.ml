@@ -1,0 +1,31 @@
+let explicate ?over ?keep_negated rel =
+  let schema = Relation.schema rel in
+  let positions =
+    match over with
+    | None -> List.init (Schema.arity schema) Fun.id
+    | Some names -> List.map (Schema.index_of schema) names
+  in
+  let full = List.length positions = Schema.arity schema in
+  let keep_negated =
+    match keep_negated with
+    | Some k -> k || not full
+    | None -> not full
+  in
+  let g = Subsumption.build rel in
+  let order =
+    List.filter (fun v -> v <> Subsumption.root g) (List.rev (Subsumption.topological g))
+  in
+  let result = ref (Relation.empty ~name:(Relation.name rel) schema) in
+  List.iter
+    (fun v ->
+      let t = Subsumption.tuple g v in
+      List.iter
+        (fun item ->
+          if not (Relation.mem !result item) then
+            result := Relation.set !result item t.Relation.sign)
+        (Item.atomic_extension schema ~over:positions t.Relation.item))
+    order;
+  if keep_negated then !result
+  else Relation.filter (fun t -> Types.bool_of_sign t.Relation.sign) !result
+
+let extension_size rel = Relation.cardinality (explicate rel)

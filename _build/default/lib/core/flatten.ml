@@ -1,0 +1,14 @@
+module Item_set = Set.Make (Item)
+
+let extension rel =
+  Relation.fold
+    (fun (t : Relation.tuple) acc -> Item_set.add t.Relation.item acc)
+    (Explicate.explicate rel) Item_set.empty
+
+let extension_list rel = Item_set.elements (extension rel)
+
+let equal_extension a b =
+  Schema.equal (Relation.schema a) (Relation.schema b)
+  && Item_set.equal (extension a) (extension b)
+
+let holds_atomic rel item = Binding.holds rel item

@@ -1,0 +1,65 @@
+module Hierarchy = Hr_hierarchy.Hierarchy
+
+type t = {
+  relation : Relation.t;
+  buckets : (int, int list) Hashtbl.t array;
+      (** per attribute: hierarchy node -> indexes of tuples whose item has
+          that node in this coordinate *)
+  tuples : Relation.tuple array;
+}
+
+let build relation =
+  let schema = Relation.schema relation in
+  let arity = Schema.arity schema in
+  let tuples = Array.of_list (Relation.tuples relation) in
+  let buckets = Array.init arity (fun _ -> Hashtbl.create 64) in
+  Array.iteri
+    (fun idx (t : Relation.tuple) ->
+      for i = 0 to arity - 1 do
+        let node = Item.coord t.Relation.item i in
+        let existing = Option.value ~default:[] (Hashtbl.find_opt buckets.(i) node) in
+        Hashtbl.replace buckets.(i) node (idx :: existing)
+      done)
+    tuples;
+  { relation; buckets; tuples }
+
+let relation t = t.relation
+
+(* Candidate tuples via the cheapest coordinate: those whose coordinate i
+   is an ancestor of the query's coordinate i. The other coordinates are
+   then checked by full subsumption. *)
+let relevant t item =
+  let schema = Relation.schema t.relation in
+  let arity = Schema.arity schema in
+  let candidate_lists =
+    List.init arity (fun i ->
+        let h = Schema.hierarchy schema i in
+        let ancestors = Hierarchy.ancestors h (Item.coord item i) in
+        List.concat_map
+          (fun node -> Option.value ~default:[] (Hashtbl.find_opt t.buckets.(i) node))
+          ancestors)
+  in
+  let seed =
+    List.fold_left
+      (fun best l -> if List.length l < List.length best then l else best)
+      (List.hd candidate_lists) (List.tl candidate_lists)
+  in
+  List.sort_uniq Int.compare seed
+  |> List.filter_map (fun idx ->
+         let tup = t.tuples.(idx) in
+         if Item.strictly_subsumes schema tup.Relation.item item then Some tup else None)
+
+let verdict ?semantics t item =
+  Binding.decide ?semantics (Relation.schema t.relation) item
+    ~exact:(Relation.find t.relation item) ~relevant:(relevant t item)
+
+let truth ?semantics t item =
+  match verdict ?semantics t item with
+  | Binding.Asserted (sign, _) -> sign
+  | Binding.Unasserted -> Types.Neg
+  | Binding.Conflict _ ->
+    Types.model_error "conflict at item %s in relation %S"
+      (Item.to_string (Relation.schema t.relation) item)
+      (Relation.name t.relation)
+
+let holds ?semantics t item = Types.bool_of_sign (truth ?semantics t item)

@@ -1,0 +1,30 @@
+(** A secondary index over a relation for fast binding queries.
+
+    {!Binding.verdict} scans every stored tuple per query; for large
+    relations the scan dominates. The index buckets tuples by the
+    hierarchy node in each coordinate, so the relevant-tuple set for an
+    item is gathered by walking the (usually short) ancestor list of one
+    coordinate and probing buckets, then filtering on the remaining
+    coordinates. The paper's efficiency discussion (§1, §4 "the model
+    shows promise of efficient implementation") is the motivation;
+    experiment C9 in the benchmark harness measures the gain.
+
+    Like {!Hr_graph.Dag.Reach}, the index is a snapshot of an immutable
+    relation value: build it once per relation version. *)
+
+type t
+
+val build : Relation.t -> t
+
+val relation : t -> Relation.t
+
+val relevant : t -> Item.t -> Relation.tuple list
+(** Same contract as {!Binding.relevant}: tuples whose item strictly
+    subsumes the argument (deterministic order, not necessarily the same
+    order as the unindexed scan). *)
+
+val verdict : ?semantics:Types.semantics -> t -> Item.t -> Binding.verdict
+(** Same result as {!Binding.verdict} on the underlying relation. *)
+
+val truth : ?semantics:Types.semantics -> t -> Item.t -> Types.sign
+val holds : ?semantics:Types.semantics -> t -> Item.t -> bool

@@ -1,0 +1,107 @@
+type conflict = {
+  pos : Relation.tuple;
+  neg : Relation.tuple;
+  witnesses : Item.t list;
+}
+
+(* --- Off-path check: pairwise maximal-common-descendant witnesses ---- *)
+
+(* Opposite-sign pairs of incomparable, intersecting tuples; for each, the
+   maximal-common-descendant witnesses whose verdict is a conflict. *)
+let off_path_conflicts_seq rel =
+  let schema = Relation.schema rel in
+  let tuples = Array.of_list (Relation.tuples rel) in
+  let n = Array.length tuples in
+  let pair_conflict i j =
+    let ti = tuples.(i) and tj = tuples.(j) in
+    if Types.sign_equal ti.Relation.sign tj.Relation.sign then None
+    else
+      let pos, neg =
+        if Types.bool_of_sign ti.Relation.sign then ti, tj else tj, ti
+      in
+      if Item.comparable schema pos.Relation.item neg.Relation.item then None
+      else
+        let candidates =
+          Item.maximal_common_descendants schema pos.Relation.item neg.Relation.item
+        in
+        let witnesses =
+          List.filter
+            (fun w ->
+              match Binding.verdict rel w with
+              | Binding.Conflict _ -> true
+              | Binding.Asserted _ | Binding.Unasserted -> false)
+            candidates
+        in
+        if witnesses = [] then None else Some { pos; neg; witnesses }
+  in
+  let pairs =
+    Seq.concat_map
+      (fun i -> Seq.map (fun j -> (i, j)) (Seq.init (n - i - 1) (fun k -> i + 1 + k)))
+      (Seq.init n Fun.id)
+  in
+  Seq.filter_map (fun (i, j) -> pair_conflict i j) pairs
+
+(* --- Stricter semantics: exhaustive witness enumeration -------------- *)
+
+(* Under on-path or no-preemption semantics a conflict can arise below a
+   pair of comparable tuples (the more general one is no longer fully
+   preempted), so MCD witnesses do not suffice. Every conflicting item has
+   a negative binder, hence lies (weakly) below some negated tuple: it is
+   enough to test the atomic extension of every negated tuple's item, plus
+   the MCD witnesses and the stored items themselves. Conflicts confined
+   to instance-free classes are invisible to this enumeration — and to the
+   equivalent flat relation. *)
+let exhaustive_conflicts_seq ~semantics rel =
+  let schema = Relation.schema rel in
+  let tuples = Relation.tuples rel in
+  let module S = Set.Make (Item) in
+  let candidates = ref S.empty in
+  let add it = candidates := S.add it !candidates in
+  List.iter
+    (fun (t : Relation.tuple) ->
+      add t.Relation.item;
+      if Types.sign_equal t.Relation.sign Types.Neg then
+        List.iter add (Item.atomic_extension schema t.Relation.item))
+    tuples;
+  List.iter
+    (fun (a : Relation.tuple) ->
+      List.iter
+        (fun (b : Relation.tuple) ->
+          if
+            (not (Types.sign_equal a.Relation.sign b.Relation.sign))
+            && not (Item.comparable schema a.Relation.item b.Relation.item)
+          then
+            List.iter add
+              (Item.maximal_common_descendants schema a.Relation.item b.Relation.item))
+        tuples)
+    tuples;
+  Seq.filter_map
+    (fun w ->
+      match Binding.verdict ~semantics rel w with
+      | Binding.Conflict { positive; negative } ->
+        Some { pos = List.hd positive; neg = List.hd negative; witnesses = [ w ] }
+      | Binding.Asserted _ | Binding.Unasserted -> None)
+    (S.to_seq !candidates)
+
+let conflicts_seq ?(semantics = Types.Off_path) rel =
+  match semantics with
+  | Types.Off_path -> off_path_conflicts_seq rel
+  | Types.On_path | Types.No_preemption -> exhaustive_conflicts_seq ~semantics rel
+
+let check ?semantics rel = List.of_seq (conflicts_seq ?semantics rel)
+
+let first_conflict ?semantics rel =
+  match (conflicts_seq ?semantics rel) () with
+  | Seq.Nil -> None
+  | Seq.Cons (c, _) -> Some c
+
+let is_consistent ?semantics rel = Option.is_none (first_conflict ?semantics rel)
+
+let minimal_resolution_set rel a b =
+  Item.maximal_common_descendants (Relation.schema rel) a b
+
+let pp_conflict schema ppf { pos; neg; witnesses } =
+  Format.fprintf ppf "@[<v>conflict between +%a and -%a at:@,%a@]"
+    (Item.pp schema) pos.Relation.item (Item.pp schema) neg.Relation.item
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (Item.pp schema))
+    witnesses

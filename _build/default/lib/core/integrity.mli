@@ -1,0 +1,54 @@
+(** The ambiguity integrity constraint (paper, §3.1).
+
+    "For each item in the cartesian product of the attribute domains of a
+    relation, either there should be a tuple associated with the item, or
+    every strongest-binding tuple should have the same truth value."
+
+    Checking every item directly is impossible (the item space is the full
+    product). Soundness of the pairwise check used here: if any item has
+    conflicting strongest binders, two of them are incomparable tuples
+    [t⁺], [t⁻] of opposite sign whose items intersect, and the conflict
+    reappears at one of the maximal common descendants of their items —
+    because every tuple relevant to the original item below such a witness
+    would contradict the binders' minimality. Hence checking all
+    opposite-sign incomparable pairs at their maximal-common-descendant
+    witnesses is sound and complete under the paper's optimistic
+    intersection rule ("two sets are disjoint unless there is evidence to
+    the contrary").
+
+    The same witnesses are the paper's {e minimal conflict resolution
+    set}: asserting one tuple per witness (or fewer, if an item binds more
+    closely to several witnesses) always resolves the conflict.
+
+    Under [On_path] and [No_preemption] semantics a conflict can also
+    arise below two {e comparable} tuples, so the check falls back to an
+    exhaustive enumeration: the atomic extensions of all negated tuples
+    plus the stored items and MCD witnesses. (A conflicting item always
+    has a negative binder, so it lies below a negated tuple; conflicts
+    confined to instance-free classes are invisible both to this
+    enumeration and to the equivalent flat relation.) *)
+
+type conflict = {
+  pos : Relation.tuple;  (** the positive tuple of the clashing pair *)
+  neg : Relation.tuple;  (** the negative tuple *)
+  witnesses : Item.t list;
+      (** the maximal common descendants at which the verdict is a
+          conflict — the minimal conflict resolution set for this pair *)
+}
+
+val check : ?semantics:Types.semantics -> Relation.t -> conflict list
+(** All unresolved conflicts. Empty iff the relation satisfies the
+    ambiguity constraint. *)
+
+val is_consistent : ?semantics:Types.semantics -> Relation.t -> bool
+
+val minimal_resolution_set : Relation.t -> Item.t -> Item.t -> Item.t list
+(** [minimal_resolution_set rel a b] — the maximal common descendants of
+    two items, i.e. the tuples one of which must be asserted (per item) to
+    disambiguate intersecting opposite assertions on [a] and [b]. *)
+
+val first_conflict : ?semantics:Types.semantics -> Relation.t -> conflict option
+(** Cheaper than {!check} when only consistency matters but a diagnostic
+    is wanted on failure. *)
+
+val pp_conflict : Schema.t -> Format.formatter -> conflict -> unit

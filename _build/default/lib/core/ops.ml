@@ -1,0 +1,194 @@
+module Hierarchy = Hr_hierarchy.Hierarchy
+module Item_set = Set.Make (Item)
+
+(* Close a candidate item set under maximal common descendants of
+   incomparable intersecting pairs. Worklist: each new item is paired with
+   every item already accepted. *)
+let close_under_mcd schema seeds =
+  let accepted = ref Item_set.empty in
+  let queue = Queue.create () in
+  let enqueue item =
+    if not (Item_set.mem item !accepted) then begin
+      accepted := Item_set.add item !accepted;
+      Queue.add item queue
+    end
+  in
+  List.iter enqueue seeds;
+  while not (Queue.is_empty queue) do
+    let item = Queue.pop queue in
+    let others = Item_set.elements !accepted in
+    List.iter
+      (fun other ->
+        if
+          (not (Item.equal item other))
+          && (not (Item.comparable schema item other))
+          && Item.intersects schema item other
+        then List.iter enqueue (Item.maximal_common_descendants schema item other))
+      others
+  done;
+  Item_set.elements !accepted
+
+let refine ?(name = "q") ?(consolidate = true) schema eval seeds =
+  let items = close_under_mcd schema seeds in
+  let rel =
+    List.fold_left (fun r item -> Relation.set r item (eval item)) (Relation.empty ~name schema) items
+  in
+  if consolidate then Relation.with_name (Consolidate.consolidate rel) name else rel
+
+let require_equal_schemas a b =
+  if not (Schema.equal (Relation.schema a) (Relation.schema b)) then
+    Types.model_error "schemas of %S and %S differ" (Relation.name a) (Relation.name b)
+
+let combine ?name op a b =
+  require_equal_schemas a b;
+  let schema = Relation.schema a in
+  let seeds = Relation.items a @ Relation.items b in
+  let eval item =
+    Types.sign_of_bool
+      (op
+         (Types.bool_of_sign (Binding.truth a item))
+         (Types.bool_of_sign (Binding.truth b item)))
+  in
+  refine ?name schema eval seeds
+
+let union ?(name = "union") a b = combine ~name ( || ) a b
+let inter ?(name = "inter") a b = combine ~name ( && ) a b
+let diff ?(name = "diff") a b = combine ~name (fun x y -> x && not y) a b
+
+let select_seeds rel i v =
+  let schema = Relation.schema rel in
+  let h = Schema.hierarchy schema i in
+  Relation.fold
+    (fun (t : Relation.tuple) acc ->
+      let meets = Hierarchy.maximal_common_descendants h (Item.coord t.Relation.item i) v in
+      List.fold_left (fun acc m -> Item.substitute t.Relation.item i m :: acc) acc meets)
+    rel []
+
+let select ?(name = "select") rel ~attr ~value =
+  let schema = Relation.schema rel in
+  let i = Schema.index_of schema attr in
+  let v = Hierarchy.find_exn (Schema.hierarchy schema i) value in
+  refine ~name schema (Binding.truth rel) (select_seeds rel i v)
+
+let select_justified ?name rel ~attr ~value =
+  let schema = Relation.schema rel in
+  let i = Schema.index_of schema attr in
+  let v = Hierarchy.find_exn (Schema.hierarchy schema i) value in
+  let result = select ?name rel ~attr ~value in
+  let applicable =
+    List.filter
+      (fun (t : Relation.tuple) ->
+        Hierarchy.intersects (Schema.hierarchy schema i) (Item.coord t.Relation.item i) v)
+      (Relation.tuples rel)
+  in
+  (result, applicable)
+
+let project ?(name = "project") rel attrs =
+  let schema = Relation.schema rel in
+  let positions = List.map (Schema.index_of schema) attrs in
+  let out_schema = Schema.project schema positions in
+  Relation.fold
+    (fun (t : Relation.tuple) acc ->
+      let item = Item.project t.Relation.item positions in
+      match Relation.find acc item with
+      | None -> Relation.set acc item t.Relation.sign
+      | Some existing ->
+        (* existential semantics: a positive witness dominates *)
+        if Types.sign_equal existing Types.Neg && Types.sign_equal t.Relation.sign Types.Pos
+        then Relation.set acc item Types.Pos
+        else acc)
+    rel
+    (Relation.empty ~name out_schema)
+
+let project_exact ?name rel attrs = project ?name (Explicate.explicate rel) attrs
+
+let join ?(name = "join") a b =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  let shared =
+    List.filter_map
+      (fun nm ->
+        match Schema.find_index sb nm with
+        | Some j ->
+          let i = Schema.index_of sa nm in
+          if Schema.hierarchy sa i != Schema.hierarchy sb j then
+            Types.model_error "shared attribute %S uses different hierarchies" nm;
+          Some (i, j)
+        | None -> None)
+      (Schema.names sa)
+  in
+  let b_only =
+    List.filter
+      (fun j -> not (List.exists (fun (_, j') -> j = j') shared))
+      (List.init (Schema.arity sb) Fun.id)
+  in
+  let out_schema = Schema.concat sa (Schema.project sb b_only) in
+  let arity_a = Schema.arity sa in
+  (* Candidate items: for every tuple pair, every choice of per-shared-
+     attribute maximal common descendant. *)
+  let seeds =
+    Relation.fold
+      (fun (ta : Relation.tuple) acc ->
+        Relation.fold
+          (fun (tb : Relation.tuple) acc ->
+            let choices =
+              List.map
+                (fun (i, j) ->
+                  let h = Schema.hierarchy sa i in
+                  ( i,
+                    Hierarchy.maximal_common_descendants h
+                      (Item.coord ta.Relation.item i)
+                      (Item.coord tb.Relation.item j) ))
+                shared
+            in
+            if List.exists (fun (_, mcds) -> mcds = []) choices then acc
+            else
+              let rec assign chosen = function
+                | [] ->
+                  let a_part =
+                    Array.init arity_a (fun i ->
+                        match List.assoc_opt i chosen with
+                        | Some v -> v
+                        | None -> Item.coord ta.Relation.item i)
+                  in
+                  let b_part =
+                    Array.of_list (List.map (fun j -> Item.coord tb.Relation.item j) b_only)
+                  in
+                  [ Item.make out_schema (Array.append a_part b_part) ]
+                | (i, mcds) :: rest ->
+                  List.concat_map (fun v -> assign ((i, v) :: chosen) rest) mcds
+              in
+              assign [] choices @ acc)
+          b acc)
+      a []
+  in
+  let eval item =
+    let a_item =
+      Item.make sa (Array.init arity_a (fun i -> Item.coord item i))
+    in
+    let b_item =
+      Item.make sb
+        (Array.init (Schema.arity sb) (fun j ->
+             match List.find_opt (fun (_, j') -> j = j') shared with
+             | Some (i, _) -> Item.coord item i
+             | None ->
+               let rank =
+                 let rec idx k = function
+                   | [] -> assert false
+                   | j' :: rest -> if j = j' then k else idx (k + 1) rest
+                 in
+                 idx 0 b_only
+               in
+               Item.coord item (arity_a + rank)))
+    in
+    Types.sign_of_bool (Binding.holds a a_item && Binding.holds b b_item)
+  in
+  refine ~name out_schema eval seeds
+
+let rename ?name rel ~old_name ~new_name =
+  let out_schema = Schema.rename (Relation.schema rel) ~old_name ~new_name in
+  let out_name = Option.value name ~default:(Relation.name rel) in
+  Relation.fold
+    (fun (t : Relation.tuple) acc ->
+      Relation.set acc (Item.make out_schema (Item.coords t.Relation.item)) t.Relation.sign)
+    rel
+    (Relation.empty ~name:out_name out_schema)

@@ -1,0 +1,70 @@
+(** Standard relational operators lifted to hierarchical relations
+    (paper, §3.4) plus the refinement machinery they share.
+
+    Every operator is defined so that it commutes with flattening: the
+    equivalent flat relation of the result equals the flat operator
+    applied to the equivalent flat relations of the operands ("the
+    semantics of relational operators is not altered"). Operands must be
+    consistent (satisfy the ambiguity constraint); {!Types.Model_error} is
+    raised when a conflict is hit during evaluation.
+
+    The shared construction — {!refine} — takes a set of candidate items,
+    closes it under maximal common descendants of incomparable
+    intersecting pairs, evaluates a caller-supplied sign for each item,
+    and consolidates. Closure makes the minimal relevant candidate for any
+    atomic item unique, which makes the construction exact (see DESIGN.md
+    §5); the property-based tests in [test/test_ops.ml] check operator
+    results against explicated baselines. *)
+
+val refine :
+  ?name:string ->
+  ?consolidate:bool ->
+  Schema.t ->
+  (Item.t -> Types.sign) ->
+  Item.t list ->
+  Relation.t
+(** [refine schema eval seeds]: the closure-evaluate-consolidate pipeline.
+    [consolidate] defaults to [true]. *)
+
+val select : ?name:string -> Relation.t -> attr:string -> value:string -> Relation.t
+(** [select r ~attr ~value] restricts [r] to the region where [attr] lies
+    in the extension of [value] (a class or instance name of that
+    attribute's hierarchy). Figs. 7–9 of the paper. *)
+
+val select_justified :
+  ?name:string ->
+  Relation.t ->
+  attr:string ->
+  value:string ->
+  Relation.t * Relation.tuple list
+(** Like {!select} but also returns the applicable tuples of the operand —
+    the paper's justification facility (Fig. 9b). *)
+
+val project : ?name:string -> Relation.t -> string list -> Relation.t
+(** Syntactic projection: drops the other attributes from every stored
+    tuple. Negated tuples are retained (as in the paper's Fig. 11c, where
+    projecting the join back loses no information). When projected tuples
+    of opposite sign collide on one item, the positive wins (existential
+    flat semantics). For class values whose extension is partially
+    covered, syntactic projection can differ from the flat projection —
+    use {!project_exact} when exact existential semantics are required. *)
+
+val project_exact : ?name:string -> Relation.t -> string list -> Relation.t
+(** Flat-equivalent projection via full explication: atomic tuples only. *)
+
+val union : ?name:string -> Relation.t -> Relation.t -> Relation.t
+(** Set union of the extensions (Fig. 10c). Schemas must be equal. *)
+
+val inter : ?name:string -> Relation.t -> Relation.t -> Relation.t
+(** Fig. 10d. *)
+
+val diff : ?name:string -> Relation.t -> Relation.t -> Relation.t
+(** Extension of the first minus extension of the second (Figs. 10e–f). *)
+
+val join : ?name:string -> Relation.t -> Relation.t -> Relation.t
+(** Natural join on the attributes common to both schemas (matched by
+    name; the shared attributes must use the same hierarchy). With no
+    shared attribute this is the cartesian product. Fig. 11b. *)
+
+val rename : ?name:string -> Relation.t -> old_name:string -> new_name:string -> Relation.t
+(** Renames one attribute; the body is unchanged. *)

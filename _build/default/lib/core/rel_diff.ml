@@ -1,0 +1,64 @@
+module Item_set = Flatten.Item_set
+
+type t = {
+  gained : Item.t list;
+  lost : Item.t list;
+  added_tuples : Relation.tuple list;
+  removed_tuples : Relation.tuple list;
+  resigned : (Item.t * Types.sign) list;
+}
+
+let diff ~prev ~next =
+  if not (Schema.equal (Relation.schema prev) (Relation.schema next)) then
+    Types.model_error "cannot diff %S against %S: schemas differ" (Relation.name prev)
+      (Relation.name next);
+  let ext_prev = Flatten.extension prev and ext_next = Flatten.extension next in
+  let gained = Item_set.elements (Item_set.diff ext_next ext_prev) in
+  let lost = Item_set.elements (Item_set.diff ext_prev ext_next) in
+  let added_tuples, resigned =
+    Relation.fold
+      (fun (t : Relation.tuple) (added, resigned) ->
+        match Relation.find prev t.Relation.item with
+        | None -> (t :: added, resigned)
+        | Some old_sign when not (Types.sign_equal old_sign t.Relation.sign) ->
+          (added, (t.Relation.item, t.Relation.sign) :: resigned)
+        | Some _ -> (added, resigned))
+      next ([], [])
+  in
+  let removed_tuples =
+    Relation.fold
+      (fun (t : Relation.tuple) acc ->
+        if Relation.mem next t.Relation.item then acc else t :: acc)
+      prev []
+  in
+  {
+    gained;
+    lost;
+    added_tuples = List.rev added_tuples;
+    removed_tuples = List.rev removed_tuples;
+    resigned = List.rev resigned;
+  }
+
+let is_semantic_noop d = d.gained = [] && d.lost = []
+
+let pp schema ppf d =
+  let item ppf it = Item.pp schema ppf it in
+  let tuple ppf (t : Relation.tuple) =
+    Format.fprintf ppf "%a%a" Types.pp_sign t.Relation.sign item t.Relation.item
+  in
+  let section name pp_elt = function
+    | [] -> ()
+    | xs ->
+      Format.fprintf ppf "%s:@." name;
+      List.iter (fun x -> Format.fprintf ppf "  %a@." pp_elt x) xs
+  in
+  section "gained (extension)" item d.gained;
+  section "lost (extension)" item d.lost;
+  section "tuples added" tuple d.added_tuples;
+  section "tuples removed" tuple d.removed_tuples;
+  section "tuples re-signed"
+    (fun ppf (it, sign) -> Format.fprintf ppf "%a now %a" item it Types.pp_sign sign)
+    d.resigned;
+  if is_semantic_noop d && d.added_tuples = [] && d.removed_tuples = [] && d.resigned = []
+  then Format.fprintf ppf "no changes@."
+  else if is_semantic_noop d then Format.fprintf ppf "(stored form only; extension unchanged)@."

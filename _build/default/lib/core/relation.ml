@@ -1,0 +1,73 @@
+module Hierarchy = Hr_hierarchy.Hierarchy
+
+type tuple = { item : Item.t; sign : Types.sign }
+
+module Item_map = Map.Make (Item)
+
+type t = { name : string; schema : Schema.t; body : Types.sign Item_map.t }
+
+let empty ?(name = "r") schema = { name; schema; body = Item_map.empty }
+let name r = r.name
+let with_name r name = { r with name }
+let schema r = r.schema
+let cardinality r = Item_map.cardinal r.body
+let is_empty r = Item_map.is_empty r.body
+
+let check_item r item =
+  if Item.arity item <> Schema.arity r.schema then
+    Types.model_error "item arity %d does not match relation %S" (Item.arity item) r.name
+
+let set r item sign =
+  check_item r item;
+  { r with body = Item_map.add item sign r.body }
+
+let add r item sign =
+  check_item r item;
+  match Item_map.find_opt item r.body with
+  | None -> { r with body = Item_map.add item sign r.body }
+  | Some existing ->
+    if Types.sign_equal existing sign then r
+    else
+      Types.model_error "direct contradiction in %S on item %s" r.name
+        (Item.to_string r.schema item)
+
+let remove r item = { r with body = Item_map.remove item r.body }
+
+let add_named r sign names = add r (Item.of_names r.schema names) sign
+
+let find r item = Item_map.find_opt item r.body
+let mem r item = Item_map.mem item r.body
+
+let tuples r = Item_map.fold (fun item sign acc -> { item; sign } :: acc) r.body [] |> List.rev
+let items r = List.map (fun t -> t.item) (tuples r)
+
+let fold f r init = Item_map.fold (fun item sign acc -> f { item; sign } acc) r.body init
+let iter f r = Item_map.iter (fun item sign -> f { item; sign }) r.body
+
+let filter p r =
+  { r with body = Item_map.filter (fun item sign -> p { item; sign }) r.body }
+
+let of_tuples ?name schema rows =
+  List.fold_left
+    (fun r (sign, names) -> add r (Item.of_names schema names) sign)
+    (empty ?name schema) rows
+
+let equal a b =
+  Schema.equal a.schema b.schema && Item_map.equal Types.sign_equal a.body b.body
+
+let to_rows r =
+  List.map
+    (fun { item; sign } ->
+      let cells =
+        List.init (Schema.arity r.schema) (fun i ->
+            let h = Schema.hierarchy r.schema i in
+            let v = Item.coord item i in
+            if Hierarchy.is_class h v then "V " ^ Hierarchy.node_label h v
+            else Hierarchy.node_label h v)
+      in
+      Format.asprintf "%a" Types.pp_sign sign :: cells)
+    (tuples r)
+
+let pp ppf r =
+  let headers = "" :: Schema.names r.schema in
+  Format.fprintf ppf "%s" (Hr_util.Texttable.render_rows ~headers (to_rows r))

@@ -1,0 +1,67 @@
+(** Hierarchical relations (paper, §2).
+
+    A relation is an immutable set of tuples over a schema; a tuple is an
+    item with a sign. At most one tuple per item can be present — asserting
+    both [+A] and [-A] for the same item [A] is a direct contradiction and
+    is rejected at insertion. All other consistency checking (the ambiguity
+    constraint) lives in [Integrity] and is invoked by transactions, not by
+    these primitive constructors: the paper allows a relation to pass
+    through inconsistent states inside a transaction. *)
+
+type tuple = { item : Item.t; sign : Types.sign }
+
+type t
+
+val empty : ?name:string -> Schema.t -> t
+val name : t -> string
+val with_name : t -> string -> t
+val schema : t -> Schema.t
+
+val cardinality : t -> int
+(** Number of stored tuples (not the extension size). *)
+
+val is_empty : t -> bool
+
+val add : t -> Item.t -> Types.sign -> t
+(** Raises {!Types.Model_error} if the item is present with the opposite
+    sign (use {!set} to overwrite) or belongs to a different schema. Adding
+    an already-present tuple is a no-op (duplicate elimination, §3.2). *)
+
+val set : t -> Item.t -> Types.sign -> t
+(** Insert-or-overwrite. *)
+
+val remove : t -> Item.t -> t
+(** No-op if absent. *)
+
+val add_named : t -> Types.sign -> string list -> t
+(** [add_named r sign names] resolves [names] against the schema and
+    {!add}s. *)
+
+val find : t -> Item.t -> Types.sign option
+(** The sign of an exactly matching stored tuple, if any. *)
+
+val mem : t -> Item.t -> bool
+
+val tuples : t -> tuple list
+(** In structural item order (deterministic). *)
+
+val items : t -> Item.t list
+
+val fold : (tuple -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (tuple -> unit) -> t -> unit
+val filter : (tuple -> bool) -> t -> t
+
+val of_tuples : ?name:string -> Schema.t -> (Types.sign * string list) list -> t
+(** Build from signed rows of names; convenient for tests and examples. *)
+
+val equal : t -> t -> bool
+(** Same schema and same stored tuples (syntactic, not extensional,
+    equality). *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the relation as the paper's figures do: one row per tuple, a
+    leading sign column, [∀]-prefixed class values. *)
+
+val to_rows : t -> string list list
+(** [["+"; "V Bird"]; ...] — sign then one cell per attribute; used by the
+    table printer. *)

@@ -1,0 +1,70 @@
+module Symbol = Hr_util.Symbol
+module Hierarchy = Hr_hierarchy.Hierarchy
+
+type attr = { name : Symbol.t; hierarchy : Hierarchy.t }
+type t = attr array
+
+let make bindings =
+  if bindings = [] then Types.model_error "schema must have at least one attribute";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then Types.model_error "duplicate attribute %S" name;
+      Hashtbl.add seen name ())
+    bindings;
+  Array.of_list
+    (List.map (fun (name, hierarchy) -> { name = Symbol.intern name; hierarchy }) bindings)
+
+let arity = Array.length
+let attrs t = t
+let attr t i = t.(i)
+let hierarchy t i = t.(i).hierarchy
+
+let find_index t name =
+  let sym = Symbol.intern name in
+  let rec loop i =
+    if i >= Array.length t then None
+    else if Symbol.equal t.(i).name sym then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let index_of t name =
+  match find_index t name with
+  | Some i -> i
+  | None -> Types.model_error "no attribute %S in schema" name
+
+let names t = Array.to_list (Array.map (fun a -> Symbol.name a.name) t)
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Symbol.equal x.name y.name && x.hierarchy == y.hierarchy) a b
+
+let project t positions = Array.of_list (List.map (fun i -> t.(i)) positions)
+
+let concat a b =
+  let joined = Array.append a b in
+  let seen = Symbol.Tbl.create 8 in
+  Array.iter
+    (fun at ->
+      if Symbol.Tbl.mem seen at.name then
+        Types.model_error "duplicate attribute %a after concat" Symbol.pp at.name;
+      Symbol.Tbl.add seen at.name ())
+    joined;
+  joined
+
+let rename t ~old_name ~new_name =
+  let i = index_of t old_name in
+  if Option.is_some (find_index t new_name) then
+    Types.model_error "attribute %S already exists" new_name;
+  let t' = Array.copy t in
+  t'.(i) <- { (t'.(i)) with name = Symbol.intern new_name };
+  t'
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf a ->
+         Format.fprintf ppf "%a: %a" Symbol.pp a.name Symbol.pp (Hierarchy.domain a.hierarchy)))
+    (Array.to_list t)

@@ -1,0 +1,43 @@
+(** Relation schemas.
+
+    A schema names the attributes of a relation and associates each with a
+    domain hierarchy (paper, §2.2: "each attribute of a standard relation
+    ranges over a specified domain... we can create a hierarchy of domains
+    for each attribute"). Several attributes may share one hierarchy. *)
+
+type attr = { name : Hr_util.Symbol.t; hierarchy : Hr_hierarchy.Hierarchy.t }
+
+type t
+(** An immutable ordered list of attributes. *)
+
+val make : (string * Hr_hierarchy.Hierarchy.t) list -> t
+(** Raises {!Types.Model_error} on duplicate attribute names or an empty
+    list. *)
+
+val arity : t -> int
+val attrs : t -> attr array
+val attr : t -> int -> attr
+val hierarchy : t -> int -> Hr_hierarchy.Hierarchy.t
+
+val index_of : t -> string -> int
+(** Position of the named attribute. Raises {!Types.Model_error} if
+    absent. *)
+
+val find_index : t -> string -> int option
+
+val names : t -> string list
+
+val equal : t -> t -> bool
+(** Same attribute names in the same order, over physically equal
+    hierarchies. *)
+
+val project : t -> int list -> t
+(** Sub-schema at the given positions, in the given order. *)
+
+val concat : t -> t -> t
+(** Schema juxtaposition for joins; raises {!Types.Model_error} on a
+    duplicate attribute name. *)
+
+val rename : t -> old_name:string -> new_name:string -> t
+
+val pp : Format.formatter -> t -> unit

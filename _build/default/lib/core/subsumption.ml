@@ -1,0 +1,69 @@
+module Dag = Hr_graph.Dag
+
+type t = {
+  relation : Relation.t;
+  tuples : Relation.tuple array;
+  dag : Dag.t;
+  root : int;
+}
+
+let build relation =
+  let schema = Relation.schema relation in
+  let tuples = Array.of_list (Relation.tuples relation) in
+  let n = Array.length tuples in
+  let dag = Dag.create () in
+  for _ = 0 to n do
+    ignore (Dag.add_node dag)
+  done;
+  let root = n in
+  let item i = tuples.(i).Relation.item in
+  let above = Array.make n [] in
+  (* ancestors of each tuple among the other tuples *)
+  for v = 0 to n - 1 do
+    for u = 0 to n - 1 do
+      if u <> v && Item.strictly_subsumes schema (item u) (item v) then
+        above.(v) <- u :: above.(v)
+    done
+  done;
+  (* immediate predecessor: an ancestor with no other ancestor strictly
+     below it *)
+  for v = 0 to n - 1 do
+    List.iter
+      (fun u ->
+        let blocked =
+          List.exists
+            (fun w -> w <> u && Item.strictly_subsumes schema (item u) (item w))
+            above.(v)
+        in
+        if not blocked then Dag.add_edge dag u v)
+      above.(v);
+    if above.(v) = [] then Dag.add_edge dag root v
+  done;
+  { relation; tuples; dag; root }
+
+let relation t = t.relation
+let tuple_count t = Array.length t.tuples
+let tuple t i = t.tuples.(i)
+let root t = t.root
+let dag t = t.dag
+
+let sign_of_node t i = if i = t.root then Types.Neg else t.tuples.(i).Relation.sign
+
+let topological t = Dag.topo_sort t.dag
+let preds t v = Dag.preds t.dag v
+let succs t v = Dag.succs t.dag v
+
+let pp ppf t =
+  let schema = Relation.schema t.relation in
+  let label i =
+    if i = t.root then "UNIVERSAL-"
+    else
+      Format.asprintf "%a%a" Types.pp_sign t.tuples.(i).Relation.sign (Item.pp schema)
+        t.tuples.(i).Relation.item
+  in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v -> Format.fprintf ppf "%s -> %s@." (label u) (label v))
+        (Dag.succs t.dag u))
+    (Dag.live_nodes t.dag)

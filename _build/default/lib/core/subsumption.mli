@@ -1,0 +1,38 @@
+(** The subsumption graph of a relation (paper, §2.1, §3.2–3.3).
+
+    Nodes are the stored tuples plus the virtual {e universal negated
+    tuple} over D⁺ (§3.2); edges are the transitive reduction of strict
+    item subsumption ([isa] only — set inclusion, not binding preference),
+    with the universal root pointing at every tuple that has no other
+    predecessor. Consolidation and explication both traverse this graph. *)
+
+type t
+
+val build : Relation.t -> t
+
+val relation : t -> Relation.t
+(** The relation the graph was built from. *)
+
+val tuple_count : t -> int
+
+val tuple : t -> int -> Relation.tuple
+(** Tuples are numbered [0 .. tuple_count - 1]. *)
+
+val root : t -> int
+(** Node id of the universal negated tuple ([= tuple_count]). *)
+
+val dag : t -> Hr_graph.Dag.t
+(** The underlying graph; mutating it is allowed (consolidation eliminates
+    nodes in place) and does not affect the source relation. *)
+
+val sign_of_node : t -> int -> Types.sign
+(** Sign of a tuple node, or [Neg] for the root. *)
+
+val topological : t -> int list
+(** Live nodes, most general first (the root leads). *)
+
+val preds : t -> int -> int list
+val succs : t -> int -> int list
+
+val pp : Format.formatter -> t -> unit
+(** One line per edge, tuples rendered in paper style. *)

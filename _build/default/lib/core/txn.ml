@@ -1,0 +1,47 @@
+module Symbol = Hr_util.Symbol
+
+type violation = { relation_name : string; conflicts : Integrity.conflict list }
+
+type t = { catalog : Catalog.t; staged : Relation.t Symbol.Tbl.t }
+
+let begin_ catalog = { catalog; staged = Symbol.Tbl.create 8 }
+
+let current t name =
+  match Symbol.Tbl.find_opt t.staged (Symbol.intern name) with
+  | Some r -> r
+  | None -> Catalog.relation t.catalog name
+
+let stage t r = Symbol.Tbl.replace t.staged (Symbol.intern (Relation.name r)) r
+
+let insert_item t ~rel sign item = stage t (Relation.add (current t rel) item sign)
+let delete_item t ~rel item = stage t (Relation.remove (current t rel) item)
+
+let insert t ~rel sign names =
+  let r = current t rel in
+  stage t (Relation.add r (Item.of_names (Relation.schema r) names) sign)
+
+let delete t ~rel names =
+  let r = current t rel in
+  stage t (Relation.remove r (Item.of_names (Relation.schema r) names))
+
+let staged t = Symbol.Tbl.fold (fun _ r acc -> r :: acc) t.staged []
+
+let conflicts t ?semantics name = Integrity.check ?semantics (current t name)
+
+let commit ?semantics t =
+  let violations =
+    Symbol.Tbl.fold
+      (fun _ r acc ->
+        match Integrity.check ?semantics r with
+        | [] -> acc
+        | conflicts -> { relation_name = Relation.name r; conflicts } :: acc)
+      t.staged []
+  in
+  match violations with
+  | [] ->
+    Symbol.Tbl.iter (fun _ r -> Catalog.replace_relation t.catalog r) t.staged;
+    Symbol.Tbl.reset t.staged;
+    Ok ()
+  | _ :: _ -> Error violations
+
+let abort t = Symbol.Tbl.reset t.staged

@@ -1,0 +1,41 @@
+(** Shared elementary types of the hierarchical relational model. *)
+
+type sign = Pos | Neg
+(** The truth value of a tuple (paper, §2.1): [Pos] for a normal tuple,
+    [Neg] for a negated tuple ("for every element, the relation does not
+    hold"). *)
+
+let sign_equal a b =
+  match a, b with
+  | Pos, Pos | Neg, Neg -> true
+  | Pos, Neg | Neg, Pos -> false
+
+let negate = function Pos -> Neg | Neg -> Pos
+
+let sign_of_bool b = if b then Pos else Neg
+let bool_of_sign = function Pos -> true | Neg -> false
+
+let pp_sign ppf = function
+  | Pos -> Format.pp_print_string ppf "+"
+  | Neg -> Format.pp_print_string ppf "-"
+
+type semantics = Off_path | On_path | No_preemption
+(** Multiple-inheritance preemption semantics (paper, Appendix).
+    [Off_path] is the paper's default: a tuple binds more strongly when it
+    is reachable from the other in the (transitively reduced) hierarchy.
+    [On_path] preempts only along unavoidable paths. [No_preemption]
+    declares a conflict whenever any two relevant tuples disagree. *)
+
+let pp_semantics ppf s =
+  Format.pp_print_string ppf
+    (match s with
+    | Off_path -> "off-path"
+    | On_path -> "on-path"
+    | No_preemption -> "no-preemption")
+
+exception Model_error of string
+(** Raised on misuse of the model API (schema mismatches, unknown
+    attributes, arity errors). Integrity violations are reported as data,
+    not exceptions — see [Integrity]. *)
+
+let model_error fmt = Format.kasprintf (fun s -> raise (Model_error s)) fmt

@@ -1,0 +1,1 @@
+lib/datalog/datalog.ml: Catalog Either Flatten Format Hashtbl Hierel Hr_hierarchy Item List Option Relation Schema Set Stdlib String

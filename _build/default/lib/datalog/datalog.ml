@@ -1,0 +1,358 @@
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+type term = Var of string | Const of string
+type atom = { pred : string; args : term list }
+type literal = Positive of atom | Negative of atom
+type rule = { head : atom; body : literal list }
+
+exception Datalog_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Datalog_error s)) fmt
+
+(* ---- parsing -------------------------------------------------------- *)
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let parse_atom_at input pos =
+  let n = String.length input in
+  let rec skip i = if i < n && (input.[i] = ' ' || input.[i] = '\t') then skip (i + 1) else i in
+  let word i =
+    let i = skip i in
+    let rec stop j = if j < n && is_word_char input.[j] then stop (j + 1) else j in
+    let j = stop i in
+    if i = j then error "expected a name at offset %d in %S" i input;
+    (String.sub input i (j - i), j)
+  in
+  let name, i = word pos in
+  let i = skip i in
+  if i >= n || input.[i] <> '(' then error "expected '(' after %S" name;
+  let rec args i acc =
+    let a, i = word (i + 1) in
+    let term = if a.[0] >= 'A' && a.[0] <= 'Z' then Var a else Const a in
+    let i = skip i in
+    if i < n && input.[i] = ',' then args i (term :: acc)
+    else if i < n && input.[i] = ')' then (List.rev (term :: acc), i + 1)
+    else error "expected ',' or ')' in argument list of %S" name
+  in
+  let args, i = args i [] in
+  ({ pred = name; args }, i)
+
+let parse_atom input =
+  let atom, i = parse_atom_at input 0 in
+  let rest = String.trim (String.sub input i (String.length input - i)) in
+  if rest <> "" && rest <> "." then error "trailing input %S" rest;
+  atom
+
+(* a literal is an atom optionally prefixed by the keyword [not] *)
+let parse_literal_at input pos =
+  let n = String.length input in
+  let rec skip i = if i < n && (input.[i] = ' ' || input.[i] = '\t') then skip (i + 1) else i in
+  let i = skip pos in
+  if
+    i + 4 <= n
+    && String.sub input i 3 = "not"
+    && (input.[i + 3] = ' ' || input.[i + 3] = '\t')
+  then
+    let atom, j = parse_atom_at input (i + 4) in
+    (Negative atom, j)
+  else
+    let atom, j = parse_atom_at input i in
+    (Positive atom, j)
+
+let vars_of args = List.filter_map (function Var v -> Some v | Const _ -> None) args
+
+let check_safe rule =
+  if rule.body = [] then error "rules must have a non-empty body";
+  let positive_vars =
+    List.concat_map
+      (function Positive a -> vars_of a.args | Negative _ -> [])
+      rule.body
+  in
+  let require where v =
+    if not (List.mem v positive_vars) then
+      error "%s variable %s does not occur in a positive body atom" where v
+  in
+  List.iter (require "head") (vars_of rule.head.args);
+  List.iter
+    (function
+      | Negative a -> List.iter (require "negated") (vars_of a.args)
+      | Positive _ -> ())
+    rule.body
+
+let parse_rule input =
+  match String.index_opt input ':' with
+  | None -> error "missing ':-' in rule %S" input
+  | Some i ->
+    if i + 1 >= String.length input || input.[i + 1] <> '-' then
+      error "missing ':-' in rule %S" input;
+    let head = parse_atom (String.sub input 0 i) in
+    let rec body pos acc =
+      let literal, j = parse_literal_at input pos in
+      let rec skip k =
+        if k < String.length input && (input.[k] = ' ' || input.[k] = '\t') then skip (k + 1)
+        else k
+      in
+      let j = skip j in
+      if j < String.length input && input.[j] = ',' then body (j + 1) (literal :: acc)
+      else List.rev (literal :: acc)
+    in
+    let rule = { head; body = body (i + 2) [] } in
+    check_safe rule;
+    rule
+
+(* ---- program state --------------------------------------------------- *)
+
+module Fact_set = Set.Make (struct
+  type t = string list
+
+  let compare = Stdlib.compare
+end)
+
+type program = {
+  catalog : Catalog.t;
+  mutable rules : rule list;
+  base : (string, Fact_set.t ref) Hashtbl.t;
+  edb_cache : (string, Fact_set.t) Hashtbl.t;
+  mutable derived : (string, Fact_set.t) Hashtbl.t;
+  mutable dirty : bool;
+}
+
+let create catalog =
+  {
+    catalog;
+    rules = [];
+    base = Hashtbl.create 8;
+    edb_cache = Hashtbl.create 8;
+    derived = Hashtbl.create 8;
+    dirty = true;
+  }
+
+let add_rule p rule =
+  p.rules <- p.rules @ [ rule ];
+  p.dirty <- true
+
+let add_rule_str p s = add_rule p (parse_rule s)
+
+let add_fact p pred args =
+  let cell =
+    match Hashtbl.find_opt p.base pred with
+    | Some c -> c
+    | None ->
+      let c = ref Fact_set.empty in
+      Hashtbl.add p.base pred c;
+      c
+  in
+  cell := Fact_set.add args !cell;
+  (* the EDB snapshot for this predicate is stale now *)
+  Hashtbl.remove p.edb_cache pred;
+  p.dirty <- true
+
+(* ---- EDB -------------------------------------------------------------- *)
+
+let member_of_facts p =
+  List.fold_left
+    (fun acc h ->
+      List.fold_left
+        (fun acc inst ->
+          List.fold_left
+            (fun acc cls ->
+              Fact_set.add [ Hierarchy.node_label h inst; Hierarchy.node_label h cls ] acc)
+            acc
+            (Hierarchy.ancestors h inst))
+        acc (Hierarchy.instances h))
+    Fact_set.empty
+    (Catalog.hierarchies p.catalog)
+
+let relation_facts rel =
+  let schema = Relation.schema rel in
+  List.fold_left
+    (fun acc item ->
+      Fact_set.add
+        (List.init (Schema.arity schema) (fun i ->
+             Hierarchy.node_label (Schema.hierarchy schema i) (Item.coord item i)))
+        acc)
+    Fact_set.empty (Flatten.extension_list rel)
+
+let edb_facts p pred =
+  match Hashtbl.find_opt p.edb_cache pred with
+  | Some facts -> facts
+  | None ->
+    let facts =
+      let from_base =
+        match Hashtbl.find_opt p.base pred with
+        | Some c -> !c
+        | None -> Fact_set.empty
+      in
+      let from_catalog =
+        if pred = "member_of" then member_of_facts p
+        else
+          match Catalog.find_relation p.catalog pred with
+          | Some rel -> relation_facts rel
+          | None -> Fact_set.empty
+      in
+      Fact_set.union from_base from_catalog
+    in
+    Hashtbl.add p.edb_cache pred facts;
+    facts
+
+let all_facts p pred =
+  let idb =
+    match Hashtbl.find_opt p.derived pred with
+    | Some facts -> facts
+    | None -> Fact_set.empty
+  in
+  Fact_set.union idb (edb_facts p pred)
+
+(* ---- stratification --------------------------------------------------- *)
+
+(* stratum(p) >= stratum(q) for positive deps, > for negative deps.
+   Iterate to a fixpoint; overflow beyond the predicate count means a
+   cycle through negation. *)
+let compute_strata rules =
+  let idb = List.sort_uniq String.compare (List.map (fun r -> r.head.pred) rules) in
+  let stratum = Hashtbl.create 8 in
+  List.iter (fun pred -> Hashtbl.replace stratum pred 0) idb;
+  let get pred = Option.value ~default:0 (Hashtbl.find_opt stratum pred) in
+  let limit = List.length idb + 1 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun rule ->
+        let h = rule.head.pred in
+        List.iter
+          (fun literal ->
+            let required =
+              match literal with
+              | Positive a -> get a.pred
+              | Negative a -> get a.pred + 1
+            in
+            if get h < required then begin
+              if required > limit then
+                error "program is not stratifiable: negation cycle through %S" h;
+              Hashtbl.replace stratum h required;
+              changed := true
+            end)
+          rule.body)
+      rules
+  done;
+  stratum
+
+(* ---- evaluation ------------------------------------------------------- *)
+
+let match_atom subst args fact =
+  let rec loop subst args fact =
+    match args, fact with
+    | [], [] -> Some subst
+    | Const c :: args, v :: fact -> if c = v then loop subst args fact else None
+    | Var x :: args, v :: fact -> (
+      match List.assoc_opt x subst with
+      | Some bound -> if bound = v then loop subst args fact else None
+      | None -> loop ((x, v) :: subst) args fact)
+    | _, _ -> None
+  in
+  loop subst args fact
+
+let instantiate subst args =
+  List.map
+    (function
+      | Const c -> c
+      | Var x -> (
+        match List.assoc_opt x subst with
+        | Some v -> v
+        | None -> error "unbound variable %s" x))
+    args
+
+(* Evaluate strata bottom-up; within each stratum, iterate its rules to a
+   fixpoint. Negated literals consult lower strata (already complete) or
+   the EDB, so negation-as-failure is sound. Positive literals are joined
+   first, then negative ones filter the bindings. *)
+let evaluate p =
+  let stratum = compute_strata p.rules in
+  let rule_stratum r = Hashtbl.find stratum r.head.pred in
+  let max_stratum = List.fold_left (fun m r -> max m (rule_stratum r)) 0 p.rules in
+  p.derived <- Hashtbl.create 8;
+  for level = 0 to max_stratum do
+    let level_rules = List.filter (fun r -> rule_stratum r = level) p.rules in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun rule ->
+          let positives, negatives =
+            List.partition_map
+              (function Positive a -> Either.Left a | Negative a -> Either.Right a)
+              rule.body
+          in
+          let rec join substs = function
+            | [] -> substs
+            | atom :: rest ->
+              let facts = all_facts p atom.pred in
+              let substs' =
+                List.concat_map
+                  (fun subst ->
+                    Fact_set.fold
+                      (fun fact acc ->
+                        match match_atom subst atom.args fact with
+                        | Some s -> s :: acc
+                        | None -> acc)
+                      facts [])
+                  substs
+              in
+              join substs' rest
+          in
+          let substs = join [ [] ] positives in
+          let survives subst =
+            List.for_all
+              (fun (atom : atom) ->
+                not (Fact_set.mem (instantiate subst atom.args) (all_facts p atom.pred)))
+              negatives
+          in
+          List.iter
+            (fun subst ->
+              if survives subst then begin
+                let fact = instantiate subst rule.head.args in
+                let current =
+                  match Hashtbl.find_opt p.derived rule.head.pred with
+                  | Some s -> s
+                  | None -> Fact_set.empty
+                in
+                if
+                  not
+                    (Fact_set.mem fact
+                       (Fact_set.union current (edb_facts p rule.head.pred)))
+                then begin
+                  Hashtbl.replace p.derived rule.head.pred (Fact_set.add fact current);
+                  changed := true
+                end
+              end)
+            substs)
+        level_rules
+    done
+  done;
+  p.dirty <- false
+
+let ensure p = if p.dirty then evaluate p
+
+let query p atom =
+  ensure p;
+  let facts = all_facts p atom.pred in
+  Fact_set.fold
+    (fun fact acc -> match match_atom [] atom.args fact with Some _ -> fact :: acc | None -> acc)
+    facts []
+  |> List.sort Stdlib.compare
+
+let holds p pred args =
+  ensure p;
+  Fact_set.mem args (all_facts p pred)
+
+let derived_count p =
+  ensure p;
+  Hashtbl.fold (fun _ s acc -> acc + Fact_set.cardinal s) p.derived 0
+
+let strata p =
+  let table = compute_strata p.rules in
+  Hashtbl.fold (fun pred level acc -> (pred, level) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

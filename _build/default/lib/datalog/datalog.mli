@@ -1,0 +1,67 @@
+(** Datalog over the hierarchical relational model.
+
+    Section 2.1 of the paper argues that, unlike semantic nets, the
+    hierarchical model does not infer "Tweety can travel far because
+    flying things can travel far" from the taxonomy — instead "through
+    the use of logic programming, such as PROLOG or DATALOG, on top of our
+    hierarchical data model, we are able to provide an even more powerful
+    inference mechanism with no loss of succinctness." This module is that
+    layer: Datalog with {e stratified negation}, evaluated bottom-up,
+    whose EDB predicates are
+
+    - the catalog's hierarchical relations (their explicated positive
+      extension, computed on demand), and
+    - one built-in binary predicate [member_of(x, c)] per registered
+      hierarchy, true when instance [x] falls under class [c].
+
+    Rules are pure strings, e.g.
+    ["travels_far(X) :- flies(X)."],
+    ["respected_peer(X, Y) :- respects(X, Y), respects(Y, X)."] or
+    ["grounded(X) :- member_of(X, bird), not flies(X)."]. *)
+
+type term = Var of string | Const of string
+type atom = { pred : string; args : term list }
+type literal = Positive of atom | Negative of atom
+type rule = { head : atom; body : literal list }
+
+exception Datalog_error of string
+
+val parse_rule : string -> rule
+(** ["head(X) :- b1(X, y), not b2(X)."] — variables start with an
+    uppercase letter, constants with anything else; [not] negates the
+    following atom. The trailing period is optional. Raises
+    {!Datalog_error} on syntax errors, on range-restriction violations
+    (head variables and all variables of negated atoms must occur in a
+    positive body atom) and on empty bodies. *)
+
+val parse_atom : string -> atom
+
+type program
+
+val create : Hierel.Catalog.t -> program
+(** EDB = the catalog's relations (frozen at the time each predicate is
+    first used) plus [member_of]. *)
+
+val add_rule : program -> rule -> unit
+(** Raises {!Datalog_error} at evaluation time if the rule set is not
+    stratifiable (a negative dependency cycle). *)
+
+val add_rule_str : program -> string -> unit
+
+val add_fact : program -> string -> string list -> unit
+(** Extra base facts not derived from any relation. *)
+
+val query : program -> atom -> string list list
+(** All ground instantiations of the atom's arguments that hold in the
+    stratified least fixpoint, sorted. Constants in the atom act as
+    filters. *)
+
+val holds : program -> string -> string list -> bool
+(** [holds p pred args] — membership of one ground fact. *)
+
+val derived_count : program -> int
+(** Number of IDB facts in the current fixpoint (forces evaluation). *)
+
+val strata : program -> (string * int) list
+(** The stratum assigned to each IDB predicate (forces stratification).
+    Raises {!Datalog_error} if the program is not stratifiable. *)

@@ -1,0 +1,1 @@
+lib/flat/csv.ml: Buffer Flat_relation Format Fun List String

@@ -1,0 +1,1 @@
+lib/flat/csv.mli: Flat_relation

@@ -1,0 +1,1 @@
+lib/flat/flat_relation.ml: Format Hr_util List Set Stdlib String

@@ -1,0 +1,1 @@
+lib/flat/flat_relation.mli: Format

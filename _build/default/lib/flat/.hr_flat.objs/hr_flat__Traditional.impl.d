@@ -1,0 +1,1 @@
+lib/flat/traditional.ml: Flat_relation Flatten Hierel Hr_hierarchy Item List Relation Schema Set String

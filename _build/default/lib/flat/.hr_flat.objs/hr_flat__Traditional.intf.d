@@ -1,0 +1,1 @@
+lib/flat/traditional.mli: Flat_relation Hierel Hr_hierarchy

@@ -1,0 +1,93 @@
+exception Csv_error of string
+
+let csv_error fmt = Format.kasprintf (fun s -> raise (Csv_error s)) fmt
+
+(* A small state-machine parser: handles quoted fields with "" escapes
+   and both LF and CRLF terminators. *)
+let parse_rows input =
+  let n = String.length input in
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let rec plain i =
+    if i >= n then (if Buffer.length buf > 0 || !fields <> [] then flush_row ())
+    else
+      match input.[i] with
+      | ',' ->
+        flush_field ();
+        plain (i + 1)
+      | '\n' ->
+        flush_row ();
+        plain (i + 1)
+      | '\r' when i + 1 < n && input.[i + 1] = '\n' ->
+        flush_row ();
+        plain (i + 2)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then csv_error "unterminated quoted field"
+    else
+      match input.[i] with
+      | '"' when i + 1 < n && input.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !rows
+
+let parse input =
+  match parse_rows input with
+  | [] -> csv_error "empty input"
+  | header :: data ->
+    let width = List.length header in
+    if List.length (List.sort_uniq String.compare header) <> width then
+      csv_error "duplicate column names in header";
+    List.iteri
+      (fun i row ->
+        if List.length row <> width then
+          csv_error "row %d has %d cells, header has %d" (i + 2) (List.length row) width)
+      data;
+    Flat_relation.of_rows header data
+
+let needs_quoting cell =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') cell
+
+let render_cell cell =
+  if needs_quoting cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let render_row row = String.concat "," (List.map render_cell row)
+
+let print rel =
+  String.concat "\n"
+    (render_row (Flat_relation.columns rel) :: List.map render_row (Flat_relation.rows rel))
+  ^ "\n"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse contents
+
+let write_file rel path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (print rel))

@@ -1,0 +1,23 @@
+(** CSV import/export for flat relations.
+
+    The bridge between this repository and ordinary tabular data: load a
+    CSV as a {!Flat_relation.t} (then, e.g., organize it hierarchically
+    with [Hr_mine]), or export any flat relation — including the
+    explicated extension of a hierarchical one — for downstream tools.
+
+    Dialect: comma separator, double-quote quoting with [""] escapes,
+    LF or CRLF line endings, first row is the header. No type inference —
+    every cell is a string, exactly like the flat baseline. *)
+
+exception Csv_error of string
+
+val parse : string -> Flat_relation.t
+(** Raises {!Csv_error} on ragged rows, an empty input, or malformed
+    quoting. Duplicate data rows collapse (set semantics). *)
+
+val print : Flat_relation.t -> string
+(** Header plus data rows; cells are quoted when they contain a comma,
+    quote or newline. Deterministic row order. *)
+
+val read_file : string -> Flat_relation.t
+val write_file : Flat_relation.t -> string -> unit

@@ -1,0 +1,105 @@
+module Row_set = Set.Make (struct
+  type t = string list
+
+  let compare = Stdlib.compare
+end)
+
+type t = { name : string; columns : string list; body : Row_set.t }
+
+let create ?(name = "flat") columns =
+  if columns = [] then invalid_arg "Flat_relation.create: no columns";
+  let sorted = List.sort_uniq String.compare columns in
+  if List.length sorted <> List.length columns then
+    invalid_arg "Flat_relation.create: duplicate columns";
+  { name; columns; body = Row_set.empty }
+
+let name r = r.name
+let columns r = r.columns
+let arity r = List.length r.columns
+let cardinality r = Row_set.cardinal r.body
+let is_empty r = Row_set.is_empty r.body
+
+let check_row r row =
+  if List.length row <> arity r then invalid_arg "Flat_relation: arity mismatch"
+
+let insert r row =
+  check_row r row;
+  { r with body = Row_set.add row r.body }
+
+let delete r row = { r with body = Row_set.remove row r.body }
+
+let mem r row =
+  check_row r row;
+  Row_set.mem row r.body
+
+let rows r = Row_set.elements r.body
+
+let of_rows ?name columns rs = List.fold_left insert (create ?name columns) rs
+
+let fold f r init = Row_set.fold f r.body init
+
+let column_index r column =
+  match List.find_index (String.equal column) r.columns with
+  | Some i -> i
+  | None -> invalid_arg ("Flat_relation: no column " ^ column)
+
+let select r ~column ~value =
+  let i = column_index r column in
+  { r with body = Row_set.filter (fun row -> List.nth row i = value) r.body }
+
+let select_by r p = { r with body = Row_set.filter p r.body }
+
+let project r cols =
+  let idxs = List.map (column_index r) cols in
+  let projected = create ~name:r.name cols in
+  fold (fun row acc -> insert acc (List.map (List.nth row) idxs)) r projected
+
+let require_same_columns a b =
+  if a.columns <> b.columns then invalid_arg "Flat_relation: column mismatch"
+
+let union a b =
+  require_same_columns a b;
+  { a with body = Row_set.union a.body b.body }
+
+let inter a b =
+  require_same_columns a b;
+  { a with body = Row_set.inter a.body b.body }
+
+let diff a b =
+  require_same_columns a b;
+  { a with body = Row_set.diff a.body b.body }
+
+let join a b =
+  let shared = List.filter (fun c -> List.mem c b.columns) a.columns in
+  let b_only = List.filter (fun c -> not (List.mem c shared)) b.columns in
+  let out = create ~name:(a.name ^ "_" ^ b.name) (a.columns @ b_only) in
+  let a_idx c = column_index a c and b_idx c = column_index b c in
+  let shared_a = List.map a_idx shared and shared_b = List.map b_idx shared in
+  let b_only_idx = List.map b_idx b_only in
+  fold
+    (fun ra acc ->
+      fold
+        (fun rb acc ->
+          let matches =
+            List.for_all2 (fun i j -> List.nth ra i = List.nth rb j) shared_a shared_b
+          in
+          if matches then insert acc (ra @ List.map (List.nth rb) b_only_idx) else acc)
+        b acc)
+    a out
+
+let rename r ~old_name ~new_name =
+  if List.mem new_name r.columns then invalid_arg "Flat_relation: name taken";
+  {
+    r with
+    columns = List.map (fun c -> if c = old_name then new_name else c) r.columns;
+  }
+
+let equal a b = a.columns = b.columns && Row_set.equal a.body b.body
+
+let pp ppf r =
+  Format.pp_print_string ppf (Hr_util.Texttable.render_rows ~headers:r.columns (rows r))
+
+let approx_bytes r =
+  fold
+    (fun row acc -> acc + 16 + List.fold_left (fun n c -> n + String.length c + 8) 0 row)
+    r 0

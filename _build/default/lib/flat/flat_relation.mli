@@ -1,0 +1,52 @@
+(** A standard (flat) relation: the paper's baseline model.
+
+    Plain named columns over string values, set semantics, and the classic
+    operators. This is deliberately the "stark simplicity" model of the
+    paper's introduction — no hierarchy, no signs — so benchmarks can
+    compare the hierarchical model against what a 1989 relational system
+    would store and compute. *)
+
+type t
+
+val create : ?name:string -> string list -> t
+(** [create columns] is the empty relation with the given column names.
+    Raises [Invalid_argument] on duplicates or an empty list. *)
+
+val name : t -> string
+val columns : t -> string list
+val arity : t -> int
+val cardinality : t -> int
+val is_empty : t -> bool
+
+val insert : t -> string list -> t
+(** Set semantics: inserting an existing row is a no-op. Raises
+    [Invalid_argument] on an arity mismatch. *)
+
+val delete : t -> string list -> t
+val mem : t -> string list -> bool
+val rows : t -> string list list
+(** Sorted, deterministic. *)
+
+val of_rows : ?name:string -> string list -> string list list -> t
+
+val fold : (string list -> 'a -> 'a) -> t -> 'a -> 'a
+
+val select : t -> column:string -> value:string -> t
+val select_by : t -> (string list -> bool) -> t
+val project : t -> string list -> t
+val join : t -> t -> t
+(** Natural join on equal column names. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val rename : t -> old_name:string -> new_name:string -> t
+
+val equal : t -> t -> bool
+(** Same columns, same rows. *)
+
+val pp : Format.formatter -> t -> unit
+
+val approx_bytes : t -> int
+(** Rough storage footprint: the sum of cell lengths plus per-row
+    overhead. Used by the storage-compression benchmark (claim C1). *)

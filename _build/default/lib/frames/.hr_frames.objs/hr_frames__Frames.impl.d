@@ -1,0 +1,1 @@
+lib/frames/frames.ml: Binding Catalog Format Hashtbl Hierel Hr_frontend Hr_hierarchy Integrity Item List Option Relation Schema String Types

@@ -1,0 +1,1 @@
+lib/frames/frames.mli: Hierel Hr_hierarchy

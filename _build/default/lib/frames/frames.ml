@@ -1,0 +1,120 @@
+module Hierarchy = Hr_hierarchy.Hierarchy
+module Frontend = Hr_frontend.Frontend
+open Hierel
+
+exception Kb_error of string
+
+let kb_error fmt = Format.kasprintf (fun s -> raise (Kb_error s)) fmt
+
+type t = {
+  catalog : Catalog.t;
+  entities : Hierarchy.t;
+  multi : (string, bool) Hashtbl.t; (* slot name -> multi-valued? *)
+}
+
+let create ?(entity_domain = "thing") () =
+  let catalog = Catalog.create () in
+  let entities = Hierarchy.create entity_domain in
+  Catalog.define_hierarchy catalog entities;
+  { catalog; entities; multi = Hashtbl.create 8 }
+
+let catalog kb = kb.catalog
+let entities kb = kb.entities
+
+let wrap f = try f () with
+  | Hierarchy.Error msg | Types.Model_error msg -> raise (Kb_error msg)
+
+let define_frame kb ?(is_a = []) name =
+  wrap (fun () -> ignore (Hierarchy.add_class kb.entities ~parents:is_a name))
+
+let define_individual kb ?(is_a = []) name =
+  wrap (fun () -> ignore (Hierarchy.add_instance kb.entities ~parents:is_a name))
+
+let slot_relation kb slot =
+  match Catalog.find_relation kb.catalog slot with
+  | Some r -> r
+  | None -> kb_error "no slot %S" slot
+
+let define_slot ?(multi = false) kb ~slot ~values =
+  wrap (fun () ->
+      if Option.is_some (Catalog.find_relation kb.catalog slot) then
+        kb_error "slot %S already defined" slot;
+      let value_hierarchy = Hierarchy.create (slot ^ "_values") in
+      List.iter (fun v -> ignore (Hierarchy.add_instance value_hierarchy v)) values;
+      Catalog.define_hierarchy kb.catalog value_hierarchy;
+      let schema = Schema.make [ ("entity", kb.entities); ("value", value_hierarchy) ] in
+      Catalog.define_relation kb.catalog (Relation.empty ~name:slot schema);
+      Hashtbl.replace kb.multi slot multi)
+
+let publish kb rel =
+  match Integrity.check rel with
+  | [] -> Catalog.replace_relation kb.catalog rel
+  | conflicts ->
+    kb_error "update to slot %S leaves conflicts: %s" (Relation.name rel)
+      (String.concat "; "
+         (List.map
+            (fun c ->
+              Format.asprintf "%a" (Integrity.pp_conflict (Relation.schema rel)) c)
+            conflicts))
+
+let resolve_item kb rel frame value =
+  let schema = Relation.schema rel in
+  ignore (Hierarchy.find_exn kb.entities frame);
+  Item.of_names schema [ frame; value ]
+
+let set_slot kb ~frame ~slot ~value =
+  wrap (fun () ->
+      let rel = slot_relation kb slot in
+      let item = resolve_item kb rel frame value in
+      let updated =
+        if Hashtbl.find kb.multi slot then Relation.add rel item Types.Pos
+        else Frontend.assert_functional rel ~entity_attr:"entity" item
+      in
+      publish kb updated)
+
+let forbid_slot kb ~frame ~slot ~value =
+  wrap (fun () ->
+      let rel = slot_relation kb slot in
+      let item = resolve_item kb rel frame value in
+      publish kb (Relation.add rel item Types.Neg))
+
+let get_slot kb ~frame ~slot =
+  wrap (fun () ->
+      let rel = slot_relation kb slot in
+      let schema = Relation.schema rel in
+      let value_hierarchy = Schema.hierarchy schema 1 in
+      List.filter
+        (fun v ->
+          Binding.holds rel (resolve_item kb rel frame v))
+        (List.map (Hierarchy.node_label value_hierarchy)
+           (Hierarchy.instances value_hierarchy))
+      |> List.sort String.compare)
+
+let slot_value kb ~frame ~slot =
+  match get_slot kb ~frame ~slot with
+  | [] -> None
+  | [ v ] -> Some v
+  | vs -> kb_error "slot %S has %d values for %S" slot (List.length vs) frame
+
+let explain_slot kb ~frame ~slot ~value =
+  wrap (fun () ->
+      let rel = slot_relation kb slot in
+      let schema = Relation.schema rel in
+      let item = resolve_item kb rel frame value in
+      let verdict = Binding.verdict rel item in
+      let applicable = Binding.justification rel item in
+      Format.asprintf "@[<v>%s.%s = %s: %a@,applicable:%a@]" frame slot value
+        (Binding.pp_verdict schema) verdict
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (t : Relation.tuple) ->
+             Format.fprintf ppf "  %a%s" Types.pp_sign t.Relation.sign
+               (Item.to_string schema t.Relation.item)))
+        applicable)
+
+let frames kb =
+  List.filter (fun v -> v <> Hierarchy.root kb.entities) (Hierarchy.classes kb.entities)
+  |> List.map (Hierarchy.node_label kb.entities)
+  |> List.sort String.compare
+
+let individuals kb =
+  List.map (Hierarchy.node_label kb.entities) (Hierarchy.instances kb.entities)
+  |> List.sort String.compare

@@ -1,0 +1,73 @@
+(** A frame-based knowledge representation front end.
+
+    The paper's introduction pitches the hierarchical relational model as
+    "a back-end for, say, a frame-based knowledge representation system"
+    (§1), with class facts stored once and inherited, and exception
+    semantics handled in the data model rather than in the reasoner. This
+    module is that front end:
+
+    - {e frames} are classes, {e individuals} are instances — both live
+      in one entity hierarchy;
+    - each {e slot} is a binary hierarchical relation
+      [slot(entity, value)] over the entity hierarchy and the slot's
+      value domain;
+    - {!set_slot} uses functional-slot semantics: asserting a new value
+      for a frame automatically asserts the explicit cancellation of any
+      inherited value (the paper's "royal elephants are not grey but
+      white" idiom, via {!Hr_frontend.Frontend.assert_functional});
+    - every update runs in a transaction and is refused if it would
+      leave a slot relation violating the ambiguity constraint, with the
+      conflict witnesses reported so the caller can resolve them.
+
+    The catalog underneath is ordinary ({!catalog}), so HRQL, Datalog and
+    all the relational operators work on a knowledge base directly. *)
+
+type t
+
+exception Kb_error of string
+
+val create : ?entity_domain:string -> unit -> t
+(** [create ()] — a knowledge base whose entity hierarchy is rooted at
+    [entity_domain] (default ["thing"]). *)
+
+val catalog : t -> Hierel.Catalog.t
+val entities : t -> Hr_hierarchy.Hierarchy.t
+
+val define_frame : t -> ?is_a:string list -> string -> unit
+(** A class frame, under the given parent frames (default: the root). *)
+
+val define_individual : t -> ?is_a:string list -> string -> unit
+
+val define_slot : ?multi:bool -> t -> slot:string -> values:string list -> unit
+(** Declares a slot with the given value vocabulary (a fresh flat value
+    hierarchy named after the slot). [multi] (default [false]) controls
+    {!set_slot}: functional slots cancel inherited values on update,
+    multi-valued slots accumulate. *)
+
+val set_slot : t -> frame:string -> slot:string -> value:string -> unit
+(** Asserts [slot(frame) = value] for the frame and everything under it.
+    On a functional slot, inherited different values are explicitly
+    cancelled. Raises {!Kb_error} if the update cannot be made
+    consistent. *)
+
+val forbid_slot : t -> frame:string -> slot:string -> value:string -> unit
+(** Negative assertion: the value does {e not} hold for this frame —
+    an exception if something more general says otherwise. *)
+
+val get_slot : t -> frame:string -> slot:string -> string list
+(** The values that hold for the frame (by binding, i.e. with inheritance
+    and exceptions applied), sorted. *)
+
+val slot_value : t -> frame:string -> slot:string -> string option
+(** Convenience for functional slots: the single holding value, if any.
+    Raises {!Kb_error} when several hold. *)
+
+val explain_slot :
+  t -> frame:string -> slot:string -> value:string -> string
+(** Human-readable justification: the verdict and the applicable tuples
+    (the paper's justification facility applied to frames). *)
+
+val frames : t -> string list
+(** All class frames (excluding the root), sorted. *)
+
+val individuals : t -> string list

@@ -1,0 +1,1 @@
+lib/frontend/frontend.ml: Binding Format Fun Hashtbl Hierel Hr_hierarchy Integrity Item List Queue Relation Schema Types

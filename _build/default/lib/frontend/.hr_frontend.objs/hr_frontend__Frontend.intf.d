@@ -1,0 +1,1 @@
+lib/frontend/frontend.mli: Hierel Hr_hierarchy

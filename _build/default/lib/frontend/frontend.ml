@@ -1,0 +1,127 @@
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+type exception_policy = Forbid_exceptions | Warn_on_exception | Allow_exceptions
+
+type warning = { message : string; overridden : Relation.tuple list }
+
+let insert ~policy rel item sign =
+  let inherited = Binding.verdict rel item in
+  let clash =
+    match inherited with
+    | Binding.Asserted (s, binders) when not (Types.sign_equal s sign) -> Some binders
+    | Binding.Asserted _ | Binding.Unasserted | Binding.Conflict _ -> None
+  in
+  match policy, clash with
+  | Forbid_exceptions, Some binders ->
+    Error
+      (Format.asprintf "exception to %d inherited tuple(s) at %s forbidden"
+         (List.length binders)
+         (Item.to_string (Relation.schema rel) item))
+  | Warn_on_exception, Some binders ->
+    let warning =
+      {
+        message =
+          Format.asprintf "%a%s overrides inherited value" Types.pp_sign sign
+            (Item.to_string (Relation.schema rel) item);
+        overridden = binders;
+      }
+    in
+    Ok (Relation.add rel item sign, [ warning ])
+  | (Forbid_exceptions | Warn_on_exception | Allow_exceptions), _ ->
+    Ok (Relation.add rel item sign, [])
+
+let assert_functional rel ~entity_attr item =
+  let schema = Relation.schema rel in
+  let e = Schema.index_of schema entity_attr in
+  let value_positions =
+    List.filter (fun i -> i <> e) (List.init (Schema.arity schema) Fun.id)
+  in
+  let differs_somewhere (t : Relation.tuple) =
+    List.exists (fun i -> Item.coord t.Relation.item i <> Item.coord item i) value_positions
+  in
+  (* tuples giving the entity region a positive value different from the
+     new one: cancel each over the new entity coordinate *)
+  let cancellations =
+    Relation.fold
+      (fun (t : Relation.tuple) acc ->
+        if
+          Types.sign_equal t.Relation.sign Types.Pos
+          && Hierarchy.subsumes (Schema.hierarchy schema e) (Item.coord t.Relation.item e)
+               (Item.coord item e)
+          && differs_somewhere t
+        then Item.substitute t.Relation.item e (Item.coord item e) :: acc
+        else acc)
+      rel []
+  in
+  let rel = Relation.add rel item Types.Pos in
+  List.fold_left
+    (fun rel cancel -> if Relation.mem rel cancel then rel else Relation.add rel cancel Types.Neg)
+    rel cancellations
+
+(* Deterministic left precedence: breadth-first upward search from the
+   witness item, expanding attribute positions left to right and parents
+   in declaration order; the first conflicting binder reached wins. *)
+let left_precedence_sign rel witness (positive : Relation.tuple list)
+    (negative : Relation.tuple list) =
+  let schema = Relation.schema rel in
+  let binder_sign it =
+    if List.exists (fun (t : Relation.tuple) -> Item.equal t.Relation.item it) positive then
+      Some Types.Pos
+    else if List.exists (fun (t : Relation.tuple) -> Item.equal t.Relation.item it) negative
+    then Some Types.Neg
+    else None
+  in
+  let seen = Hashtbl.create 32 in
+  let queue = Queue.create () in
+  Queue.add witness queue;
+  Hashtbl.add seen (witness : Item.t) ();
+  let rec search () =
+    if Queue.is_empty queue then Types.Pos (* unreachable for real conflicts *)
+    else
+      let cur = Queue.pop queue in
+      match binder_sign cur with
+      | Some sign -> sign
+      | None ->
+        List.iter
+          (fun i ->
+            let h = Schema.hierarchy schema i in
+            List.iter
+              (fun parent ->
+                let up = Item.substitute cur i parent in
+                if not (Hashtbl.mem seen up) then begin
+                  Hashtbl.add seen up ();
+                  Queue.add up queue
+                end)
+              (Hierarchy.parents h (Item.coord cur i)))
+          (List.init (Item.arity cur) Fun.id);
+        search ()
+  in
+  search ()
+
+let resolve_left_precedence rel =
+  let rec loop rel budget =
+    if budget <= 0 then Types.model_error "left-precedence resolution did not converge"
+    else
+      match Integrity.first_conflict rel with
+      | None -> rel
+      | Some c ->
+        let rel =
+          List.fold_left
+            (fun rel w ->
+              if Relation.mem rel w then rel
+              else
+                match Binding.verdict rel w with
+                | Binding.Conflict { positive; negative } ->
+                  Relation.set rel w (left_precedence_sign rel w positive negative)
+                | Binding.Asserted _ | Binding.Unasserted -> rel)
+            rel c.Integrity.witnesses
+        in
+        loop rel (budget - 1)
+  in
+  loop rel 10_000
+
+let pessimistic_intersection h a b =
+  let name = a ^ "&" ^ b in
+  if not (Hierarchy.mem h name) then ignore (Hierarchy.add_class h ~parents:[ a; b ] name);
+  name

@@ -1,0 +1,58 @@
+(** Front-end policies layered over the generic data model.
+
+    The paper keeps the data model application-neutral and repeatedly
+    points at "an appropriate front-end" for policy decisions: warning on
+    or forbidding exceptions (§2.1), generating explicit cancellations
+    automatically when a property is functional (§3.1, the Clyde
+    example), compiling left-precedence conflict resolution into
+    consistency-preserving transactions (§2.1), and forcing pessimistic
+    integrity through empty intersection classes (§3.1). This module
+    implements each of those front ends. *)
+
+type exception_policy =
+  | Forbid_exceptions
+      (** reject any tuple whose sign contradicts the value the item
+          currently inherits *)
+  | Warn_on_exception  (** accept, but report the overridden tuples *)
+  | Allow_exceptions  (** the bare model semantics *)
+
+type warning = {
+  message : string;
+  overridden : Hierel.Relation.tuple list;
+      (** the inherited tuples the new assertion overrides *)
+}
+
+val insert :
+  policy:exception_policy ->
+  Hierel.Relation.t ->
+  Hierel.Item.t ->
+  Hierel.Types.sign ->
+  (Hierel.Relation.t * warning list, string) result
+(** Insert under an exception policy. With [Forbid_exceptions], an
+    insertion contradicting the inherited verdict returns [Error]. *)
+
+val assert_functional :
+  Hierel.Relation.t ->
+  entity_attr:string ->
+  Hierel.Item.t ->
+  Hierel.Relation.t
+(** Treats every attribute other than [entity_attr] as jointly functional
+    in the entity: asserting the (positive) item automatically asserts the
+    explicit cancellation of every distinct positive value currently
+    inherited by the same entity region — the paper's "royal elephants
+    are not grey but white" idiom. The returned relation contains the new
+    positive tuple plus the generated negations. *)
+
+val resolve_left_precedence : Hierel.Relation.t -> Hierel.Relation.t
+(** Repairs every ambiguity conflict by asserting, at each witness item,
+    the sign of the binder found first by a leftward upward search
+    (parents in declaration order, attributes left to right) — the
+    deterministic analogue of LISP-Flavors left precedence the paper
+    mentions. The result satisfies the ambiguity constraint. *)
+
+val pessimistic_intersection :
+  Hr_hierarchy.Hierarchy.t -> string -> string -> string
+(** [pessimistic_intersection h a b] declares (if absent) an empty class
+    named ["a&b"] under both, making the optimistic checker treat [a] and
+    [b] as overlapping from now on. Returns the intersection class
+    name. *)

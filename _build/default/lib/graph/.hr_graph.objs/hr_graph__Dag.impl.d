@@ -1,0 +1,1 @@
+lib/graph/dag.ml: Array Buffer Bytes Char Int List Option Printf Queue

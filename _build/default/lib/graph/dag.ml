@@ -1,0 +1,297 @@
+type edge_kind = Isa | Preference
+
+let kind_equal a b =
+  match a, b with
+  | Isa, Isa | Preference, Preference -> true
+  | Isa, Preference | Preference, Isa -> false
+
+type t = {
+  mutable succ : (int * edge_kind) list array;
+  mutable pred : (int * edge_kind) list array;
+  mutable alive : bool array;
+  mutable n : int; (* number of allocated ids *)
+}
+
+let create () = { succ = [||]; pred = [||]; alive = [||]; n = 0 }
+
+let copy g =
+  { succ = Array.copy g.succ; pred = Array.copy g.pred; alive = Array.copy g.alive; n = g.n }
+
+let grow g =
+  let cap = Array.length g.alive in
+  if g.n >= cap then begin
+    let cap' = max 8 (2 * cap) in
+    let succ = Array.make cap' [] in
+    let pred = Array.make cap' [] in
+    let alive = Array.make cap' false in
+    Array.blit g.succ 0 succ 0 cap;
+    Array.blit g.pred 0 pred 0 cap;
+    Array.blit g.alive 0 alive 0 cap;
+    g.succ <- succ;
+    g.pred <- pred;
+    g.alive <- alive
+  end
+
+let add_node g =
+  grow g;
+  let id = g.n in
+  g.n <- g.n + 1;
+  g.alive.(id) <- true;
+  g.succ.(id) <- [];
+  g.pred.(id) <- [];
+  id
+
+let capacity g = g.n
+let is_alive g v = v >= 0 && v < g.n && g.alive.(v)
+
+let live_nodes g =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (if g.alive.(i) then i :: acc else acc) in
+  loop (g.n - 1) []
+
+let live_count g =
+  let c = ref 0 in
+  for i = 0 to g.n - 1 do
+    if g.alive.(i) then incr c
+  done;
+  !c
+
+let check_endpoint g v =
+  if not (is_alive g v) then invalid_arg "Dag: dead or unknown node"
+
+let mem_edge g ?(kind = Isa) u v =
+  is_alive g u && is_alive g v
+  && List.exists (fun (w, k) -> w = v && kind_equal k kind) g.succ.(u)
+
+let add_edge g ?(kind = Isa) u v =
+  check_endpoint g u;
+  check_endpoint g v;
+  if u = v then invalid_arg "Dag.add_edge: self loop";
+  if not (mem_edge g ~kind u v) then begin
+    g.succ.(u) <- (v, kind) :: g.succ.(u);
+    g.pred.(v) <- (u, kind) :: g.pred.(v)
+  end
+
+let remove_edge g ?(kind = Isa) u v =
+  if is_alive g u && is_alive g v then begin
+    g.succ.(u) <- List.filter (fun (w, k) -> not (w = v && kind_equal k kind)) g.succ.(u);
+    g.pred.(v) <- List.filter (fun (w, k) -> not (w = u && kind_equal k kind)) g.pred.(v)
+  end
+
+let all_kinds (_ : edge_kind) = true
+
+let neighbors adj g kinds v =
+  check_endpoint g v;
+  List.filter_map
+    (fun (w, k) -> if kinds k && g.alive.(w) then Some w else None)
+    adj.(v)
+  |> List.sort_uniq Int.compare
+
+let succs g ?(kinds = all_kinds) v = neighbors g.succ g kinds v
+let preds g ?(kinds = all_kinds) v = neighbors g.pred g kinds v
+
+let neighbors_ordered adj g kinds v =
+  check_endpoint g v;
+  (* adjacency lists are built by prepending; reversing restores edge
+     insertion order, with duplicates (same target, other kind) removed *)
+  let rec dedup seen = function
+    | [] -> []
+    | (w, k) :: rest ->
+      if kinds k && g.alive.(w) && not (List.mem w seen) then w :: dedup (w :: seen) rest
+      else dedup seen rest
+  in
+  dedup [] (List.rev adj.(v))
+
+let succs_ordered g ?(kinds = all_kinds) v = neighbors_ordered g.succ g kinds v
+let preds_ordered g ?(kinds = all_kinds) v = neighbors_ordered g.pred g kinds v
+
+let remove_node g v =
+  check_endpoint g v;
+  List.iter
+    (fun (w, _) ->
+      if g.alive.(w) then g.pred.(w) <- List.filter (fun (u, _) -> u <> v) g.pred.(w))
+    g.succ.(v);
+  List.iter
+    (fun (w, _) ->
+      if g.alive.(w) then g.succ.(w) <- List.filter (fun (u, _) -> u <> v) g.succ.(w))
+    g.pred.(v);
+  g.succ.(v) <- [];
+  g.pred.(v) <- [];
+  g.alive.(v) <- false
+
+let reachable g ?(kinds = all_kinds) u v =
+  check_endpoint g u;
+  check_endpoint g v;
+  if u = v then true
+  else begin
+    let seen = Array.make g.n false in
+    let rec dfs x =
+      x = v
+      || (not seen.(x))
+         && begin
+              seen.(x) <- true;
+              List.exists (fun (w, k) -> kinds k && g.alive.(w) && dfs w) g.succ.(x)
+            end
+    in
+    seen.(u) <- true;
+    List.exists (fun (w, k) -> kinds k && g.alive.(w) && dfs w) g.succ.(u)
+  end
+
+let closure adj g kinds v =
+  check_endpoint g v;
+  let seen = Array.make g.n false in
+  let rec dfs x acc =
+    if seen.(x) then acc
+    else begin
+      seen.(x) <- true;
+      List.fold_left
+        (fun acc (w, k) -> if kinds k && g.alive.(w) then dfs w acc else acc)
+        (x :: acc) adj.(x)
+    end
+  in
+  List.sort Int.compare (dfs v [])
+
+let descendants g ?(kinds = all_kinds) v = closure g.succ g kinds v
+let ancestors g ?(kinds = all_kinds) v = closure g.pred g kinds v
+
+let isa_only = function Isa -> true | Preference -> false
+
+let roots g =
+  List.filter (fun v -> preds g ~kinds:isa_only v = []) (live_nodes g)
+
+let leaves g =
+  List.filter (fun v -> succs g ~kinds:isa_only v = []) (live_nodes g)
+
+(* Kahn's algorithm over live nodes, all edge kinds. Returns ancestors
+   first. *)
+let topo_sort_opt g =
+  let indeg = Array.make (max 1 g.n) 0 in
+  let lives = live_nodes g in
+  List.iter (fun v -> indeg.(v) <- List.length (preds g v)) lives;
+  let queue = Queue.create () in
+  List.iter (fun v -> if indeg.(v) = 0 then Queue.add v queue) lives;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr count;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      (succs g v)
+  done;
+  if !count = List.length lives then Some (List.rev !order) else None
+
+let has_cycle g = Option.is_none (topo_sort_opt g)
+
+let topo_sort g =
+  match topo_sort_opt g with
+  | Some order -> order
+  | None -> invalid_arg "Dag.topo_sort: graph has a cycle"
+
+(* [u -> v] is redundant if some other path u ->* v of live edges exists.
+   We test by searching from u's other successors. *)
+let edge_redundant g u v =
+  List.exists
+    (fun (w, _) -> w <> v && g.alive.(w) && reachable g w v)
+    g.succ.(u)
+
+let redundant_edges g =
+  List.concat_map
+    (fun u ->
+      List.filter_map
+        (fun (v, k) ->
+          match k with
+          | Preference -> None
+          | Isa -> if g.alive.(v) && edge_redundant g u v then Some (u, v) else None)
+        g.succ.(u))
+    (live_nodes g)
+
+let transitive_reduction g =
+  (* Removing one redundant edge can never make another redundant edge
+     necessary (in a DAG, a redundant edge is witnessed by a path that uses
+     no redundant edge of maximal length), so a single sweep suffices as
+     long as each removal is checked against the current graph. *)
+  List.iter
+    (fun u ->
+      List.iter
+        (fun (v, k) ->
+          match k with
+          | Preference -> ()
+          | Isa -> if g.alive.(v) && edge_redundant g u v then remove_edge g u v)
+        g.succ.(u))
+    (live_nodes g)
+
+let eliminate_node g ~on_path v =
+  check_endpoint g v;
+  let order = topo_sort g in
+  let position = Array.make (max 1 g.n) 0 in
+  List.iteri (fun i x -> position.(x) <- i) order;
+  let ps = preds g v in
+  let ks = succs g v in
+  remove_node g v;
+  let ps = List.sort (fun a b -> Int.compare position.(b) position.(a)) ps in
+  let ks = List.sort (fun a b -> Int.compare position.(a) position.(b)) ks in
+  List.iter
+    (fun j ->
+      List.iter
+        (fun k ->
+          if on_path || not (reachable g j k) then add_edge g j k)
+        ks)
+    ps
+
+let to_dot ?(label = string_of_int) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph g {\n";
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf "  n%d [label=%S];\n" v (label v)))
+    (live_nodes g);
+  List.iter
+    (fun u ->
+      List.iter
+        (fun (v, k) ->
+          if g.alive.(v) then
+            let style = match k with Isa -> "" | Preference -> " [style=dashed]" in
+            Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" u v style))
+        g.succ.(u))
+    (live_nodes g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+module Reach = struct
+  type dag = t
+
+  type t = { row_bytes : int; bits : Bytes.t; n : int }
+  (* One bitset row of descendants per node: row [u] occupies [row_bytes]
+     bytes starting at byte [u * row_bytes]; bit [v] of the row is byte
+     [v / 8], mask [1 lsl (v mod 8)]. *)
+
+  let create ?(kinds = all_kinds) (g : dag) =
+    let n = capacity g in
+    let row_bytes = (n + 7) / 8 in
+    let bits = Bytes.make (max 1 (n * row_bytes)) '\000' in
+    let set_self u =
+      let j = (u * row_bytes) + (u lsr 3) in
+      Bytes.set bits j (Char.chr (Char.code (Bytes.get bits j) lor (1 lsl (u land 7))))
+    in
+    let union_row ~into:u ~from:v =
+      for w = 0 to row_bytes - 1 do
+        let cur = Char.code (Bytes.get bits ((u * row_bytes) + w)) in
+        let other = Char.code (Bytes.get bits ((v * row_bytes) + w)) in
+        Bytes.set bits ((u * row_bytes) + w) (Char.chr (cur lor other))
+      done
+    in
+    (* Reverse topological order: a node's successors' rows are complete
+       before being unioned into its own row. *)
+    List.iter
+      (fun u ->
+        set_self u;
+        List.iter (fun v -> union_row ~into:u ~from:v) (succs g ~kinds u))
+      (List.rev (topo_sort g));
+    { row_bytes; bits; n }
+
+  let mem t u v =
+    u >= 0 && v >= 0 && u < t.n && v < t.n
+    && Char.code (Bytes.get t.bits ((u * t.row_bytes) + (v lsr 3))) land (1 lsl (v land 7)) <> 0
+end

@@ -1,0 +1,125 @@
+(** Mutable directed acyclic graphs over dense integer node ids.
+
+    This is the substrate under both the hierarchy graphs of the data model
+    (Section 2 of the paper) and the subsumption / tuple-binding graphs of
+    relations (Sections 2–3). Nodes are allocated by the graph; edges carry
+    a kind: [Isa] edges denote set inclusion and participate in membership
+    semantics, [Preference] edges only influence binding strength (paper,
+    Appendix). Graphs are not forced acyclic on every edge insertion —
+    acyclicity (the paper's {e type-irredundancy constraint}) is checked by
+    {!has_cycle} / enforced by callers.
+
+    All traversals ignore nodes removed with {!remove_node} or
+    {!eliminate_node}. *)
+
+type edge_kind = Isa | Preference
+
+type t
+
+val create : unit -> t
+
+val copy : t -> t
+(** Deep copy; subsequent mutations are independent. *)
+
+val add_node : t -> int
+(** Allocates a fresh node and returns its id. Ids are consecutive from 0
+    and are never reused, even after removal. *)
+
+val capacity : t -> int
+(** One more than the largest id ever allocated. *)
+
+val is_alive : t -> int -> bool
+
+val live_nodes : t -> int list
+(** All non-removed nodes, in increasing id order. *)
+
+val live_count : t -> int
+
+val add_edge : t -> ?kind:edge_kind -> int -> int -> unit
+(** [add_edge g u v] inserts an edge [u -> v] ([kind] defaults to [Isa]).
+    Duplicate (same endpoints, same kind) insertions are ignored. Raises
+    [Invalid_argument] if either endpoint is dead or [u = v]. *)
+
+val remove_edge : t -> ?kind:edge_kind -> int -> int -> unit
+(** Removes the edge if present; no-op otherwise. *)
+
+val mem_edge : t -> ?kind:edge_kind -> int -> int -> bool
+
+val succs : t -> ?kinds:(edge_kind -> bool) -> int -> int list
+(** Direct successors through edges whose kind satisfies [kinds]
+    (default: all kinds). *)
+
+val preds : t -> ?kinds:(edge_kind -> bool) -> int -> int list
+
+val succs_ordered : t -> ?kinds:(edge_kind -> bool) -> int -> int list
+(** Like {!succs} but in edge-insertion order rather than id order —
+    hierarchies use this to preserve parent declaration order for
+    left-precedence front ends. *)
+
+val preds_ordered : t -> ?kinds:(edge_kind -> bool) -> int -> int list
+
+val remove_node : t -> int -> unit
+(** Deletes the node and its incident edges, {e without} relinking
+    predecessors to successors. Compare {!eliminate_node}. *)
+
+val eliminate_node : t -> on_path:bool -> int -> unit
+(** The paper's node elimination procedure (Section 2.1): delete the node
+    and its incident edges, then for each former immediate predecessor [j]
+    in reverse topological order and each former immediate successor [k] in
+    topological order, insert a bypass edge [j -> k] — unless
+    [not on_path] and a path [j ->* k] already exists. With
+    [on_path:false] this preserves the transitive reduction (off-path
+    preemption); with [on_path:true] redundant bypass edges are retained
+    (on-path preemption, paper Appendix). Bypass edges are [Isa] edges.
+    Requires the graph to be acyclic. *)
+
+val reachable : t -> ?kinds:(edge_kind -> bool) -> int -> int -> bool
+(** [reachable g u v] is [true] iff [u = v] or a directed path of live
+    edges (with kinds satisfying [kinds]) leads from [u] to [v]. *)
+
+val descendants : t -> ?kinds:(edge_kind -> bool) -> int -> int list
+(** All nodes reachable from the argument, including itself. *)
+
+val ancestors : t -> ?kinds:(edge_kind -> bool) -> int -> int list
+(** All nodes that reach the argument, including itself. *)
+
+val roots : t -> int list
+(** Live nodes with no live [Isa] predecessors. *)
+
+val leaves : t -> int list
+(** Live nodes with no live [Isa] successors. *)
+
+val has_cycle : t -> bool
+(** Considers all edge kinds. *)
+
+val topo_sort : t -> int list
+(** Topological order of live nodes (ancestors first). Raises
+    [Invalid_argument] on a cyclic graph. *)
+
+val transitive_reduction : t -> unit
+(** Removes every [Isa] edge [u -> v] for which another [u ->* v] path of
+    live edges exists. The paper requires hierarchy graphs to be kept
+    transitively reduced for off-path preemption (Appendix, footnote 7).
+    Requires acyclicity. *)
+
+val redundant_edges : t -> (int * int) list
+(** The [Isa] edges that {!transitive_reduction} would delete. *)
+
+val to_dot : ?label:(int -> string) -> t -> string
+(** Graphviz rendering, mainly for debugging and documentation. Preference
+    edges are dashed. *)
+
+module Reach : sig
+  (** Precomputed reachability index: one bitset of descendants per node,
+      built in a single reverse-topological pass. Queries are O(1). The
+      index is a snapshot — mutations to the graph after {!create} are not
+      reflected. *)
+
+  type dag := t
+  type t
+
+  val create : ?kinds:(edge_kind -> bool) -> dag -> t
+  val mem : t -> int -> int -> bool
+  (** [mem r u v] iff [v] was reachable from [u] (reflexively) at snapshot
+      time. *)
+end

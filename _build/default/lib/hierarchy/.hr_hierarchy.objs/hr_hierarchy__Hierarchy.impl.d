@@ -1,0 +1,1 @@
+lib/hierarchy/hierarchy.ml: Array Format Hashtbl Hr_graph Hr_util List Option String

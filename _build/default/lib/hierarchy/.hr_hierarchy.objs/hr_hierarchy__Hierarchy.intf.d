@@ -1,0 +1,1 @@
+lib/hierarchy/hierarchy.mli: Format Hr_util

@@ -1,0 +1,251 @@
+module Symbol = Hr_util.Symbol
+module Dag = Hr_graph.Dag
+
+type node = int
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type t = {
+  graph : Dag.t;
+  by_name : node Symbol.Tbl.t;
+  mutable names : Symbol.t array; (* indexed by node id *)
+  mutable instance : bool array; (* indexed by node id *)
+  root : node;
+  mutable isa_index : Dag.Reach.t option; (* descendants over isa edges *)
+  mutable bind_index : Dag.Reach.t option; (* descendants over isa + preference *)
+}
+
+let invalidate h =
+  h.isa_index <- None;
+  h.bind_index <- None
+
+let create domain_name =
+  let graph = Dag.create () in
+  let root = Dag.add_node graph in
+  let sym = Symbol.intern domain_name in
+  let by_name = Symbol.Tbl.create 64 in
+  Symbol.Tbl.add by_name sym root;
+  {
+    graph;
+    by_name;
+    names = [| sym |];
+    instance = [| false |];
+    root;
+    isa_index = None;
+    bind_index = None;
+  }
+
+let copy h =
+  {
+    graph = Dag.copy h.graph;
+    by_name = Symbol.Tbl.copy h.by_name;
+    names = Array.copy h.names;
+    instance = Array.copy h.instance;
+    root = h.root;
+    isa_index = h.isa_index;
+    bind_index = h.bind_index;
+  }
+
+let domain h = h.names.(h.root)
+let root h = h.root
+
+let find h name = Symbol.Tbl.find_opt h.by_name (Symbol.intern name)
+
+let find_exn h name =
+  match find h name with
+  | Some v -> v
+  | None -> error "unknown class or instance %S in domain %a" name Symbol.pp (domain h)
+
+let mem h name = Option.is_some (find h name)
+
+let check_node h v =
+  if not (Dag.is_alive h.graph v) then error "node %d is not part of the hierarchy" v
+
+let node_name h v =
+  check_node h v;
+  h.names.(v)
+
+let node_label h v = Symbol.name (node_name h v)
+let is_instance h v = check_node h v; h.instance.(v)
+let is_class h v = not (is_instance h v)
+
+let grow_meta h v =
+  let cap = Array.length h.names in
+  if v >= cap then begin
+    let cap' = max 8 (2 * cap) in
+    let names = Array.make cap' h.names.(h.root) in
+    let instance = Array.make cap' false in
+    Array.blit h.names 0 names 0 cap;
+    Array.blit h.instance 0 instance 0 cap;
+    h.names <- names;
+    h.instance <- instance
+  end
+
+let add_named h ~instance ~parents name =
+  let sym = Symbol.intern name in
+  if Symbol.Tbl.mem h.by_name sym then error "name %S already defined" name;
+  let parent_nodes =
+    match parents with
+    | [] -> [ h.root ]
+    | ps -> List.map (find_exn h) ps
+  in
+  List.iter
+    (fun p ->
+      if h.instance.(p) then
+        error "cannot place %S under instance %S" name (node_label h p))
+    parent_nodes;
+  let v = Dag.add_node h.graph in
+  grow_meta h v;
+  h.names.(v) <- sym;
+  h.instance.(v) <- instance;
+  Symbol.Tbl.add h.by_name sym v;
+  List.iter (fun p -> Dag.add_edge h.graph p v) parent_nodes;
+  invalidate h;
+  v
+
+let add_class h ?(parents = []) name = add_named h ~instance:false ~parents name
+let add_instance h ?(parents = []) name = add_named h ~instance:true ~parents name
+
+let add_isa h ~sub ~super =
+  let sub_node = find_exn h sub and super_node = find_exn h super in
+  if h.instance.(super_node) then
+    error "cannot place %S under instance %S" sub super;
+  if sub_node = super_node then error "isa self-loop on %S" sub;
+  if Dag.reachable h.graph sub_node super_node then
+    error "isa edge %S -> %S would create a cycle" super sub;
+  Dag.add_edge h.graph super_node sub_node;
+  invalidate h
+
+let add_preference h ~weaker ~stronger =
+  let w = find_exn h weaker and s = find_exn h stronger in
+  if w = s then error "preference self-loop on %S" weaker;
+  if Dag.reachable h.graph s w then
+    error "preference edge %S -> %S would create a cycle" weaker stronger;
+  Dag.add_edge h.graph ~kind:Dag.Preference w s;
+  invalidate h
+
+let node_count h = Dag.live_count h.graph
+let nodes h = Dag.live_nodes h.graph
+let instances h = List.filter (fun v -> h.instance.(v)) (nodes h)
+let classes h = List.filter (fun v -> not h.instance.(v)) (nodes h)
+
+let isa_kind = function Dag.Isa -> true | Dag.Preference -> false
+
+let parents h v =
+  check_node h v;
+  Dag.preds_ordered h.graph ~kinds:isa_kind v
+
+let children h v =
+  check_node h v;
+  Dag.succs_ordered h.graph ~kinds:isa_kind v
+
+let pref_kind = function Dag.Isa -> false | Dag.Preference -> true
+
+let preference_edges h =
+  List.concat_map
+    (fun w -> List.map (fun s -> (w, s)) (Dag.succs_ordered h.graph ~kinds:pref_kind w))
+    (nodes h)
+
+let isa_index h =
+  match h.isa_index with
+  | Some idx -> idx
+  | None ->
+    let idx = Dag.Reach.create ~kinds:isa_kind h.graph in
+    h.isa_index <- Some idx;
+    idx
+
+let bind_index h =
+  match h.bind_index with
+  | Some idx -> idx
+  | None ->
+    let idx = Dag.Reach.create h.graph in
+    h.bind_index <- Some idx;
+    idx
+
+let subsumes h a b =
+  check_node h a;
+  check_node h b;
+  Dag.Reach.mem (isa_index h) a b
+
+let strictly_subsumes h a b = a <> b && subsumes h a b
+
+let binds_below h a b =
+  check_node h a;
+  check_node h b;
+  Dag.Reach.mem (bind_index h) a b
+
+let descendants h v =
+  check_node h v;
+  Dag.descendants h.graph ~kinds:isa_kind v
+
+let ancestors h v =
+  check_node h v;
+  Dag.ancestors h.graph ~kinds:isa_kind v
+
+let leaves_under h v = List.filter (fun w -> h.instance.(w)) (descendants h v)
+
+let common_descendants h a b =
+  let da = descendants h a in
+  let idx = isa_index h in
+  List.filter (fun w -> Dag.Reach.mem idx b w) da
+
+let intersects h a b = common_descendants h a b <> []
+
+(* Descendant sets are down-closed, so their intersection is down-closed:
+   a common descendant has a strict ancestor in the set iff one of its
+   immediate [isa] parents is in the set. *)
+let maximal_common_descendants h a b =
+  if subsumes h a b then [ b ]
+  else if subsumes h b a then [ a ]
+  else
+    let common = common_descendants h a b in
+    let in_common = Hashtbl.create 16 in
+    List.iter (fun w -> Hashtbl.replace in_common w ()) common;
+    List.filter
+      (fun w -> not (List.exists (Hashtbl.mem in_common) (parents h w)))
+      common
+
+type issue = Redundant_isa_edge of node * node
+
+let validate h =
+  List.map (fun (u, v) -> Redundant_isa_edge (u, v)) (Dag.redundant_edges h.graph)
+
+let reduce h =
+  Dag.transitive_reduction h.graph;
+  invalidate h
+
+let rename_node h ~old_name ~new_name =
+  let v = find_exn h old_name in
+  let new_sym = Symbol.intern new_name in
+  if Symbol.Tbl.mem h.by_name new_sym then error "name %S already defined" new_name;
+  Symbol.Tbl.remove h.by_name h.names.(v);
+  Symbol.Tbl.add h.by_name new_sym v;
+  h.names.(v) <- new_sym
+
+let eliminate h ~on_path v =
+  check_node h v;
+  if v = h.root then error "cannot eliminate the domain root";
+  if h.instance.(v) then error "cannot eliminate instance %S" (node_label h v);
+  Symbol.Tbl.remove h.by_name h.names.(v);
+  Dag.eliminate_node h.graph ~on_path v;
+  invalidate h
+
+let pp ppf h =
+  let seen = Hashtbl.create 64 in
+  let rec walk depth v =
+    let expanded = Hashtbl.mem seen v in
+    Format.fprintf ppf "%s%s%s%s@."
+      (String.make (2 * depth) ' ')
+      (node_label h v)
+      (if h.instance.(v) then " (instance)" else "")
+      (if expanded then " *" else "");
+    if not expanded then begin
+      Hashtbl.add seen v ();
+      List.iter (walk (depth + 1)) (children h v)
+    end
+  in
+  walk 0 h.root
+
+let to_dot h = Dag.to_dot ~label:(node_label h) h.graph

@@ -1,0 +1,143 @@
+(** Domain hierarchies (paper, Section 2.1).
+
+    A hierarchy is a rooted DAG over a domain: the root is the domain
+    itself, internal nodes are classes, and leaves are instances (atomic
+    elements, treated as singleton classes per the paper's footnote 3).
+    [isa] edges run from the more general class to the more specific one;
+    membership is reachability over [isa] edges. {e Preference} edges
+    (paper, Appendix) additionally bias binding strength without implying
+    set inclusion.
+
+    The hierarchy enforces the {e type-irredundancy constraint} (paper,
+    §3.1): no edge insertion may create a cycle. Redundant [isa] edges
+    (edges implied by other paths) are legal but change off-path preemption
+    results, so {!validate} reports them and {!reduce} removes them.
+
+    Mutation invalidates the internal reachability index; the index is
+    rebuilt lazily on the next subsumption query, so interleaving edits and
+    queries is correct but repeated alternation is slow. *)
+
+type t
+
+type node = int
+(** Nodes are dense non-negative integers, stable across mutations. *)
+
+exception Error of string
+(** Raised on malformed operations (duplicate names, cycles, unknown
+    nodes, children added under instances). *)
+
+val create : string -> t
+(** [create domain] is a hierarchy whose root class is named [domain]. *)
+
+val copy : t -> t
+
+val domain : t -> Hr_util.Symbol.t
+(** The root class's name. *)
+
+val root : t -> node
+
+val add_class : t -> ?parents:string list -> string -> node
+(** [add_class h name] adds class [name] under the given [parents]
+    (default: directly under the root). Raises {!Error} if the name is
+    taken or a parent is unknown or an instance. *)
+
+val add_instance : t -> ?parents:string list -> string -> node
+(** Like {!add_class} but the node is an instance: a leaf that can never
+    be given children. *)
+
+val add_isa : t -> sub:string -> super:string -> unit
+(** Adds an [isa] edge from [super] to [sub]. Raises {!Error} if it would
+    create a cycle or put a child under an instance. Redundant edges are
+    accepted (see {!validate}). *)
+
+val add_preference : t -> weaker:string -> stronger:string -> unit
+(** Adds a preference edge from [weaker] to [stronger]: tuples asserted on
+    [stronger] bind more strongly than tuples on [weaker] wherever both
+    apply, without [stronger] becoming a subset of [weaker]. *)
+
+val find : t -> string -> node option
+val find_exn : t -> string -> node
+val mem : t -> string -> bool
+
+val node_name : t -> node -> Hr_util.Symbol.t
+val node_label : t -> node -> string
+
+val is_instance : t -> node -> bool
+val is_class : t -> node -> bool
+
+val node_count : t -> int
+val nodes : t -> node list
+val instances : t -> node list
+(** All instance nodes, in id order. *)
+
+val classes : t -> node list
+(** All class nodes including the root, in id order. *)
+
+val parents : t -> node -> node list
+(** Immediate [isa] predecessors. *)
+
+val children : t -> node -> node list
+(** Immediate [isa] successors. *)
+
+val preference_edges : t -> (node * node) list
+(** All preference edges as [(weaker, stronger)] pairs, in insertion
+    order. *)
+
+val subsumes : t -> node -> node -> bool
+(** [subsumes h a b] iff [b] is reachable from [a] over [isa] edges,
+    reflexively: every member of [b] is a member of [a]. *)
+
+val strictly_subsumes : t -> node -> node -> bool
+
+val binds_below : t -> node -> node -> bool
+(** Reachability over [isa] and preference edges together — the order used
+    for binding strength (paper, Appendix). [binds_below h a b] iff [b]
+    binds at least as strongly as [a] wherever both apply. *)
+
+val leaves_under : t -> node -> node list
+(** The atomic extension of a node: all instance leaves reachable from it
+    (the node itself if it is an instance). Classes with no instances have
+    an empty extension. *)
+
+val descendants : t -> node -> node list
+(** All [isa]-reachable nodes, inclusive. *)
+
+val ancestors : t -> node -> node list
+
+val intersects : t -> node -> node -> bool
+(** Optimistic intersection test (paper, §3.1): [true] iff an explicit
+    common descendant — class or instance — exists. *)
+
+val maximal_common_descendants : t -> node -> node -> node list
+(** The most general common descendants of two nodes: the per-coordinate
+    building block of the paper's minimal conflict resolution set. Empty
+    iff the nodes do not {!intersects}. If [subsumes a b], this is [[b]]. *)
+
+type issue =
+  | Redundant_isa_edge of node * node
+      (** An [isa] edge implied by another path; breaks off-path preemption
+          (paper, Appendix, footnote 7). *)
+
+val validate : t -> issue list
+(** Structural problems that do not prevent operation but change semantics.
+    Cycles are impossible by construction. *)
+
+val reduce : t -> unit
+(** Removes all redundant [isa] edges (restores the transitive
+    reduction). *)
+
+val rename_node : t -> old_name:string -> new_name:string -> unit
+(** Renames a class or instance. Raises {!Error} if [old_name] is unknown
+    or [new_name] is taken. Node ids — and therefore all existing items
+    in relations over this hierarchy — are unaffected. *)
+
+val eliminate : t -> on_path:bool -> node -> unit
+(** Node elimination (paper, §2.1) applied to the hierarchy itself —
+    removes a class and relinks around it. Instances of the class are kept,
+    relinked to its parents. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented tree rendering (nodes with several parents are printed under
+    each, marked with [*]). *)
+
+val to_dot : t -> string

@@ -1,0 +1,1 @@
+lib/mine/mine.ml: Binding Consolidate Explicate Hashtbl Hierel Hr_hierarchy Integrity Item List Option Relation Schema Types

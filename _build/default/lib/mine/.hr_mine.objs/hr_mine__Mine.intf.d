@@ -1,0 +1,1 @@
+lib/mine/mine.mli: Hierel Hr_hierarchy

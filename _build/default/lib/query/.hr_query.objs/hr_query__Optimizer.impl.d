@@ -1,0 +1,1 @@
+lib/query/optimizer.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/query/optimizer.mli: Ast

@@ -1,0 +1,1 @@
+lib/query/persist.ml: Buffer Catalog Eval Fun Hashtbl Hierel Hr_hierarchy Hr_util Item List Printf Queue Relation Schema String Types

@@ -1,0 +1,1 @@
+lib/query/persist.mli: Hierel

@@ -1,0 +1,53 @@
+(** Abstract syntax of HRQL, the query language over the hierarchical
+    relational model. One statement per [;]. See [lexer.mli] for the
+    surface syntax summary and [eval.ml] for the semantics of each
+    statement. *)
+
+type value =
+  | All of string  (** [ALL name] — a universally quantified class value *)
+  | Atom of string  (** a bare class or instance name *)
+
+(* [All] and [Atom] resolve to the same node; the distinction is kept so
+   the evaluator can reject [ALL] on instances and warn the other way,
+   mirroring the paper's V-prefix notation. *)
+
+type signed_row = { sign : Hierel.Types.sign; values : value list }
+
+type query_expr =
+  | Rel of string  (** a stored relation *)
+  | Select of query_expr * string * value  (** WHERE attr = value *)
+  | Project of query_expr * string list
+  | Join of query_expr * query_expr
+  | Union of query_expr * query_expr
+  | Intersect of query_expr * query_expr
+  | Except of query_expr * query_expr
+  | Rename of query_expr * string * string
+  | Consolidated of query_expr
+  | Explicated of query_expr * string list option  (** [None] = all attrs *)
+
+type statement =
+  | Create_domain of string
+  | Create_class of { name : string; parents : string list }
+  | Create_instance of { name : string; parents : string list }
+  | Create_isa of { sub : string; super : string }
+  | Create_preference of { weaker : string; stronger : string }
+  | Create_relation of { name : string; attrs : (string * string) list }
+      (** attribute name, domain name *)
+  | Drop_relation of string
+  | Insert of { rel : string; rows : signed_row list }
+  | Delete of { rel : string; rows : value list list }
+  | Select_query of { expr : query_expr; justified : bool }
+  | Let_binding of { name : string; expr : query_expr }
+  | Ask of { rel : string; values : value list; semantics : Hierel.Types.semantics option }
+  | Consolidate of string  (** in place, via the catalog *)
+  | Explicate of { rel : string; over : string list option }
+  | Check of string
+  | Show_hierarchy of string
+  | Show_relations
+  | Show_hierarchies
+  | Explain of { rel : string; values : value list }
+  | Explain_plan of query_expr
+  | Count of { expr : query_expr; by : string option }
+  | Diff of { prev : query_expr; next : query_expr }
+
+let value_name = function All s | Atom s -> s

@@ -1,0 +1,262 @@
+(** HRQL statement evaluation against a catalog.
+
+    Every statement produces a human-readable report string; errors
+    (syntax, unknown names, integrity violations) are returned as
+    [Error _] rather than raised, so a REPL can keep going. Inserts and
+    deletes run inside a transaction and are rejected wholesale if the
+    resulting relation would violate the ambiguity constraint, exactly as
+    §3.1 of the paper requires. *)
+
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+let buf_fmt f =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* The hierarchy (registered in the catalog) that defines [name]. *)
+let hierarchy_containing cat name =
+  match List.filter (fun h -> Hierarchy.mem h name) (Catalog.hierarchies cat) with
+  | [ h ] -> h
+  | [] -> Types.model_error "no hierarchy defines %S" name
+  | _ :: _ :: _ -> Types.model_error "%S is ambiguous across hierarchies" name
+
+let resolve_values schema values =
+  if List.length values <> Schema.arity schema then
+    Types.model_error "expected %d values, got %d" (Schema.arity schema)
+      (List.length values);
+  let coords =
+    List.mapi
+      (fun i v ->
+        let h = Schema.hierarchy schema i in
+        let node = Hierarchy.find_exn h (Ast.value_name v) in
+        (match v with
+        | Ast.All _ when Hierarchy.is_instance h node ->
+          Types.model_error "ALL %s: %s is an instance, not a class"
+            (Ast.value_name v) (Ast.value_name v)
+        | Ast.All _ | Ast.Atom _ -> ());
+        node)
+      values
+  in
+  Item.make schema (Array.of_list coords)
+
+let rec eval_raw cat = function
+  | Ast.Rel name -> Catalog.relation cat name
+  | Ast.Select (e, attr, v) ->
+    Ops.select (eval_raw cat e) ~attr ~value:(Ast.value_name v)
+  | Ast.Project (e, attrs) -> Ops.project (eval_raw cat e) attrs
+  | Ast.Join (a, b) -> Ops.join (eval_raw cat a) (eval_raw cat b)
+  | Ast.Union (a, b) -> Ops.union (eval_raw cat a) (eval_raw cat b)
+  | Ast.Intersect (a, b) -> Ops.inter (eval_raw cat a) (eval_raw cat b)
+  | Ast.Except (a, b) -> Ops.diff (eval_raw cat a) (eval_raw cat b)
+  | Ast.Rename (e, old_name, new_name) ->
+    Ops.rename (eval_raw cat e) ~old_name ~new_name
+  | Ast.Consolidated e -> Consolidate.consolidate (eval_raw cat e)
+  | Ast.Explicated (e, over) -> Explicate.explicate ?over (eval_raw cat e)
+
+(* Statements evaluate optimized plans; the rewrites preserve the
+   equivalent flat relation (see [Optimizer]). *)
+let eval_expr cat expr = eval_raw cat (Optimizer.optimize expr)
+
+let render_relation rel =
+  buf_fmt (fun ppf ->
+      Format.fprintf ppf "%s (%d tuple%s)@.%a" (Relation.name rel)
+        (Relation.cardinality rel)
+        (if Relation.cardinality rel = 1 then "" else "s")
+        Relation.pp rel)
+
+let render_tuples schema tuples =
+  let rows =
+    List.map
+      (fun (t : Relation.tuple) ->
+        Format.asprintf "%a" Types.pp_sign t.Relation.sign
+        :: List.init (Schema.arity schema) (fun i ->
+               let h = Schema.hierarchy schema i in
+               let v = Item.coord t.Relation.item i in
+               if Hierarchy.is_class h v then "V " ^ Hierarchy.node_label h v
+               else Hierarchy.node_label h v))
+      tuples
+  in
+  Hr_util.Texttable.render_rows ~headers:("" :: Schema.names schema) rows
+
+let render_conflicts schema = function
+  | [] -> "consistent: the ambiguity constraint holds"
+  | conflicts ->
+    buf_fmt (fun ppf ->
+        Format.fprintf ppf "%d unresolved conflict(s):@." (List.length conflicts);
+        List.iter
+          (fun c -> Format.fprintf ppf "%a@." (Integrity.pp_conflict schema) c)
+          conflicts)
+
+let violation_report (violations : Txn.violation list) =
+  buf_fmt (fun ppf ->
+      Format.fprintf ppf "rejected: update would violate the ambiguity constraint@.";
+      List.iter
+        (fun (v : Txn.violation) ->
+          Format.fprintf ppf "relation %s: %d conflict(s)@." v.Txn.relation_name
+            (List.length v.Txn.conflicts))
+        violations)
+
+let exec cat stmt =
+  try
+    Ok
+      (match stmt with
+      | Ast.Create_domain name ->
+        Catalog.define_hierarchy cat (Hierarchy.create name);
+        Printf.sprintf "domain %s created" name
+      | Ast.Create_class { name; parents } ->
+        let h = hierarchy_containing cat (List.hd parents) in
+        ignore (Hierarchy.add_class h ~parents name);
+        Printf.sprintf "class %s created" name
+      | Ast.Create_instance { name; parents } ->
+        let h = hierarchy_containing cat (List.hd parents) in
+        ignore (Hierarchy.add_instance h ~parents name);
+        Printf.sprintf "instance %s created" name
+      | Ast.Create_isa { sub; super } ->
+        let h = hierarchy_containing cat super in
+        Hierarchy.add_isa h ~sub ~super;
+        Printf.sprintf "isa edge %s -> %s created" super sub
+      | Ast.Create_preference { weaker; stronger } ->
+        let h = hierarchy_containing cat weaker in
+        Hierarchy.add_preference h ~weaker ~stronger;
+        Printf.sprintf "preference %s over %s created" stronger weaker
+      | Ast.Create_relation { name; attrs } ->
+        let schema =
+          Schema.make (List.map (fun (a, d) -> (a, Catalog.hierarchy cat d)) attrs)
+        in
+        Catalog.define_relation cat (Relation.empty ~name schema);
+        Printf.sprintf "relation %s created" name
+      | Ast.Drop_relation name ->
+        ignore (Catalog.relation cat name);
+        Catalog.drop_relation cat name;
+        Printf.sprintf "relation %s dropped" name
+      | Ast.Insert { rel; rows } -> (
+        let txn = Txn.begin_ cat in
+        let schema = Relation.schema (Catalog.relation cat rel) in
+        List.iter
+          (fun { Ast.sign; values } ->
+            Txn.insert_item txn ~rel sign (resolve_values schema values))
+          rows;
+        match Txn.commit txn with
+        | Ok () -> Printf.sprintf "%d tuple(s) inserted into %s" (List.length rows) rel
+        | Error violations -> failwith (violation_report violations))
+      | Ast.Delete { rel; rows } -> (
+        let txn = Txn.begin_ cat in
+        let schema = Relation.schema (Catalog.relation cat rel) in
+        List.iter
+          (fun values -> Txn.delete_item txn ~rel (resolve_values schema values))
+          rows;
+        match Txn.commit txn with
+        | Ok () -> Printf.sprintf "%d tuple(s) deleted from %s" (List.length rows) rel
+        | Error violations -> failwith (violation_report violations))
+      | Ast.Select_query { expr; justified } -> (
+        match expr, justified with
+        | Ast.Select (Ast.Rel name, attr, v), true ->
+          let rel = Catalog.relation cat name in
+          let result, applicable =
+            Ops.select_justified rel ~attr ~value:(Ast.value_name v)
+          in
+          render_relation result ^ "justification (applicable tuples):\n"
+          ^ render_tuples (Relation.schema rel) applicable
+        | _, true ->
+          render_relation (eval_expr cat expr)
+          ^ "note: WITH JUSTIFICATION applies to a simple SELECT on a stored relation\n"
+        | _, false -> render_relation (eval_expr cat expr))
+      | Ast.Let_binding { name; expr } ->
+        let rel = Relation.with_name (eval_expr cat expr) name in
+        (match Catalog.find_relation cat name with
+        | Some _ -> Catalog.replace_relation cat rel
+        | None -> Catalog.define_relation cat rel);
+        Printf.sprintf "%s defined (%d tuples)" name (Relation.cardinality rel)
+      | Ast.Ask { rel; values; semantics } ->
+        let r = Catalog.relation cat rel in
+        let schema = Relation.schema r in
+        let item = resolve_values schema values in
+        buf_fmt (fun ppf ->
+            Binding.pp_verdict schema ppf (Binding.verdict ?semantics r item))
+      | Ast.Consolidate name ->
+        let rel = Catalog.relation cat name in
+        let consolidated, removed = Consolidate.consolidate_verbose rel in
+        Catalog.replace_relation cat consolidated;
+        Printf.sprintf "%s consolidated: %d redundant tuple(s) removed, %d remain" name
+          (List.length removed)
+          (Relation.cardinality consolidated)
+      | Ast.Explicate { rel; over } ->
+        let r = Catalog.relation cat rel in
+        let explicated = Explicate.explicate ?over r in
+        Catalog.replace_relation cat explicated;
+        Printf.sprintf "%s explicated: %d tuple(s)" rel (Relation.cardinality explicated)
+      | Ast.Check name ->
+        let rel = Catalog.relation cat name in
+        render_conflicts (Relation.schema rel) (Integrity.check rel)
+      | Ast.Show_hierarchy name ->
+        let h = Catalog.hierarchy cat name in
+        buf_fmt (fun ppf -> Hierarchy.pp ppf h)
+      | Ast.Show_relations ->
+        buf_fmt (fun ppf ->
+            List.iter
+              (fun r ->
+                Format.fprintf ppf "%s %a (%d tuples)@." (Relation.name r) Schema.pp
+                  (Relation.schema r) (Relation.cardinality r))
+              (List.sort
+                 (fun a b -> String.compare (Relation.name a) (Relation.name b))
+                 (Catalog.relations cat)))
+      | Ast.Show_hierarchies ->
+        buf_fmt (fun ppf ->
+            List.iter
+              (fun h ->
+                Format.fprintf ppf "%a (%d nodes)@." Hr_util.Symbol.pp
+                  (Hierarchy.domain h) (Hierarchy.node_count h))
+              (List.sort
+                 (fun a b ->
+                   Hr_util.Symbol.compare (Hierarchy.domain a) (Hierarchy.domain b))
+                 (Catalog.hierarchies cat)))
+      | Ast.Explain_plan expr ->
+        Printf.sprintf "naive:     %s\noptimized: %s"
+          (Optimizer.describe expr)
+          (Optimizer.describe (Optimizer.optimize expr))
+      | Ast.Count { expr; by } -> (
+        let rel = eval_expr cat expr in
+        match by with
+        | None -> Printf.sprintf "count: %d" (Aggregate.count rel)
+        | Some attr ->
+          let rows =
+            List.map (fun (label, n) -> [ label; string_of_int n ])
+              (Aggregate.histogram rel ~attr)
+          in
+          Hr_util.Texttable.render_rows ~headers:[ attr; "count" ] rows)
+      | Ast.Diff { prev; next } ->
+        let prev = eval_expr cat prev and next = eval_expr cat next in
+        let d = Rel_diff.diff ~prev ~next in
+        buf_fmt (fun ppf -> Rel_diff.pp (Relation.schema prev) ppf d)
+      | Ast.Explain { rel; values } ->
+        let r = Catalog.relation cat rel in
+        let schema = Relation.schema r in
+        let item = resolve_values schema values in
+        let verdict = Binding.verdict r item in
+        let applicable = Binding.justification r item in
+        buf_fmt (fun ppf ->
+            Format.fprintf ppf "verdict: %a@.applicable tuples:@.%s"
+              (Binding.pp_verdict schema) verdict
+              (render_tuples schema applicable)))
+  with
+  | Types.Model_error msg -> Error msg
+  | Hierarchy.Error msg -> Error msg
+  | Failure msg -> Error msg
+
+let run_script cat input =
+  match Parser.parse input with
+  | exception Parser.Parse_error msg -> Error ("parse error: " ^ msg)
+  | exception Lexer.Lex_error msg -> Error ("lex error: " ^ msg)
+  | stmts ->
+    let rec loop acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest -> (
+        match exec cat s with
+        | Ok out -> loop (out :: acc) rest
+        | Error msg -> Error msg)
+    in
+    loop [] stmts

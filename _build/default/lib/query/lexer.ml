@@ -1,0 +1,82 @@
+type token =
+  | Ident of string
+  | Kw of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Semicolon
+  | Colon
+  | Equals
+  | Plus
+  | Minus
+  | Star
+
+exception Lex_error of string
+
+let keywords =
+  [
+    "CREATE"; "DOMAIN"; "CLASS"; "INSTANCE"; "ISA"; "PREFERENCE"; "OVER";
+    "RELATION"; "UNDER"; "OF"; "INSERT"; "INTO"; "VALUES"; "DELETE"; "FROM";
+    "SELECT"; "WHERE"; "WITH"; "JUSTIFICATION"; "ALL"; "LET"; "JOIN"; "UNION";
+    "INTERSECT"; "EXCEPT"; "PROJECT"; "ON"; "RENAME"; "TO"; "AS"; "ASK";
+    "CONSOLIDATE"; "EXPLICATE"; "CHECK"; "SHOW"; "HIERARCHY"; "HIERARCHIES";
+    "RELATIONS"; "EXPLAIN"; "DROP"; "OFF-PATH"; "ON-PATH"; "NO-PREEMPTION";
+    "CONSOLIDATED"; "EXPLICATED"; "COUNT"; "PLAN"; "BY"; "AND"; "DIFF";
+  ]
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '&' || c = '-'
+
+let tokenize input =
+  let n = String.length input in
+  let rec skip i =
+    if i >= n then i
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> skip (i + 1)
+      | '-' when i + 1 < n && input.[i + 1] = '-' ->
+        let rec eol j = if j >= n || input.[j] = '\n' then j else eol (j + 1) in
+        skip (eol (i + 2))
+      | _ -> i
+  in
+  let rec loop i acc =
+    let i = skip i in
+    if i >= n then List.rev acc
+    else
+      match input.[i] with
+      | '(' -> loop (i + 1) (Lparen :: acc)
+      | ')' -> loop (i + 1) (Rparen :: acc)
+      | ',' -> loop (i + 1) (Comma :: acc)
+      | ';' -> loop (i + 1) (Semicolon :: acc)
+      | ':' -> loop (i + 1) (Colon :: acc)
+      | '=' -> loop (i + 1) (Equals :: acc)
+      | '+' -> loop (i + 1) (Plus :: acc)
+      | '*' -> loop (i + 1) (Star :: acc)
+      | '-' when i + 1 >= n || not (is_ident_char input.[i + 1]) ->
+        loop (i + 1) (Minus :: acc)
+      | c when is_ident_char c || c = '-' ->
+        let rec word j = if j < n && is_ident_char input.[j] then word (j + 1) else j in
+        let j = word i in
+        let s = String.sub input i (j - i) in
+        let upper = String.uppercase_ascii s in
+        let tok = if List.mem upper keywords then Kw upper else Ident s in
+        loop j (tok :: acc)
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C at offset %d" c i))
+  in
+  loop 0 []
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %S" s
+  | Kw s -> Format.fprintf ppf "keyword %s" s
+  | Lparen -> Format.pp_print_string ppf "'('"
+  | Rparen -> Format.pp_print_string ppf "')'"
+  | Comma -> Format.pp_print_string ppf "','"
+  | Semicolon -> Format.pp_print_string ppf "';'"
+  | Colon -> Format.pp_print_string ppf "':'"
+  | Equals -> Format.pp_print_string ppf "'='"
+  | Plus -> Format.pp_print_string ppf "'+'"
+  | Minus -> Format.pp_print_string ppf "'-'"
+  | Star -> Format.pp_print_string ppf "'*'"

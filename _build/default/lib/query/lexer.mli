@@ -1,0 +1,45 @@
+(** Tokenizer for HRQL.
+
+    Surface syntax summary (case-insensitive keywords, [--] line
+    comments):
+
+    {v
+    CREATE DOMAIN animal;
+    CREATE CLASS bird UNDER animal;
+    CREATE CLASS galapagos_penguin UNDER penguin;
+    CREATE INSTANCE tweety OF canary;
+    CREATE ISA amazing_flying_penguin UNDER penguin;
+    CREATE PREFERENCE royal_elephant OVER indian_elephant;
+    CREATE RELATION flies (creature: animal);
+    INSERT INTO flies VALUES (+ ALL bird), (- ALL penguin), (+ peter);
+    DELETE FROM flies VALUES (ALL bird);
+    SELECT * FROM flies WHERE creature = tweety WITH JUSTIFICATION;
+    LET grumpy = flies EXCEPT likes;
+    ASK flies (patricia);
+    ASK flies (patricia) UNDER ON-PATH;
+    CONSOLIDATE respects;
+    EXPLICATE flies;  EXPLICATE colors ON (animal);
+    CHECK respects;
+    SHOW HIERARCHY animal;  SHOW RELATIONS;  SHOW HIERARCHIES;
+    EXPLAIN flies (patricia);
+    v} *)
+
+type token =
+  | Ident of string
+  | Kw of string  (** upper-cased keyword *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Semicolon
+  | Colon
+  | Equals
+  | Plus
+  | Minus
+  | Star
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+(** Raises {!Lex_error} on an unexpected character. *)
+
+val pp_token : Format.formatter -> token -> unit

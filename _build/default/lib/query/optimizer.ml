@@ -1,0 +1,86 @@
+open Ast
+
+(* Whether a selection on [attr] can reach into this expression — i.e.
+   the expression's schema certainly carries the attribute. Conservative:
+   when we cannot tell (a bare relation name — the catalog is not
+   consulted here), we answer "maybe", and pushdown through joins only
+   fires when exactly the operand structure makes it safe. *)
+let rec mentions_attr expr attr =
+  match expr with
+  | Rel _ -> `Maybe
+  | Select (e, _, _) -> mentions_attr e attr
+  | Project (_, attrs) -> if List.mem attr attrs then `Yes else `No
+  | Rename (e, old_name, new_name) ->
+    if attr = new_name then `Yes
+    else if attr = old_name then `No
+    else mentions_attr e attr
+  | Join (a, b) -> (
+    match mentions_attr a attr, mentions_attr b attr with
+    | `Yes, _ | _, `Yes -> `Yes
+    | `No, `No -> `No
+    | _, _ -> `Maybe)
+  | Union (a, _) | Intersect (a, _) | Except (a, _) -> mentions_attr a attr
+  | Consolidated e | Explicated (e, _) -> mentions_attr e attr
+
+(* Drop stored-form re-representations in operand position. *)
+let rec strip_representation = function
+  | Consolidated e | Explicated (e, _) -> strip_representation e
+  | e -> e
+
+let rec rewrite inner expr =
+  match expr with
+  | Rel _ as e -> e
+  | Select (e, attr, v) -> (
+    let e = rewrite true e in
+    match e with
+    | Union (a, b) -> Union (rewrite true (Select (a, attr, v)), rewrite true (Select (b, attr, v)))
+    | Intersect (a, b) ->
+      Intersect (rewrite true (Select (a, attr, v)), rewrite true (Select (b, attr, v)))
+    | Except (a, b) ->
+      Except (rewrite true (Select (a, attr, v)), rewrite true (Select (b, attr, v)))
+    | Join (a, b) -> (
+      (* push onto each side that certainly carries the attribute; if
+         neither certainly does, leave the selection above the join *)
+      match mentions_attr a attr, mentions_attr b attr with
+      | `Yes, `Yes ->
+        Join (rewrite true (Select (a, attr, v)), rewrite true (Select (b, attr, v)))
+      | `Yes, (`No | `Maybe) -> Join (rewrite true (Select (a, attr, v)), b)
+      | (`No | `Maybe), `Yes -> Join (a, rewrite true (Select (b, attr, v)))
+      | _, _ -> Select (Join (a, b), attr, v))
+    | Select (e', attr', v') when attr = attr' && Ast.value_name v = Ast.value_name v' ->
+      Select (e', attr, v)
+    | e -> Select (e, attr, v))
+  | Project (e, attrs) -> (
+    let e = rewrite true e in
+    match e with
+    | Project (e', attrs') when List.for_all (fun a -> List.mem a attrs') attrs ->
+      Project (e', attrs)
+    | e -> Project (e, attrs))
+  | Join (a, b) -> Join (rewrite true a, rewrite true b)
+  | Union (a, b) -> Union (rewrite true a, rewrite true b)
+  | Intersect (a, b) -> Intersect (rewrite true a, rewrite true b)
+  | Except (a, b) -> Except (rewrite true a, rewrite true b)
+  | Rename (e, o, n) -> Rename (rewrite true e, o, n)
+  | Consolidated e ->
+    let e = rewrite true (strip_representation e) in
+    if inner then e else Consolidated e
+  | Explicated (e, over) ->
+    let e = rewrite true (strip_representation e) in
+    if inner then e else Explicated (e, over)
+
+let optimize expr = rewrite false expr
+
+let rec describe = function
+  | Rel name -> name
+  | Select (e, attr, v) ->
+    Printf.sprintf "select[%s=%s](%s)" attr (Ast.value_name v) (describe e)
+  | Project (e, attrs) -> Printf.sprintf "project[%s](%s)" (String.concat "," attrs) (describe e)
+  | Join (a, b) -> Printf.sprintf "join(%s, %s)" (describe a) (describe b)
+  | Union (a, b) -> Printf.sprintf "union(%s, %s)" (describe a) (describe b)
+  | Intersect (a, b) -> Printf.sprintf "intersect(%s, %s)" (describe a) (describe b)
+  | Except (a, b) -> Printf.sprintf "except(%s, %s)" (describe a) (describe b)
+  | Rename (e, o, n) -> Printf.sprintf "rename[%s->%s](%s)" o n (describe e)
+  | Consolidated e -> Printf.sprintf "consolidated(%s)" (describe e)
+  | Explicated (e, None) -> Printf.sprintf "explicated(%s)" (describe e)
+  | Explicated (e, Some attrs) ->
+    Printf.sprintf "explicated[%s](%s)" (String.concat "," attrs) (describe e)

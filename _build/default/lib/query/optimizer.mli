@@ -1,0 +1,26 @@
+(** Algebraic optimization of HRQL query expressions.
+
+    All rewrites preserve the {e equivalent flat relation} of the result —
+    the semantics the paper assigns to every operator (§3.4) — though the
+    stored (intensional) form may differ, which is harmless because every
+    extension has a canonical consolidated form anyway. Rules:
+
+    - {b selection pushdown}: [σ(a ∪ b) → σ(a) ∪ σ(b)] and likewise
+      through intersection and difference; through a join, onto every
+      operand that carries the attribute;
+    - {b selection fusion}: a selection repeated with the same attribute
+      and value collapses to one;
+    - {b projection fusion}: [π_xs(π_ys(e)) → π_xs(e)] when [xs ⊆ ys];
+    - {b re-representation elision}: [CONSOLIDATED e] and [EXPLICATED e]
+      in {e operand} position change only the stored form, so they are
+      dropped there (they are kept at the top level, where the user asked
+      for that specific form).
+
+    The evaluator applies {!optimize} before evaluation; tests in
+    [test/test_optimizer.ml] verify extension-equivalence of every rule. *)
+
+val optimize : Ast.query_expr -> Ast.query_expr
+
+val describe : Ast.query_expr -> string
+(** A compact prefix rendering of the expression tree, for explain-style
+    output and for tests. *)

@@ -1,0 +1,47 @@
+(** Recursive-descent parser for HRQL.
+
+    Grammar sketch (keywords capitalised, [;] terminates statements):
+
+    {v
+    stmt   ::= CREATE DOMAIN id
+             | CREATE CLASS id [UNDER id {, id}]
+             | CREATE INSTANCE id [OF id {, id}]
+             | CREATE ISA id UNDER id
+             | CREATE PREFERENCE id OVER id
+             | CREATE RELATION id ( id : id {, id : id} )
+             | DROP RELATION id
+             | INSERT INTO id VALUES row {, row}
+             | DELETE FROM id VALUES ( value {, value} ) {, ...}
+             | SELECT * FROM expr [WHERE id = value] [WITH JUSTIFICATION]
+             | LET id = expr
+             | ASK id ( value {, value} ) [UNDER semantics]
+             | CONSOLIDATE id
+             | EXPLICATE id [ON ( id {, id} )]
+             | CHECK id
+             | SHOW HIERARCHY id | SHOW RELATIONS | SHOW HIERARCHIES
+             | EXPLAIN id ( value {, value} )
+    row    ::= ( sign value {, value} )
+    sign   ::= + | -
+    value  ::= ALL id | id
+    expr   ::= term { (UNION|INTERSECT|EXCEPT|JOIN) term }
+    term   ::= id
+             | ( expr )
+             | SELECT expr WHERE id = value
+             | PROJECT expr ON ( id {, id} )
+             | RENAME expr id TO id
+             | CONSOLIDATED expr
+             | EXPLICATED expr [ON ( id {, id} )]
+    semantics ::= OFF-PATH | ON-PATH | NO-PREEMPTION
+    v}
+
+    Set operators associate left and have equal precedence; parenthesize
+    to disambiguate. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.statement list
+(** Tokenizes and parses a whole script. Raises {!Parse_error} or
+    {!Lexer.Lex_error}. *)
+
+val parse_statement : string -> Ast.statement
+(** Parses exactly one statement (the trailing [;] is optional). *)

@@ -1,0 +1,110 @@
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+(* Topological order of hierarchy nodes (parents before children) so the
+   emitted CREATE statements can be replayed in order. *)
+let topological_nodes h =
+  let nodes = Hierarchy.nodes h in
+  let indegree = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace indegree v (List.length (Hierarchy.parents h v))) nodes;
+  let queue = Queue.create () in
+  List.iter (fun v -> if Hashtbl.find indegree v = 0 then Queue.add v queue) nodes;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    List.iter
+      (fun c ->
+        let d = Hashtbl.find indegree c - 1 in
+        Hashtbl.replace indegree c d;
+        if d = 0 then Queue.add c queue)
+      (Hierarchy.children h v)
+  done;
+  List.rev !order
+
+let dump_hierarchy buf h =
+  let label = Hierarchy.node_label h in
+  Buffer.add_string buf (Printf.sprintf "CREATE DOMAIN %s;\n" (label (Hierarchy.root h)));
+  List.iter
+    (fun v ->
+      if v <> Hierarchy.root h then begin
+        let parents = String.concat ", " (List.map label (Hierarchy.parents h v)) in
+        if Hierarchy.is_instance h v then
+          Buffer.add_string buf (Printf.sprintf "CREATE INSTANCE %s OF %s;\n" (label v) parents)
+        else
+          Buffer.add_string buf (Printf.sprintf "CREATE CLASS %s UNDER %s;\n" (label v) parents)
+      end)
+    (topological_nodes h);
+  List.iter
+    (fun (weaker, stronger) ->
+      Buffer.add_string buf
+        (Printf.sprintf "CREATE PREFERENCE %s OVER %s;\n" (label stronger) (label weaker)))
+    (Hierarchy.preference_edges h)
+
+let dump_relation buf rel =
+  let schema = Relation.schema rel in
+  let attrs =
+    String.concat ", "
+      (List.mapi
+         (fun i name ->
+           Printf.sprintf "%s: %s" name
+             (Hr_util.Symbol.name (Hierarchy.domain (Schema.hierarchy schema i))))
+         (Schema.names schema))
+  in
+  Buffer.add_string buf (Printf.sprintf "CREATE RELATION %s (%s);\n" (Relation.name rel) attrs);
+  let row (t : Relation.tuple) =
+    let cells =
+      List.init (Schema.arity schema) (fun i ->
+          let h = Schema.hierarchy schema i in
+          let v = Item.coord t.Relation.item i in
+          if Hierarchy.is_class h v then "ALL " ^ Hierarchy.node_label h v
+          else Hierarchy.node_label h v)
+    in
+    Printf.sprintf "(%s %s)"
+      (match t.Relation.sign with Types.Pos -> "+" | Types.Neg -> "-")
+      (String.concat ", " cells)
+  in
+  match Relation.tuples rel with
+  | [] -> ()
+  | tuples ->
+    (* node ids are reassigned on load, so canonicalize by the rendered
+       text, not by the in-memory item order *)
+    let rows = List.sort String.compare (List.map row tuples) in
+    Buffer.add_string buf
+      (Printf.sprintf "INSERT INTO %s VALUES %s;\n" (Relation.name rel)
+         (String.concat ",\n  " rows))
+
+let dump_catalog cat =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "-- hrdb catalog dump (HRQL script)\n";
+  let hierarchies =
+    List.sort
+      (fun a b -> Hr_util.Symbol.compare (Hierarchy.domain a) (Hierarchy.domain b))
+      (Catalog.hierarchies cat)
+  in
+  List.iter (fun h -> dump_hierarchy buf h) hierarchies;
+  let relations =
+    List.sort
+      (fun a b -> String.compare (Relation.name a) (Relation.name b))
+      (Catalog.relations cat)
+  in
+  List.iter (fun r -> dump_relation buf r) relations;
+  Buffer.contents buf
+
+let save cat path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (dump_catalog cat))
+
+let load_string cat script =
+  match Eval.run_script cat script with Ok _ -> Ok () | Error e -> Error e
+
+let load_file cat path =
+  let ic = open_in path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  load_string cat contents

@@ -1,0 +1,23 @@
+(** Catalog persistence, using HRQL itself as the on-disk format.
+
+    A dump is an ordinary HRQL script — hierarchies first (nodes in
+    topological order so parents always precede children), then relation
+    schemas, then their tuples — so a catalog saved with {!save} can be
+    reloaded with {!load_file}, inspected in any editor, replayed
+    statement by statement in the REPL, or version-controlled as plain
+    text. Round-tripping preserves hierarchies (names, [isa] and
+    preference edges), schemas and stored tuples exactly; it does not
+    preserve node ids (they are reassigned on load). *)
+
+val dump_catalog : Hierel.Catalog.t -> string
+(** The catalog as an HRQL script. Deterministic: hierarchies and
+    relations are emitted in name order. *)
+
+val save : Hierel.Catalog.t -> string -> unit
+(** [save cat path] writes {!dump_catalog} to [path]. *)
+
+val load_file : Hierel.Catalog.t -> string -> (unit, string) result
+(** Replays a script file into the catalog. Fails like
+    {!Eval.run_script} on the first bad statement. *)
+
+val load_string : Hierel.Catalog.t -> string -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/server/server.ml: Buffer Bytes Catalog Fun Hierel Hr_query Hr_storage Printf String Unix

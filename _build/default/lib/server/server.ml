@@ -1,0 +1,142 @@
+open Hierel
+
+type backend = Memory of Catalog.t | Durable of Hr_storage.Db.t
+
+type t = { socket : Unix.file_descr; backend : backend; bound_port : int }
+
+let listen_on host port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd 8;
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  (fd, bound_port)
+
+let create_memory ?(host = "127.0.0.1") ~port () =
+  let socket, bound_port = listen_on host port in
+  { socket; backend = Memory (Catalog.create ()); bound_port }
+
+let create_durable ?(host = "127.0.0.1") ~port ~dir () =
+  let socket, bound_port = listen_on host port in
+  { socket; backend = Durable (Hr_storage.Db.open_dir dir); bound_port }
+
+let port t = t.bound_port
+
+let run_script t script =
+  match t.backend with
+  | Memory cat -> Hr_query.Eval.run_script cat script
+  | Durable db -> Hr_storage.Db.exec db script
+
+(* ---- framing --------------------------------------------------------- *)
+
+exception Disconnected
+
+let read_line_fd fd =
+  let buf = Buffer.create 64 in
+  let byte = Bytes.make 1 ' ' in
+  let rec loop () =
+    match Unix.read fd byte 0 1 with
+    | 0 -> if Buffer.length buf = 0 then raise Disconnected else Buffer.contents buf
+    | _ ->
+      let c = Bytes.get byte 0 in
+      if c = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf c;
+        loop ()
+      end
+  in
+  loop ()
+
+let read_exact fd n =
+  let data = Bytes.make n '\000' in
+  let rec fill off =
+    if off < n then begin
+      let r = Unix.read fd data (off) (n - off) in
+      if r = 0 then raise Disconnected;
+      fill (off + r)
+    end
+  in
+  fill 0;
+  Bytes.to_string data
+
+let write_all fd s =
+  let len = String.length s in
+  let rec push off =
+    if off < len then push (off + Unix.write_substring fd s off (len - off))
+  in
+  push 0
+
+let send_frame fd tag payload =
+  write_all fd (Printf.sprintf "%s %d\n%s" tag (String.length payload) payload)
+
+let recv_frame fd =
+  let header = read_line_fd fd in
+  match String.index_opt header ' ' with
+  | None -> Error (Printf.sprintf "malformed frame header %S" header)
+  | Some i -> (
+    let tag = String.sub header 0 i in
+    match int_of_string_opt (String.sub header (i + 1) (String.length header - i - 1)) with
+    | None -> Error (Printf.sprintf "malformed frame length in %S" header)
+    | Some len when len < 0 || len > 16 * 1024 * 1024 ->
+      Error (Printf.sprintf "unreasonable frame length %d" len)
+    | Some len -> Ok (tag, read_exact fd len))
+
+(* ---- serving ---------------------------------------------------------- *)
+
+let handle_request t conn payload =
+  match run_script t payload with
+  | Ok outputs -> send_frame conn "OK" (String.concat "\n" outputs)
+  | Error msg -> send_frame conn "ERR" msg
+
+let serve_one_connection t =
+  let conn, _ = Unix.accept t.socket in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec loop () =
+        match recv_frame conn with
+        | Ok ("EXEC", payload) ->
+          handle_request t conn payload;
+          loop ()
+        | Ok (tag, _) ->
+          send_frame conn "ERR" (Printf.sprintf "unknown request %S" tag);
+          loop ()
+        | Error msg ->
+          send_frame conn "ERR" msg;
+          loop ()
+        | exception Disconnected -> ()
+      in
+      loop ())
+
+let serve_forever t =
+  while true do
+    serve_one_connection t
+  done
+
+let close t =
+  (try Unix.close t.socket with Unix.Unix_error _ -> ());
+  match t.backend with Durable db -> Hr_storage.Db.close db | Memory _ -> ()
+
+module Client = struct
+  type conn = Unix.file_descr
+
+  let connect ?(host = "127.0.0.1") ~port () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    fd
+
+  let exec conn script =
+    send_frame conn "EXEC" script;
+    match recv_frame conn with
+    | Ok ("OK", payload) -> Ok payload
+    | Ok ("ERR", payload) -> Error payload
+    | Ok (tag, _) -> Error (Printf.sprintf "unexpected reply %S" tag)
+    | Error msg -> Error msg
+    | exception Disconnected -> Error "server disconnected"
+
+  let close conn = try Unix.close conn with Unix.Unix_error _ -> ()
+end

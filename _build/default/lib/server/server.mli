@@ -1,0 +1,49 @@
+(** A TCP server speaking HRQL.
+
+    The wire protocol is deliberately dumb and robust — length-framed
+    text, one round trip per script:
+
+    {v
+    client:  EXEC <payload-bytes>\n<payload>
+    server:  OK <payload-bytes>\n<payload>      (outputs joined by \n)
+          |  ERR <payload-bytes>\n<payload>     (error message)
+    v}
+
+    The server is sequential: it serves one connection at a time and one
+    request at a time (the model's transactions are single-writer anyway;
+    see {!Hr_storage.Db}'s lock). A connection is served until the client
+    closes it. Backends: a plain in-memory catalog or a durable
+    {!Hr_storage.Db} directory. *)
+
+type t
+
+val create_memory : ?host:string -> port:int -> unit -> t
+(** Binds and listens; [port = 0] picks an ephemeral port (see {!port}).
+    [host] defaults to 127.0.0.1. Statements run against a fresh
+    in-memory catalog. *)
+
+val create_durable : ?host:string -> port:int -> dir:string -> unit -> t
+(** Same, over a {!Hr_storage.Db} directory (WAL + snapshots). *)
+
+val port : t -> int
+
+val serve_one_connection : t -> unit
+(** Accepts a single connection and serves requests until the client
+    disconnects. Blocking. *)
+
+val serve_forever : t -> unit
+(** {!serve_one_connection} in a loop. Blocking; intended for a dedicated
+    process ([bin/hrdb_server.exe]). *)
+
+val close : t -> unit
+
+module Client : sig
+  type conn
+
+  val connect : ?host:string -> port:int -> unit -> conn
+  val exec : conn -> string -> (string, string) result
+  (** Sends one HRQL script; returns the server's combined output or the
+      error message. *)
+
+  val close : conn -> unit
+end

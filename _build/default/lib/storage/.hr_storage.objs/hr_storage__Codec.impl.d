@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Array Buffer Char Format Int32 Int64 Lazy List String

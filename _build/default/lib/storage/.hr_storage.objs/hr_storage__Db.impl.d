@@ -1,0 +1,1 @@
+lib/storage/db.ml: Catalog Filename Hierel Hr_query List Printf Snapshot String Sys Unix Wal

@@ -1,0 +1,1 @@
+lib/storage/snapshot.ml: Catalog Codec Format Fun Hierel Hr_hierarchy Hr_util Int32 Item List Relation Schema String Types

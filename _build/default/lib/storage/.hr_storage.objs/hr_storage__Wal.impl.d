@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Codec Fun Int32 List Sys

@@ -1,0 +1,98 @@
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+  let u32 buf v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.Writer.u32: out of range";
+    u8 buf v;
+    u8 buf (v lsr 8);
+    u8 buf (v lsr 16);
+    u8 buf (v lsr 24)
+
+  let u64 buf v =
+    for i = 0 to 7 do
+      u8 buf (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+    done
+
+  let string buf s =
+    u32 buf (String.length s);
+    Buffer.add_string buf s
+
+  let list buf f xs =
+    u32 buf (List.length xs);
+    List.iter (f buf) xs
+
+  let contents = Buffer.contents
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  exception Corrupt of string
+
+  let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+  let of_string data = { data; pos = 0 }
+
+  let need r n =
+    if r.pos + n > String.length r.data then
+      corrupt "truncated input: need %d bytes at offset %d (size %d)" n r.pos
+        (String.length r.data)
+
+  let u8 r =
+    need r 1;
+    let v = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let u32 r =
+    let a = u8 r in
+    let b = u8 r in
+    let c = u8 r in
+    let d = u8 r in
+    a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+  let u64 r =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 r)) (8 * i))
+    done;
+    !v
+
+  let string r =
+    let n = u32 r in
+    need r n;
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let list r f =
+    let n = u32 r in
+    List.init n (fun _ -> f r)
+
+  let at_end r = r.pos >= String.length r.data
+  let remaining r = String.length r.data - r.pos
+end
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xffl) in
+      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+    s;
+  Int32.logxor !crc 0xFFFFFFFFl

@@ -1,0 +1,42 @@
+(** Binary encoding primitives for the storage layer.
+
+    Hand-rolled rather than [Marshal] so the on-disk format is stable
+    across compiler versions, versioned, and checkable: little-endian
+    fixed-width integers, length-prefixed strings, counted lists, and a
+    CRC-32 for record integrity. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  val u32 : t -> int -> unit
+  (** 32-bit unsigned, range-checked. *)
+
+  val u64 : t -> int64 -> unit
+  val string : t -> string -> unit
+  (** Length-prefixed (u32). *)
+
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  (** Count-prefixed (u32). *)
+
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  exception Corrupt of string
+
+  val of_string : string -> t
+  val u8 : t -> int
+  val u32 : t -> int
+  val u64 : t -> int64
+  val string : t -> string
+  val list : t -> (t -> 'a) -> 'a list
+  val at_end : t -> bool
+  val remaining : t -> int
+end
+
+val crc32 : string -> int32
+(** Standard CRC-32 (IEEE 802.3 polynomial). *)

@@ -1,0 +1,102 @@
+module Eval = Hr_query.Eval
+module Parser = Hr_query.Parser
+module Ast = Hr_query.Ast
+open Hierel
+
+type t = {
+  dir : string;
+  mutable catalog : Catalog.t;
+  mutable wal : Wal.t;
+  mutable pending : int;
+  lock_fd : Unix.file_descr;
+}
+
+let snapshot_path dir = Filename.concat dir "snapshot.bin"
+let wal_path dir = Filename.concat dir "wal.log"
+let lock_path dir = Filename.concat dir "LOCK"
+
+(* One writer per directory: an OS-level advisory lock on a LOCK file.
+   The lock dies with the process, so a crash never wedges the db. *)
+let acquire_lock dir =
+  let fd = Unix.openfile (lock_path dir) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  (try Unix.lockf fd Unix.F_TLOCK 0
+   with Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+     Unix.close fd;
+     failwith (Printf.sprintf "database %s is locked by another process" dir));
+  fd
+
+let open_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let lock_fd = acquire_lock dir in
+  let catalog =
+    if Sys.file_exists (snapshot_path dir) then Snapshot.read_file (snapshot_path dir)
+    else Catalog.create ()
+  in
+  let records = Wal.replay (wal_path dir) in
+  List.iter
+    (fun stmt ->
+      match Eval.run_script catalog stmt with
+      | Ok _ -> ()
+      | Error msg ->
+        (* A logged statement failing on replay means the snapshot and
+           log disagree; refuse to continue on half-recovered state. *)
+        failwith (Printf.sprintf "WAL replay failed on %S: %s" stmt msg))
+    records;
+  { dir; catalog; wal = Wal.open_ (wal_path dir); pending = List.length records; lock_fd }
+
+let catalog t = t.catalog
+
+let mutating = function
+  | Ast.Create_domain _ | Ast.Create_class _ | Ast.Create_instance _ | Ast.Create_isa _
+  | Ast.Create_preference _ | Ast.Create_relation _ | Ast.Drop_relation _ | Ast.Insert _
+  | Ast.Delete _ | Ast.Let_binding _ | Ast.Consolidate _ | Ast.Explicate _ ->
+    true
+  | Ast.Select_query _ | Ast.Ask _ | Ast.Check _ | Ast.Show_hierarchy _ | Ast.Show_relations
+  | Ast.Show_hierarchies | Ast.Explain _ | Ast.Explain_plan _ | Ast.Count _ | Ast.Diff _ ->
+    false
+
+(* The WAL stores each mutating statement's source text, so the script is
+   split into statements here (HRQL has no string literals, making ';' an
+   unambiguous separator) and each piece parsed and executed separately. *)
+let split_statements script =
+  String.split_on_char ';' script
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "" && not (String.for_all (fun c -> c = '\n' || c = ' ') s))
+
+let exec t script =
+  let rec run acc = function
+    | [] -> Ok (List.rev acc)
+    | source :: rest when Hr_query.Lexer.tokenize source = [] ->
+      (* comment-only segment *)
+      run acc rest
+    | source :: rest -> (
+      match Parser.parse_statement source with
+      | exception Parser.Parse_error msg -> Error ("parse error: " ^ msg)
+      | exception Hr_query.Lexer.Lex_error msg -> Error ("lex error: " ^ msg)
+      | stmt -> (
+        match Eval.exec t.catalog stmt with
+        | Ok out ->
+          (* log only acknowledged statements: a rejected update (e.g. an
+             integrity violation) must not poison replay *)
+          if mutating stmt then begin
+            Wal.append t.wal (source ^ ";");
+            t.pending <- t.pending + 1
+          end;
+          run (out :: acc) rest
+        | Error msg -> Error msg))
+  in
+  run [] (split_statements script)
+
+let checkpoint t =
+  Snapshot.write_file t.catalog (snapshot_path t.dir);
+  Wal.close t.wal;
+  Wal.truncate (wal_path t.dir);
+  t.wal <- Wal.open_ (wal_path t.dir);
+  t.pending <- 0
+
+let close t =
+  Wal.close t.wal;
+  (try Unix.lockf t.lock_fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+  Unix.close t.lock_fd
+
+let wal_records t = t.pending

@@ -1,0 +1,36 @@
+(** A durable database: binary snapshot + write-ahead log + HRQL.
+
+    A database lives in a directory holding [snapshot.bin] (the last
+    checkpoint, {!Snapshot} format) and [wal.log] (statements applied
+    since, {!Wal} format). {!open_dir} loads the snapshot and replays the
+    log; {!exec} runs HRQL statements, appending each successful mutating
+    statement to the log before acknowledging it (so acknowledged implies
+    replayable — rejected updates are never logged and cannot poison
+    recovery); {!checkpoint} rewrites the snapshot and truncates the log.
+    Reopening after a crash (including one that tore the last log record)
+    recovers every acknowledged statement. *)
+
+type t
+
+val open_dir : string -> t
+(** Creates the directory if needed; recovers existing state. Takes an
+    advisory lock on [DIR/LOCK] — a second concurrent open of the same
+    directory fails with [Failure] rather than corrupting the log. The
+    lock is released by {!close} or process exit. *)
+
+val catalog : t -> Hierel.Catalog.t
+
+val exec : t -> string -> (string list, string) result
+(** Runs an HRQL script (one or more statements). Every successful
+    statement that changes durable state (CREATE / DROP / INSERT /
+    DELETE / LET / CONSOLIDATE / EXPLICATE) is logged; reads and rejected
+    updates are not. On error, statements before the failing one remain
+    applied and logged (statement-level, not script-level, atomicity). *)
+
+val checkpoint : t -> unit
+(** Writes [snapshot.bin] and truncates [wal.log]. *)
+
+val close : t -> unit
+
+val wal_records : t -> int
+(** Statements currently in the log (for tests and monitoring). *)

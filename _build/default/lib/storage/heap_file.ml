@@ -1,0 +1,64 @@
+(* Page layout: [u16 row_count][u16 used_bytes] then rows, each
+   [u16 length][bytes]. Header is 4 bytes. *)
+
+let header_bytes = 4
+let max_row = Pager.page_size - header_bytes - 2
+
+type t = { pager : Pager.t }
+
+let get_u16 page off = Char.code (Bytes.get page off) lor (Char.code (Bytes.get page (off + 1)) lsl 8)
+
+let set_u16 page off v =
+  Bytes.set page off (Char.chr (v land 0xff));
+  Bytes.set page (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let create ?pool_pages path = { pager = Pager.create ?pool_pages path }
+let close t = Pager.close t.pager
+let pager t = t.pager
+let page_count t = Pager.page_count t.pager
+
+let append t row =
+  let len = String.length row in
+  if len > max_row then invalid_arg "Heap_file.append: row exceeds page capacity";
+  let target =
+    let pages = Pager.page_count t.pager in
+    if pages = 0 then Pager.allocate t.pager
+    else begin
+      let last = pages - 1 in
+      let page = Pager.read_page t.pager last in
+      let used = get_u16 page 2 in
+      if header_bytes + used + 2 + len <= Pager.page_size then last
+      else Pager.allocate t.pager
+    end
+  in
+  let page = Bytes.copy (Pager.read_page t.pager target) in
+  let count = get_u16 page 0 in
+  let used = get_u16 page 2 in
+  let off = header_bytes + used in
+  set_u16 page off len;
+  Bytes.blit_string row 0 page (off + 2) len;
+  set_u16 page 0 (count + 1);
+  set_u16 page 2 (used + 2 + len);
+  Pager.write_page t.pager target page
+
+let scan t f =
+  for page_no = 0 to Pager.page_count t.pager - 1 do
+    let page = Pager.read_page t.pager page_no in
+    let count = get_u16 page 0 in
+    let off = ref header_bytes in
+    for _ = 1 to count do
+      let len = get_u16 page !off in
+      f (Bytes.sub_string page (!off + 2) len);
+      off := !off + 2 + len
+    done
+  done
+
+let rows t =
+  let acc = ref [] in
+  scan t (fun row -> acc := row :: !acc);
+  List.rev !acc
+
+let row_count t =
+  let n = ref 0 in
+  scan t (fun _ -> incr n);
+  !n

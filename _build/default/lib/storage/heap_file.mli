@@ -1,0 +1,30 @@
+(** A slotted-page row store over {!Pager}.
+
+    Rows are arbitrary strings (callers serialize with {!Codec}). Each
+    page holds a little header (row count) followed by length-prefixed
+    rows packed from the front; rows larger than a page are rejected.
+    Appends fill the last page and allocate a new one when full; scans
+    stream every row in file order. This is the storage a "traditional"
+    1989 system would use for the enumerated extension — the benchmark
+    pairs it with {!Pager}'s I/O counters to show the hierarchical model
+    touching fewer pages. *)
+
+type t
+
+val create : ?pool_pages:int -> string -> t
+(** Opens (creating if needed) the heap file. *)
+
+val close : t -> unit
+
+val append : t -> string -> unit
+(** Raises [Invalid_argument] if the row cannot fit in one page. *)
+
+val scan : t -> (string -> unit) -> unit
+(** Visits every row in append order. *)
+
+val rows : t -> string list
+val row_count : t -> int
+val page_count : t -> int
+
+val pager : t -> Pager.t
+(** For I/O statistics. *)

@@ -1,0 +1,121 @@
+let page_size = 4096
+
+type slot = { mutable page_no : int; mutable data : bytes; mutable dirty : bool }
+
+type t = {
+  fd : Unix.file_descr;
+  mutable pages : int;
+  pool_pages : int;
+  pool : (int, slot) Hashtbl.t; (* page_no -> slot *)
+  mutable lru : int list; (* most recent first *)
+  mutable disk_reads : int;
+  mutable disk_writes : int;
+  mutable pool_hits : int;
+}
+
+let create ?(pool_pages = 64) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  if size mod page_size <> 0 then begin
+    Unix.close fd;
+    invalid_arg (Printf.sprintf "Pager.create: %s has a partial page" path)
+  end;
+  {
+    fd;
+    pages = size / page_size;
+    pool_pages = max 1 pool_pages;
+    pool = Hashtbl.create 64;
+    lru = [];
+    disk_reads = 0;
+    disk_writes = 0;
+    pool_hits = 0;
+  }
+
+let page_count t = t.pages
+
+let check_page t page_no =
+  if page_no < 0 || page_no >= t.pages then
+    invalid_arg (Printf.sprintf "Pager: page %d out of range (%d pages)" page_no t.pages)
+
+let seek t page_no = ignore (Unix.lseek t.fd (page_no * page_size) Unix.SEEK_SET)
+
+let disk_write t page_no data =
+  seek t page_no;
+  let written = Unix.write t.fd data 0 page_size in
+  assert (written = page_size);
+  t.disk_writes <- t.disk_writes + 1
+
+let disk_read t page_no =
+  seek t page_no;
+  let data = Bytes.make page_size '\000' in
+  let rec fill off =
+    if off < page_size then begin
+      let n = Unix.read t.fd data off (page_size - off) in
+      if n = 0 then () (* sparse tail: keep zeroes *) else fill (off + n)
+    end
+  in
+  fill 0;
+  t.disk_reads <- t.disk_reads + 1;
+  data
+
+let touch t page_no = t.lru <- page_no :: List.filter (fun p -> p <> page_no) t.lru
+
+let evict_if_needed t =
+  if Hashtbl.length t.pool > t.pool_pages then begin
+    match List.rev t.lru with
+    | [] -> ()
+    | victim :: _ ->
+      (match Hashtbl.find_opt t.pool victim with
+      | Some slot ->
+        if slot.dirty then disk_write t victim slot.data;
+        Hashtbl.remove t.pool victim
+      | None -> ());
+      t.lru <- List.filter (fun p -> p <> victim) t.lru
+  end
+
+let slot_of t page_no =
+  check_page t page_no;
+  match Hashtbl.find_opt t.pool page_no with
+  | Some slot ->
+    t.pool_hits <- t.pool_hits + 1;
+    touch t page_no;
+    slot
+  | None ->
+    let data = disk_read t page_no in
+    let slot = { page_no; data; dirty = false } in
+    Hashtbl.replace t.pool page_no slot;
+    touch t page_no;
+    evict_if_needed t;
+    slot
+
+let allocate t =
+  let page_no = t.pages in
+  t.pages <- t.pages + 1;
+  (* materialize the page on disk so file size tracks page_count *)
+  disk_write t page_no (Bytes.make page_size '\000');
+  page_no
+
+let read_page t page_no = (slot_of t page_no).data
+
+let write_page t page_no data =
+  if Bytes.length data <> page_size then invalid_arg "Pager.write_page: wrong size";
+  let slot = slot_of t page_no in
+  slot.data <- data;
+  slot.dirty <- true
+
+let flush t =
+  Hashtbl.iter
+    (fun page_no slot ->
+      if slot.dirty then begin
+        disk_write t page_no slot.data;
+        slot.dirty <- false
+      end)
+    t.pool
+
+let close t =
+  flush t;
+  Unix.close t.fd
+
+let reads_from_disk t = t.disk_reads
+let writes_to_disk t = t.disk_writes
+let hits t = t.pool_hits

@@ -1,0 +1,41 @@
+(** A page-oriented file with an LRU buffer pool.
+
+    Fixed-size pages addressed by number, backed by one file, cached in a
+    bounded pool with write-back on eviction. This is the conventional
+    bottom layer of a disk-resident database; {!Heap_file} builds a row
+    store on top, and the benchmark harness uses both to quantify how the
+    hierarchical model's small stored form translates into page I/O.
+
+    Single-process, no concurrency control; all sizes in bytes. *)
+
+val page_size : int
+(** 4096. *)
+
+type t
+
+val create : ?pool_pages:int -> string -> t
+(** Opens (creating if needed) the file. [pool_pages] bounds the buffer
+    pool (default 64). *)
+
+val close : t -> unit
+(** Flushes every dirty page and closes the file. *)
+
+val page_count : t -> int
+
+val allocate : t -> int
+(** Appends a zeroed page; returns its number. *)
+
+val read_page : t -> int -> bytes
+(** The page's current contents — the pool's copy; mutate only through
+    {!write_page}. Raises [Invalid_argument] on an out-of-range page. *)
+
+val write_page : t -> int -> bytes -> unit
+(** Replaces the page (must be exactly {!page_size} bytes); marked dirty
+    and written back on eviction, {!flush} or {!close}. *)
+
+val flush : t -> unit
+
+(* statistics for benchmarks and tests *)
+val reads_from_disk : t -> int
+val writes_to_disk : t -> int
+val hits : t -> int

@@ -1,0 +1,162 @@
+module Hierarchy = Hr_hierarchy.Hierarchy
+module W = Codec.Writer
+module R = Codec.Reader
+open Hierel
+
+exception Corrupt_snapshot of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt_snapshot s)) fmt
+
+let magic = "HRELSNAP"
+let version = 1
+
+(* ---- encoding -------------------------------------------------------- *)
+
+let encode_hierarchy w h =
+  let label = Hierarchy.node_label h in
+  W.string w (label (Hierarchy.root h));
+  (* nodes in topological order so parents precede children on decode *)
+  let order =
+    let rec visit seen acc v =
+      if List.mem v seen then (seen, acc)
+      else
+        let seen, acc =
+          List.fold_left (fun (s, a) p -> visit s a p) (v :: seen, acc) (Hierarchy.parents h v)
+        in
+        (seen, v :: acc)
+    in
+    let seen, acc =
+      List.fold_left (fun (s, a) v -> visit s a v) ([], []) (Hierarchy.nodes h)
+    in
+    ignore seen;
+    List.rev acc
+  in
+  let non_root = List.filter (fun v -> v <> Hierarchy.root h) order in
+  W.list w
+    (fun w v ->
+      W.string w (label v);
+      W.u8 w (if Hierarchy.is_instance h v then 1 else 0);
+      W.list w (fun w p -> W.string w (label p)) (Hierarchy.parents h v))
+    non_root;
+  W.list w
+    (fun w (weaker, stronger) ->
+      W.string w (label weaker);
+      W.string w (label stronger))
+    (Hierarchy.preference_edges h)
+
+let encode_relation w rel =
+  let schema = Relation.schema rel in
+  W.string w (Relation.name rel);
+  W.list w
+    (fun w (name, i) ->
+      W.string w name;
+      W.string w (Hr_util.Symbol.name (Hierarchy.domain (Schema.hierarchy schema i))))
+    (List.mapi (fun i name -> (name, i)) (Schema.names schema));
+  W.list w
+    (fun w (t : Relation.tuple) ->
+      W.u8 w (match t.Relation.sign with Types.Pos -> 1 | Types.Neg -> 0);
+      W.list w
+        (fun w (i : int) ->
+          W.string w (Hierarchy.node_label (Schema.hierarchy schema i) (Item.coord t.Relation.item i)))
+        (List.init (Schema.arity schema) Fun.id))
+    (Relation.tuples rel)
+
+let encode cat =
+  let w = W.create () in
+  let hierarchies =
+    List.sort
+      (fun a b -> Hr_util.Symbol.compare (Hierarchy.domain a) (Hierarchy.domain b))
+      (Catalog.hierarchies cat)
+  in
+  W.list w encode_hierarchy hierarchies;
+  let relations =
+    List.sort (fun a b -> String.compare (Relation.name a) (Relation.name b))
+      (Catalog.relations cat)
+  in
+  W.list w encode_relation relations;
+  let body = W.contents w in
+  let out = W.create () in
+  W.string out magic;
+  W.u32 out version;
+  W.string out body;
+  W.u32 out (Int32.to_int (Codec.crc32 body) land 0xFFFFFFFF);
+  W.contents out
+
+(* ---- decoding -------------------------------------------------------- *)
+
+let decode_hierarchy r =
+  let root = R.string r in
+  let h = Hierarchy.create root in
+  let nodes = R.list r (fun r ->
+      let name = R.string r in
+      let is_instance = R.u8 r = 1 in
+      let parents = R.list r R.string in
+      (name, is_instance, parents))
+  in
+  List.iter
+    (fun (name, is_instance, parents) ->
+      let parents = List.filter (fun p -> p <> root) parents in
+      if is_instance then ignore (Hierarchy.add_instance h ~parents name)
+      else ignore (Hierarchy.add_class h ~parents name))
+    nodes;
+  let prefs = R.list r (fun r ->
+      let weaker = R.string r in
+      let stronger = R.string r in
+      (weaker, stronger))
+  in
+  List.iter (fun (weaker, stronger) -> Hierarchy.add_preference h ~weaker ~stronger) prefs;
+  h
+
+let decode_relation cat r =
+  let name = R.string r in
+  let attrs = R.list r (fun r ->
+      let attr = R.string r in
+      let domain = R.string r in
+      (attr, domain))
+  in
+  let schema =
+    Schema.make (List.map (fun (a, d) -> (a, Catalog.hierarchy cat d)) attrs)
+  in
+  let tuples = R.list r (fun r ->
+      let sign = if R.u8 r = 1 then Types.Pos else Types.Neg in
+      let coords = R.list r R.string in
+      (sign, coords))
+  in
+  List.fold_left
+    (fun rel (sign, coords) -> Relation.add rel (Item.of_names schema coords) sign)
+    (Relation.empty ~name schema) tuples
+
+let decode data =
+  try
+    let r = R.of_string data in
+    let m = R.string r in
+    if m <> magic then corrupt "bad magic %S" m;
+    let v = R.u32 r in
+    if v <> version then corrupt "unsupported snapshot version %d" v;
+    let body = R.string r in
+    let crc = R.u32 r in
+    let actual = Int32.to_int (Codec.crc32 body) land 0xFFFFFFFF in
+    if crc <> actual then corrupt "CRC mismatch: stored %08x, computed %08x" crc actual;
+    let r = R.of_string body in
+    let cat = Catalog.create () in
+    let hierarchies = R.list r decode_hierarchy in
+    List.iter (Catalog.define_hierarchy cat) hierarchies;
+    let relations = R.list r (fun r -> decode_relation cat r) in
+    List.iter (Catalog.define_relation cat) relations;
+    cat
+  with
+  | R.Corrupt msg -> corrupt "%s" msg
+  | Hierarchy.Error msg | Types.Model_error msg -> corrupt "invalid content: %s" msg
+
+let write_file cat path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (encode cat))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  decode data

@@ -1,0 +1,19 @@
+(** Binary catalog snapshots.
+
+    A snapshot is a self-contained, versioned binary image of a catalog:
+    every hierarchy (nodes with names, instance flags, [isa] and
+    preference edges) and every relation (schema plus signed tuples).
+    The encoding goes through the public construction APIs on decode, so
+    invariants (acyclicity, arity checks, the ambiguity constraint at
+    [define_relation]) are re-validated on load. A CRC-32 trailer detects
+    torn or corrupted files. *)
+
+exception Corrupt_snapshot of string
+
+val encode : Hierel.Catalog.t -> string
+val decode : string -> Hierel.Catalog.t
+(** Raises {!Corrupt_snapshot} on bad magic, unsupported version, CRC
+    mismatch or malformed structure. *)
+
+val write_file : Hierel.Catalog.t -> string -> unit
+val read_file : string -> Hierel.Catalog.t

@@ -1,0 +1,46 @@
+module W = Codec.Writer
+module R = Codec.Reader
+
+type t = { oc : out_channel }
+
+let open_ path =
+  { oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path }
+
+let append t stmt =
+  let w = W.create () in
+  W.string w stmt;
+  W.u32 w (Int32.to_int (Codec.crc32 stmt) land 0xFFFFFFFF);
+  output_string t.oc (W.contents w);
+  flush t.oc
+
+let close t = close_out t.oc
+
+let replay path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let data =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let r = R.of_string data in
+    let rec loop acc =
+      if R.at_end r then List.rev acc
+      else
+        match
+          let stmt = R.string r in
+          let crc = R.u32 r in
+          if Int32.to_int (Codec.crc32 stmt) land 0xFFFFFFFF <> crc then None
+          else Some stmt
+        with
+        | Some stmt -> loop (stmt :: acc)
+        | None -> List.rev acc (* corrupt record: drop the tail *)
+        | exception R.Corrupt _ -> List.rev acc (* torn tail *)
+    in
+    loop []
+  end
+
+let truncate path =
+  let oc = open_out_gen [ Open_trunc; Open_creat; Open_binary ] 0o644 path in
+  close_out oc

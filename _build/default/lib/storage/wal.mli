@@ -1,0 +1,24 @@
+(** A write-ahead log of HRQL statements.
+
+    Records are length-prefixed, CRC-32-protected HRQL statement strings
+    appended to a single file and flushed before the statement is applied
+    to the in-memory catalog — the usual WAL discipline. Recovery replays
+    records in order and stops silently at the first torn or corrupt
+    record (a crash mid-append), discarding the tail. *)
+
+type t
+
+val open_ : string -> t
+(** Opens (creating if absent) the log file for appending. *)
+
+val append : t -> string -> unit
+(** Appends one statement record and flushes to the OS. *)
+
+val close : t -> unit
+
+val replay : string -> string list
+(** All intact records in the file, in append order; [] if the file does
+    not exist. A trailing partial or corrupt record is dropped. *)
+
+val truncate : string -> unit
+(** Empties the log (after a successful checkpoint). *)

@@ -1,0 +1,1 @@
+lib/threeval/threeval.ml: Format Hierel Hr_hierarchy Hr_util Item List Map Relation Schema Set Types

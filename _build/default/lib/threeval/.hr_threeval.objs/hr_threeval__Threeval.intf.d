@@ -1,0 +1,1 @@
+lib/threeval/threeval.mli: Format Hierel

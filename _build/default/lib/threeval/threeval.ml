@@ -1,0 +1,176 @@
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+type truth3 = True | False | Unknown
+
+let pp_truth3 ppf t =
+  Format.pp_print_string ppf
+    (match t with True -> "true" | False -> "false" | Unknown -> "unknown")
+
+type mark = Affirmed | Denied | Marked_unknown
+
+module Item_map = Map.Make (Item)
+module Item_set = Set.Make (Item)
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  universal : mark Item_map.t;
+  existential : Item_set.t;
+}
+
+exception Conflict of string
+
+let empty ?(name = "tv") schema =
+  { name; schema; universal = Item_map.empty; existential = Item_set.empty }
+
+let name r = r.name
+let schema r = r.schema
+let cardinality r = Item_map.cardinal r.universal
+let existential_count r = Item_set.cardinal r.existential
+
+let check_item r item =
+  if Item.arity item <> Schema.arity r.schema then
+    Types.model_error "item arity mismatch in %S" r.name
+
+let set_mark r item mark =
+  check_item r item;
+  { r with universal = Item_map.add item mark r.universal }
+
+let affirm r item = set_mark r item Affirmed
+let deny r item = set_mark r item Denied
+let mark_unknown r item = set_mark r item Marked_unknown
+
+let assert_exists r item =
+  check_item r item;
+  { r with existential = Item_set.add item r.existential }
+
+let retract r item = { r with universal = Item_map.remove item r.universal }
+
+(* Strongest-binding marks for an item: exact mark wins; otherwise the
+   minimal relevant marked items under the binding order. *)
+let binders r item =
+  match Item_map.find_opt item r.universal with
+  | Some mark -> [ (item, mark) ]
+  | None ->
+    let relevant =
+      Item_map.fold
+        (fun i mark acc ->
+          if Item.strictly_subsumes r.schema i item then (i, mark) :: acc else acc)
+        r.universal []
+    in
+    List.filter
+      (fun (i, _) ->
+        not
+          (List.exists
+             (fun (i', _) ->
+               (not (Item.equal i i')) && Item.binds_below r.schema i i')
+             relevant))
+      relevant
+
+let truth r item =
+  check_item r item;
+  let marks = List.map snd (binders r item) in
+  let affirmed = List.exists (fun m -> m = Affirmed) marks in
+  let denied = List.exists (fun m -> m = Denied) marks in
+  match affirmed, denied with
+  | true, true ->
+    raise
+      (Conflict
+         (Format.asprintf "affirmed and denied tuples both bind to %s"
+            (Item.to_string r.schema item)))
+  | true, false -> True
+  | false, true -> False
+  | false, false -> Unknown
+(* a Marked_unknown binder, or no binder at all: Unknown either way —
+   the mark's role is to shadow more general Affirmed/Denied tuples *)
+
+let certain r item = truth r item = True
+let possible r item = truth r item <> False
+
+let atomic_members r item = Item.atomic_extension r.schema item
+
+let exists_status r item =
+  check_item r item;
+  let members = atomic_members r item in
+  let witnessed_certain =
+    Item_set.exists (fun e -> Item.subsumes r.schema item e) r.existential
+    || List.exists (fun m -> truth r m = True) members
+  in
+  if witnessed_certain then `Certain
+  else if List.exists (fun m -> truth r m <> False) members then `Possible
+  else `Impossible
+
+let is_consistent r =
+  let no_binding_conflict =
+    (* pairwise witnesses between Affirmed and Denied items, plus every
+       atomic item below a denial or an affirmation (cheap and complete
+       for the atomic extension) *)
+    let marked kind =
+      Item_map.fold (fun i m acc -> if m = kind then i :: acc else acc) r.universal []
+    in
+    let affirmed = marked Affirmed and denied = marked Denied in
+    let witnesses =
+      List.concat_map
+        (fun a ->
+          List.concat_map
+            (fun d ->
+              if Item.comparable r.schema a d then []
+              else Item.maximal_common_descendants r.schema a d)
+            denied)
+        affirmed
+      @ List.concat_map (fun d -> atomic_members r d) denied
+    in
+    List.for_all
+      (fun w -> match truth r w with _ -> true | exception Conflict _ -> false)
+      witnesses
+  in
+  let existentials_satisfiable =
+    Item_set.for_all
+      (fun e ->
+        let members = atomic_members r e in
+        members = [] || List.exists (fun m -> truth r m <> False) members)
+      r.existential
+  in
+  no_binding_conflict && existentials_satisfiable
+
+let of_relation rel =
+  Relation.fold
+    (fun (t : Relation.tuple) acc ->
+      match t.Relation.sign with
+      | Types.Pos -> affirm acc t.Relation.item
+      | Types.Neg -> deny acc t.Relation.item)
+    rel
+    (empty ~name:(Relation.name rel) (Relation.schema rel))
+
+let to_relation ?(closed_world = true) r =
+  if not (Item_set.is_empty r.existential) then
+    Types.model_error "existential tuples have no two-valued representation";
+  Item_map.fold
+    (fun item mark acc ->
+      match mark with
+      | Affirmed -> Relation.add acc item Types.Pos
+      | Denied -> Relation.add acc item Types.Neg
+      | Marked_unknown ->
+        if closed_world then acc
+        else
+          Types.model_error "unknown mark on %s cannot be exported open-world"
+            (Item.to_string r.schema item))
+    r.universal
+    (Relation.empty ~name:r.name r.schema)
+
+let pp ppf r =
+  let rows =
+    Item_map.fold
+      (fun item mark acc ->
+        let m =
+          match mark with Affirmed -> "+" | Denied -> "-" | Marked_unknown -> "?"
+        in
+        [ m; Item.to_string r.schema item ] :: acc)
+      r.universal []
+    @ Item_set.fold
+        (fun item acc -> [ "E"; Item.to_string r.schema item ] :: acc)
+        r.existential []
+  in
+  Format.pp_print_string ppf
+    (Hr_util.Texttable.render_rows ~headers:[ ""; "item" ] (List.rev rows))

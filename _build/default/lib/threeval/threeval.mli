@@ -1,0 +1,97 @@
+(** Partial information: three-valued assertions and existential
+    quantification.
+
+    The paper's conclusion sketches this as future work: "through the use
+    of existential rather than universal quantifiers, and the use of
+    three-valued (positive, negative, and unknown) rather than two-valued
+    assertions, it may be possible to have a sound and conceptually
+    pleasing treatment of partial information." This module realizes that
+    sketch on top of the core model:
+
+    - a {e universal} tuple carries one of three marks — [Affirmed]
+      (every member satisfies the relation), [Denied] (no member does),
+      or [Marked_unknown] (the inherited value is explicitly retracted
+      for this class: we do not know);
+    - inheritance works exactly as in the two-valued model — the
+      strongest-binding marks win, [Affirmed]/[Denied] disagreement among
+      binders is a conflict, and a [Marked_unknown] binder silences the
+      inherited value rather than conflicting with it;
+    - the {e open-world} default is [Unknown], not false;
+    - an {e existential} tuple on an item asserts that some atomic member
+      of the item satisfies the relation, without saying which.
+
+    Queries split into {!certain} and {!possible} modalities, and
+    {!exists_status} answers about classes the way a partial-information
+    system must: [`Certain], [`Possible] or [`Impossible]. *)
+
+type truth3 = True | False | Unknown
+
+val pp_truth3 : Format.formatter -> truth3 -> unit
+
+type mark = Affirmed | Denied | Marked_unknown
+
+type t
+(** An immutable three-valued hierarchical relation. *)
+
+exception Conflict of string
+(** Raised by query functions when affirmed and denied tuples bind
+    equally strongly to the queried item. *)
+
+val empty : ?name:string -> Hierel.Schema.t -> t
+val name : t -> string
+val schema : t -> Hierel.Schema.t
+val cardinality : t -> int
+(** Universal tuples stored (existential tuples counted separately). *)
+
+val existential_count : t -> int
+
+val affirm : t -> Hierel.Item.t -> t
+val deny : t -> Hierel.Item.t -> t
+val mark_unknown : t -> Hierel.Item.t -> t
+(** Each replaces any previous universal mark on the same item. *)
+
+val assert_exists : t -> Hierel.Item.t -> t
+(** "Some atomic member of this item satisfies the relation." *)
+
+val retract : t -> Hierel.Item.t -> t
+(** Removes the universal mark on the item, if any. *)
+
+val truth : t -> Hierel.Item.t -> truth3
+(** Open-world three-valued truth by strongest binding. Raises
+    {!Conflict} on an Affirmed/Denied clash. *)
+
+val certain : t -> Hierel.Item.t -> bool
+(** [truth = True]. *)
+
+val possible : t -> Hierel.Item.t -> bool
+(** [truth <> False] — i.e. not certainly excluded. *)
+
+val exists_status :
+  t -> Hierel.Item.t -> [ `Certain | `Possible | `Impossible ]
+(** Status of "some atomic member of this item satisfies the relation":
+    [`Certain] when an existential tuple sits on a sub-item or some
+    atomic member is certainly true; [`Impossible] when every atomic
+    member is certainly false and no existential tuple could still hold
+    (i.e., none sits on a sub-item); [`Possible] otherwise. *)
+
+val is_consistent : t -> bool
+(** No item with clashing Affirmed/Denied strongest binders (checked at
+    the pairwise witnesses plus all atomic items below denials), and no
+    existential tuple whose item's atomic members are all certainly
+    false. *)
+
+val of_relation : Hierel.Relation.t -> t
+(** Imports a two-valued relation: positive tuples become [Affirmed],
+    negated tuples [Denied]. The closed-world default is {e not}
+    imported — what the two-valued relation left unsaid becomes
+    [Unknown]. *)
+
+val to_relation : ?closed_world:bool -> t -> Hierel.Relation.t
+(** Exports the universal tuples. [Marked_unknown] tuples are dropped
+    under [closed_world = true] (the default; unknown collapses to
+    false, paper §2 footnote 2) and rejected with
+    {!Hierel.Types.Model_error} otherwise. Existential tuples cannot be
+    represented and are always rejected if present. *)
+
+val pp : Format.formatter -> t -> unit
+(** Rows with [+], [-], [?] and [E] markers. *)

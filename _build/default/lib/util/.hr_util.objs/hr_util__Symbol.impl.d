@@ -1,0 +1,1 @@
+lib/util/symbol.ml: Format Hashtbl Int Map Set

@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let copy g = { state = g.state }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let int g bound =
+  assert (bound > 0);
+  let r = Int64.to_int (next_int64 g) land max_int in
+  r mod bound
+
+let float g bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  (* 53 significant bits, matching double precision *)
+  r /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+let bernoulli g p = float g 1.0 < p
+
+let pick g arr =
+  assert (Array.length arr > 0);
+  arr.(int g (Array.length arr))
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let split g = { state = mix (next_int64 g) }

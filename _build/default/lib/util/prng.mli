@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Workload generators and benchmarks must be reproducible across runs and
+    machines, so they use this self-contained generator rather than the
+    stdlib [Random] module (whose algorithm may change between OCaml
+    releases). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0., bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a generator with an independent
+    stream, for nested deterministic generation. *)

@@ -1,0 +1,37 @@
+type t = { id : int; name : string }
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 1024
+let next_id = ref 0
+
+let intern name =
+  match Hashtbl.find_opt table name with
+  | Some sym -> sym
+  | None ->
+    let sym = { id = !next_id; name } in
+    incr next_id;
+    Hashtbl.add table name sym;
+    sym
+
+let name sym = sym.name
+let id sym = sym.id
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash sym = sym.id
+let pp ppf sym = Format.pp_print_string ppf sym.name
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+module Tbl = Hashtbl.Make (Hashed)

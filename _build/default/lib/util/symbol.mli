@@ -1,0 +1,31 @@
+(** Interned strings.
+
+    Every distinct string is assigned a small integer id, so symbols can be
+    compared, hashed and stored in dense arrays in O(1). Interning is global
+    to the process; the table only grows. All names in the hierarchical
+    relational model (class names, instance names, attribute names, relation
+    names) are symbols. *)
+
+type t
+(** An interned string. *)
+
+val intern : string -> t
+(** [intern s] returns the unique symbol for [s], creating it on first use. *)
+
+val name : t -> string
+(** [name sym] is the string [sym] was interned from. *)
+
+val id : t -> int
+(** [id sym] is the dense non-negative integer identifying [sym]. Ids are
+    assigned consecutively from 0 in order of first interning. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the symbol's name. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

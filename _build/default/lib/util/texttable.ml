@@ -1,0 +1,77 @@
+type align = Left | Right | Center
+
+type t = {
+  headers : string array;
+  aligns : align array;
+  mutable rows : string array list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let headers = Array.of_list headers in
+  let aligns =
+    match aligns with
+    | None -> Array.make (Array.length headers) Left
+    | Some l ->
+      let a = Array.of_list l in
+      assert (Array.length a = Array.length headers);
+      a
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  let row = Array.of_list cells in
+  if Array.length row <> Array.length t.headers then
+    invalid_arg "Texttable.add_row: wrong arity";
+  t.rows <- row :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+      let l = (width - n) / 2 in
+      String.make l ' ' ^ s ^ String.make (width - n - l) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  let widen row =
+    Array.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter widen rows;
+  let buf = Buffer.create 256 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line row =
+    Buffer.add_char buf '|';
+    for i = 0 to ncols - 1 do
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (pad t.aligns.(i) widths.(i) row.(i));
+      Buffer.add_string buf " |"
+    done;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter line rows;
+  rule ();
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)
+
+let render_rows ~headers rows =
+  let t = create headers in
+  List.iter (add_row t) rows;
+  render t

@@ -1,0 +1,26 @@
+(** ASCII table rendering.
+
+    Used by the REPL, the figure regenerator and the benchmark harness to
+    print relations the way the paper's figures do. *)
+
+type align = Left | Right | Center
+
+type t
+(** A table under construction. *)
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] is an empty table with the given column headers.
+    [aligns] defaults to left alignment for every column; if provided it
+    must have the same length as [headers]. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row. The row must have as many cells as there are headers. *)
+
+val render : t -> string
+(** Renders with box-drawing in plain ASCII ([+-|]). Column widths fit the
+    widest cell. *)
+
+val pp : Format.formatter -> t -> unit
+
+val render_rows : headers:string list -> string list list -> string
+(** One-shot convenience: build and render. *)

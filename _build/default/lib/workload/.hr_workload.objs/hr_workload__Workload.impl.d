@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Binding Hierel Hr_hierarchy Hr_util Integrity Item List Printf Relation Schema Types

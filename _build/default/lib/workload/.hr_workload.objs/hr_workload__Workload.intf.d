@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Hierel Hr_hierarchy Hr_util

@@ -1,0 +1,200 @@
+module Prng = Hr_util.Prng
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+type hierarchy_spec = {
+  name : string;
+  classes : int;
+  instances : int;
+  multi_parent_prob : float;
+}
+
+let default_hierarchy_spec =
+  { name = "domain"; classes = 20; instances = 40; multi_parent_prob = 0.2 }
+
+let random_hierarchy g spec =
+  let h = Hierarchy.create spec.name in
+  let class_names = Array.make (spec.classes + 1) spec.name in
+  for i = 1 to spec.classes do
+    let name = Printf.sprintf "%s_c%d" spec.name i in
+    let parent = class_names.(Prng.int g i) in
+    let parents =
+      if i > 1 && Prng.bernoulli g spec.multi_parent_prob then
+        let other = class_names.(Prng.int g i) in
+        if other = parent then [ parent ] else [ parent; other ]
+      else [ parent ]
+    in
+    (* the root is the implicit parent when [parents] is just the root *)
+    let parents = List.filter (fun p -> p <> spec.name) parents in
+    ignore (Hierarchy.add_class h ~parents name);
+    class_names.(i) <- name
+  done;
+  for i = 1 to spec.instances do
+    let name = Printf.sprintf "%s_i%d" spec.name i in
+    let parent = class_names.(Prng.int g (spec.classes + 1)) in
+    let parents =
+      if Prng.bernoulli g spec.multi_parent_prob then
+        let other = class_names.(Prng.int g (spec.classes + 1)) in
+        if other = parent then [ parent ] else [ parent; other ]
+      else [ parent ]
+    in
+    let parents = List.filter (fun p -> p <> spec.name) parents in
+    ignore (Hierarchy.add_instance h ~parents name)
+  done;
+  (* multi-parent choices can create redundant edges (an ancestor picked
+     alongside its descendant); restore the reduction the model expects *)
+  Hierarchy.reduce h;
+  h
+
+let tree_hierarchy ?(name = "tree") ~depth ~fanout ~instances_per_leaf () =
+  let h = Hierarchy.create name in
+  let counter = ref 0 in
+  let rec grow parent level =
+    if level < depth then
+      for _ = 1 to fanout do
+        incr counter;
+        let cname = Printf.sprintf "c%d_%d" level !counter in
+        let parents = if parent = name then [] else [ parent ] in
+        ignore (Hierarchy.add_class h ~parents cname);
+        grow cname (level + 1)
+      done
+    else
+      for _ = 1 to instances_per_leaf do
+        incr counter;
+        ignore (Hierarchy.add_instance h ~parents:[ parent ] (Printf.sprintf "i%d" !counter))
+      done
+  in
+  grow name 0;
+  h
+
+let chain_hierarchy ?(name = "chain") ~depth () =
+  let h = Hierarchy.create name in
+  let prev = ref name in
+  for level = 0 to depth - 1 do
+    let cname = Printf.sprintf "c%d" level in
+    let parents = if !prev = name then [] else [ !prev ] in
+    ignore (Hierarchy.add_class h ~parents cname);
+    prev := cname
+  done;
+  ignore (Hierarchy.add_instance h ~parents:[ !prev ] "leaf");
+  h
+
+type relation_spec = {
+  rel_name : string;
+  tuples : int;
+  neg_fraction : float;
+  instance_fraction : float;
+}
+
+let default_relation_spec =
+  { rel_name = "r"; tuples = 30; neg_fraction = 0.3; instance_fraction = 0.3 }
+
+let random_node g h ~instance_fraction =
+  let pool =
+    if Prng.bernoulli g instance_fraction then Hierarchy.instances h
+    else Hierarchy.classes h
+  in
+  match pool with
+  | [] -> Hierarchy.root h
+  | _ -> Prng.pick g (Array.of_list pool)
+
+let random_relation g schema spec =
+  let arity = Schema.arity schema in
+  let rel = ref (Relation.empty ~name:spec.rel_name schema) in
+  let attempts = ref 0 in
+  while Relation.cardinality !rel < spec.tuples && !attempts < spec.tuples * 10 do
+    incr attempts;
+    let coords =
+      Array.init arity (fun i ->
+          random_node g (Schema.hierarchy schema i)
+            ~instance_fraction:spec.instance_fraction)
+    in
+    let item = Item.make schema coords in
+    let sign = if Prng.bernoulli g spec.neg_fraction then Types.Neg else Types.Pos in
+    if not (Relation.mem !rel item) then rel := Relation.add !rel item sign
+  done;
+  !rel
+
+let repair g rel =
+  let rel = ref rel in
+  let budget = ref 10_000 in
+  let rec loop () =
+    if !budget <= 0 then
+      Types.model_error "Workload.repair: resolution budget exhausted"
+    else
+      match Integrity.first_conflict !rel with
+      | None -> ()
+      | Some c ->
+        List.iter
+          (fun w ->
+            if not (Relation.mem !rel w) then begin
+              let sign = if Prng.bool g then Types.Pos else Types.Neg in
+              rel := Relation.set !rel w sign
+            end)
+          c.Integrity.witnesses;
+        decr budget;
+        loop ()
+  in
+  loop ();
+  !rel
+
+let consistent_random_relation g schema spec = repair g (random_relation g schema spec)
+
+let exception_chain ?(name = "chain") ~depth ~instances_per_class () =
+  let h = Hierarchy.create name in
+  let prev = ref name in
+  for level = 0 to depth - 1 do
+    let cname = Printf.sprintf "c%d" level in
+    let parents = if !prev = name then [] else [ !prev ] in
+    ignore (Hierarchy.add_class h ~parents cname);
+    for i = 1 to instances_per_class do
+      ignore (Hierarchy.add_instance h ~parents:[ cname ] (Printf.sprintf "i%d_%d" level i))
+    done;
+    prev := cname
+  done;
+  let schema = Schema.make [ ("v", h) ] in
+  let rel = ref (Relation.empty ~name:(name ^ "_rel") schema) in
+  for level = 0 to depth - 1 do
+    let sign = if level mod 2 = 0 then Types.Pos else Types.Neg in
+    rel := Relation.add_named !rel sign [ Printf.sprintf "c%d" level ]
+  done;
+  (h, !rel)
+
+let redundant_relation g h ~redundancy ~tuples =
+  let schema = Schema.make [ ("v", h) ] in
+  let classes = Array.of_list (Hierarchy.classes h) in
+  let rel = ref (Relation.empty ~name:"redundant" schema) in
+  let current_sign item =
+    match Binding.verdict !rel item with
+    | Binding.Asserted (s, _) -> s
+    | Binding.Unasserted -> Types.Neg
+    | Binding.Conflict _ -> Types.Neg
+  in
+  let attempts = ref 0 in
+  while Relation.cardinality !rel < tuples && !attempts < tuples * 20 do
+    incr attempts;
+    if Relation.is_empty !rel || not (Prng.bernoulli g redundancy) then begin
+      (* genuine information: an exception to whatever the node currently
+         inherits, so consolidation cannot remove it *)
+      let node = Prng.pick g classes in
+      let item = Item.make schema [| node |] in
+      if not (Relation.mem !rel item) then
+        rel := Relation.add !rel item (Types.negate (current_sign item))
+    end
+    else begin
+      (* a redundant tuple: restates the sign the node already inherits *)
+      let existing = Array.of_list (Relation.tuples !rel) in
+      let t = Prng.pick g existing in
+      let below = Hierarchy.descendants h (Item.coord t.Relation.item 0) in
+      match below with
+      | [] -> ()
+      | _ ->
+        let node = Prng.pick g (Array.of_list below) in
+        let item = Item.make schema [| node |] in
+        if not (Relation.mem !rel item) then begin
+          let sign = current_sign item in
+          rel := Relation.add !rel item sign
+        end
+    end
+  done;
+  !rel

@@ -1,0 +1,76 @@
+(** Deterministic synthetic workloads for tests and benchmarks.
+
+    Nothing here depends on wall-clock or global randomness: every
+    generator takes a {!Hr_util.Prng.t}, so a seed fully determines the
+    workload. The shapes are chosen to exercise the paper's claims:
+    class-tuple compression (§1), exception chains (§2.1), multiple
+    inheritance clashes (§3.1), and redundancy for consolidation
+    (§3.3.1). *)
+
+type hierarchy_spec = {
+  name : string;  (** domain (root class) name; also prefixes node names *)
+  classes : int;  (** internal classes, excluding the root *)
+  instances : int;
+  multi_parent_prob : float;
+      (** probability that a class or instance receives a second parent
+          (multiple inheritance) *)
+}
+
+val default_hierarchy_spec : hierarchy_spec
+
+val random_hierarchy : Hr_util.Prng.t -> hierarchy_spec -> Hr_hierarchy.Hierarchy.t
+(** A random rooted DAG. Classes arrive one at a time, each choosing
+    parents among the earlier classes — acyclic by construction, and kept
+    transitively reduced (off-path preemption's precondition). *)
+
+val tree_hierarchy :
+  ?name:string -> depth:int -> fanout:int -> instances_per_leaf:int -> unit ->
+  Hr_hierarchy.Hierarchy.t
+(** A complete [fanout]-ary class tree of the given depth with instances
+    under the deepest classes. Class names are [c<level>_<index>],
+    instances [i<index>]. *)
+
+val chain_hierarchy : ?name:string -> depth:int -> unit -> Hr_hierarchy.Hierarchy.t
+(** A single chain [c0 > c1 > ... > c<depth-1>] with one instance [leaf]
+    under the deepest class — the worst case for membership queries in
+    the paper's "traditional encoding" baseline (one join per level). *)
+
+type relation_spec = {
+  rel_name : string;
+  tuples : int;
+  neg_fraction : float;  (** fraction of negated tuples *)
+  instance_fraction : float;
+      (** fraction of coordinates drawn from instances rather than
+          classes *)
+}
+
+val default_relation_spec : relation_spec
+
+val random_relation :
+  Hr_util.Prng.t -> Hierel.Schema.t -> relation_spec -> Hierel.Relation.t
+(** Random signed tuples over random nodes. Direct contradictions are
+    skipped; the result may violate the ambiguity constraint — pass it
+    through {!repair} when consistency is needed. *)
+
+val repair : Hr_util.Prng.t -> Hierel.Relation.t -> Hierel.Relation.t
+(** Adds conflict-resolution tuples (random sign, at the paper's
+    minimal-conflict-resolution-set witnesses) until the relation
+    satisfies the ambiguity constraint. Terminates because each step
+    asserts an item that had no tuple. *)
+
+val consistent_random_relation :
+  Hr_util.Prng.t -> Hierel.Schema.t -> relation_spec -> Hierel.Relation.t
+(** [random_relation] followed by {!repair}. *)
+
+val exception_chain :
+  ?name:string -> depth:int -> instances_per_class:int -> unit ->
+  Hr_hierarchy.Hierarchy.t * Hierel.Relation.t
+(** A chain hierarchy with [depth] nested classes and a single-attribute
+    relation asserting alternating signs down the chain — exceptions to
+    exceptions of arbitrary depth (§2.1). *)
+
+val redundant_relation :
+  Hr_util.Prng.t -> Hr_hierarchy.Hierarchy.t -> redundancy:float -> tuples:int ->
+  Hierel.Relation.t
+(** Single-attribute relation where roughly [redundancy] of the tuples are
+    implied by a more general same-sign tuple — consolidation fodder. *)

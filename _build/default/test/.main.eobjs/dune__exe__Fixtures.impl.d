@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Binding Hierel Hr_hierarchy Item Relation Schema Types

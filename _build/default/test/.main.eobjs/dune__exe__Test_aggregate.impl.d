@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Aggregate Alcotest Catalog Fixtures Hierel Hr_query Relation String Types

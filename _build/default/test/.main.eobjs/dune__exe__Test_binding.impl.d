@@ -1,0 +1,1 @@
+test/test_binding.ml: Alcotest Array Binding Fixtures Hierel Hr_hierarchy Item List Relation Schema Types

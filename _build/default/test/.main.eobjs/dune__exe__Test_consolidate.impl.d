@@ -1,0 +1,1 @@
+test/test_consolidate.ml: Alcotest Consolidate Fixtures Flatten Format Hierel Hr_hierarchy Integrity Item List Relation Schema String Types

@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Filename Fixtures Fun Hierel Hr_flat Hr_hierarchy Hr_mine Hr_workload List String Sys

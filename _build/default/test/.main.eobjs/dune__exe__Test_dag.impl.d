@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Hashtbl Hr_graph Int List Option QCheck2 QCheck_alcotest

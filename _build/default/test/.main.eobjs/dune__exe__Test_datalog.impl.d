@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Catalog Fixtures Hierel Hr_datalog List

@@ -1,0 +1,1 @@
+test/test_explicate.ml: Alcotest Binding Explicate Fixtures Format Hierel Hr_hierarchy Item List Printf Relation Schema String Types

@@ -1,0 +1,1 @@
+test/test_flat.ml: Alcotest Fixtures Flatten Hierel Hr_flat Hr_workload List Relation Schema Types

@@ -1,0 +1,1 @@
+test/test_frames.ml: Alcotest Hr_frames Hr_query String

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Fixtures Hierel Hr_frontend Hr_hierarchy Integrity Item List Relation Types

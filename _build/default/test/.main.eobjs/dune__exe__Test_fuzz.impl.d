@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Hr_datalog Hr_flat Hr_query Hr_storage List QCheck2 QCheck_alcotest

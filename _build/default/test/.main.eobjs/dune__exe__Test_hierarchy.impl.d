@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Fixtures Hierel Hr_hierarchy List String

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Binding Fixtures Hierel Hr_hierarchy Hr_util Hr_workload Index Int64 Item List Printf QCheck2 QCheck_alcotest Relation Schema

@@ -1,0 +1,1 @@
+test/test_integrity.ml: Alcotest Fixtures Hierel Hr_hierarchy Integrity Item List Relation Schema Types

@@ -1,0 +1,1 @@
+test/test_item.ml: Alcotest Array Fixtures Hierel Hr_hierarchy Item List Schema String Types

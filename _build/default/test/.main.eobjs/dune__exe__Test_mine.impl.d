@@ -1,0 +1,1 @@
+test/test_mine.ml: Alcotest Fixtures Flatten Hierel Hr_hierarchy Hr_mine Hr_util Hr_workload Item List Printf Relation String Types

@@ -1,0 +1,1 @@
+test/test_ops.ml: Alcotest Binding Fixtures Flatten Format Hierel Hr_hierarchy Integrity Item List Ops Relation Schema String Types

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Catalog Consolidate Explicate Flatten Hierel Hr_query List Ops Printf

@@ -1,0 +1,1 @@
+test/test_pager.ml: Alcotest Bytes Filename Fun Hr_storage List Printf String Sys

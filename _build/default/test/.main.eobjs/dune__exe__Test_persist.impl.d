@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Binding Catalog Filename Fun Hierel Hr_hierarchy Hr_query Hr_util Hr_workload Int64 Item List Printf QCheck2 QCheck_alcotest Relation Schema Sys

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Binding Consolidate Explicate Flatten Hierel Hr_hierarchy Hr_util Hr_workload Int64 Integrity Item List Ops Printf QCheck2 QCheck_alcotest Relation Schema Stdlib Types

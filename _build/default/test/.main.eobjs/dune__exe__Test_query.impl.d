@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Catalog Flatten Hierel Hr_query Item List Option Relation String

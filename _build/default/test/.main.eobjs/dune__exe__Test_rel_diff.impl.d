@@ -1,0 +1,1 @@
+test/test_rel_diff.ml: Alcotest Consolidate Fixtures Format Hierel Item List Rel_diff Relation Schema String Types

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Fixtures Hierel Hr_hierarchy Item List Relation Types

@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Array Binding Fixtures Format Hierel Hr_graph Hr_hierarchy Hr_util Integrity Item List Printf Relation String Types

@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Array Filename Fun Hr_server Hr_storage String Sys Unix

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Array Catalog Consolidate Filename Flatten Fun Hierel Hr_hierarchy Hr_query Hr_storage Hr_util Int64 Integrity List Option Printf Relation Sys

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Catalog Filename Fun Hierel Hr_query Hr_storage Hr_util Hr_workload Int64 Option Printf QCheck2 QCheck_alcotest Relation Schema String Sys

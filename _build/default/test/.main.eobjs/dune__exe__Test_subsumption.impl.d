@@ -1,0 +1,1 @@
+test/test_subsumption.ml: Alcotest Fixtures Fun Hierel Item List Relation Subsumption Types

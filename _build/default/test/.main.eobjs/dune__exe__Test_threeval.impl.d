@@ -1,0 +1,1 @@
+test/test_threeval.ml: Alcotest Fixtures Hierel Hr_threeval Item Relation Types

@@ -1,0 +1,1 @@
+test/test_threeval_props.ml: Binding Hierel Hr_hierarchy Hr_threeval Hr_util Hr_workload Int64 Item List Printf QCheck2 QCheck_alcotest Relation Schema

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Catalog Fixtures Hierel List Option Relation Txn Types

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Consolidate Fixtures Flatten Hierel Hr_hierarchy Hr_util Hr_workload Integrity List Relation Schema

@@ -1,0 +1,96 @@
+(* Aggregation tests (§3.3.2 motivation: counts over explicated data). *)
+
+module Eval = Hr_query.Eval
+open Hierel
+
+let test_count () =
+  let h = Fixtures.animals () in
+  Alcotest.(check int) "4 flyers" 4 (Aggregate.count (Fixtures.flies h));
+  Alcotest.(check int) "empty" 0
+    (Aggregate.count (Relation.empty (Fixtures.flies_schema h)))
+
+let test_count_is_extension_not_tuples () =
+  let h = Fixtures.animals () in
+  let schema = Fixtures.flies_schema h in
+  let rel = Relation.of_tuples ~name:"r" schema [ (Types.Pos, [ "penguin" ]) ] in
+  Alcotest.(check int) "1 stored tuple" 1 (Relation.cardinality rel);
+  Alcotest.(check int) "4 penguins counted" 4 (Aggregate.count rel)
+
+let test_count_by () =
+  let he = Fixtures.elephants () and hc = Fixtures.colors () in
+  let color = Fixtures.animal_color he hc in
+  let by_color = Aggregate.histogram color ~attr:"color" in
+  Alcotest.(check (list (pair string int))) "one of each"
+    [ ("dappled", 1); ("white", 1) ] by_color
+
+let test_count_under () =
+  let h = Fixtures.animals () in
+  let flies = Fixtures.flies h in
+  Alcotest.(check int) "flying penguins" 3
+    (Aggregate.count_under flies ~attr:"creature" ~cls:"penguin");
+  Alcotest.(check int) "flying birds = all flyers" 4
+    (Aggregate.count_under flies ~attr:"creature" ~cls:"bird");
+  Alcotest.(check int) "flying canaries" 1
+    (Aggregate.count_under flies ~attr:"creature" ~cls:"canary")
+
+let test_hrql_count () =
+  let cat = Catalog.create () in
+  let script =
+    {|
+    CREATE DOMAIN animal;
+    CREATE CLASS bird UNDER animal;
+    CREATE CLASS penguin UNDER bird;
+    CREATE INSTANCE tweety OF bird;
+    CREATE INSTANCE paul OF penguin;
+    CREATE INSTANCE pam OF penguin;
+    CREATE RELATION flies (creature: animal);
+    INSERT INTO flies VALUES (+ ALL bird), (- ALL penguin);
+    |}
+  in
+  (match Eval.run_script cat script with Ok _ -> () | Error e -> failwith e);
+  (match Eval.run_script cat "COUNT flies;" with
+  | Ok [ out ] -> Alcotest.(check string) "count" "count: 1" out
+  | Ok _ | Error _ -> Alcotest.fail "COUNT failed");
+  match Eval.run_script cat "COUNT flies UNION flies BY creature;" with
+  | Ok [ out ] ->
+    Alcotest.(check bool) "histogram mentions tweety" true
+      (let contains ~sub s =
+         let n = String.length sub and m = String.length s in
+         let rec loop i = i + n <= m && (String.sub s i n = sub || loop (i + 1)) in
+         loop 0
+       in
+       contains ~sub:"tweety" out)
+  | Ok _ | Error _ -> Alcotest.fail "COUNT BY failed"
+
+let test_hrql_explain_plan () =
+  let cat = Catalog.create () in
+  let script =
+    {|
+    CREATE DOMAIN d;
+    CREATE INSTANCE x OF d;
+    CREATE RELATION a (v: d);
+    CREATE RELATION b (v: d);
+    |}
+  in
+  (match Eval.run_script cat script with Ok _ -> () | Error e -> failwith e);
+  match Eval.run_script cat "EXPLAIN PLAN SELECT (a UNION b) WHERE v = x;" with
+  | Ok [ out ] ->
+    Alcotest.(check bool) "shows the pushdown" true
+      (let contains ~sub s =
+         let n = String.length sub and m = String.length s in
+         let rec loop i = i + n <= m && (String.sub s i n = sub || loop (i + 1)) in
+         loop 0
+       in
+       contains ~sub:"union(select[v=x](a), select[v=x](b))" out)
+  | Ok _ | Error _ -> Alcotest.fail "EXPLAIN PLAN failed"
+
+let suite =
+  [
+    Alcotest.test_case "count" `Quick test_count;
+    Alcotest.test_case "count = extension, not stored tuples" `Quick
+      test_count_is_extension_not_tuples;
+    Alcotest.test_case "count by" `Quick test_count_by;
+    Alcotest.test_case "count under" `Quick test_count_under;
+    Alcotest.test_case "HRQL COUNT" `Quick test_hrql_count;
+    Alcotest.test_case "HRQL EXPLAIN PLAN" `Quick test_hrql_explain_plan;
+  ]

@@ -1,0 +1,163 @@
+(* Datalog-over-hierarchy tests: the paper's "Tweety can travel far"
+   inference (§2.1) and general rule evaluation. *)
+
+module Datalog = Hr_datalog.Datalog
+open Hierel
+
+let catalog_with_flies () =
+  let h = Fixtures.animals () in
+  let cat = Catalog.create () in
+  Catalog.define_hierarchy cat h;
+  Catalog.define_relation cat (Fixtures.flies h);
+  cat
+
+let test_parse_rule () =
+  let r = Datalog.parse_rule "travels_far(X) :- flies(X)." in
+  Alcotest.(check string) "head" "travels_far" r.Datalog.head.Datalog.pred;
+  Alcotest.(check int) "one body atom" 1 (List.length r.Datalog.body)
+
+let test_parse_rejects_unsafe () =
+  try
+    ignore (Datalog.parse_rule "p(X, Y) :- q(X).");
+    Alcotest.fail "expected range-restriction error"
+  with Datalog.Datalog_error _ -> ()
+
+let test_parse_rejects_factlike () =
+  try
+    ignore (Datalog.parse_rule "p(a)");
+    Alcotest.fail "expected error"
+  with Datalog.Datalog_error _ -> ()
+
+let test_tweety_travels_far () =
+  let cat = catalog_with_flies () in
+  let p = Datalog.create cat in
+  Datalog.add_rule_str p "travels_far(X) :- flies(X).";
+  Alcotest.(check bool) "tweety travels far" true (Datalog.holds p "travels_far" [ "tweety" ]);
+  Alcotest.(check bool) "paul does not" false (Datalog.holds p "travels_far" [ "paul" ]);
+  Alcotest.(check int) "four travellers" 4
+    (List.length (Datalog.query p (Datalog.parse_atom "travels_far(X)")))
+
+let test_member_of_builtin () =
+  let cat = catalog_with_flies () in
+  let p = Datalog.create cat in
+  Alcotest.(check bool) "tweety is a bird" true
+    (Datalog.holds p "member_of" [ "tweety"; "bird" ]);
+  Alcotest.(check bool) "tweety not penguin" false
+    (Datalog.holds p "member_of" [ "tweety"; "penguin" ]);
+  Datalog.add_rule_str p "flying_penguin(X) :- flies(X), member_of(X, penguin).";
+  let flyers = Datalog.query p (Datalog.parse_atom "flying_penguin(X)") in
+  Alcotest.(check (list (list string))) "the flying penguins"
+    [ [ "pamela" ]; [ "patricia" ]; [ "peter" ] ]
+    flyers
+
+let test_recursive_rules () =
+  let cat = Catalog.create () in
+  let p = Datalog.create cat in
+  Datalog.add_fact p "edge" [ "a"; "b" ];
+  Datalog.add_fact p "edge" [ "b"; "c" ];
+  Datalog.add_fact p "edge" [ "c"; "d" ];
+  Datalog.add_rule_str p "path(X, Y) :- edge(X, Y).";
+  Datalog.add_rule_str p "path(X, Z) :- path(X, Y), edge(Y, Z).";
+  Alcotest.(check bool) "transitive" true (Datalog.holds p "path" [ "a"; "d" ]);
+  Alcotest.(check int) "six paths" 6
+    (List.length (Datalog.query p (Datalog.parse_atom "path(X, Y)")))
+
+let test_join_rule_over_two_relations () =
+  let hs = Fixtures.students () and ht = Fixtures.teachers () in
+  let cat = Catalog.create () in
+  Catalog.define_hierarchy cat hs;
+  Catalog.define_hierarchy cat ht;
+  Catalog.define_relation cat (Fixtures.respects hs ht);
+  let p = Datalog.create cat in
+  Datalog.add_fact p "teaches" [ "smith"; "john" ];
+  Datalog.add_fact p "teaches" [ "jones"; "mary" ];
+  Datalog.add_rule_str p "respected_teacher_of(T, S) :- teaches(T, S), respects(S, T).";
+  Alcotest.(check bool) "john respects his teacher smith" true
+    (Datalog.holds p "respected_teacher_of" [ "smith"; "john" ]);
+  Alcotest.(check bool) "mary does not respect jones? she does" true
+    (Datalog.holds p "respected_teacher_of" [ "jones"; "mary" ] = false
+    || Datalog.holds p "respects" [ "mary"; "jones" ])
+
+let test_constants_filter () =
+  let cat = catalog_with_flies () in
+  let p = Datalog.create cat in
+  let rows = Datalog.query p (Datalog.parse_atom "flies(tweety)") in
+  Alcotest.(check (list (list string))) "filtered" [ [ "tweety" ] ] rows
+
+let test_rules_see_new_facts () =
+  let cat = Catalog.create () in
+  let p = Datalog.create cat in
+  Datalog.add_rule_str p "q(X) :- base(X).";
+  Alcotest.(check bool) "empty before" false (Datalog.holds p "q" [ "v" ]);
+  Datalog.add_fact p "base" [ "v" ];
+  Alcotest.(check bool) "fixpoint refreshed" true (Datalog.holds p "q" [ "v" ])
+
+let test_derived_count () =
+  let cat = catalog_with_flies () in
+  let p = Datalog.create cat in
+  Datalog.add_rule_str p "travels_far(X) :- flies(X).";
+  Alcotest.(check int) "4 derived" 4 (Datalog.derived_count p)
+
+(* ---- stratified negation ------------------------------------------- *)
+
+let test_negation_grounded_birds () =
+  (* the paper's flying-creature taxonomy, queried for the grounded ones *)
+  let cat = catalog_with_flies () in
+  let p = Datalog.create cat in
+  Datalog.add_rule_str p "grounded(X) :- member_of(X, bird), not flies(X).";
+  let grounded = Datalog.query p (Datalog.parse_atom "grounded(X)") in
+  Alcotest.(check (list (list string))) "paul alone" [ [ "paul" ] ] grounded
+
+let test_negation_safety () =
+  try
+    ignore (Datalog.parse_rule "p(X) :- not q(X).");
+    Alcotest.fail "expected safety error"
+  with Datalog.Datalog_error _ -> ()
+
+let test_negation_through_idb () =
+  let cat = Catalog.create () in
+  let p = Datalog.create cat in
+  Datalog.add_fact p "node" [ "a" ];
+  Datalog.add_fact p "node" [ "b" ];
+  Datalog.add_fact p "node" [ "c" ];
+  Datalog.add_fact p "edge" [ "a"; "b" ];
+  Datalog.add_rule_str p "reachable(X) :- edge(a, X).";
+  Datalog.add_rule_str p "reachable(X) :- reachable(Y), edge(Y, X).";
+  Datalog.add_rule_str p "isolated(X) :- node(X), not reachable(X).";
+  Alcotest.(check bool) "b reachable" true (Datalog.holds p "reachable" [ "b" ]);
+  Alcotest.(check bool) "c isolated" true (Datalog.holds p "isolated" [ "c" ]);
+  Alcotest.(check bool) "b not isolated" false (Datalog.holds p "isolated" [ "b" ]);
+  (* isolated sits strictly above reachable *)
+  let strata = Datalog.strata p in
+  Alcotest.(check (option int)) "reachable at 0" (Some 0) (List.assoc_opt "reachable" strata);
+  Alcotest.(check (option int)) "isolated at 1" (Some 1) (List.assoc_opt "isolated" strata)
+
+let test_unstratifiable_rejected () =
+  let cat = Catalog.create () in
+  let p = Datalog.create cat in
+  Datalog.add_fact p "thing" [ "x" ];
+  Datalog.add_rule_str p "p(X) :- thing(X), not q(X).";
+  Datalog.add_rule_str p "q(X) :- thing(X), not p(X).";
+  try
+    ignore (Datalog.holds p "p" [ "x" ]);
+    Alcotest.fail "expected stratification error"
+  with Datalog.Datalog_error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "parse rule" `Quick test_parse_rule;
+    Alcotest.test_case "negation: grounded birds" `Quick test_negation_grounded_birds;
+    Alcotest.test_case "negation: safety" `Quick test_negation_safety;
+    Alcotest.test_case "negation: through IDB strata" `Quick test_negation_through_idb;
+    Alcotest.test_case "negation: unstratifiable rejected" `Quick
+      test_unstratifiable_rejected;
+    Alcotest.test_case "range restriction" `Quick test_parse_rejects_unsafe;
+    Alcotest.test_case "rules need bodies" `Quick test_parse_rejects_factlike;
+    Alcotest.test_case "tweety travels far (§2.1)" `Quick test_tweety_travels_far;
+    Alcotest.test_case "member_of builtin" `Quick test_member_of_builtin;
+    Alcotest.test_case "recursive rules" `Quick test_recursive_rules;
+    Alcotest.test_case "joins across relations" `Quick test_join_rule_over_two_relations;
+    Alcotest.test_case "constant filters" `Quick test_constants_filter;
+    Alcotest.test_case "facts invalidate fixpoint" `Quick test_rules_see_new_facts;
+    Alcotest.test_case "derived count" `Quick test_derived_count;
+  ]

@@ -1,0 +1,107 @@
+(* Flat baseline tests: classic operators and the traditional
+   (footnote 1) encoding. *)
+
+module F = Hr_flat.Flat_relation
+module Traditional = Hr_flat.Traditional
+open Hierel
+
+let abc () = F.of_rows [ "x"; "y" ] [ [ "a"; "1" ]; [ "b"; "2" ]; [ "c"; "1" ] ]
+
+let test_set_semantics () =
+  let r = abc () in
+  let r = F.insert r [ "a"; "1" ] in
+  Alcotest.(check int) "no duplicates" 3 (F.cardinality r);
+  let r = F.delete r [ "b"; "2" ] in
+  Alcotest.(check int) "deleted" 2 (F.cardinality r)
+
+let test_select_project () =
+  let r = abc () in
+  let s = F.select r ~column:"y" ~value:"1" in
+  Alcotest.(check int) "two rows" 2 (F.cardinality s);
+  let p = F.project r [ "y" ] in
+  Alcotest.(check int) "projection dedupes" 2 (F.cardinality p);
+  Alcotest.(check (list (list string))) "columns reorderable"
+    [ [ "1"; "a" ]; [ "1"; "c" ]; [ "2"; "b" ] ]
+    (F.rows (F.project r [ "y"; "x" ]))
+
+let test_join () =
+  let r = abc () in
+  let s = F.of_rows [ "y"; "z" ] [ [ "1"; "p" ]; [ "2"; "q" ]; [ "3"; "r" ] ] in
+  let j = F.join r s in
+  Alcotest.(check (list string)) "columns" [ "x"; "y"; "z" ] (F.columns j);
+  Alcotest.(check int) "three matches" 3 (F.cardinality j);
+  Alcotest.(check bool) "a-1-p present" true (F.mem j [ "a"; "1"; "p" ])
+
+let test_cartesian_when_disjoint () =
+  let r = F.of_rows [ "x" ] [ [ "a" ]; [ "b" ] ] in
+  let s = F.of_rows [ "y" ] [ [ "1" ]; [ "2" ]; [ "3" ] ] in
+  Alcotest.(check int) "2x3" 6 (F.cardinality (F.join r s))
+
+let test_set_ops () =
+  let r = F.of_rows [ "x" ] [ [ "a" ]; [ "b" ] ] in
+  let s = F.of_rows [ "x" ] [ [ "b" ]; [ "c" ] ] in
+  Alcotest.(check int) "union" 3 (F.cardinality (F.union r s));
+  Alcotest.(check int) "inter" 1 (F.cardinality (F.inter r s));
+  Alcotest.(check int) "diff" 1 (F.cardinality (F.diff r s))
+
+let test_rename () =
+  let r = abc () in
+  let r' = F.rename r ~old_name:"x" ~new_name:"w" in
+  Alcotest.(check (list string)) "renamed" [ "w"; "y" ] (F.columns r')
+
+let test_traditional_member () =
+  let h = Fixtures.animals () in
+  let t = Traditional.of_hierarchy h in
+  Alcotest.(check bool) "tweety is a bird" true (Traditional.member t ~instance:"tweety" ~cls:"bird");
+  Alcotest.(check bool) "tweety is not a penguin" false
+    (Traditional.member t ~instance:"tweety" ~cls:"penguin");
+  Alcotest.(check bool) "patricia is a bird (multi-parent)" true
+    (Traditional.member t ~instance:"patricia" ~cls:"bird")
+
+let test_traditional_join_count_grows_with_depth () =
+  let shallow = Hr_workload.Workload.chain_hierarchy ~name:"s" ~depth:2 () in
+  let deep = Hr_workload.Workload.chain_hierarchy ~name:"d" ~depth:10 () in
+  let ts = Traditional.of_hierarchy shallow and td = Traditional.of_hierarchy deep in
+  let _, js = Traditional.member_join_count ts ~instance:"leaf" ~cls:"c0" in
+  let _, jd = Traditional.member_join_count td ~instance:"leaf" ~cls:"c0" in
+  Alcotest.(check bool) "found in both" true
+    (Traditional.member ts ~instance:"leaf" ~cls:"c0"
+    && Traditional.member td ~instance:"leaf" ~cls:"c0");
+  Alcotest.(check bool) "deep chain needs more joins" true (jd > js)
+
+let test_extension_relation_matches_flatten () =
+  let h = Fixtures.animals () in
+  let flies = Fixtures.flies h in
+  let flat = Traditional.extension_relation flies in
+  Alcotest.(check int) "same size" (List.length (Flatten.extension_list flies))
+    (F.cardinality flat);
+  Alcotest.(check bool) "tweety row" true (F.mem flat [ "tweety" ]);
+  Alcotest.(check bool) "no paul row" false (F.mem flat [ "paul" ])
+
+let test_storage_blowup () =
+  (* one class tuple vs one row per instance *)
+  let h =
+    Hr_workload.Workload.tree_hierarchy ~name:"big" ~depth:2 ~fanout:4
+      ~instances_per_leaf:8 ()
+  in
+  let schema = Schema.make [ ("v", h) ] in
+  let rel = Relation.of_tuples ~name:"r" schema [ (Types.Pos, [ "big" ]) ] in
+  let flat = Traditional.extension_relation rel in
+  Alcotest.(check int) "hierarchical: 1 tuple" 1 (Relation.cardinality rel);
+  Alcotest.(check int) "flat: 128 rows" 128 (F.cardinality flat)
+
+let suite =
+  [
+    Alcotest.test_case "set semantics" `Quick test_set_semantics;
+    Alcotest.test_case "select and project" `Quick test_select_project;
+    Alcotest.test_case "natural join" `Quick test_join;
+    Alcotest.test_case "cartesian product" `Quick test_cartesian_when_disjoint;
+    Alcotest.test_case "set operations" `Quick test_set_ops;
+    Alcotest.test_case "rename" `Quick test_rename;
+    Alcotest.test_case "traditional membership" `Quick test_traditional_member;
+    Alcotest.test_case "join count grows with depth (footnote 1)" `Quick
+      test_traditional_join_count_grows_with_depth;
+    Alcotest.test_case "extension relation = flatten" `Quick
+      test_extension_relation_matches_flatten;
+    Alcotest.test_case "storage blow-up (claim C1)" `Quick test_storage_blowup;
+  ]

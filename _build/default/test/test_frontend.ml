@@ -1,0 +1,143 @@
+(* Front-end policy tests (§2.1, §3.1). *)
+
+module Frontend = Hr_frontend.Frontend
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+let flies_setup () =
+  let h = Fixtures.animals () in
+  let schema = Fixtures.flies_schema h in
+  let rel =
+    Relation.of_tuples ~name:"flies" schema [ (Types.Pos, [ "bird" ]) ]
+  in
+  (h, schema, rel)
+
+let test_forbid_exceptions () =
+  let _, schema, rel = flies_setup () in
+  let penguin = Item.of_names schema [ "penguin" ] in
+  match Frontend.insert ~policy:Frontend.Forbid_exceptions rel penguin Types.Neg with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "exception should be forbidden"
+
+let test_forbid_allows_consistent () =
+  let _, schema, rel = flies_setup () in
+  let canary = Item.of_names schema [ "canary" ] in
+  match Frontend.insert ~policy:Frontend.Forbid_exceptions rel canary Types.Pos with
+  | Ok (_, warnings) -> Alcotest.(check int) "no warnings" 0 (List.length warnings)
+  | Error e -> Alcotest.fail e
+
+let test_warn_on_exception () =
+  let _, schema, rel = flies_setup () in
+  let penguin = Item.of_names schema [ "penguin" ] in
+  match Frontend.insert ~policy:Frontend.Warn_on_exception rel penguin Types.Neg with
+  | Ok (rel', warnings) ->
+    Alcotest.(check int) "one warning" 1 (List.length warnings);
+    Alcotest.(check int) "overrides the bird tuple" 1
+      (List.length (List.hd warnings).Frontend.overridden);
+    Alcotest.(check int) "inserted anyway" 2 (Relation.cardinality rel')
+  | Error e -> Alcotest.fail e
+
+let test_allow_is_silent () =
+  let _, schema, rel = flies_setup () in
+  let penguin = Item.of_names schema [ "penguin" ] in
+  match Frontend.insert ~policy:Frontend.Allow_exceptions rel penguin Types.Neg with
+  | Ok (_, warnings) -> Alcotest.(check int) "silent" 0 (List.length warnings)
+  | Error e -> Alcotest.fail e
+
+let test_assert_functional_clyde () =
+  (* Rebuild Fig 4 with the front end: say elephants are grey, then just
+     "royal elephants are white" — the cancellation -[royal, grey] must be
+     generated automatically. *)
+  let he = Fixtures.elephants () and hc = Fixtures.colors () in
+  let schema = Fixtures.color_schema he hc in
+  let rel =
+    Relation.of_tuples ~name:"color" schema [ (Types.Pos, [ "elephant"; "grey" ]) ]
+  in
+  let rel =
+    Frontend.assert_functional rel ~entity_attr:"animal"
+      (Item.of_names schema [ "royal_elephant"; "white" ])
+  in
+  Alcotest.(check (option Fixtures.sign)) "cancellation generated" (Some Types.Neg)
+    (Relation.find rel (Item.of_names schema [ "royal_elephant"; "grey" ]));
+  Alcotest.(check bool) "consistent" true (Integrity.is_consistent rel);
+  Fixtures.check_holds rel [ "clyde"; "white" ] true "clyde now white";
+  Fixtures.check_holds rel [ "clyde"; "grey" ] false "grey cancelled"
+
+let test_assert_functional_chains () =
+  (* ...and then Clyde is dappled: cancels white for Clyde only. *)
+  let he = Fixtures.elephants () and hc = Fixtures.colors () in
+  let schema = Fixtures.color_schema he hc in
+  let rel =
+    Relation.of_tuples ~name:"color" schema [ (Types.Pos, [ "elephant"; "grey" ]) ]
+  in
+  let rel =
+    Frontend.assert_functional rel ~entity_attr:"animal"
+      (Item.of_names schema [ "royal_elephant"; "white" ])
+  in
+  let rel =
+    Frontend.assert_functional rel ~entity_attr:"animal"
+      (Item.of_names schema [ "clyde"; "dappled" ])
+  in
+  Fixtures.check_holds rel [ "clyde"; "dappled" ] true "clyde dappled";
+  Fixtures.check_holds rel [ "clyde"; "white" ] false "white cancelled for clyde";
+  Fixtures.check_holds rel [ "appu"; "white" ] true "appu still white"
+
+let test_left_precedence_resolution () =
+  let he = Fixtures.elephants () and hc = Fixtures.colors () in
+  let schema = Fixtures.color_schema he hc in
+  let rel =
+    Relation.of_tuples ~name:"color" schema
+      [
+        (Types.Pos, [ "royal_elephant"; "grey" ]);
+        (Types.Neg, [ "indian_elephant"; "grey" ]);
+      ]
+  in
+  Alcotest.(check bool) "conflicted before" false (Integrity.is_consistent rel);
+  let resolved = Frontend.resolve_left_precedence rel in
+  Alcotest.(check bool) "consistent after" true (Integrity.is_consistent resolved);
+  (* appu's first declared parent is royal_elephant, so the positive royal
+     tuple wins *)
+  Fixtures.check_holds resolved [ "appu"; "grey" ] true "left parent (royal) wins"
+
+let test_pessimistic_intersection () =
+  let he = Fixtures.elephants () in
+  Alcotest.(check bool) "optimistic: disjoint" false
+    (Hierarchy.intersects he
+       (Hierarchy.find_exn he "african_elephant")
+       (Hierarchy.find_exn he "indian_elephant"));
+  let cls = Frontend.pessimistic_intersection he "african_elephant" "indian_elephant" in
+  Alcotest.(check string) "name" "african_elephant&indian_elephant" cls;
+  Alcotest.(check bool) "now overlapping" true
+    (Hierarchy.intersects he
+       (Hierarchy.find_exn he "african_elephant")
+       (Hierarchy.find_exn he "indian_elephant"));
+  (* idempotent *)
+  let cls2 = Frontend.pessimistic_intersection he "african_elephant" "indian_elephant" in
+  Alcotest.(check string) "idempotent" cls cls2
+
+let test_pessimistic_catches_future_conflict () =
+  let he = Fixtures.elephants () and hc = Fixtures.colors () in
+  ignore (Frontend.pessimistic_intersection he "african_elephant" "indian_elephant");
+  let rel =
+    Relation.of_tuples ~name:"color" (Fixtures.color_schema he hc)
+      [
+        (Types.Pos, [ "african_elephant"; "grey" ]);
+        (Types.Neg, [ "indian_elephant"; "grey" ]);
+      ]
+  in
+  Alcotest.(check bool) "pessimistic check fires" false (Integrity.is_consistent rel)
+
+let suite =
+  [
+    Alcotest.test_case "forbid exceptions" `Quick test_forbid_exceptions;
+    Alcotest.test_case "forbid allows consistent inserts" `Quick test_forbid_allows_consistent;
+    Alcotest.test_case "warn on exception" `Quick test_warn_on_exception;
+    Alcotest.test_case "allow is silent" `Quick test_allow_is_silent;
+    Alcotest.test_case "functional assertion generates cancellation" `Quick
+      test_assert_functional_clyde;
+    Alcotest.test_case "functional assertions chain" `Quick test_assert_functional_chains;
+    Alcotest.test_case "left-precedence resolution" `Quick test_left_precedence_resolution;
+    Alcotest.test_case "pessimistic intersection class" `Quick test_pessimistic_intersection;
+    Alcotest.test_case "pessimistic intersection detects conflicts" `Quick
+      test_pessimistic_catches_future_conflict;
+  ]

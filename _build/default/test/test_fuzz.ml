@@ -1,0 +1,56 @@
+(* Fuzz-style safety properties: parsers must fail only with their
+   declared exceptions, whatever the input. *)
+
+module Lexer = Hr_query.Lexer
+module Parser = Hr_query.Parser
+module Datalog = Hr_datalog.Datalog
+module Csv = Hr_flat.Csv
+
+let printable_gen = QCheck2.Gen.(string_size ~gen:(char_range ' ' '~') (int_range 0 120))
+
+let prop_lexer_total =
+  QCheck2.Test.make ~name:"lexer is total up to Lex_error" ~count:500 printable_gen
+    (fun input ->
+      match Lexer.tokenize input with
+      | _ -> true
+      | exception Lexer.Lex_error _ -> true)
+
+let prop_parser_total =
+  QCheck2.Test.make ~name:"parser is total up to Parse/Lex errors" ~count:500 printable_gen
+    (fun input ->
+      match Parser.parse input with
+      | _ -> true
+      | exception (Parser.Parse_error _ | Lexer.Lex_error _) -> true)
+
+let prop_datalog_parser_total =
+  QCheck2.Test.make ~name:"datalog rule parser is total up to Datalog_error" ~count:500
+    printable_gen (fun input ->
+      match Datalog.parse_rule input with
+      | _ -> true
+      | exception Datalog.Datalog_error _ -> true)
+
+let prop_csv_parser_total =
+  QCheck2.Test.make ~name:"csv parser is total up to Csv_error" ~count:500
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '~') (int_range 0 200))
+    (fun input ->
+      match Csv.parse input with
+      | _ -> true
+      | exception Csv.Csv_error _ -> true)
+
+let prop_snapshot_decoder_total =
+  QCheck2.Test.make ~name:"snapshot decoder is total up to Corrupt_snapshot" ~count:300
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 300))
+    (fun input ->
+      match Hr_storage.Snapshot.decode input with
+      | _ -> true
+      | exception Hr_storage.Snapshot.Corrupt_snapshot _ -> true)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_lexer_total;
+      prop_parser_total;
+      prop_datalog_parser_total;
+      prop_csv_parser_total;
+      prop_snapshot_decoder_total;
+    ]

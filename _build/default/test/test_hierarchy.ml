@@ -1,0 +1,182 @@
+(* Tests for the hierarchy substrate, mostly on the paper's taxonomies. *)
+
+module Hierarchy = Hr_hierarchy.Hierarchy
+
+let names h vs = List.sort String.compare (List.map (Hierarchy.node_label h) vs)
+
+let test_structure () =
+  let h = Fixtures.animals () in
+  Alcotest.(check string) "domain" "animal" (Hierarchy.node_label h (Hierarchy.root h));
+  Alcotest.(check int) "node count" 11 (Hierarchy.node_count h);
+  Alcotest.(check bool) "tweety is instance" true
+    (Hierarchy.is_instance h (Hierarchy.find_exn h "tweety"));
+  Alcotest.(check bool) "bird is class" true
+    (Hierarchy.is_class h (Hierarchy.find_exn h "bird"));
+  Alcotest.(check int) "5 instances" 5 (List.length (Hierarchy.instances h));
+  Alcotest.(check int) "6 classes" 6 (List.length (Hierarchy.classes h))
+
+let test_membership () =
+  let h = Fixtures.animals () in
+  let sub a b = Hierarchy.subsumes h (Hierarchy.find_exn h a) (Hierarchy.find_exn h b) in
+  Alcotest.(check bool) "bird > tweety" true (sub "bird" "tweety");
+  Alcotest.(check bool) "bird > patricia" true (sub "bird" "patricia");
+  Alcotest.(check bool) "penguin > patricia (both parents)" true (sub "penguin" "patricia");
+  Alcotest.(check bool) "canary !> paul" false (sub "canary" "paul");
+  Alcotest.(check bool) "reflexive" true (sub "penguin" "penguin");
+  Alcotest.(check bool) "not upward" false (sub "penguin" "bird")
+
+let test_leaves_under () =
+  let h = Fixtures.animals () in
+  let leaves name = names h (Hierarchy.leaves_under h (Hierarchy.find_exn h name)) in
+  Alcotest.(check (list string)) "penguins" [ "pamela"; "patricia"; "paul"; "peter" ]
+    (leaves "penguin");
+  Alcotest.(check (list string)) "canaries" [ "tweety" ] (leaves "canary");
+  Alcotest.(check (list string)) "instance is own leaf" [ "peter" ] (leaves "peter")
+
+let test_empty_class_extension () =
+  let h = Hierarchy.create "d" in
+  let c = Hierarchy.add_class h "empty" in
+  Alcotest.(check (list string)) "no leaves" [] (names h (Hierarchy.leaves_under h c))
+
+let test_duplicate_name_rejected () =
+  let h = Fixtures.animals () in
+  Alcotest.check_raises "dup" (Hierarchy.Error "name \"bird\" already defined") (fun () ->
+      ignore (Hierarchy.add_class h "bird"))
+
+let test_child_under_instance_rejected () =
+  let h = Fixtures.animals () in
+  (try
+     ignore (Hierarchy.add_class h ~parents:[ "tweety" ] "sub_tweety");
+     Alcotest.fail "expected Error"
+   with Hierarchy.Error _ -> ());
+  try
+    Hierarchy.add_isa h ~sub:"bird" ~super:"tweety";
+    Alcotest.fail "expected Error"
+  with Hierarchy.Error _ -> ()
+
+let test_cycle_rejected () =
+  let h = Fixtures.animals () in
+  try
+    Hierarchy.add_isa h ~sub:"bird" ~super:"penguin";
+    Alcotest.fail "expected cycle Error"
+  with Hierarchy.Error _ -> ()
+
+let test_multi_parent () =
+  let h = Fixtures.animals () in
+  let patricia = Hierarchy.find_exn h "patricia" in
+  Alcotest.(check (list string)) "two parents"
+    [ "amazing_flying_penguin"; "galapagos_penguin" ]
+    (names h (Hierarchy.parents h patricia))
+
+let test_intersection () =
+  let h = Fixtures.elephants () in
+  let n = Hierarchy.find_exn h in
+  Alcotest.(check bool) "royal ∩ indian (appu)" true
+    (Hierarchy.intersects h (n "royal_elephant") (n "indian_elephant"));
+  Alcotest.(check bool) "african ∩ indian = ∅ (optimistic)" false
+    (Hierarchy.intersects h (n "african_elephant") (n "indian_elephant"));
+  Alcotest.(check (list string)) "mcd royal/indian" [ "appu" ]
+    (names h (Hierarchy.maximal_common_descendants h (n "royal_elephant") (n "indian_elephant")));
+  Alcotest.(check (list string)) "mcd comparable pair" [ "royal_elephant" ]
+    (names h (Hierarchy.maximal_common_descendants h (n "elephant") (n "royal_elephant")))
+
+let test_mcd_prefers_class_witness () =
+  (* When an explicit intersection class exists, the MCD is the class, not
+     its instances. *)
+  let h = Hierarchy.create "d" in
+  ignore (Hierarchy.add_class h "a");
+  ignore (Hierarchy.add_class h "b");
+  ignore (Hierarchy.add_class h ~parents:[ "a"; "b" ] "ab");
+  ignore (Hierarchy.add_instance h ~parents:[ "ab" ] "x");
+  let n = Hierarchy.find_exn h in
+  Alcotest.(check (list string)) "class witness" [ "ab" ]
+    (names h (Hierarchy.maximal_common_descendants h (n "a") (n "b")))
+
+let test_validate_and_reduce () =
+  let h = Fixtures.animals () in
+  Alcotest.(check int) "clean" 0 (List.length (Hierarchy.validate h));
+  (* pamela is already an amazing flying penguin; adding penguin as a direct
+     parent is the paper's redundant-edge example *)
+  Hierarchy.add_isa h ~sub:"pamela" ~super:"penguin";
+  Alcotest.(check int) "one redundant edge" 1 (List.length (Hierarchy.validate h));
+  Hierarchy.reduce h;
+  Alcotest.(check int) "reduced" 0 (List.length (Hierarchy.validate h));
+  Alcotest.(check bool) "membership preserved" true
+    (Hierarchy.subsumes h (Hierarchy.find_exn h "penguin") (Hierarchy.find_exn h "pamela"))
+
+let test_eliminate_class () =
+  let h = Fixtures.animals () in
+  let penguin = Hierarchy.find_exn h "penguin" in
+  Hierarchy.eliminate h ~on_path:false penguin;
+  Alcotest.(check bool) "gone" false (Hierarchy.mem h "penguin");
+  (* former grandchildren hang from bird now *)
+  Alcotest.(check bool) "bird > paul still" true
+    (Hierarchy.subsumes h (Hierarchy.find_exn h "bird") (Hierarchy.find_exn h "paul"))
+
+let test_preference_edges () =
+  let h = Fixtures.elephants () in
+  Hierarchy.add_preference h ~weaker:"indian_elephant" ~stronger:"royal_elephant";
+  let n = Hierarchy.find_exn h in
+  Alcotest.(check bool) "binding order includes preference" true
+    (Hierarchy.binds_below h (n "indian_elephant") (n "royal_elephant"));
+  Alcotest.(check bool) "isa subsumption unaffected" false
+    (Hierarchy.subsumes h (n "indian_elephant") (n "royal_elephant"))
+
+let test_rename_node () =
+  let h = Fixtures.animals () in
+  let tweety = Hierarchy.find_exn h "tweety" in
+  Hierarchy.rename_node h ~old_name:"tweety" ~new_name:"tweety_bird";
+  Alcotest.(check bool) "old name gone" false (Hierarchy.mem h "tweety");
+  Alcotest.(check int) "same node" tweety (Hierarchy.find_exn h "tweety_bird");
+  Alcotest.(check string) "label updated" "tweety_bird" (Hierarchy.node_label h tweety);
+  (* existing items keep working: node ids are stable *)
+  Alcotest.(check bool) "membership intact" true
+    (Hierarchy.subsumes h (Hierarchy.find_exn h "bird") tweety);
+  (try
+     Hierarchy.rename_node h ~old_name:"tweety_bird" ~new_name:"bird";
+     Alcotest.fail "expected Error on name clash"
+   with Hierarchy.Error _ -> ());
+  try
+    Hierarchy.rename_node h ~old_name:"ghost" ~new_name:"spirit";
+    Alcotest.fail "expected Error on unknown"
+  with Hierarchy.Error _ -> ()
+
+let test_rename_keeps_relations_valid () =
+  let h = Fixtures.animals () in
+  let flies = Fixtures.flies h in
+  let schema = Hierel.Relation.schema flies in
+  let item = Hierel.Item.of_names schema [ "tweety" ] in
+  Hierarchy.rename_node h ~old_name:"tweety" ~new_name:"tweetikins";
+  Alcotest.(check bool) "verdict survives rename" true (Hierel.Binding.holds flies item);
+  Alcotest.(check string) "items print the new name" "(tweetikins)"
+    (Hierel.Item.to_string schema item)
+
+let test_copy_isolated () =
+  let h = Fixtures.animals () in
+  let h' = Hierarchy.copy h in
+  ignore (Hierarchy.add_instance h' "polly");
+  Alcotest.(check bool) "original lacks polly" false (Hierarchy.mem h "polly");
+  Alcotest.(check bool) "copy has polly" true (Hierarchy.mem h' "polly")
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "membership is transitive reachability" `Quick test_membership;
+    Alcotest.test_case "leaves under" `Quick test_leaves_under;
+    Alcotest.test_case "empty class has empty extension" `Quick test_empty_class_extension;
+    Alcotest.test_case "duplicate names rejected" `Quick test_duplicate_name_rejected;
+    Alcotest.test_case "children under instances rejected" `Quick
+      test_child_under_instance_rejected;
+    Alcotest.test_case "type-irredundancy: cycles rejected" `Quick test_cycle_rejected;
+    Alcotest.test_case "multiple inheritance" `Quick test_multi_parent;
+    Alcotest.test_case "optimistic intersection + mcd" `Quick test_intersection;
+    Alcotest.test_case "mcd prefers explicit class witness" `Quick
+      test_mcd_prefers_class_witness;
+    Alcotest.test_case "validate flags redundant edges; reduce fixes" `Quick
+      test_validate_and_reduce;
+    Alcotest.test_case "node elimination keeps members" `Quick test_eliminate_class;
+    Alcotest.test_case "preference edges affect binding only" `Quick test_preference_edges;
+    Alcotest.test_case "rename node" `Quick test_rename_node;
+    Alcotest.test_case "rename keeps relations valid" `Quick test_rename_keeps_relations_valid;
+    Alcotest.test_case "copy isolation" `Quick test_copy_isolated;
+  ]

@@ -1,0 +1,168 @@
+(* Ambiguity-constraint tests: Figure 3 (Respects) and the optimistic
+   intersection rule of §3.1. *)
+
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+let test_fig3_unresolved () =
+  let hs = Fixtures.students () and ht = Fixtures.teachers () in
+  let r = Fixtures.respects_unresolved hs ht in
+  let conflicts = Integrity.check r in
+  Alcotest.(check int) "one conflict" 1 (List.length conflicts);
+  let c = List.hd conflicts in
+  let schema = Relation.schema r in
+  Alcotest.(check (list string)) "witness = (obsequious, incoherent)"
+    [ "(V obsequious_student, V incoherent_teacher)" ]
+    (List.map (Item.to_string schema) c.Integrity.witnesses)
+
+let test_fig3_resolved () =
+  let hs = Fixtures.students () and ht = Fixtures.teachers () in
+  let r = Fixtures.respects hs ht in
+  Alcotest.(check bool) "consistent" true (Integrity.is_consistent r);
+  Alcotest.(check int) "no conflicts" 0 (List.length (Integrity.check r))
+
+let test_optimistic_disjointness () =
+  (* +african grey, -indian grey: africans and indians share no explicit
+     common descendant, so the assertions cannot clash. *)
+  let he = Fixtures.elephants () and hc = Fixtures.colors () in
+  let r =
+    Relation.of_tuples ~name:"c" (Fixtures.color_schema he hc)
+      [
+        (Types.Pos, [ "african_elephant"; "grey" ]);
+        (Types.Neg, [ "indian_elephant"; "grey" ]);
+      ]
+  in
+  Alcotest.(check bool) "disjoint classes cannot conflict" true (Integrity.is_consistent r)
+
+let test_conflict_via_shared_instance () =
+  let he = Fixtures.elephants () and hc = Fixtures.colors () in
+  let r =
+    Relation.of_tuples ~name:"c" (Fixtures.color_schema he hc)
+      [
+        (Types.Pos, [ "royal_elephant"; "grey" ]);
+        (Types.Neg, [ "indian_elephant"; "grey" ]);
+      ]
+  in
+  let conflicts = Integrity.check r in
+  Alcotest.(check int) "appu witnesses the clash" 1 (List.length conflicts);
+  let c = List.hd conflicts in
+  Alcotest.(check (list string)) "witness is appu/grey" [ "(appu, grey)" ]
+    (List.map (Item.to_string (Relation.schema r)) c.Integrity.witnesses)
+
+let test_resolution_restores_consistency () =
+  let he = Fixtures.elephants () and hc = Fixtures.colors () in
+  let r =
+    Relation.of_tuples ~name:"c" (Fixtures.color_schema he hc)
+      [
+        (Types.Pos, [ "royal_elephant"; "grey" ]);
+        (Types.Neg, [ "indian_elephant"; "grey" ]);
+      ]
+  in
+  let conflicts = Integrity.check r in
+  let resolved =
+    List.fold_left
+      (fun r c ->
+        List.fold_left
+          (fun r w -> Relation.set r w Types.Pos)
+          r c.Integrity.witnesses)
+      r conflicts
+  in
+  Alcotest.(check bool) "asserting every witness resolves" true
+    (Integrity.is_consistent resolved)
+
+let test_comparable_tuples_never_conflict () =
+  (* -penguin under +bird is an exception, not a conflict. *)
+  let h = Fixtures.animals () in
+  Alcotest.(check bool) "fig1 consistent" true (Integrity.is_consistent (Fixtures.flies h))
+
+let test_minimal_resolution_set () =
+  let he = Fixtures.elephants () and hc = Fixtures.colors () in
+  let schema = Fixtures.color_schema he hc in
+  let r = Relation.empty schema in
+  let a = Item.of_names schema [ "royal_elephant"; "grey" ] in
+  let b = Item.of_names schema [ "indian_elephant"; "grey" ] in
+  Alcotest.(check (list string)) "mrs = appu x grey" [ "(appu, grey)" ]
+    (List.map (Item.to_string schema) (Integrity.minimal_resolution_set r a b))
+
+let test_stricter_semantics_stricter_check () =
+  (* Fig 1 is consistent off-path but patricia conflicts under
+     no-preemption. *)
+  let h = Fixtures.animals () in
+  let flies = Fixtures.flies h in
+  Alcotest.(check bool) "off-path ok" true (Integrity.is_consistent flies);
+  Alcotest.(check bool) "no-preemption finds the clash" false
+    (Integrity.is_consistent ~semantics:Types.No_preemption flies)
+
+let test_first_conflict_matches_check () =
+  let hs = Fixtures.students () and ht = Fixtures.teachers () in
+  let r = Fixtures.respects_unresolved hs ht in
+  match Integrity.first_conflict r with
+  | None -> Alcotest.fail "expected a conflict"
+  | Some c ->
+    let all = Integrity.check r in
+    Alcotest.(check bool) "same pair as check" true
+      (List.exists
+         (fun c' ->
+           Item.equal c.Integrity.pos.Relation.item c'.Integrity.pos.Relation.item
+           && Item.equal c.Integrity.neg.Relation.item c'.Integrity.neg.Relation.item)
+         all)
+
+let test_multi_coordinate_witness_product () =
+  (* Both coordinates clash with two maximal witnesses each: the minimal
+     conflict resolution set is the 2x2 product, and resolving fewer than
+     all four leaves a conflict. *)
+  let module Hierarchy = Hr_hierarchy.Hierarchy in
+  let mk name =
+    let h = Hierarchy.create name in
+    ignore (Hierarchy.add_class h (name ^ "_a"));
+    ignore (Hierarchy.add_class h (name ^ "_b"));
+    ignore (Hierarchy.add_instance h ~parents:[ name ^ "_a"; name ^ "_b" ] (name ^ "_x1"));
+    ignore (Hierarchy.add_instance h ~parents:[ name ^ "_a"; name ^ "_b" ] (name ^ "_x2"));
+    h
+  in
+  let h1 = mk "w1" and h2 = mk "w2" in
+  let schema = Schema.make [ ("p", h1); ("q", h2) ] in
+  let rel =
+    Relation.of_tuples ~name:"r" schema
+      [
+        (Types.Pos, [ "w1_a"; "w2_a" ]);
+        (Types.Neg, [ "w1_b"; "w2_b" ]);
+      ]
+  in
+  (match Integrity.check rel with
+  | [ c ] -> Alcotest.(check int) "four witnesses" 4 (List.length c.Integrity.witnesses)
+  | cs -> Alcotest.failf "expected one conflict, got %d" (List.length cs));
+  (* resolving three of the four still leaves the fourth conflicted *)
+  let witnesses =
+    match Integrity.check rel with [ c ] -> c.Integrity.witnesses | _ -> assert false
+  in
+  let partial =
+    List.fold_left
+      (fun r w -> Relation.set r w Types.Pos)
+      rel
+      (List.filteri (fun i _ -> i < 3) witnesses)
+  in
+  Alcotest.(check bool) "three of four insufficient" false (Integrity.is_consistent partial);
+  let full =
+    List.fold_left (fun r w -> Relation.set r w Types.Pos) rel witnesses
+  in
+  Alcotest.(check bool) "all four resolve" true (Integrity.is_consistent full)
+
+let suite =
+  [
+    Alcotest.test_case "multi-coordinate witness product" `Quick
+      test_multi_coordinate_witness_product;
+    Alcotest.test_case "fig3: two tuples alone are inconsistent" `Quick test_fig3_unresolved;
+    Alcotest.test_case "fig3: explicit tuple resolves" `Quick test_fig3_resolved;
+    Alcotest.test_case "optimistic disjointness" `Quick test_optimistic_disjointness;
+    Alcotest.test_case "shared instance witnesses a clash" `Quick
+      test_conflict_via_shared_instance;
+    Alcotest.test_case "asserting witnesses resolves" `Quick
+      test_resolution_restores_consistency;
+    Alcotest.test_case "exceptions are not conflicts" `Quick
+      test_comparable_tuples_never_conflict;
+    Alcotest.test_case "minimal conflict resolution set" `Quick test_minimal_resolution_set;
+    Alcotest.test_case "no-preemption is stricter" `Quick test_stricter_semantics_stricter_check;
+    Alcotest.test_case "first_conflict agrees with check" `Quick
+      test_first_conflict_matches_check;
+  ]

@@ -1,0 +1,102 @@
+(* Auto-organization tests (Conclusion: classes chosen to minimize
+   storage). *)
+
+module Mine = Hr_mine.Mine
+module Workload = Hr_workload.Workload
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+let extension_names rel =
+  let schema = Relation.schema rel in
+  List.map (fun it -> Item.to_string schema it) (Flatten.extension_list rel)
+  |> List.sort String.compare
+
+let test_exact_on_tree_all () =
+  let h = Workload.tree_hierarchy ~name:"t" ~depth:2 ~fanout:3 ~instances_per_leaf:2 () in
+  let members = List.map (Hierarchy.node_label h) (Hierarchy.instances h) in
+  let rel = Mine.organize h ~members in
+  Alcotest.(check int) "one tuple covers everything" 1 (Relation.cardinality rel);
+  Alcotest.(check int) "extension complete" (List.length members)
+    (List.length (Flatten.extension_list rel))
+
+let test_exact_on_tree_with_exception () =
+  (* everything but one instance: root+ plus a single negation *)
+  let h = Workload.tree_hierarchy ~name:"t" ~depth:2 ~fanout:3 ~instances_per_leaf:2 () in
+  let all = List.map (Hierarchy.node_label h) (Hierarchy.instances h) in
+  let members = List.tl all in
+  let rel = Mine.organize h ~members in
+  Alcotest.(check int) "two tuples" 2 (Relation.cardinality rel);
+  Alcotest.(check (list string)) "exact extension"
+    (List.sort String.compare (List.map (fun m -> "(" ^ m ^ ")") members))
+    (extension_names rel)
+
+let test_exact_on_subtree () =
+  (* exactly one subtree: a single class tuple *)
+  let h = Workload.tree_hierarchy ~name:"t" ~depth:2 ~fanout:2 ~instances_per_leaf:3 () in
+  let cls = List.hd (List.filter (fun c -> c <> Hierarchy.root h) (Hierarchy.classes h)) in
+  let members = List.map (Hierarchy.node_label h) (Hierarchy.leaves_under h cls) in
+  let rel = Mine.organize h ~members in
+  Alcotest.(check bool) "at most 2 tuples" true (Relation.cardinality rel <= 2);
+  Alcotest.(check (list string)) "exact extension"
+    (List.sort String.compare (List.map (fun m -> "(" ^ m ^ ")") members))
+    (extension_names rel)
+
+let test_empty_members () =
+  let h = Workload.tree_hierarchy ~name:"t" ~depth:1 ~fanout:2 ~instances_per_leaf:2 () in
+  let rel = Mine.organize h ~members:[] in
+  Alcotest.(check int) "empty relation" 0 (Relation.cardinality rel);
+  Alcotest.(check int) "empty extension" 0 (List.length (Flatten.extension_list rel))
+
+let test_rejects_classes () =
+  let h = Workload.tree_hierarchy ~name:"t" ~depth:1 ~fanout:2 ~instances_per_leaf:1 () in
+  let cls = List.hd (List.filter (fun c -> c <> Hierarchy.root h) (Hierarchy.classes h)) in
+  try
+    ignore (Mine.organize h ~members:[ Hierarchy.node_label h cls ]);
+    Alcotest.fail "expected Model_error"
+  with Types.Model_error _ -> ()
+
+let test_correct_on_random_dag () =
+  (* correctness (not optimality) on multi-parent hierarchies *)
+  let g = Hr_util.Prng.create 7L in
+  for seed = 1 to 10 do
+    let g = Hr_util.Prng.split g in
+    ignore seed;
+    let h =
+      Workload.random_hierarchy g
+        { Workload.default_hierarchy_spec with name = Printf.sprintf "d%d" (Hr_util.Prng.int g 1000000) }
+    in
+    let instances = Hierarchy.instances h in
+    let members =
+      List.filteri (fun i _ -> i mod 3 <> 0) instances
+      |> List.map (Hierarchy.node_label h)
+    in
+    let rel = Mine.organize h ~members in
+    Alcotest.(check (list string))
+      "extension equals requested membership"
+      (List.sort String.compare (List.map (fun m -> "(" ^ m ^ ")") members))
+      (extension_names rel)
+  done
+
+let test_compression_ratio () =
+  let h = Workload.tree_hierarchy ~name:"t" ~depth:2 ~fanout:4 ~instances_per_leaf:4 () in
+  let members = List.map (Hierarchy.node_label h) (Hierarchy.instances h) in
+  let rel = Mine.organize h ~members in
+  Alcotest.(check bool) "64x compression" true (Mine.compression_ratio rel >= 60.0)
+
+let test_is_tree () =
+  let t = Workload.tree_hierarchy ~name:"t" ~depth:2 ~fanout:2 ~instances_per_leaf:1 () in
+  Alcotest.(check bool) "tree" true (Mine.is_tree t);
+  let d = Fixtures.elephants () in
+  Alcotest.(check bool) "appu has two parents" false (Mine.is_tree d)
+
+let suite =
+  [
+    Alcotest.test_case "full membership = one tuple" `Quick test_exact_on_tree_all;
+    Alcotest.test_case "all-but-one = two tuples" `Quick test_exact_on_tree_with_exception;
+    Alcotest.test_case "one subtree" `Quick test_exact_on_subtree;
+    Alcotest.test_case "empty membership" `Quick test_empty_members;
+    Alcotest.test_case "classes rejected as members" `Quick test_rejects_classes;
+    Alcotest.test_case "correct on random DAGs" `Quick test_correct_on_random_dag;
+    Alcotest.test_case "compression ratio" `Quick test_compression_ratio;
+    Alcotest.test_case "is_tree" `Quick test_is_tree;
+  ]

@@ -1,0 +1,134 @@
+(* Pager and heap-file tests: page I/O, buffer pool behaviour, slotted
+   rows, persistence across reopen. *)
+
+module Pager = Hr_storage.Pager
+module Heap_file = Hr_storage.Heap_file
+
+let with_temp_file f =
+  let path = Filename.temp_file "hrpage" ".db" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let test_allocate_and_rw () =
+  with_temp_file (fun path ->
+      let p = Pager.create path in
+      Alcotest.(check int) "empty file" 0 (Pager.page_count p);
+      let a = Pager.allocate p in
+      let b = Pager.allocate p in
+      Alcotest.(check int) "page numbers" 0 a;
+      Alcotest.(check int) "page numbers" 1 b;
+      let page = Bytes.make Pager.page_size 'x' in
+      Pager.write_page p a page;
+      Alcotest.(check char) "written" 'x' (Bytes.get (Pager.read_page p a) 0);
+      Alcotest.(check char) "other page untouched" '\000' (Bytes.get (Pager.read_page p b) 0);
+      Pager.close p)
+
+let test_persistence_across_reopen () =
+  with_temp_file (fun path ->
+      let p = Pager.create path in
+      let a = Pager.allocate p in
+      let page = Bytes.make Pager.page_size 'z' in
+      Pager.write_page p a page;
+      Pager.close p;
+      let p2 = Pager.create path in
+      Alcotest.(check int) "page survives" 1 (Pager.page_count p2);
+      Alcotest.(check char) "data survives" 'z' (Bytes.get (Pager.read_page p2 a) 0);
+      Pager.close p2)
+
+let test_pool_hits_and_eviction () =
+  with_temp_file (fun path ->
+      let p = Pager.create ~pool_pages:2 path in
+      let pages = List.init 4 (fun _ -> Pager.allocate p) in
+      (* touch all four: pool holds only 2, so re-reading the first is a
+         disk read again *)
+      List.iter (fun n -> ignore (Pager.read_page p n)) pages;
+      let before = Pager.reads_from_disk p in
+      ignore (Pager.read_page p (List.nth pages 0));
+      Alcotest.(check bool) "evicted page re-read from disk" true
+        (Pager.reads_from_disk p > before);
+      let hit_before = Pager.hits p in
+      ignore (Pager.read_page p (List.nth pages 0));
+      Alcotest.(check bool) "hot page hits the pool" true (Pager.hits p > hit_before);
+      Pager.close p)
+
+let test_dirty_eviction_writes_back () =
+  with_temp_file (fun path ->
+      let p = Pager.create ~pool_pages:1 path in
+      let a = Pager.allocate p in
+      let b = Pager.allocate p in
+      let page = Bytes.make Pager.page_size 'd' in
+      Pager.write_page p a page;
+      (* touching b evicts dirty a *)
+      ignore (Pager.read_page p b);
+      Alcotest.(check char) "write-back preserved the data" 'd'
+        (Bytes.get (Pager.read_page p a) 0);
+      Pager.close p)
+
+let test_out_of_range () =
+  with_temp_file (fun path ->
+      let p = Pager.create path in
+      (try
+         ignore (Pager.read_page p 0);
+         Alcotest.fail "expected Invalid_argument"
+       with Invalid_argument _ -> ());
+      Pager.close p)
+
+let test_heap_append_scan () =
+  with_temp_file (fun path ->
+      let h = Heap_file.create path in
+      let rows = List.init 100 (fun i -> Printf.sprintf "row-%04d" i) in
+      List.iter (Heap_file.append h) rows;
+      Alcotest.(check int) "count" 100 (Heap_file.row_count h);
+      Alcotest.(check (list string)) "order preserved" rows (Heap_file.rows h);
+      Heap_file.close h)
+
+let test_heap_spills_pages () =
+  with_temp_file (fun path ->
+      let h = Heap_file.create path in
+      let big = String.make 1000 'r' in
+      for _ = 1 to 20 do
+        Heap_file.append h big
+      done;
+      Alcotest.(check bool) "several pages" true (Heap_file.page_count h > 1);
+      Alcotest.(check int) "all rows" 20 (Heap_file.row_count h);
+      Heap_file.close h)
+
+let test_heap_oversize_rejected () =
+  with_temp_file (fun path ->
+      let h = Heap_file.create path in
+      (try
+         Heap_file.append h (String.make 5000 'x');
+         Alcotest.fail "expected Invalid_argument"
+       with Invalid_argument _ -> ());
+      Heap_file.close h)
+
+let test_heap_persistence () =
+  with_temp_file (fun path ->
+      let h = Heap_file.create path in
+      Heap_file.append h "alpha";
+      Heap_file.append h "beta";
+      Heap_file.close h;
+      let h2 = Heap_file.create path in
+      Alcotest.(check (list string)) "rows survive" [ "alpha"; "beta" ] (Heap_file.rows h2);
+      Heap_file.close h2)
+
+let test_heap_empty_rows_ok () =
+  with_temp_file (fun path ->
+      let h = Heap_file.create path in
+      Heap_file.append h "";
+      Heap_file.append h "x";
+      Alcotest.(check (list string)) "empty row kept" [ ""; "x" ] (Heap_file.rows h);
+      Heap_file.close h)
+
+let suite =
+  [
+    Alcotest.test_case "allocate / read / write" `Quick test_allocate_and_rw;
+    Alcotest.test_case "persistence across reopen" `Quick test_persistence_across_reopen;
+    Alcotest.test_case "pool hits and eviction" `Quick test_pool_hits_and_eviction;
+    Alcotest.test_case "dirty eviction writes back" `Quick test_dirty_eviction_writes_back;
+    Alcotest.test_case "out of range" `Quick test_out_of_range;
+    Alcotest.test_case "heap append/scan" `Quick test_heap_append_scan;
+    Alcotest.test_case "heap spills across pages" `Quick test_heap_spills_pages;
+    Alcotest.test_case "oversize row rejected" `Quick test_heap_oversize_rejected;
+    Alcotest.test_case "heap persistence" `Quick test_heap_persistence;
+    Alcotest.test_case "empty rows" `Quick test_heap_empty_rows_ok;
+  ]

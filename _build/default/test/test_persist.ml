@@ -1,0 +1,141 @@
+(* Persistence tests: dump/load round trips through the HRQL format. *)
+
+module Eval = Hr_query.Eval
+module Persist = Hr_query.Persist
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+let build_catalog () =
+  let cat = Catalog.create () in
+  let script =
+    {|
+    CREATE DOMAIN pets;
+    CREATE CLASS dog UNDER pets;
+    CREATE CLASS puppy UNDER dog;
+    CREATE CLASS cat UNDER pets;
+    CREATE INSTANCE rex OF puppy;
+    CREATE INSTANCE felix OF cat;
+    CREATE INSTANCE hybrid OF dog, cat;
+    CREATE PREFERENCE dog OVER cat;
+    CREATE DOMAIN food;
+    CREATE INSTANCE kibble OF food;
+    CREATE INSTANCE fish OF food;
+    CREATE RELATION eats (pet: pets, food: food);
+    INSERT INTO eats VALUES (+ ALL dog, kibble), (- ALL puppy, kibble), (+ ALL cat, fish);
+    CREATE RELATION empty_rel (pet: pets);
+    |}
+  in
+  match Eval.run_script cat script with
+  | Ok _ -> cat
+  | Error e -> failwith e
+
+let test_dump_is_loadable () =
+  let cat = build_catalog () in
+  let dump = Persist.dump_catalog cat in
+  let cat2 = Catalog.create () in
+  (match Persist.load_string cat2 dump with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "reload failed: %s" e);
+  Alcotest.(check int) "two hierarchies" 2 (List.length (Catalog.hierarchies cat2));
+  Alcotest.(check int) "two relations" 2 (List.length (Catalog.relations cat2))
+
+let test_roundtrip_fixpoint () =
+  (* dump(load(dump(c))) = dump(c): the format is canonical *)
+  let cat = build_catalog () in
+  let d1 = Persist.dump_catalog cat in
+  let cat2 = Catalog.create () in
+  (match Persist.load_string cat2 d1 with Ok () -> () | Error e -> failwith e);
+  let d2 = Persist.dump_catalog cat2 in
+  Alcotest.(check string) "canonical" d1 d2
+
+let test_tuples_preserved () =
+  let cat = build_catalog () in
+  let cat2 = Catalog.create () in
+  (match Persist.load_string cat2 (Persist.dump_catalog cat) with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let r = Catalog.relation cat2 "eats" in
+  Alcotest.(check int) "three tuples" 3 (Relation.cardinality r);
+  let schema = Relation.schema r in
+  Alcotest.(check bool) "rex kibble excluded" false
+    (Binding.holds r (Item.of_names schema [ "rex"; "kibble" ]));
+  Alcotest.(check bool) "felix fish" true
+    (Binding.holds r (Item.of_names schema [ "felix"; "fish" ]))
+
+let test_hierarchy_structure_preserved () =
+  let cat = build_catalog () in
+  let cat2 = Catalog.create () in
+  (match Persist.load_string cat2 (Persist.dump_catalog cat) with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let h = Catalog.hierarchy cat2 "pets" in
+  Alcotest.(check bool) "multi-parent preserved" true
+    (Hierarchy.subsumes h (Hierarchy.find_exn h "dog") (Hierarchy.find_exn h "hybrid")
+    && Hierarchy.subsumes h (Hierarchy.find_exn h "cat") (Hierarchy.find_exn h "hybrid"));
+  Alcotest.(check int) "preference preserved" 1 (List.length (Hierarchy.preference_edges h));
+  Alcotest.(check bool) "instances preserved" true
+    (Hierarchy.is_instance h (Hierarchy.find_exn h "rex"))
+
+let test_file_round_trip () =
+  let cat = build_catalog () in
+  let path = Filename.temp_file "hrdb_test" ".hrql" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Persist.save cat path;
+      let cat2 = Catalog.create () in
+      (match Persist.load_file cat2 path with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "load_file: %s" e);
+      Alcotest.(check string) "same dump" (Persist.dump_catalog cat)
+        (Persist.dump_catalog cat2))
+
+let test_empty_catalog () =
+  let cat = Catalog.create () in
+  let dump = Persist.dump_catalog cat in
+  let cat2 = Catalog.create () in
+  (match Persist.load_string cat2 dump with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "empty reload: %s" e);
+  Alcotest.(check int) "nothing" 0 (List.length (Catalog.relations cat2))
+
+(* random catalogs round-trip through the text format *)
+let prop_random_roundtrip =
+  QCheck2.Test.make ~name:"dump/load is a fixpoint on random catalogs" ~count:25
+    (QCheck2.Gen.int_range 1 100_000)
+    (fun seed ->
+      let module Workload = Hr_workload.Workload in
+      let module Prng = Hr_util.Prng in
+      let g = Prng.create (Int64.of_int seed) in
+      let h =
+        Workload.random_hierarchy g
+          {
+            Workload.name = Printf.sprintf "pc%d" seed;
+            classes = 10;
+            instances = 15;
+            multi_parent_prob = 0.25;
+          }
+      in
+      let cat = Catalog.create () in
+      Catalog.define_hierarchy cat h;
+      let schema = Schema.make [ ("v", h) ] in
+      Catalog.define_relation cat
+        (Workload.consistent_random_relation g schema
+           { Workload.default_relation_spec with rel_name = Printf.sprintf "pr%d" seed });
+      let d1 = Persist.dump_catalog cat in
+      let cat2 = Catalog.create () in
+      match Persist.load_string cat2 d1 with
+      | Error _ -> false
+      | Ok () -> Persist.dump_catalog cat2 = d1)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_random_roundtrip;
+    Alcotest.test_case "dump is loadable" `Quick test_dump_is_loadable;
+    Alcotest.test_case "round trip is a fixpoint" `Quick test_roundtrip_fixpoint;
+    Alcotest.test_case "tuples preserved" `Quick test_tuples_preserved;
+    Alcotest.test_case "hierarchy structure preserved" `Quick
+      test_hierarchy_structure_preserved;
+    Alcotest.test_case "file round trip" `Quick test_file_round_trip;
+    Alcotest.test_case "empty catalog" `Quick test_empty_catalog;
+  ]

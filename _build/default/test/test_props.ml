@@ -1,0 +1,296 @@
+(* Property-based tests of the model's central invariants, on randomly
+   generated hierarchies and relations (seeded, reproducible):
+
+   - every operator commutes with flattening (the paper's §3 requirement
+     that manipulations have the same effect on hierarchical relations and
+     on their equivalent flat relations);
+   - consolidation reaches a fixpoint without changing the extension;
+   - explication produces the extension;
+   - repair produces relations satisfying the ambiguity constraint. *)
+
+module Workload = Hr_workload.Workload
+module Prng = Hr_util.Prng
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+let hierarchy_of_seed seed =
+  let g = Prng.create (Int64.of_int seed) in
+  Workload.random_hierarchy g
+    {
+      Workload.name = Printf.sprintf "h%d" seed;
+      classes = 8;
+      instances = 12;
+      multi_parent_prob = 0.25;
+    }
+
+let relation_of_seed ?(tuples = 8) schema seed =
+  let g = Prng.create (Int64.of_int (seed * 7919 + 1)) in
+  Workload.consistent_random_relation g schema
+    {
+      Workload.rel_name = Printf.sprintf "r%d" seed;
+      tuples;
+      neg_fraction = 0.35;
+      instance_fraction = 0.3;
+    }
+
+(* Fresh names per seed keep hierarchies independent (symbols are global). *)
+let seed_gen = QCheck2.Gen.int_range 1 100_000
+
+let unary_setup seed =
+  let h = hierarchy_of_seed seed in
+  let schema = Schema.make [ ("v", h) ] in
+  (h, schema, relation_of_seed schema seed)
+
+let truth_table schema rel =
+  (* ground truth by direct binding at every atomic item *)
+  List.filter_map
+    (fun inst ->
+      let item = Item.make schema [| inst |] in
+      if Binding.holds rel item then Some item else None)
+    (Hierarchy.instances (Schema.hierarchy schema 0))
+
+let prop_explicate_equals_binding =
+  QCheck2.Test.make ~name:"explication = pointwise binding" ~count:60 seed_gen (fun seed ->
+      let _, schema, rel = unary_setup seed in
+      let expected = List.sort Item.compare (truth_table schema rel) in
+      let got = List.sort Item.compare (Flatten.extension_list rel) in
+      List.equal Item.equal expected got)
+
+let prop_consolidate_preserves_extension =
+  QCheck2.Test.make ~name:"consolidate preserves the extension" ~count:60 seed_gen
+    (fun seed ->
+      let _, _, rel = unary_setup seed in
+      Flatten.equal_extension rel (Consolidate.consolidate rel))
+
+let prop_consolidate_minimal =
+  QCheck2.Test.make ~name:"consolidate reaches a fixpoint with no redundant tuples"
+    ~count:60 seed_gen (fun seed ->
+      let _, _, rel = unary_setup seed in
+      let c = Consolidate.consolidate rel in
+      Consolidate.is_consolidated c && Relation.cardinality c <= Relation.cardinality rel)
+
+let prop_consolidate_keeps_consistency =
+  QCheck2.Test.make ~name:"consolidate keeps the ambiguity constraint" ~count:60 seed_gen
+    (fun seed ->
+      let _, _, rel = unary_setup seed in
+      Integrity.is_consistent (Consolidate.consolidate rel))
+
+let prop_repair_consistent =
+  QCheck2.Test.make ~name:"workload repair satisfies the ambiguity constraint" ~count:60
+    seed_gen (fun seed ->
+      let _, _, rel = unary_setup seed in
+      Integrity.is_consistent rel)
+
+let binary_prop name op flat_op =
+  QCheck2.Test.make ~name ~count:40 seed_gen (fun seed ->
+      let h = hierarchy_of_seed seed in
+      let schema = Schema.make [ ("v", h) ] in
+      let r1 = relation_of_seed schema (seed * 2) in
+      let r2 = Relation.with_name (relation_of_seed schema ((seed * 2) + 1)) "r2" in
+      let module S = Flatten.Item_set in
+      let lifted = Flatten.extension (op r1 r2) in
+      let flat = flat_op (Flatten.extension r1) (Flatten.extension r2) in
+      S.equal lifted flat)
+
+let prop_union = binary_prop "union commutes with flattening" Ops.union Flatten.Item_set.union
+
+let prop_inter =
+  binary_prop "intersection commutes with flattening" Ops.inter Flatten.Item_set.inter
+
+let prop_diff = binary_prop "difference commutes with flattening" Ops.diff Flatten.Item_set.diff
+
+let prop_select_flat_equivalent =
+  QCheck2.Test.make ~name:"selection commutes with flattening" ~count:40 seed_gen
+    (fun seed ->
+      let h, _, rel = unary_setup seed in
+      (* select on a random class *)
+      let g = Prng.create (Int64.of_int (seed + 13)) in
+      let classes = Array.of_list (Hierarchy.classes h) in
+      let v = Prng.pick g classes in
+      let value = Hierarchy.node_label h v in
+      let selected = Ops.select rel ~attr:"v" ~value in
+      let module S = Flatten.Item_set in
+      let expected =
+        S.filter (fun it -> Hierarchy.subsumes h v (Item.coord it 0)) (Flatten.extension rel)
+      in
+      S.equal (Flatten.extension selected) expected)
+
+let prop_select_idempotent =
+  QCheck2.Test.make ~name:"selecting twice = selecting once" ~count:30 seed_gen (fun seed ->
+      let h, _, rel = unary_setup seed in
+      let g = Prng.create (Int64.of_int (seed + 29)) in
+      let v = Prng.pick g (Array.of_list (Hierarchy.classes h)) in
+      let value = Hierarchy.node_label h v in
+      let once = Ops.select rel ~attr:"v" ~value in
+      let twice = Ops.select once ~attr:"v" ~value in
+      Flatten.equal_extension once twice)
+
+let prop_union_commutative =
+  QCheck2.Test.make ~name:"union is commutative up to extension" ~count:40 seed_gen
+    (fun seed ->
+      let h = hierarchy_of_seed seed in
+      let schema = Schema.make [ ("v", h) ] in
+      let r1 = relation_of_seed schema (seed * 3) in
+      let r2 = Relation.with_name (relation_of_seed schema ((seed * 3) + 2)) "r2" in
+      Flatten.equal_extension (Ops.union r1 r2) (Ops.union r2 r1))
+
+let prop_ops_produce_consistent_results =
+  QCheck2.Test.make ~name:"operator results satisfy the ambiguity constraint" ~count:40
+    seed_gen (fun seed ->
+      let h = hierarchy_of_seed seed in
+      let schema = Schema.make [ ("v", h) ] in
+      let r1 = relation_of_seed schema (seed * 5) in
+      let r2 = Relation.with_name (relation_of_seed schema ((seed * 5) + 3)) "r2" in
+      Integrity.is_consistent (Ops.union r1 r2)
+      && Integrity.is_consistent (Ops.diff r1 r2))
+
+let prop_join_flat_equivalent =
+  QCheck2.Test.make ~name:"join commutes with flattening" ~count:25 seed_gen (fun seed ->
+      let h = hierarchy_of_seed seed in
+      let h2 = hierarchy_of_seed (seed + 50_000) in
+      let s1 = Schema.make [ ("a", h); ("b", h2) ] in
+      let s2 = Schema.make [ ("b", h2); ("c", h) ] in
+      let r1 = relation_of_seed ~tuples:5 s1 (seed * 11) in
+      let r2 = Relation.with_name (relation_of_seed ~tuples:5 s2 ((seed * 11) + 7)) "rr" in
+      let j = Ops.join r1 r2 in
+      let flat_pairs =
+        List.concat_map
+          (fun e1 ->
+            List.filter_map
+              (fun e2 ->
+                if Item.coord e1 1 = Item.coord e2 0 then
+                  Some [| Item.coord e1 0; Item.coord e1 1; Item.coord e2 1 |]
+                else None)
+              (Flatten.extension_list r2))
+          (Flatten.extension_list r1)
+      in
+      let expected = List.sort_uniq Stdlib.compare flat_pairs in
+      let got =
+        List.sort_uniq Stdlib.compare (List.map Item.coords (Flatten.extension_list j))
+      in
+      expected = got)
+
+let prop_explicate_idempotent =
+  QCheck2.Test.make ~name:"explication is idempotent" ~count:40 seed_gen (fun seed ->
+      let _, _, rel = unary_setup seed in
+      let once = Explicate.explicate rel in
+      Relation.equal once (Explicate.explicate once))
+
+let prop_workload_deterministic =
+  QCheck2.Test.make ~name:"workloads are seed-deterministic" ~count:20 seed_gen (fun seed ->
+      let _, _, r1 = unary_setup seed in
+      let _, schema2, _ = unary_setup seed in
+      let r2 = relation_of_seed schema2 seed in
+      Relation.cardinality r1 = Relation.cardinality r2
+      && List.equal
+           (fun (a : Relation.tuple) (b : Relation.tuple) ->
+             Types.sign_equal a.Relation.sign b.Relation.sign)
+           (Relation.tuples r1) (Relation.tuples r2))
+
+(* On a tree hierarchy the ancestors of any node form a chain, so the
+   relevant tuples of any single-attribute item are totally ordered:
+   off-path and on-path preemption must agree everywhere. *)
+let prop_tree_semantics_agree =
+  QCheck2.Test.make ~name:"off-path = on-path on tree hierarchies" ~count:40 seed_gen
+    (fun seed ->
+      let g = Prng.create (Int64.of_int (seed + 777)) in
+      let h =
+        Workload.random_hierarchy g
+          {
+            Workload.name = Printf.sprintf "tree%d" seed;
+            classes = 8;
+            instances = 12;
+            multi_parent_prob = 0.0 (* tree *);
+          }
+      in
+      let schema = Schema.make [ ("v", h) ] in
+      let rel =
+        Workload.consistent_random_relation g schema
+          { Workload.default_relation_spec with tuples = 8 }
+      in
+      List.for_all
+        (fun node ->
+          let item = Item.make schema [| node |] in
+          let sign s = match s with
+            | Binding.Asserted (x, _) -> `A x
+            | Binding.Unasserted -> `U
+            | Binding.Conflict _ -> `C
+          in
+          sign (Binding.verdict ~semantics:Types.Off_path rel item)
+          = sign (Binding.verdict ~semantics:Types.On_path rel item))
+        (Hierarchy.nodes h))
+
+(* Soundness of the pairwise ambiguity check: whenever it declares the
+   relation consistent, no atomic item actually conflicts. *)
+let prop_integrity_sound =
+  QCheck2.Test.make ~name:"consistency check is sound on atoms" ~count:40 seed_gen
+    (fun seed ->
+      let g = Prng.create (Int64.of_int (seed + 999)) in
+      let h =
+        Workload.random_hierarchy g
+          {
+            Workload.name = Printf.sprintf "snd%d" seed;
+            classes = 8;
+            instances = 12;
+            multi_parent_prob = 0.3;
+          }
+      in
+      let schema = Schema.make [ ("v", h) ] in
+      (* unrepaired: may or may not be consistent *)
+      let rel =
+        Workload.random_relation g schema
+          { Workload.default_relation_spec with tuples = 8 }
+      in
+      let atomic_conflict =
+        List.exists
+          (fun inst ->
+            match Binding.verdict rel (Item.make schema [| inst |]) with
+            | Binding.Conflict _ -> true
+            | Binding.Asserted _ | Binding.Unasserted -> false)
+          (Hierarchy.instances h)
+      in
+      (not (Integrity.is_consistent rel)) || not atomic_conflict)
+
+(* The justification of an item always contains its strongest binders. *)
+let prop_justification_complete =
+  QCheck2.Test.make ~name:"justification contains the binders" ~count:40 seed_gen
+    (fun seed ->
+      let _, schema, rel = unary_setup seed in
+      let h = Schema.hierarchy schema 0 in
+      List.for_all
+        (fun node ->
+          let item = Item.make schema [| node |] in
+          match Binding.verdict rel item with
+          | Binding.Asserted (_, binders) ->
+            let just = Binding.justification rel item in
+            List.for_all
+              (fun (b : Relation.tuple) ->
+                List.exists
+                  (fun (j : Relation.tuple) -> Item.equal j.Relation.item b.Relation.item)
+                  just)
+              binders
+          | Binding.Unasserted | Binding.Conflict _ -> true)
+        (Hierarchy.nodes h))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_tree_semantics_agree;
+      prop_integrity_sound;
+      prop_justification_complete;
+      prop_explicate_equals_binding;
+      prop_consolidate_preserves_extension;
+      prop_consolidate_minimal;
+      prop_consolidate_keeps_consistency;
+      prop_repair_consistent;
+      prop_union;
+      prop_inter;
+      prop_diff;
+      prop_select_flat_equivalent;
+      prop_select_idempotent;
+      prop_union_commutative;
+      prop_ops_produce_consistent_results;
+      prop_join_flat_equivalent;
+      prop_explicate_idempotent;
+      prop_workload_deterministic;
+    ]

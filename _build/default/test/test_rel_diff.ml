@@ -1,0 +1,72 @@
+(* Semantic diff tests. *)
+
+open Hierel
+
+let setup () =
+  let h = Fixtures.animals () in
+  (h, Fixtures.flies h)
+
+let test_noop () =
+  let _, flies = setup () in
+  let d = Rel_diff.diff ~prev:flies ~next:flies in
+  Alcotest.(check bool) "noop" true (Rel_diff.is_semantic_noop d);
+  Alcotest.(check int) "no tuple changes" 0
+    (List.length d.Rel_diff.added_tuples + List.length d.Rel_diff.removed_tuples)
+
+let test_consolidation_is_semantic_noop () =
+  let hs = Fixtures.students () and ht = Fixtures.teachers () in
+  let r = Fixtures.respects hs ht in
+  let c = Consolidate.consolidate r in
+  let d = Rel_diff.diff ~prev:r ~next:c in
+  Alcotest.(check bool) "extension unchanged" true (Rel_diff.is_semantic_noop d);
+  Alcotest.(check int) "two tuples removed" 2 (List.length d.Rel_diff.removed_tuples)
+
+let test_gained_and_lost () =
+  let _, flies = setup () in
+  let schema = Relation.schema flies in
+  (* grounding peter, certifying paul *)
+  let next =
+    Relation.set
+      (Relation.set flies (Item.of_names schema [ "peter" ]) Types.Neg)
+      (Item.of_names schema [ "paul" ])
+      Types.Pos
+  in
+  let d = Rel_diff.diff ~prev:flies ~next in
+  Alcotest.(check (list string)) "gained paul" [ "(paul)" ]
+    (List.map (Item.to_string schema) d.Rel_diff.gained);
+  Alcotest.(check (list string)) "lost peter" [ "(peter)" ]
+    (List.map (Item.to_string schema) d.Rel_diff.lost);
+  Alcotest.(check int) "one added tuple" 1 (List.length d.Rel_diff.added_tuples);
+  Alcotest.(check int) "one re-signed" 1 (List.length d.Rel_diff.resigned)
+
+let test_schema_mismatch () =
+  let h, flies = setup () in
+  let other = Relation.empty (Schema.make [ ("x", h) ]) in
+  try
+    ignore (Rel_diff.diff ~prev:flies ~next:other);
+    Alcotest.fail "expected Model_error"
+  with Types.Model_error _ -> ()
+
+let test_pp_mentions_changes () =
+  let _, flies = setup () in
+  let schema = Relation.schema flies in
+  let next = Relation.remove flies (Item.of_names schema [ "peter" ]) in
+  let d = Rel_diff.diff ~prev:flies ~next in
+  let out = Format.asprintf "%a" (Rel_diff.pp schema) d in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec loop i = i + n <= m && (String.sub s i n = sub || loop (i + 1)) in
+    loop 0
+  in
+  Alcotest.(check bool) "mentions peter" true (contains ~sub:"peter" out);
+  Alcotest.(check bool) "mentions lost" true (contains ~sub:"lost" out)
+
+let suite =
+  [
+    Alcotest.test_case "noop" `Quick test_noop;
+    Alcotest.test_case "consolidation is semantic noop" `Quick
+      test_consolidation_is_semantic_noop;
+    Alcotest.test_case "gained and lost" `Quick test_gained_and_lost;
+    Alcotest.test_case "schema mismatch" `Quick test_schema_mismatch;
+    Alcotest.test_case "pretty printing" `Quick test_pp_mentions_changes;
+  ]

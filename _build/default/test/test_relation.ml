@@ -1,0 +1,120 @@
+(* Relation container semantics: duplicate elimination, direct
+   contradictions, schema discipline. *)
+
+open Hierel
+
+let test_add_and_find () =
+  let h = Fixtures.animals () in
+  let schema = Fixtures.flies_schema h in
+  let r = Relation.empty ~name:"r" schema in
+  let bird = Item.of_names schema [ "bird" ] in
+  let r = Relation.add r bird Types.Pos in
+  Alcotest.(check (option Fixtures.sign)) "found" (Some Types.Pos) (Relation.find r bird);
+  Alcotest.(check int) "one tuple" 1 (Relation.cardinality r)
+
+let test_duplicate_insert_noop () =
+  let h = Fixtures.animals () in
+  let schema = Fixtures.flies_schema h in
+  let bird = Item.of_names schema [ "bird" ] in
+  let r = Relation.add (Relation.empty schema) bird Types.Pos in
+  let r = Relation.add r bird Types.Pos in
+  Alcotest.(check int) "still one" 1 (Relation.cardinality r)
+
+let test_direct_contradiction_rejected () =
+  let h = Fixtures.animals () in
+  let schema = Fixtures.flies_schema h in
+  let bird = Item.of_names schema [ "bird" ] in
+  let r = Relation.add (Relation.empty schema) bird Types.Pos in
+  try
+    ignore (Relation.add r bird Types.Neg);
+    Alcotest.fail "expected Model_error"
+  with Types.Model_error _ -> ()
+
+let test_set_overwrites () =
+  let h = Fixtures.animals () in
+  let schema = Fixtures.flies_schema h in
+  let bird = Item.of_names schema [ "bird" ] in
+  let r = Relation.add (Relation.empty schema) bird Types.Pos in
+  let r = Relation.set r bird Types.Neg in
+  Alcotest.(check (option Fixtures.sign)) "overwritten" (Some Types.Neg) (Relation.find r bird)
+
+let test_remove () =
+  let h = Fixtures.animals () in
+  let schema = Fixtures.flies_schema h in
+  let bird = Item.of_names schema [ "bird" ] in
+  let r = Relation.add (Relation.empty schema) bird Types.Pos in
+  let r = Relation.remove r bird in
+  Alcotest.(check int) "empty" 0 (Relation.cardinality r);
+  (* removing an absent item is a no-op *)
+  let r = Relation.remove r bird in
+  Alcotest.(check bool) "still empty" true (Relation.is_empty r)
+
+let test_persistence () =
+  let h = Fixtures.animals () in
+  let schema = Fixtures.flies_schema h in
+  let bird = Item.of_names schema [ "bird" ] in
+  let r0 = Relation.empty schema in
+  let r1 = Relation.add r0 bird Types.Pos in
+  Alcotest.(check int) "r0 untouched" 0 (Relation.cardinality r0);
+  Alcotest.(check int) "r1 has it" 1 (Relation.cardinality r1)
+
+let test_arity_mismatch () =
+  let h = Fixtures.animals () in
+  let schema = Fixtures.flies_schema h in
+  try
+    ignore (Item.of_names schema [ "bird"; "bird" ]);
+    Alcotest.fail "expected Model_error"
+  with Types.Model_error _ -> ()
+
+let test_unknown_name () =
+  let h = Fixtures.animals () in
+  let schema = Fixtures.flies_schema h in
+  try
+    ignore (Item.of_names schema [ "dragon" ]);
+    Alcotest.fail "expected Hierarchy.Error"
+  with Hr_hierarchy.Hierarchy.Error _ -> ()
+
+let test_tuples_deterministic_order () =
+  let h = Fixtures.animals () in
+  let flies = Fixtures.flies h in
+  Alcotest.(check int) "4 tuples" 4 (List.length (Relation.tuples flies));
+  Alcotest.(check bool) "same order every time" true
+    (Relation.tuples flies = Relation.tuples flies)
+
+let test_rows_rendering () =
+  let h = Fixtures.animals () in
+  let flies = Fixtures.flies h in
+  let rows = Relation.to_rows flies in
+  Alcotest.(check int) "4 rows" 4 (List.length rows);
+  Alcotest.(check bool) "class rows are quantified" true
+    (List.exists (fun row -> List.mem "V bird" row) rows);
+  Alcotest.(check bool) "signs in first column" true
+    (List.for_all (fun row -> List.mem (List.hd row) [ "+"; "-" ]) rows)
+
+let test_filter_fold () =
+  let h = Fixtures.animals () in
+  let flies = Fixtures.flies h in
+  let negs =
+    Relation.filter
+      (fun (t : Relation.tuple) -> Types.sign_equal t.Relation.sign Types.Neg)
+      flies
+  in
+  Alcotest.(check int) "one negation" 1 (Relation.cardinality negs);
+  let count = Relation.fold (fun _ acc -> acc + 1) flies 0 in
+  Alcotest.(check int) "fold visits all" 4 count
+
+let suite =
+  [
+    Alcotest.test_case "add and find" `Quick test_add_and_find;
+    Alcotest.test_case "duplicates eliminated" `Quick test_duplicate_insert_noop;
+    Alcotest.test_case "direct contradictions rejected" `Quick
+      test_direct_contradiction_rejected;
+    Alcotest.test_case "set overwrites" `Quick test_set_overwrites;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "persistence" `Quick test_persistence;
+    Alcotest.test_case "arity checked" `Quick test_arity_mismatch;
+    Alcotest.test_case "unknown names rejected" `Quick test_unknown_name;
+    Alcotest.test_case "deterministic tuple order" `Quick test_tuples_deterministic_order;
+    Alcotest.test_case "paper-style rendering" `Quick test_rows_rendering;
+    Alcotest.test_case "filter and fold" `Quick test_filter_fold;
+  ]

@@ -1,0 +1,100 @@
+(* Rendering and introspection coverage: DOT export, table alignment,
+   binding-graph display with exact tuples, verdict printing. *)
+
+module Dag = Hr_graph.Dag
+module Hierarchy = Hr_hierarchy.Hierarchy
+module Texttable = Hr_util.Texttable
+open Hierel
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec loop i = i + n <= m && (String.sub s i n = sub || loop (i + 1)) in
+  loop 0
+
+let test_dag_to_dot () =
+  let g = Dag.create () in
+  let a = Dag.add_node g and b = Dag.add_node g in
+  Dag.add_edge g a b;
+  Dag.add_edge g ~kind:Dag.Preference b a |> ignore;
+  let dot = Dag.to_dot ~label:(fun v -> Printf.sprintf "n%d" v) g in
+  Alcotest.(check bool) "digraph header" true (contains ~sub:"digraph" dot);
+  Alcotest.(check bool) "isa edge" true (contains ~sub:"n0 -> n1" dot);
+  Alcotest.(check bool) "preference dashed" true (contains ~sub:"style=dashed" dot)
+
+let test_hierarchy_to_dot () =
+  let h = Fixtures.animals () in
+  let dot = Hierarchy.to_dot h in
+  Alcotest.(check bool) "labels present" true
+    (contains ~sub:"penguin" dot && contains ~sub:"tweety" dot)
+
+let test_texttable_alignment () =
+  let t =
+    Texttable.create
+      ~aligns:[ Texttable.Left; Texttable.Right; Texttable.Center ]
+      [ "l"; "r"; "c" ]
+  in
+  Texttable.add_row t [ "x"; "1"; "m" ];
+  Texttable.add_row t [ "longer"; "12345"; "mid" ];
+  let s = Texttable.render t in
+  Alcotest.(check bool) "right-aligned number" true (contains ~sub:"|     1 |" s);
+  Alcotest.(check bool) "left-aligned text" true (contains ~sub:"| x      |" s)
+
+let test_binding_graph_with_exact_tuple () =
+  let h = Fixtures.animals () in
+  let flies = Fixtures.flies h in
+  let schema = Relation.schema flies in
+  let peter = Item.of_names schema [ "peter" ] in
+  let g = Binding.binding_graph flies peter in
+  (* exact tuple + bird + penguin *)
+  Alcotest.(check int) "three nodes" 3 (Array.length g.Binding.nodes);
+  (* nothing points at the item node: the exact tuple absorbs the edges *)
+  let into_item = List.filter (fun (_, j) -> j = g.Binding.item_node) g.Binding.edges in
+  Alcotest.(check int) "exact tuple absorbs the binding" 0 (List.length into_item)
+
+let test_verdict_printing () =
+  let h = Fixtures.animals () in
+  let flies = Fixtures.flies h in
+  let schema = Relation.schema flies in
+  let show item =
+    Format.asprintf "%a" (Binding.pp_verdict schema) (Binding.verdict flies item)
+  in
+  Alcotest.(check bool) "positive with binder" true
+    (contains ~sub:"+ (by" (show (Item.of_names schema [ "tweety" ])));
+  Alcotest.(check bool) "unasserted" true
+    (contains ~sub:"unasserted"
+       (show (Item.of_names schema [ "animal" ])));
+  let conflicted = Relation.add_named flies Types.Neg [ "galapagos_penguin" ] in
+  Alcotest.(check bool) "conflict printed" true
+    (contains ~sub:"CONFLICT"
+       (Format.asprintf "%a" (Binding.pp_verdict schema)
+          (Binding.verdict conflicted (Item.of_names schema [ "patricia" ]))))
+
+let test_relation_pp_has_headers () =
+  let he = Fixtures.elephants () and hc = Fixtures.colors () in
+  let color = Fixtures.animal_color he hc in
+  let s = Format.asprintf "%a" Relation.pp color in
+  Alcotest.(check bool) "headers" true (contains ~sub:"animal" s && contains ~sub:"color" s);
+  Alcotest.(check bool) "quantified rows" true (contains ~sub:"V royal_elephant" s)
+
+let test_conflict_pp () =
+  let hs = Fixtures.students () and ht = Fixtures.teachers () in
+  let r = Fixtures.respects_unresolved hs ht in
+  match Integrity.check r with
+  | [ c ] ->
+    let s = Format.asprintf "%a" (Integrity.pp_conflict (Relation.schema r)) c in
+    Alcotest.(check bool) "names both tuples" true
+      (contains ~sub:"+(V obsequious_student, V teacher)" s
+      && contains ~sub:"-(V student, V incoherent_teacher)" s)
+  | _ -> Alcotest.fail "expected one conflict"
+
+let suite =
+  [
+    Alcotest.test_case "dag DOT export" `Quick test_dag_to_dot;
+    Alcotest.test_case "hierarchy DOT export" `Quick test_hierarchy_to_dot;
+    Alcotest.test_case "table alignment" `Quick test_texttable_alignment;
+    Alcotest.test_case "binding graph with exact tuple" `Quick
+      test_binding_graph_with_exact_tuple;
+    Alcotest.test_case "verdict printing" `Quick test_verdict_printing;
+    Alcotest.test_case "relation pretty printing" `Quick test_relation_pp_has_headers;
+    Alcotest.test_case "conflict pretty printing" `Quick test_conflict_pp;
+  ]

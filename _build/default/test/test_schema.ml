@@ -1,0 +1,84 @@
+(* Schema tests: construction, lookup, projection, concatenation,
+   renaming. *)
+
+open Hierel
+
+let setup () =
+  let he = Fixtures.elephants () and hc = Fixtures.colors () in
+  (he, hc, Fixtures.color_schema he hc)
+
+let test_basics () =
+  let he, hc, schema = setup () in
+  Alcotest.(check int) "arity" 2 (Schema.arity schema);
+  Alcotest.(check (list string)) "names" [ "animal"; "color" ] (Schema.names schema);
+  Alcotest.(check bool) "hierarchy 0" true (Schema.hierarchy schema 0 == he);
+  Alcotest.(check bool) "hierarchy 1" true (Schema.hierarchy schema 1 == hc)
+
+let test_index_of () =
+  let _, _, schema = setup () in
+  Alcotest.(check int) "animal" 0 (Schema.index_of schema "animal");
+  Alcotest.(check int) "color" 1 (Schema.index_of schema "color");
+  Alcotest.(check (option int)) "missing" None (Schema.find_index schema "zzz");
+  try
+    ignore (Schema.index_of schema "zzz");
+    Alcotest.fail "expected Model_error"
+  with Types.Model_error _ -> ()
+
+let test_duplicates_rejected () =
+  let he, _, _ = setup () in
+  try
+    ignore (Schema.make [ ("a", he); ("a", he) ]);
+    Alcotest.fail "expected Model_error"
+  with Types.Model_error _ -> ()
+
+let test_empty_rejected () =
+  try
+    ignore (Schema.make []);
+    Alcotest.fail "expected Model_error"
+  with Types.Model_error _ -> ()
+
+let test_equal () =
+  let he, hc, schema = setup () in
+  let same = Schema.make [ ("animal", he); ("color", hc) ] in
+  let reordered = Schema.make [ ("color", hc); ("animal", he) ] in
+  let other_h = Schema.make [ ("animal", Fixtures.elephants ()); ("color", hc) ] in
+  Alcotest.(check bool) "equal" true (Schema.equal schema same);
+  Alcotest.(check bool) "order matters" false (Schema.equal schema reordered);
+  Alcotest.(check bool) "hierarchy identity matters" false (Schema.equal schema other_h)
+
+let test_project_and_concat () =
+  let he, hc, schema = setup () in
+  let p = Schema.project schema [ 1 ] in
+  Alcotest.(check (list string)) "projected" [ "color" ] (Schema.names p);
+  let hs = Fixtures.sizes () in
+  let extra = Schema.make [ ("size", hs) ] in
+  let c = Schema.concat schema extra in
+  Alcotest.(check (list string)) "concat" [ "animal"; "color"; "size" ] (Schema.names c);
+  (try
+     ignore (Schema.concat schema schema);
+     Alcotest.fail "expected Model_error on duplicate names"
+   with Types.Model_error _ -> ());
+  ignore he;
+  ignore hc
+
+let test_rename () =
+  let _, _, schema = setup () in
+  let r = Schema.rename schema ~old_name:"animal" ~new_name:"beast" in
+  Alcotest.(check (list string)) "renamed" [ "beast"; "color" ] (Schema.names r);
+  Alcotest.(check (list string)) "original untouched" [ "animal"; "color" ]
+    (Schema.names schema);
+  try
+    ignore (Schema.rename schema ~old_name:"animal" ~new_name:"color");
+    Alcotest.fail "expected Model_error on name clash"
+  with Types.Model_error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "index lookup" `Quick test_index_of;
+    Alcotest.test_case "duplicates rejected" `Quick test_duplicates_rejected;
+    Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+    Alcotest.test_case "equality" `Quick test_equal;
+    Alcotest.test_case "project and concat" `Quick test_project_and_concat;
+    Alcotest.test_case "rename" `Quick test_rename;
+  ]

@@ -1,0 +1,88 @@
+(* Network layer tests: a forked server process, a real TCP round trip. *)
+
+module Server = Hr_server.Server
+
+(* Fork a process that serves [connections] clients then exits. Returns
+   (port, pid). *)
+let spawn_server ?dir connections =
+  let server =
+    match dir with
+    | Some dir -> Server.create_durable ~port:0 ~dir ()
+    | None -> Server.create_memory ~port:0 ()
+  in
+  let port = Server.port server in
+  match Unix.fork () with
+  | 0 ->
+    (* child: serve then exit hard (no test-runner teardown) *)
+    for _ = 1 to connections do
+      (try Server.serve_one_connection server with _ -> ())
+    done;
+    Server.close server;
+    Unix._exit 0
+  | pid ->
+    (* parent: the child owns the listening socket's accept loop; the
+       parent's copy of the fd is closed to avoid interference *)
+    (port, pid)
+
+let wait_child pid = ignore (Unix.waitpid [] pid)
+
+let test_round_trip () =
+  let port, pid = spawn_server 1 in
+  let conn = Server.Client.connect ~port () in
+  (match Server.Client.exec conn "CREATE DOMAIN d;" with
+  | Ok out -> Alcotest.(check string) "created" "domain d created" out
+  | Error e -> Alcotest.failf "exec: %s" e);
+  (match Server.Client.exec conn "CREATE INSTANCE x OF d; CREATE RELATION r (v: d); INSERT INTO r VALUES (+ x);" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "multi: %s" e);
+  (match Server.Client.exec conn "ASK r (x);" with
+  | Ok out -> Alcotest.(check string) "verdict over the wire" "+ (by (x))" out
+  | Error e -> Alcotest.failf "ask: %s" e);
+  Server.Client.close conn;
+  wait_child pid
+
+let test_errors_propagate () =
+  let port, pid = spawn_server 1 in
+  let conn = Server.Client.connect ~port () in
+  (match Server.Client.exec conn "SELECT * FROM nope;" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error msg -> Alcotest.(check bool) "message" true (String.length msg > 0));
+  (* the connection survives an error *)
+  (match Server.Client.exec conn "CREATE DOMAIN d;" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "after error: %s" e);
+  Server.Client.close conn;
+  wait_child pid
+
+let test_durable_backend () =
+  let dir = Filename.temp_file "hrsrv" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let port, pid = spawn_server ~dir 1 in
+      let conn = Server.Client.connect ~port () in
+      (match
+         Server.Client.exec conn
+           "CREATE DOMAIN d; CREATE INSTANCE x OF d; CREATE RELATION r (v: d); INSERT INTO r VALUES (+ x);"
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "exec: %s" e);
+      Server.Client.close conn;
+      wait_child pid;
+      (* state survived in the directory: reopen directly *)
+      let db = Hr_storage.Db.open_dir dir in
+      (match Hr_storage.Db.exec db "ASK r (x);" with
+      | Ok [ out ] -> Alcotest.(check string) "durable over the wire" "+ (by (x))" out
+      | Ok _ | Error _ -> Alcotest.fail "reopen failed");
+      Hr_storage.Db.close db)
+
+let suite =
+  [
+    Alcotest.test_case "tcp round trip" `Quick test_round_trip;
+    Alcotest.test_case "errors propagate, connection survives" `Quick test_errors_propagate;
+    Alcotest.test_case "durable backend over tcp" `Quick test_durable_backend;
+  ]

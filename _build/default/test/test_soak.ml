@@ -1,0 +1,171 @@
+(* Randomized end-to-end soak test: a stream of structurally valid HRQL
+   statements hammers a catalog; after every statement the catalog's
+   relations must satisfy the ambiguity constraint (rejected updates
+   included — rejection must leave no trace). Exercises the parser,
+   evaluator, optimizer, transactions and integrity machinery together. *)
+
+module Eval = Hr_query.Eval
+module Prng = Hr_util.Prng
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+type state = {
+  cat : Catalog.t;
+  g : Prng.t;
+  mutable classes : string list;
+  mutable instances : string list;
+  mutable relations : string list;
+  mutable executed : int;
+  mutable rejected : int;
+}
+
+let fresh_name state prefix =
+  Printf.sprintf "%s%d" prefix (Prng.int state.g 1_000_000_000)
+
+let pick_opt state = function
+  | [] -> None
+  | xs -> Some (Prng.pick state.g (Array.of_list xs))
+
+let random_value state =
+  if Prng.bool state.g then
+    Option.map (fun c -> "ALL " ^ c) (pick_opt state state.classes)
+  else pick_opt state state.instances
+
+let random_statement state =
+  match Prng.int state.g 10 with
+  | 0 ->
+    let name = fresh_name state "c" in
+    let parent = Option.value ~default:"soak" (pick_opt state state.classes) in
+    state.classes <- name :: state.classes;
+    Some (Printf.sprintf "CREATE CLASS %s UNDER %s;" name parent)
+  | 1 ->
+    let name = fresh_name state "i" in
+    let parent = Option.value ~default:"soak" (pick_opt state state.classes) in
+    state.instances <- name :: state.instances;
+    Some (Printf.sprintf "CREATE INSTANCE %s OF %s;" name parent)
+  | 2 ->
+    let name = fresh_name state "r" in
+    state.relations <- name :: state.relations;
+    Some (Printf.sprintf "CREATE RELATION %s (v: soak);" name)
+  | 3 | 4 | 5 -> (
+    match pick_opt state state.relations, random_value state with
+    | Some rel, Some v ->
+      let sign = if Prng.bernoulli state.g 0.3 then "-" else "+" in
+      Some (Printf.sprintf "INSERT INTO %s VALUES (%s %s);" rel sign v)
+    | _ -> None)
+  | 6 -> (
+    match pick_opt state state.relations, pick_opt state state.instances with
+    | Some rel, Some i -> Some (Printf.sprintf "ASK %s (%s);" rel i)
+    | _ -> None)
+  | 7 ->
+    Option.map (fun rel -> Printf.sprintf "CONSOLIDATE %s;" rel)
+      (pick_opt state state.relations)
+  | 8 -> (
+    match state.relations with
+    | a :: b :: _ -> Some (Printf.sprintf "LET u%d = %s UNION %s;" (Prng.int state.g 1000) a b)
+    | _ -> None)
+  | _ ->
+    Option.map (fun rel -> Printf.sprintf "CHECK %s;" rel)
+      (pick_opt state state.relations)
+
+let run_soak seed steps =
+  let cat = Catalog.create () in
+  (match Eval.run_script cat "CREATE DOMAIN soak;" with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let state =
+    {
+      cat;
+      g = Prng.create (Int64.of_int seed);
+      classes = [ "soak" ];
+      instances = [];
+      relations = [];
+      executed = 0;
+      rejected = 0;
+    }
+  in
+  for _ = 1 to steps do
+    match random_statement state with
+    | None -> ()
+    | Some stmt -> (
+      match Eval.run_script state.cat stmt with
+      | Ok _ -> state.executed <- state.executed + 1
+      | Error _ ->
+        (* duplicate names, direct contradictions, ambiguity rejections:
+           all fine — but they must leave the catalog consistent *)
+        state.rejected <- state.rejected + 1)
+  done;
+  state
+
+let check_invariants state =
+  List.iter
+    (fun rel ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s satisfies the ambiguity constraint" (Relation.name rel))
+        true
+        (Integrity.is_consistent rel);
+      (* consolidation remains extension-preserving on live data *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s consolidates without changing meaning" (Relation.name rel))
+        true
+        (Flatten.equal_extension rel (Consolidate.consolidate rel)))
+    (Catalog.relations state.cat)
+
+let test_soak_small () =
+  let state = run_soak 42 150 in
+  Alcotest.(check bool) "made progress" true (state.executed > 50);
+  check_invariants state
+
+let test_soak_negative_heavy () =
+  let state = run_soak 1337 150 in
+  check_invariants state
+
+let test_soak_durable () =
+  (* the same stream through the durable engine, with a mid-way
+     checkpoint and a reopen at the end *)
+  let dir = Filename.temp_file "hrsoak" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let db = Hr_storage.Db.open_dir dir in
+      (match Hr_storage.Db.exec db "CREATE DOMAIN soak;" with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      let state =
+        {
+          cat = Hr_storage.Db.catalog db;
+          g = Prng.create 777L;
+          classes = [ "soak" ];
+          instances = [];
+          relations = [];
+          executed = 0;
+          rejected = 0;
+        }
+      in
+      for step = 1 to 100 do
+        (match random_statement state with
+        | None -> ()
+        | Some stmt -> (
+          match Hr_storage.Db.exec db stmt with
+          | Ok _ -> state.executed <- state.executed + 1
+          | Error _ -> state.rejected <- state.rejected + 1));
+        if step = 50 then Hr_storage.Db.checkpoint db
+      done;
+      let dump_before = Hr_query.Persist.dump_catalog (Hr_storage.Db.catalog db) in
+      Hr_storage.Db.close db;
+      let db2 = Hr_storage.Db.open_dir dir in
+      Alcotest.(check string) "recovered state identical" dump_before
+        (Hr_query.Persist.dump_catalog (Hr_storage.Db.catalog db2));
+      Hr_storage.Db.close db2)
+
+let suite =
+  [
+    Alcotest.test_case "soak: 150 random statements" `Quick test_soak_small;
+    Alcotest.test_case "soak: second seed" `Quick test_soak_negative_heavy;
+    Alcotest.test_case "soak: durable engine with checkpoint + recovery" `Quick
+      test_soak_durable;
+  ]

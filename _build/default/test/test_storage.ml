@@ -1,0 +1,309 @@
+(* Storage engine tests: codec, binary snapshots, WAL discipline, crash
+   recovery. *)
+
+module Codec = Hr_storage.Codec
+module Snapshot = Hr_storage.Snapshot
+module Wal = Hr_storage.Wal
+module Db = Hr_storage.Db
+module Persist = Hr_query.Persist
+module Eval = Hr_query.Eval
+open Hierel
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "hrdb" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* ---- codec ---------------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u8 w 42;
+  Codec.Writer.u32 w 123456;
+  Codec.Writer.u64 w 0x1122334455667788L;
+  Codec.Writer.string w "hello";
+  Codec.Writer.list w Codec.Writer.string [ "a"; "bb"; "" ];
+  let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+  Alcotest.(check int) "u8" 42 (Codec.Reader.u8 r);
+  Alcotest.(check int) "u32" 123456 (Codec.Reader.u32 r);
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Codec.Reader.u64 r);
+  Alcotest.(check string) "string" "hello" (Codec.Reader.string r);
+  Alcotest.(check (list string)) "list" [ "a"; "bb"; "" ] (Codec.Reader.list r Codec.Reader.string);
+  Alcotest.(check bool) "at end" true (Codec.Reader.at_end r)
+
+let test_codec_truncation_detected () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w "hello world";
+  let full = Codec.Writer.contents w in
+  let torn = String.sub full 0 (String.length full - 3) in
+  let r = Codec.Reader.of_string torn in
+  try
+    ignore (Codec.Reader.string r);
+    Alcotest.fail "expected Corrupt"
+  with Codec.Reader.Corrupt _ -> ()
+
+let test_crc32_known_value () =
+  (* standard test vector *)
+  Alcotest.(check int32) "check value" 0xCBF43926l (Codec.crc32 "123456789");
+  Alcotest.(check int32) "empty" 0l (Codec.crc32 "")
+
+(* ---- snapshots ------------------------------------------------------- *)
+
+let sample_catalog () =
+  let cat = Catalog.create () in
+  let script =
+    {|
+    CREATE DOMAIN pets;
+    CREATE CLASS dog UNDER pets;
+    CREATE CLASS puppy UNDER dog;
+    CREATE INSTANCE rex OF puppy;
+    CREATE INSTANCE muttley OF dog;
+    CREATE CLASS cat UNDER pets;
+    CREATE PREFERENCE dog OVER cat;
+    CREATE RELATION barks (pet: pets);
+    INSERT INTO barks VALUES (+ ALL dog), (- ALL puppy), (+ rex);
+    |}
+  in
+  (match Eval.run_script cat script with Ok _ -> () | Error e -> failwith e);
+  cat
+
+let test_snapshot_roundtrip () =
+  let cat = sample_catalog () in
+  let cat2 = Snapshot.decode (Snapshot.encode cat) in
+  (* compare through the canonical HRQL dump *)
+  Alcotest.(check string) "same dump" (Persist.dump_catalog cat) (Persist.dump_catalog cat2)
+
+let test_snapshot_corruption_detected () =
+  let cat = sample_catalog () in
+  let data = Snapshot.encode cat in
+  let tampered = Bytes.of_string data in
+  Bytes.set tampered (String.length data / 2) 'X';
+  (try
+     ignore (Snapshot.decode (Bytes.to_string tampered));
+     Alcotest.fail "expected Corrupt_snapshot"
+   with Snapshot.Corrupt_snapshot _ -> ());
+  try
+    ignore (Snapshot.decode "not a snapshot at all");
+    Alcotest.fail "expected Corrupt_snapshot on garbage"
+  with Snapshot.Corrupt_snapshot _ -> ()
+
+let test_snapshot_file_roundtrip () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "snap.bin" in
+      let cat = sample_catalog () in
+      Snapshot.write_file cat path;
+      let cat2 = Snapshot.read_file path in
+      Alcotest.(check string) "same dump" (Persist.dump_catalog cat)
+        (Persist.dump_catalog cat2))
+
+(* ---- WAL ------------------------------------------------------------- *)
+
+let test_wal_append_replay () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.open_ path in
+      Wal.append w "CREATE DOMAIN d;";
+      Wal.append w "CREATE INSTANCE x OF d;";
+      Wal.close w;
+      Alcotest.(check (list string)) "replay in order"
+        [ "CREATE DOMAIN d;"; "CREATE INSTANCE x OF d;" ]
+        (Wal.replay path))
+
+let test_wal_torn_tail_dropped () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.open_ path in
+      Wal.append w "CREATE DOMAIN d;";
+      Wal.append w "CREATE DOMAIN e;";
+      Wal.close w;
+      (* tear the last record *)
+      let ic = open_in_bin path in
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc (String.sub data 0 (String.length data - 5));
+      close_out oc;
+      Alcotest.(check (list string)) "tail dropped" [ "CREATE DOMAIN d;" ] (Wal.replay path))
+
+let test_wal_missing_file () =
+  Alcotest.(check (list string)) "no file, no records" [] (Wal.replay "/nonexistent/wal.log")
+
+(* ---- Db: recovery ----------------------------------------------------- *)
+
+let setup_script =
+  {|
+  CREATE DOMAIN animal;
+  CREATE CLASS bird UNDER animal;
+  CREATE CLASS penguin UNDER bird;
+  CREATE INSTANCE tweety OF bird;
+  CREATE INSTANCE paul OF penguin;
+  CREATE RELATION flies (creature: animal);
+  INSERT INTO flies VALUES (+ ALL bird), (- ALL penguin);
+  |}
+
+let ask db q =
+  match Db.exec db q with
+  | Ok [ out ] -> out
+  | Ok _ -> Alcotest.fail "expected one output"
+  | Error e -> Alcotest.failf "query failed: %s" e
+
+let test_db_recovers_from_wal () =
+  with_temp_dir (fun dir ->
+      let db = Db.open_dir dir in
+      (match Db.exec db setup_script with Ok _ -> () | Error e -> failwith e);
+      Alcotest.(check bool) "wal has records" true (Db.wal_records db > 0);
+      Db.close db;
+      (* no checkpoint: everything must come back from the log *)
+      let db2 = Db.open_dir dir in
+      Alcotest.(check string) "verdict survives" "+ (by (V bird))" (ask db2 "ASK flies (tweety);");
+      Alcotest.(check string) "exception survives" "- (by (V penguin))"
+        (ask db2 "ASK flies (paul);");
+      Db.close db2)
+
+let test_db_checkpoint_then_recover () =
+  with_temp_dir (fun dir ->
+      let db = Db.open_dir dir in
+      (match Db.exec db setup_script with Ok _ -> () | Error e -> failwith e);
+      Db.checkpoint db;
+      Alcotest.(check int) "wal empty after checkpoint" 0 (Db.wal_records db);
+      (* post-checkpoint update goes to the fresh log *)
+      (match Db.exec db "INSERT INTO flies VALUES (+ paul);" with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      Db.close db;
+      let db2 = Db.open_dir dir in
+      Alcotest.(check string) "snapshot + wal merge" "+ (by (paul))" (ask db2 "ASK flies (paul);");
+      Db.close db2)
+
+let test_db_rejected_update_not_logged () =
+  with_temp_dir (fun dir ->
+      let db = Db.open_dir dir in
+      (match Db.exec db setup_script with Ok _ -> () | Error e -> failwith e);
+      let before = Db.wal_records db in
+      (* direct contradiction: rejected *)
+      (match Db.exec db "INSERT INTO flies VALUES (- ALL bird);" with
+      | Ok _ -> Alcotest.fail "expected rejection"
+      | Error _ -> ());
+      Alcotest.(check int) "nothing logged" before (Db.wal_records db);
+      Db.close db;
+      (* and recovery still works *)
+      let db2 = Db.open_dir dir in
+      Alcotest.(check string) "state intact" "+ (by (V bird))" (ask db2 "ASK flies (tweety);");
+      Db.close db2)
+
+let test_db_torn_wal_recovery () =
+  with_temp_dir (fun dir ->
+      let db = Db.open_dir dir in
+      (match Db.exec db setup_script with Ok _ -> () | Error e -> failwith e);
+      Db.close db;
+      (* simulate a crash mid-append *)
+      let path = Filename.concat dir "wal.log" in
+      let ic = open_in_bin path in
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc (String.sub data 0 (String.length data - 3));
+      close_out oc;
+      (* the torn record was the INSERT; everything before it survives *)
+      let db2 = Db.open_dir dir in
+      Alcotest.(check bool) "relation exists" true
+        (Option.is_some (Catalog.find_relation (Db.catalog db2) "flies"));
+      Alcotest.(check int) "insert lost with the torn tail" 0
+        (Relation.cardinality (Catalog.relation (Db.catalog db2) "flies"));
+      Db.close db2)
+
+let test_db_lock_released_on_close () =
+  with_temp_dir (fun dir ->
+      let db = Db.open_dir dir in
+      Db.close db;
+      (* reopen after close works; the LOCK file itself remains *)
+      let db2 = Db.open_dir dir in
+      Db.close db2;
+      Alcotest.(check bool) "lock file exists" true
+        (Sys.file_exists (Filename.concat dir "LOCK")))
+
+let test_db_reads_not_logged () =
+  with_temp_dir (fun dir ->
+      let db = Db.open_dir dir in
+      (match Db.exec db setup_script with Ok _ -> () | Error e -> failwith e);
+      let before = Db.wal_records db in
+      ignore (ask db "ASK flies (tweety);");
+      ignore (ask db "COUNT flies;");
+      Alcotest.(check int) "reads leave no trace" before (Db.wal_records db);
+      Db.close db)
+
+(* random catalogs round-trip through the binary format *)
+let prop_snapshot_random_roundtrip =
+  QCheck2.Test.make ~name:"binary snapshot round trip on random catalogs" ~count:25
+    (QCheck2.Gen.int_range 1 100_000)
+    (fun seed ->
+      let module Workload = Hr_workload.Workload in
+      let module Prng = Hr_util.Prng in
+      let g = Prng.create (Int64.of_int seed) in
+      let h =
+        Workload.random_hierarchy g
+          {
+            Workload.name = Printf.sprintf "sc%d" seed;
+            classes = 10;
+            instances = 15;
+            multi_parent_prob = 0.25;
+          }
+      in
+      let cat = Catalog.create () in
+      Catalog.define_hierarchy cat h;
+      let schema = Schema.make [ ("v", h) ] in
+      Catalog.define_relation cat
+        (Workload.consistent_random_relation g schema
+           { Workload.default_relation_spec with rel_name = Printf.sprintf "sr%d" seed });
+      let cat2 = Snapshot.decode (Snapshot.encode cat) in
+      Persist.dump_catalog cat2 = Persist.dump_catalog cat)
+
+let test_db_full_paper_script () =
+  (* the complete paper script runs durably, checkpoints, and survives a
+     reopen with nothing but the binary snapshot *)
+  with_temp_dir (fun dir ->
+      let script =
+        let ic = open_in "../../../examples/paper.hrql" in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let db = Db.open_dir dir in
+      (match Db.exec db script with Ok _ -> () | Error e -> Alcotest.failf "script: %s" e);
+      Db.checkpoint db;
+      Db.close db;
+      let db2 = Db.open_dir dir in
+      Alcotest.(check string) "verdicts survive checkpointed restart" "+ (by (V bird))"
+        (ask db2 "ASK flies (tweety);");
+      Alcotest.(check bool) "derived relations survive" true
+        (Option.is_some (Catalog.find_relation (Db.catalog db2) "between_them"));
+      Db.close db2)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_snapshot_random_roundtrip;
+    Alcotest.test_case "db runs the full paper script durably" `Quick
+      test_db_full_paper_script;
+    Alcotest.test_case "codec round trip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec truncation detected" `Quick test_codec_truncation_detected;
+    Alcotest.test_case "crc32 test vector" `Quick test_crc32_known_value;
+    Alcotest.test_case "snapshot round trip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot corruption detected" `Quick test_snapshot_corruption_detected;
+    Alcotest.test_case "snapshot file round trip" `Quick test_snapshot_file_roundtrip;
+    Alcotest.test_case "wal append and replay" `Quick test_wal_append_replay;
+    Alcotest.test_case "wal torn tail dropped" `Quick test_wal_torn_tail_dropped;
+    Alcotest.test_case "wal missing file" `Quick test_wal_missing_file;
+    Alcotest.test_case "db recovers from wal" `Quick test_db_recovers_from_wal;
+    Alcotest.test_case "db checkpoint then recover" `Quick test_db_checkpoint_then_recover;
+    Alcotest.test_case "db rejected update not logged" `Quick test_db_rejected_update_not_logged;
+    Alcotest.test_case "db torn wal recovery" `Quick test_db_torn_wal_recovery;
+    Alcotest.test_case "db reads not logged" `Quick test_db_reads_not_logged;
+    Alcotest.test_case "db lock released on close" `Quick test_db_lock_released_on_close;
+  ]

@@ -1,0 +1,100 @@
+(* Subsumption graph tests: transitive reduction of tuple subsumption,
+   the universal negated root, and graph shape on the paper's relations. *)
+
+open Hierel
+
+let test_fig1c_shape () =
+  let h = Fixtures.animals () in
+  let flies = Fixtures.flies h in
+  let g = Subsumption.build flies in
+  Alcotest.(check int) "four tuples" 4 (Subsumption.tuple_count g);
+  (* root -> bird only *)
+  let root_succs = Subsumption.succs g (Subsumption.root g) in
+  Alcotest.(check int) "one graph root" 1 (List.length root_succs);
+  let schema = Relation.schema flies in
+  let label i = Item.to_string schema (Subsumption.tuple g i).Relation.item in
+  Alcotest.(check string) "root covers bird" "(V bird)" (label (List.hd root_succs));
+  (* the penguin node has two children: afp and peter *)
+  let penguin =
+    List.find
+      (fun i -> i <> Subsumption.root g && label i = "(V penguin)")
+      (List.init (Subsumption.tuple_count g) Fun.id)
+  in
+  Alcotest.(check int) "penguin covers afp and peter" 2
+    (List.length (Subsumption.succs g penguin));
+  (* transitive reduction: no direct bird -> peter edge *)
+  let bird =
+    List.find
+      (fun i -> i <> Subsumption.root g && label i = "(V bird)")
+      (List.init (Subsumption.tuple_count g) Fun.id)
+  in
+  Alcotest.(check int) "bird has a single child" 1 (List.length (Subsumption.succs g bird))
+
+let test_sign_of_node () =
+  let h = Fixtures.animals () in
+  let g = Subsumption.build (Fixtures.flies h) in
+  Alcotest.(check Fixtures.sign) "root is negated" Types.Neg
+    (Subsumption.sign_of_node g (Subsumption.root g))
+
+let test_topological_root_first () =
+  let h = Fixtures.animals () in
+  let g = Subsumption.build (Fixtures.flies h) in
+  match Subsumption.topological g with
+  | first :: _ -> Alcotest.(check int) "root leads" (Subsumption.root g) first
+  | [] -> Alcotest.fail "empty order"
+
+let test_incomparable_tuples_both_under_root () =
+  let he = Fixtures.elephants () and hc = Fixtures.colors () in
+  let r =
+    Relation.of_tuples ~name:"r" (Fixtures.color_schema he hc)
+      [
+        (Types.Pos, [ "african_elephant"; "grey" ]);
+        (Types.Pos, [ "indian_elephant"; "grey" ]);
+      ]
+  in
+  let g = Subsumption.build r in
+  Alcotest.(check int) "both hang off the universal root" 2
+    (List.length (Subsumption.succs g (Subsumption.root g)))
+
+let test_multi_attribute_reduction () =
+  (* (elephant, grey) > (royal, grey) > (clyde, grey): the long edge is
+     reduced away *)
+  let he = Fixtures.elephants () and hc = Fixtures.colors () in
+  let r =
+    Relation.of_tuples ~name:"r" (Fixtures.color_schema he hc)
+      [
+        (Types.Pos, [ "elephant"; "grey" ]);
+        (Types.Pos, [ "royal_elephant"; "grey" ]);
+        (Types.Pos, [ "clyde"; "grey" ]);
+      ]
+  in
+  let g = Subsumption.build r in
+  let schema = Relation.schema r in
+  let node_of label =
+    List.find
+      (fun i ->
+        i <> Subsumption.root g
+        && Item.to_string schema (Subsumption.tuple g i).Relation.item = label)
+      (List.init (Subsumption.tuple_count g) Fun.id)
+  in
+  let elephant = node_of "(V elephant, grey)" in
+  Alcotest.(check int) "single reduced edge" 1 (List.length (Subsumption.succs g elephant));
+  let clyde = node_of "(clyde, grey)" in
+  Alcotest.(check int) "clyde has one pred" 1 (List.length (Subsumption.preds g clyde))
+
+let test_empty_relation_graph () =
+  let h = Fixtures.animals () in
+  let g = Subsumption.build (Relation.empty ~name:"e" (Fixtures.flies_schema h)) in
+  Alcotest.(check int) "no tuples" 0 (Subsumption.tuple_count g);
+  Alcotest.(check int) "just the root" 1 (List.length (Subsumption.topological g))
+
+let suite =
+  [
+    Alcotest.test_case "fig1c shape" `Quick test_fig1c_shape;
+    Alcotest.test_case "universal root is negated" `Quick test_sign_of_node;
+    Alcotest.test_case "topological order" `Quick test_topological_root_first;
+    Alcotest.test_case "incomparable tuples under root" `Quick
+      test_incomparable_tuples_both_under_root;
+    Alcotest.test_case "multi-attribute reduction" `Quick test_multi_attribute_reduction;
+    Alcotest.test_case "empty relation" `Quick test_empty_relation_graph;
+  ]

@@ -1,0 +1,134 @@
+(* Three-valued / partial-information extension tests (paper Conclusion). *)
+
+module Tv = Hr_threeval.Threeval
+open Hierel
+
+let setup () =
+  let h = Fixtures.animals () in
+  let schema = Fixtures.flies_schema h in
+  (h, schema)
+
+let item schema name = Item.of_names schema [ name ]
+
+let test_open_world_default () =
+  let _, schema = setup () in
+  let r = Tv.empty schema in
+  Alcotest.(check bool) "unknown by default" true
+    (Tv.truth r (item schema "tweety") = Tv.Unknown);
+  Alcotest.(check bool) "possible" true (Tv.possible r (item schema "tweety"));
+  Alcotest.(check bool) "not certain" false (Tv.certain r (item schema "tweety"))
+
+let test_affirm_deny_inheritance () =
+  let _, schema = setup () in
+  let r = Tv.affirm (Tv.empty schema) (item schema "bird") in
+  let r = Tv.deny r (item schema "penguin") in
+  Alcotest.(check bool) "tweety certainly flies" true (Tv.certain r (item schema "tweety"));
+  Alcotest.(check bool) "paul certainly grounded" false (Tv.possible r (item schema "paul"));
+  Alcotest.(check bool) "exception overrides" true
+    (Tv.truth r (item schema "penguin") = Tv.False)
+
+let test_marked_unknown_shadows () =
+  (* birds fly; for galapagos penguins we explicitly do not know *)
+  let _, schema = setup () in
+  let r = Tv.affirm (Tv.empty schema) (item schema "bird") in
+  let r = Tv.mark_unknown r (item schema "galapagos_penguin") in
+  Alcotest.(check bool) "tweety still certain" true (Tv.certain r (item schema "tweety"));
+  Alcotest.(check bool) "paul retracted to unknown" true
+    (Tv.truth r (item schema "paul") = Tv.Unknown);
+  Alcotest.(check bool) "paul remains possible" true (Tv.possible r (item schema "paul"))
+
+let test_conflict_raises () =
+  let he = Fixtures.elephants () in
+  let hc = Fixtures.colors () in
+  let schema = Fixtures.color_schema he hc in
+  let r = Tv.affirm (Tv.empty schema) (Item.of_names schema [ "royal_elephant"; "grey" ]) in
+  let r = Tv.deny r (Item.of_names schema [ "indian_elephant"; "grey" ]) in
+  (try
+     ignore (Tv.truth r (Item.of_names schema [ "appu"; "grey" ]));
+     Alcotest.fail "expected Conflict"
+   with Tv.Conflict _ -> ());
+  Alcotest.(check bool) "is_consistent sees it" false (Tv.is_consistent r)
+
+let test_exists_status () =
+  let _, schema = setup () in
+  let r = Tv.empty schema in
+  Alcotest.(check bool) "possible with no info" true
+    (Tv.exists_status r (item schema "penguin") = `Possible);
+  let r = Tv.assert_exists r (item schema "amazing_flying_penguin") in
+  Alcotest.(check bool) "existential on subset certifies superset" true
+    (Tv.exists_status r (item schema "penguin") = `Certain);
+  (* denying the whole class kills the possibility *)
+  let r2 = Tv.deny (Tv.empty schema) (item schema "penguin") in
+  Alcotest.(check bool) "impossible when all members denied" true
+    (Tv.exists_status r2 (item schema "penguin") = `Impossible)
+
+let test_exists_certain_via_member () =
+  let _, schema = setup () in
+  let r = Tv.affirm (Tv.empty schema) (item schema "pamela") in
+  Alcotest.(check bool) "certain through a member" true
+    (Tv.exists_status r (item schema "penguin") = `Certain)
+
+let test_existential_consistency () =
+  let _, schema = setup () in
+  let r = Tv.deny (Tv.empty schema) (item schema "penguin") in
+  let r = Tv.assert_exists r (item schema "galapagos_penguin") in
+  Alcotest.(check bool) "E(galapagos) contradicts -penguin" false (Tv.is_consistent r);
+  (* re-allowing one member restores satisfiability *)
+  let r = Tv.affirm r (item schema "paul") in
+  Alcotest.(check bool) "a witness fixes it" true (Tv.is_consistent r)
+
+let test_roundtrip_with_two_valued () =
+  let h = Fixtures.animals () in
+  let flies = Fixtures.flies h in
+  let tv = Tv.of_relation flies in
+  Alcotest.(check int) "all tuples imported" (Relation.cardinality flies) (Tv.cardinality tv);
+  let schema = Relation.schema flies in
+  Alcotest.(check bool) "same verdict for patricia" true
+    (Tv.certain tv (item schema "patricia"));
+  (* closed-world export round-trips *)
+  let back = Tv.to_relation tv in
+  Alcotest.(check bool) "round trip" true (Relation.equal flies back)
+
+let test_export_rejects_existentials () =
+  let _, schema = setup () in
+  let r = Tv.assert_exists (Tv.empty schema) (item schema "penguin") in
+  try
+    ignore (Tv.to_relation r);
+    Alcotest.fail "expected Model_error"
+  with Types.Model_error _ -> ()
+
+let test_export_open_world_rejects_unknown_marks () =
+  let _, schema = setup () in
+  let r = Tv.mark_unknown (Tv.empty schema) (item schema "penguin") in
+  (* closed world silently drops the mark *)
+  Alcotest.(check int) "closed world drops" 0 (Relation.cardinality (Tv.to_relation r));
+  try
+    ignore (Tv.to_relation ~closed_world:false r);
+    Alcotest.fail "expected Model_error"
+  with Types.Model_error _ -> ()
+
+let test_mark_replacement_and_retract () =
+  let _, schema = setup () in
+  let r = Tv.affirm (Tv.empty schema) (item schema "penguin") in
+  let r = Tv.deny r (item schema "penguin") in
+  Alcotest.(check bool) "later mark replaces" true
+    (Tv.truth r (item schema "paul") = Tv.False);
+  let r = Tv.retract r (item schema "penguin") in
+  Alcotest.(check bool) "retraction restores open world" true
+    (Tv.truth r (item schema "paul") = Tv.Unknown)
+
+let suite =
+  [
+    Alcotest.test_case "open world default" `Quick test_open_world_default;
+    Alcotest.test_case "affirm/deny inheritance" `Quick test_affirm_deny_inheritance;
+    Alcotest.test_case "marked unknown shadows" `Quick test_marked_unknown_shadows;
+    Alcotest.test_case "conflicts raise" `Quick test_conflict_raises;
+    Alcotest.test_case "existential status" `Quick test_exists_status;
+    Alcotest.test_case "certain via member" `Quick test_exists_certain_via_member;
+    Alcotest.test_case "existential consistency" `Quick test_existential_consistency;
+    Alcotest.test_case "two-valued round trip" `Quick test_roundtrip_with_two_valued;
+    Alcotest.test_case "export rejects existentials" `Quick test_export_rejects_existentials;
+    Alcotest.test_case "open-world export rejects unknown" `Quick
+      test_export_open_world_rejects_unknown_marks;
+    Alcotest.test_case "replace and retract" `Quick test_mark_replacement_and_retract;
+  ]

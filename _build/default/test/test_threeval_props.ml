@@ -1,0 +1,92 @@
+(* Property tests for the three-valued extension: agreement with the
+   two-valued model on its fragment, and modal coherence. *)
+
+module Tv = Hr_threeval.Threeval
+module Workload = Hr_workload.Workload
+module Prng = Hr_util.Prng
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+let setup seed =
+  let g = Prng.create (Int64.of_int seed) in
+  let h =
+    Workload.random_hierarchy g
+      {
+        Workload.name = Printf.sprintf "tv%d" seed;
+        classes = 8;
+        instances = 12;
+        multi_parent_prob = 0.25;
+      }
+  in
+  let schema = Schema.make [ ("v", h) ] in
+  let rel =
+    Workload.consistent_random_relation g schema
+      { Workload.default_relation_spec with tuples = 8 }
+  in
+  (h, schema, rel)
+
+let seed_gen = QCheck2.Gen.int_range 1 100_000
+
+(* On relations imported from the two-valued model, three-valued truth
+   refines the closed-world verdict: True where it held, never False
+   where it held, and False only where the two-valued model denied or
+   left unsaid. *)
+let prop_import_refines =
+  QCheck2.Test.make ~name:"threeval import refines two-valued verdicts" ~count:40 seed_gen
+    (fun seed ->
+      let h, schema, rel = setup seed in
+      let tv = Tv.of_relation rel in
+      List.for_all
+        (fun inst ->
+          let item = Item.make schema [| inst |] in
+          let two = Binding.holds rel item in
+          match Tv.truth tv item with
+          | Tv.True -> two
+          | Tv.False -> not two
+          | Tv.Unknown -> not two (* closed world mapped unknowns to false *)
+          | exception Tv.Conflict _ -> false)
+        (Hierarchy.instances h))
+
+let prop_modalities_coherent =
+  QCheck2.Test.make ~name:"certain implies possible" ~count:40 seed_gen (fun seed ->
+      let h, schema, rel = setup seed in
+      let tv = Tv.of_relation rel in
+      List.for_all
+        (fun inst ->
+          let item = Item.make schema [| inst |] in
+          match Tv.certain tv item, Tv.possible tv item with
+          | true, p -> p
+          | false, _ -> true
+          | exception Tv.Conflict _ -> true)
+        (Hierarchy.instances h))
+
+let prop_roundtrip_closed_world =
+  QCheck2.Test.make ~name:"of_relation/to_relation round trip" ~count:40 seed_gen
+    (fun seed ->
+      let _, _, rel = setup seed in
+      Relation.equal rel (Tv.to_relation (Tv.of_relation rel)))
+
+let prop_exists_monotone =
+  QCheck2.Test.make ~name:"exists_status is monotone up the hierarchy" ~count:40 seed_gen
+    (fun seed ->
+      let h, schema, rel = setup seed in
+      let tv = Tv.of_relation rel in
+      let rank = function `Certain -> 2 | `Possible -> 1 | `Impossible -> 0 in
+      (* a class's status is at least as strong as any child's *)
+      List.for_all
+        (fun cls ->
+          let here = rank (Tv.exists_status tv (Item.make schema [| cls |])) in
+          List.for_all
+            (fun child ->
+              rank (Tv.exists_status tv (Item.make schema [| child |])) <= here)
+            (Hierarchy.children h cls))
+        (Hierarchy.classes h))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_import_refines;
+      prop_modalities_coherent;
+      prop_roundtrip_closed_world;
+      prop_exists_monotone;
+    ]

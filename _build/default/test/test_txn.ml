@@ -1,0 +1,149 @@
+(* Catalog and transaction tests (paper §3.1: conflicts must be resolved
+   within the transaction that creates them). *)
+
+open Hierel
+
+let setup () =
+  let he = Fixtures.elephants () in
+  let hc = Fixtures.colors () in
+  let cat = Catalog.create () in
+  Catalog.define_hierarchy cat he;
+  Catalog.define_hierarchy cat hc;
+  Catalog.define_relation cat (Fixtures.animal_color he hc);
+  (cat, he, hc)
+
+let test_catalog_lookup () =
+  let cat, he, _ = setup () in
+  Alcotest.(check bool) "hierarchy registered" true
+    (Option.is_some (Catalog.find_hierarchy cat "animal"));
+  Alcotest.(check bool) "relation registered" true
+    (Option.is_some (Catalog.find_relation cat "animal_color"));
+  Alcotest.(check int) "5 tuples" 5 (Relation.cardinality (Catalog.relation cat "animal_color"));
+  ignore he
+
+let test_duplicate_definitions_rejected () =
+  let cat, he, _ = setup () in
+  (try
+     Catalog.define_hierarchy cat he;
+     Alcotest.fail "expected Model_error"
+   with Types.Model_error _ -> ());
+  try
+    Catalog.define_relation cat (Catalog.relation cat "animal_color");
+    Alcotest.fail "expected Model_error"
+  with Types.Model_error _ -> ()
+
+let test_inconsistent_initial_contents_rejected () =
+  let cat = Catalog.create () in
+  let hs = Fixtures.students () and ht = Fixtures.teachers () in
+  try
+    Catalog.define_relation cat (Fixtures.respects_unresolved hs ht);
+    Alcotest.fail "expected Model_error"
+  with Types.Model_error _ -> ()
+
+let test_commit_success () =
+  let cat, _, _ = setup () in
+  let txn = Txn.begin_ cat in
+  Txn.insert txn ~rel:"animal_color" Types.Pos [ "african_elephant"; "grey" ];
+  (match Txn.commit txn with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "expected success");
+  Alcotest.(check int) "published" 6 (Relation.cardinality (Catalog.relation cat "animal_color"))
+
+let test_commit_rejects_conflict () =
+  let cat, _, _ = setup () in
+  let txn = Txn.begin_ cat in
+  (* indian elephants grey clashes with royal-not-grey at appu *)
+  Txn.insert txn ~rel:"animal_color" Types.Pos [ "indian_elephant"; "grey" ];
+  (match Txn.commit txn with
+  | Ok () -> Alcotest.fail "expected violation"
+  | Error [ v ] ->
+    Alcotest.(check string) "names the relation" "animal_color" v.Txn.relation_name;
+    Alcotest.(check bool) "reports a conflict" true (v.Txn.conflicts <> [])
+  | Error _ -> Alcotest.fail "expected a single violation");
+  (* nothing published *)
+  Alcotest.(check int) "unchanged" 5 (Relation.cardinality (Catalog.relation cat "animal_color"))
+
+let test_repair_within_transaction () =
+  let cat, _, _ = setup () in
+  let txn = Txn.begin_ cat in
+  Txn.insert txn ~rel:"animal_color" Types.Pos [ "indian_elephant"; "grey" ];
+  (* resolve at the witness: appu is explicitly not grey *)
+  Txn.insert txn ~rel:"animal_color" Types.Neg [ "appu"; "grey" ];
+  (match Txn.commit txn with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "repair should commit");
+  Alcotest.(check int) "published both" 7
+    (Relation.cardinality (Catalog.relation cat "animal_color"))
+
+let test_reads_your_writes () =
+  let cat, _, _ = setup () in
+  let txn = Txn.begin_ cat in
+  Txn.insert txn ~rel:"animal_color" Types.Pos [ "african_elephant"; "grey" ];
+  Alcotest.(check int) "staged visible" 6 (Relation.cardinality (Txn.current txn "animal_color"));
+  Alcotest.(check int) "catalog not yet" 5
+    (Relation.cardinality (Catalog.relation cat "animal_color"))
+
+let test_abort () =
+  let cat, _, _ = setup () in
+  let txn = Txn.begin_ cat in
+  Txn.insert txn ~rel:"animal_color" Types.Pos [ "african_elephant"; "grey" ];
+  Txn.abort txn;
+  (match Txn.commit txn with Ok () -> () | Error _ -> Alcotest.fail "empty commit");
+  Alcotest.(check int) "unchanged" 5 (Relation.cardinality (Catalog.relation cat "animal_color"))
+
+let test_delete () =
+  let cat, _, _ = setup () in
+  let txn = Txn.begin_ cat in
+  Txn.delete txn ~rel:"animal_color" [ "clyde"; "dappled" ];
+  (match Txn.commit txn with Ok () -> () | Error _ -> Alcotest.fail "commit");
+  Alcotest.(check int) "one fewer" 4 (Relation.cardinality (Catalog.relation cat "animal_color"))
+
+let test_conflicts_preview () =
+  let cat, _, _ = setup () in
+  let txn = Txn.begin_ cat in
+  Txn.insert txn ~rel:"animal_color" Types.Pos [ "indian_elephant"; "grey" ];
+  Alcotest.(check bool) "preview sees the conflict" true
+    (Txn.conflicts txn "animal_color" <> []);
+  Txn.insert txn ~rel:"animal_color" Types.Neg [ "appu"; "grey" ];
+  Alcotest.(check bool) "preview sees the repair" true
+    (Txn.conflicts txn "animal_color" = [])
+
+let test_multi_relation_atomicity () =
+  (* a transaction touching two relations publishes neither when the
+     second one is conflicted at commit time *)
+  let cat, he, hc = setup () in
+  Catalog.define_relation cat
+    (Relation.empty ~name:"enclosure" (Fixtures.enclosure_schema he (Fixtures.sizes ())));
+  ignore hc;
+  let txn = Txn.begin_ cat in
+  Txn.insert txn ~rel:"enclosure" Types.Pos [ "elephant"; "s3000" ];
+  (* conflicted: indian grey vs royal-not-grey at appu *)
+  Txn.insert txn ~rel:"animal_color" Types.Pos [ "indian_elephant"; "grey" ];
+  (match Txn.commit txn with
+  | Ok () -> Alcotest.fail "expected violation"
+  | Error violations ->
+    Alcotest.(check int) "one violating relation" 1 (List.length violations));
+  Alcotest.(check int) "enclosure not published either" 0
+    (Relation.cardinality (Catalog.relation cat "enclosure"));
+  (* repair and recommit publishes both *)
+  Txn.insert txn ~rel:"animal_color" Types.Neg [ "appu"; "grey" ];
+  (match Txn.commit txn with Ok () -> () | Error _ -> Alcotest.fail "repaired commit");
+  Alcotest.(check int) "enclosure published" 1
+    (Relation.cardinality (Catalog.relation cat "enclosure"))
+
+let suite =
+  [
+    Alcotest.test_case "multi-relation atomicity" `Quick test_multi_relation_atomicity;
+    Alcotest.test_case "catalog lookup" `Quick test_catalog_lookup;
+    Alcotest.test_case "duplicate definitions rejected" `Quick
+      test_duplicate_definitions_rejected;
+    Alcotest.test_case "inconsistent initial contents rejected" `Quick
+      test_inconsistent_initial_contents_rejected;
+    Alcotest.test_case "commit success" `Quick test_commit_success;
+    Alcotest.test_case "commit rejects conflicts" `Quick test_commit_rejects_conflict;
+    Alcotest.test_case "repair within transaction" `Quick test_repair_within_transaction;
+    Alcotest.test_case "reads your writes" `Quick test_reads_your_writes;
+    Alcotest.test_case "abort" `Quick test_abort;
+    Alcotest.test_case "delete" `Quick test_delete;
+    Alcotest.test_case "conflict preview" `Quick test_conflicts_preview;
+  ]

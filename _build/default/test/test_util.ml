@@ -1,0 +1,99 @@
+(* Substrate utilities: symbols, PRNG determinism, table rendering. *)
+
+module Symbol = Hr_util.Symbol
+module Prng = Hr_util.Prng
+module Texttable = Hr_util.Texttable
+
+let test_symbol_interning () =
+  let a = Symbol.intern "hello" and b = Symbol.intern "hello" in
+  Alcotest.(check bool) "same symbol" true (Symbol.equal a b);
+  Alcotest.(check int) "same id" (Symbol.id a) (Symbol.id b);
+  Alcotest.(check string) "name preserved" "hello" (Symbol.name a);
+  let c = Symbol.intern "world" in
+  Alcotest.(check bool) "distinct" false (Symbol.equal a c)
+
+let test_symbol_order_total () =
+  let syms = List.map Symbol.intern [ "b"; "a"; "c"; "a" ] in
+  let sorted = List.sort_uniq Symbol.compare syms in
+  Alcotest.(check int) "three distinct" 3 (List.length sorted)
+
+let test_prng_determinism () =
+  let g1 = Prng.create 42L and g2 = Prng.create 42L in
+  let s1 = List.init 100 (fun _ -> Prng.int g1 1000) in
+  let s2 = List.init 100 (fun _ -> Prng.int g2 1000) in
+  Alcotest.(check (list int)) "same stream" s1 s2
+
+let test_prng_seeds_differ () =
+  let g1 = Prng.create 1L and g2 = Prng.create 2L in
+  let s1 = List.init 20 (fun _ -> Prng.int g1 1000000) in
+  let s2 = List.init 20 (fun _ -> Prng.int g2 1000000) in
+  Alcotest.(check bool) "different streams" false (s1 = s2)
+
+let test_prng_bounds () =
+  let g = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.float g 1.0 in
+    if v < 0.0 || v >= 1.0 then Alcotest.fail "float out of bounds"
+  done
+
+let test_prng_bernoulli () =
+  let g = Prng.create 11L in
+  let hits = ref 0 in
+  for _ = 1 to 10000 do
+    if Prng.bernoulli g 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10000.0 in
+  Alcotest.(check bool) "about 30%" true (rate > 0.25 && rate < 0.35)
+
+let test_prng_shuffle_permutes () =
+  let g = Prng.create 3L in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted
+
+let test_prng_split_independent () =
+  let g = Prng.create 5L in
+  let child = Prng.split g in
+  let a = Prng.int g 1000000 and b = Prng.int child 1000000 in
+  Alcotest.(check bool) "streams differ" true (a <> b || Prng.int g 10 <> Prng.int child 10)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec loop i = i + n <= m && (String.sub s i n = sub || loop (i + 1)) in
+  loop 0
+
+let test_texttable_renders () =
+  let t = Texttable.create [ "a"; "long header" ] in
+  Texttable.add_row t [ "x"; "y" ];
+  Texttable.add_row t [ "longer cell"; "z" ];
+  let s = Texttable.render t in
+  Alcotest.(check bool) "has borders" true (String.length s > 0 && s.[0] = '+');
+  Alcotest.(check bool) "contains cells" true
+    (contains ~sub:"longer cell" s && contains ~sub:"long header" s)
+
+let test_texttable_arity_checked () =
+  let t = Texttable.create [ "a"; "b" ] in
+  try
+    Texttable.add_row t [ "only one" ];
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "symbol interning" `Quick test_symbol_interning;
+    Alcotest.test_case "symbol total order" `Quick test_symbol_order_total;
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng seeds differ" `Quick test_prng_seeds_differ;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng bernoulli" `Quick test_prng_bernoulli;
+    Alcotest.test_case "prng shuffle permutes" `Quick test_prng_shuffle_permutes;
+    Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+    Alcotest.test_case "texttable renders" `Quick test_texttable_renders;
+    Alcotest.test_case "texttable arity" `Quick test_texttable_arity_checked;
+  ]

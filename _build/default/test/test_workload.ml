@@ -1,0 +1,64 @@
+(* Workload generator sanity tests. *)
+
+module Workload = Hr_workload.Workload
+module Prng = Hr_util.Prng
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+let test_random_hierarchy_shape () =
+  let g = Prng.create 1L in
+  let spec = { Workload.default_hierarchy_spec with name = "wh1" } in
+  let h = Workload.random_hierarchy g spec in
+  Alcotest.(check int) "classes" (spec.Workload.classes + 1) (List.length (Hierarchy.classes h));
+  Alcotest.(check int) "instances" spec.Workload.instances
+    (List.length (Hierarchy.instances h));
+  Alcotest.(check int) "transitively reduced" 0 (List.length (Hierarchy.validate h))
+
+let test_tree_hierarchy_counts () =
+  let h = Workload.tree_hierarchy ~name:"wt" ~depth:3 ~fanout:2 ~instances_per_leaf:2 () in
+  (* 2 + 4 + 8 classes + root, 8 * 2 instances *)
+  Alcotest.(check int) "classes" 15 (List.length (Hierarchy.classes h));
+  Alcotest.(check int) "instances" 16 (List.length (Hierarchy.instances h))
+
+let test_chain_hierarchy () =
+  let h = Workload.chain_hierarchy ~name:"wc" ~depth:5 () in
+  Alcotest.(check int) "6 classes" 6 (List.length (Hierarchy.classes h));
+  Alcotest.(check int) "one leaf" 1 (List.length (Hierarchy.instances h));
+  Alcotest.(check bool) "leaf under c0" true
+    (Hierarchy.subsumes h (Hierarchy.find_exn h "c0") (Hierarchy.find_exn h "leaf"))
+
+let test_random_relation_size () =
+  let g = Prng.create 2L in
+  let h = Workload.random_hierarchy g { Workload.default_hierarchy_spec with name = "wh2" } in
+  let schema = Schema.make [ ("v", h) ] in
+  let rel = Workload.random_relation g schema { Workload.default_relation_spec with tuples = 20 } in
+  Alcotest.(check int) "requested size" 20 (Relation.cardinality rel)
+
+let test_exception_chain () =
+  let h, rel = Workload.exception_chain ~name:"we" ~depth:6 ~instances_per_class:2 () in
+  Alcotest.(check int) "6 tuples" 6 (Relation.cardinality rel);
+  Alcotest.(check bool) "consistent" true (Integrity.is_consistent rel);
+  (* instances directly under c<k> see sign of level k *)
+  Fixtures.check_holds rel [ "i0_1" ] true "level 0 positive";
+  Fixtures.check_holds rel [ "i1_1" ] false "level 1 negative";
+  Fixtures.check_holds rel [ "i5_2" ] false "level 5 negative";
+  ignore h
+
+let test_redundant_relation () =
+  let g = Prng.create 3L in
+  let h = Workload.tree_hierarchy ~name:"wr" ~depth:3 ~fanout:3 ~instances_per_leaf:1 () in
+  let rel = Workload.redundant_relation g h ~redundancy:0.8 ~tuples:40 in
+  let consolidated = Consolidate.consolidate rel in
+  Alcotest.(check bool) "consolidation shrinks it" true
+    (Relation.cardinality consolidated < Relation.cardinality rel);
+  Alcotest.(check bool) "extension preserved" true (Flatten.equal_extension rel consolidated)
+
+let suite =
+  [
+    Alcotest.test_case "random hierarchy shape" `Quick test_random_hierarchy_shape;
+    Alcotest.test_case "tree hierarchy counts" `Quick test_tree_hierarchy_counts;
+    Alcotest.test_case "chain hierarchy" `Quick test_chain_hierarchy;
+    Alcotest.test_case "random relation size" `Quick test_random_relation_size;
+    Alcotest.test_case "exception chain" `Quick test_exception_chain;
+    Alcotest.test_case "redundant relation consolidates" `Quick test_redundant_relation;
+  ]
