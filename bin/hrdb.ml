@@ -5,11 +5,14 @@
      dune exec bin/hrdb.exe                   # in-memory REPL
      dune exec bin/hrdb.exe -- -d ./mydb      # durable: snapshot + WAL
      dune exec bin/hrdb.exe -- -f x.hrql      # run a script, then exit
-     dune exec bin/hrdb.exe -- -f x.hrql -i   # run a script, then REPL *)
+     dune exec bin/hrdb.exe -- -f x.hrql -i   # run a script, then REPL
+     dune exec bin/hrdb.exe -- lint x.hrql    # static analysis only *)
 
 module Eval = Hr_query.Eval
 module Persist = Hr_query.Persist
 module Db = Hr_storage.Db
+module Lint = Hr_analysis.Lint
+module Diagnostic = Hr_analysis.Diagnostic
 open Hierel
 
 let banner durable =
@@ -32,6 +35,7 @@ let help =
   COUNT r [BY attr];   EXPLAIN PLAN <expr>;
   SHOW HIERARCHY d;   SHOW RELATIONS;   SHOW HIERARCHIES;
   EXPLAIN r (x, y);   DROP RELATION r;
+  LINT <statements...>;   statically check against the live catalog, run nothing
 REPL commands:
   \save FILE     dump the whole catalog as an HRQL script
   \load FILE     replay an HRQL script into the catalog
@@ -65,10 +69,44 @@ let durable_backend dir =
     shutdown = (fun () -> Db.close db);
   }
 
-let run_input backend input =
-  match backend.run input with
-  | Ok outputs -> List.iter print_endline outputs
-  | Error msg -> Printf.printf "error: %s\n" msg
+(* [LINT <statements...>;] — check without running. Detected textually
+   (case-insensitive first word) so lint requests never reach the
+   evaluator's parser as statements. *)
+let lint_request input =
+  let t = String.trim input in
+  if
+    String.length t >= 4
+    && String.lowercase_ascii (String.sub t 0 4) = "lint"
+    && (String.length t = 4
+       || match t.[4] with ' ' | '\t' | '\n' | '\r' | ';' -> true | _ -> false)
+  then Some (String.sub t 4 (String.length t - 4))
+  else None
+
+let lint_against backend script =
+  Lint.analyze_script ~catalog:(backend.cat ()) script
+
+let run_input ?(strict = false) backend input =
+  match lint_request input with
+  | Some script ->
+    if String.trim script = "" || String.trim script = ";" then
+      print_endline "usage: LINT <statements...>;"
+    else print_string (Diagnostic.render_text (lint_against backend script))
+  | None ->
+    let rejected =
+      strict
+      &&
+      let diags = lint_against backend input in
+      if diags <> [] then print_string (Diagnostic.render_text diags);
+      if Diagnostic.has_errors diags then begin
+        print_endline "rejected: lint errors (strict mode); nothing was executed";
+        true
+      end
+      else false
+    in
+    if not rejected then
+      match backend.run input with
+      | Ok outputs -> List.iter print_endline outputs
+      | Error msg -> Printf.printf "error: %s\n" msg
 
 let strip_prefix ~prefix line =
   let n = String.length prefix in
@@ -76,7 +114,7 @@ let strip_prefix ~prefix line =
     Some (String.trim (String.sub line n (String.length line - n)))
   else None
 
-let repl backend durable =
+let repl ~strict backend durable =
   print_string (banner durable);
   let buffer = Buffer.create 256 in
   let rec loop () =
@@ -107,7 +145,7 @@ let repl backend durable =
          let ic = open_in path in
          let contents = really_input_string ic (in_channel_length ic) in
          close_in ic;
-         run_input backend contents
+         run_input ~strict backend contents
        with Sys_error e -> Printf.printf "error: %s\n" e);
       loop ()
     | line ->
@@ -116,13 +154,13 @@ let repl backend durable =
       if String.contains line ';' then begin
         let input = Buffer.contents buffer in
         Buffer.clear buffer;
-        run_input backend input
+        run_input ~strict backend input
       end;
       loop ()
   in
   loop ()
 
-let main file interactive dir =
+let main file interactive dir strict =
   let durable = Option.is_some dir in
   let backend =
     match dir with Some d -> durable_backend d | None -> memory_backend ()
@@ -133,9 +171,10 @@ let main file interactive dir =
         let ic = open_in path in
         let contents = really_input_string ic (in_channel_length ic) in
         close_in ic;
-        run_input backend contents
+        run_input ~strict backend contents
       | None -> ());
-      if interactive || file = None then repl backend durable)
+      if interactive || file = None then repl ~strict backend durable);
+  0
 
 open Cmdliner
 
@@ -160,10 +199,91 @@ let dir_arg =
           "Durable mode: keep the database in $(docv) (binary snapshot plus \
            write-ahead log; state survives restarts).")
 
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Pre-flight every input through the static analyzer: warnings and \
+           hints are printed, and inputs with lint errors are rejected \
+           without being executed.")
+
+(* ---- the lint subcommand --------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_main pos_files opt_files format =
+  match opt_files @ pos_files with
+  | [] ->
+    prerr_endline "hrdb lint: no script given (pass FILE or -f FILE)";
+    2
+  | files ->
+    let results = List.map (fun f -> (f, Lint.analyze_script (read_file f))) files in
+    (match format with
+    | `Text ->
+      List.iter
+        (fun (f, ds) ->
+          if List.length files > 1 then Printf.printf "%s:\n" f;
+          print_string (Diagnostic.render_text ds))
+        results
+    | `Json -> (
+      match results with
+      | [ (_, ds) ] -> print_string (Diagnostic.render_json ds)
+      | results ->
+        print_string
+          ("["
+          ^ String.concat ","
+              (List.map
+                 (fun (f, ds) ->
+                   Printf.sprintf "{\"file\":%S,\"diagnostics\":%s}" f
+                     (String.trim (Diagnostic.render_json ds)))
+                 results)
+          ^ "]\n")));
+    if List.exists (fun (_, ds) -> Diagnostic.has_errors ds) results then 1 else 0
+
+let lint_pos_files =
+  Arg.(value & pos_all file [] & info [] ~docv:"SCRIPT")
+
+let lint_opt_files =
+  Arg.(
+    value
+    & opt_all file []
+    & info [ "f"; "file" ] ~docv:"SCRIPT" ~doc:"Also lint the HRQL $(docv).")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Output format: $(b,text) (human-readable) or $(b,json).")
+
+let lint_cmd =
+  let doc = "statically check HRQL scripts without executing them" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses each script and abstractly interprets it against a simulated \
+         catalog: schema and hierarchy shape are tracked, no query is \
+         evaluated and no data is touched. Diagnostics carry stable codes \
+         (see docs/LINT.md) and source spans.";
+      `P "Exits 1 when any error-severity diagnostic is reported, 0 otherwise.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc ~man)
+    Term.(const lint_main $ lint_pos_files $ lint_opt_files $ format_arg)
+
+let shell_term = Term.(const main $ file_arg $ interactive_arg $ dir_arg $ strict_arg)
+
 let cmd =
   let doc = "interactive shell for the hierarchical relational model" in
-  Cmd.v
+  Cmd.group ~default:shell_term
     (Cmd.info "hrdb" ~version:"1.0.0" ~doc)
-    Term.(const main $ file_arg $ interactive_arg $ dir_arg)
+    [ lint_cmd ]
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

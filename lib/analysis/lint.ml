@@ -1,0 +1,36 @@
+module Hierarchy = Hr_hierarchy.Hierarchy
+module Loc = Hr_query.Loc
+module Lexer = Hr_query.Lexer
+module Parser = Hr_query.Parser
+open Hierel
+
+(* One statement, all internal failures converted to diagnostics: the
+   analyzer must never raise, whatever the script or catalog looks
+   like. Model/hierarchy errors this deep mean a check above missed a
+   precondition the simulated operation enforces — still worth
+   reporting, at the statement's span. *)
+let analyze_statement sim (lstmt : Hr_query.Ast.located_statement) =
+  let acc = ref [] in
+  let emit d = acc := d :: !acc in
+  (try Stmt_check.check sim ~emit lstmt with
+  | Types.Model_error msg | Hierarchy.Error msg | Failure msg ->
+    emit (Diagnostic.errorf ~code:"E010" lstmt.Hr_query.Ast.sloc "%s" msg)
+  | exn ->
+    emit
+      (Diagnostic.errorf ~code:"E999" lstmt.Hr_query.Ast.sloc
+         "internal analyzer error: %s" (Printexc.to_string exn)));
+  Diagnostic.sort (List.rev !acc)
+
+let analyze_script ?catalog input =
+  match Parser.parse input with
+  | exception Parser.Parse_error { msg; loc } ->
+    [ Diagnostic.error ~code:"E000" loc ("syntax error: " ^ msg) ]
+  | exception Lexer.Lex_error { msg; loc } ->
+    [ Diagnostic.error ~code:"E000" loc ("syntax error: " ^ msg) ]
+  | stmts ->
+    let sim =
+      match catalog with
+      | Some cat -> Sim_catalog.of_catalog cat
+      | None -> Sim_catalog.empty ()
+    in
+    Diagnostic.sort (List.concat_map (analyze_statement sim) stmts)

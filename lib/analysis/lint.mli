@@ -1,0 +1,30 @@
+(** The HRQL static analyzer ("hrdb lint").
+
+    Checks a parsed script without executing it: DDL and DML are
+    abstractly interpreted against a {!Sim_catalog} (schemas and
+    hierarchy shapes plus script-asserted rows — no query is ever
+    evaluated), and every problem is reported as a {!Diagnostic} with a
+    stable code and a source span.
+
+    Codes: E000 syntax error, E001 unknown relation, E002 arity
+    mismatch, E003 domain mismatch, E004 ALL on an instance, E005 isa
+    cycle, E006 incompatible schemas, E007 join on disjoint domains,
+    E008 unknown name, E009 duplicate definition, E010 invalid
+    hierarchy edit / ambiguous name, W101 redundant isa edge, W102 dead
+    row, W103 shadowed negation, W104 ambiguity conflict, W105
+    unsatisfiable selection, H201 bare class value, H202 projection
+    drops exceptions. [docs/LINT.md] documents each with a minimal
+    trigger. *)
+
+val analyze_script : ?catalog:Hierel.Catalog.t -> string -> Diagnostic.t list
+(** Lex, parse and check a whole script. A lex/parse failure yields a
+    single E000 diagnostic. When [catalog] is given, the analysis starts
+    from a snapshot of it (copies — the live catalog is never touched);
+    otherwise from an empty world. Diagnostics are sorted by location,
+    then severity, then code. The analyzer never raises: statements
+    whose checking fails internally produce an E999 diagnostic. *)
+
+val analyze_statement :
+  Sim_catalog.t -> Hr_query.Ast.located_statement -> Diagnostic.t list
+(** Check one parsed statement against (and update) an existing
+    simulated catalog — the REPL pre-flight entry point. Never raises. *)

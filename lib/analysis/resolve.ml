@@ -1,0 +1,50 @@
+(** Name resolution against the simulated catalog, shared by the
+    expression and statement checkers. Every failure is reported through
+    [emit] and surfaces as [None] so callers can keep checking the rest
+    of the statement. *)
+
+module Hierarchy = Hr_hierarchy.Hierarchy
+module Symbol = Hr_util.Symbol
+module Ast = Hr_query.Ast
+
+let domain_name h = Symbol.name (Hierarchy.domain h)
+
+(* A value in the position of an attribute whose domain is [hier]:
+   E003 when the name lives in a different domain, E008 when it is
+   defined nowhere, E004 for [ALL] on an instance. *)
+let value sim hier ~loc ~emit v =
+  let name = Ast.value_name v in
+  match Hierarchy.find hier name with
+  | Some node -> (
+    match v with
+    | Ast.All _ when Hierarchy.is_instance hier node ->
+      emit
+        (Diagnostic.errorf ~code:"E004" loc
+           "ALL %s: %s is an instance, not a class" name name);
+      None
+    | Ast.All _ | Ast.Atom _ -> Some node)
+  | None -> (
+    match Sim_catalog.hierarchies_containing sim name with
+    | [] ->
+      emit (Diagnostic.errorf ~code:"E008" loc "unknown class or instance %S" name);
+      None
+    | h :: _ ->
+      emit
+        (Diagnostic.errorf ~code:"E003" loc
+           "%S belongs to domain %s, not %s (the attribute's domain)" name
+           (domain_name h) (domain_name hier));
+      None)
+
+(* The unique hierarchy defining [name], for DDL statements that locate
+   their hierarchy through a member name (mirrors the evaluator's
+   [hierarchy_containing]). *)
+let hierarchy_of_member sim ~loc ~emit name =
+  match Sim_catalog.hierarchies_containing sim name with
+  | [ h ] -> Some h
+  | [] ->
+    emit (Diagnostic.errorf ~code:"E008" loc "unknown class or instance %S" name);
+    None
+  | _ :: _ :: _ ->
+    emit
+      (Diagnostic.errorf ~code:"E010" loc "%S is ambiguous across hierarchies" name);
+    None

@@ -1,0 +1,79 @@
+module Hierarchy = Hr_hierarchy.Hierarchy
+module Symbol = Hr_util.Symbol
+open Hierel
+
+type entry = { rel : Relation.t; exact : bool }
+
+type t = {
+  mutable hierarchies : Hierarchy.t list;
+  mutable relations : (string * entry) list;
+  mutable poisoned : string list;
+}
+
+let empty () = { hierarchies = []; relations = []; poisoned = [] }
+
+let hierarchies t = t.hierarchies
+
+let find_hierarchy t domain =
+  List.find_opt
+    (fun h -> String.equal (Symbol.name (Hierarchy.domain h)) domain)
+    t.hierarchies
+
+let define_hierarchy t h = t.hierarchies <- t.hierarchies @ [ h ]
+
+let hierarchies_containing t name =
+  List.filter (fun h -> Hierarchy.mem h name) t.hierarchies
+
+let find_relation t name = List.assoc_opt name t.relations
+
+let define_relation t ~exact rel =
+  t.relations <- t.relations @ [ (Relation.name rel, { rel; exact }) ]
+
+let replace_relation t entry =
+  let name = Relation.name entry.rel in
+  t.relations <-
+    List.map (fun (n, e) -> if n = name then (n, entry) else (n, e)) t.relations
+
+let drop_relation t name =
+  t.relations <- List.filter (fun (n, _) -> n <> name) t.relations
+
+let poison t name =
+  if not (List.mem name t.poisoned) then t.poisoned <- name :: t.poisoned
+
+let is_poisoned t name = List.mem name t.poisoned
+
+(* Rebuild a relation over copied hierarchies. [Hierarchy.copy] keeps
+   node ids stable, so the stored items transfer coordinate-for-
+   coordinate onto the copies. *)
+let rebuild_relation copies r =
+  let schema = Relation.schema r in
+  let copy_of h =
+    match
+      List.find_opt
+        (fun (orig, _) -> orig == h)
+        copies
+    with
+    | Some (_, c) -> c
+    | None -> Hierarchy.copy h
+  in
+  let attrs =
+    List.mapi
+      (fun i name -> (name, copy_of (Schema.hierarchy schema i)))
+      (Schema.names schema)
+  in
+  let schema' = Schema.make attrs in
+  Relation.fold
+    (fun t acc -> Relation.add acc (Item.make schema' (Item.coords t.Relation.item)) t.Relation.sign)
+    r
+    (Relation.empty ~name:(Relation.name r) schema')
+
+let of_catalog cat =
+  let copies = List.map (fun h -> (h, Hierarchy.copy h)) (Catalog.hierarchies cat) in
+  {
+    hierarchies = List.map snd copies;
+    relations =
+      List.map
+        (fun r -> (Relation.name r, { rel = rebuild_relation copies r; exact = true }))
+        (Catalog.relations cat);
+    poisoned = [];
+  }

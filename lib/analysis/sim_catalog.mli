@@ -1,0 +1,48 @@
+(** The analyzer's simulated catalog.
+
+    A lightweight mutable world the analyzer interprets DDL/DML against
+    without touching any live data: domain hierarchies (real
+    {!Hr_hierarchy.Hierarchy.t} values, since hierarchies carry no
+    tuples) and {e shadow relations} — schema plus whatever rows the
+    analyzed script itself asserted.
+
+    A shadow relation is {e exact} when the analyzer knows its full
+    contents (created by the script, or snapshotted from a live
+    catalog); a relation defined by a [LET] is inexact — its schema is
+    known but its contents are not, so content-sensitive checks
+    (dead rows, ambiguity conflicts) are skipped for it.
+
+    {!of_catalog} deep-copies every hierarchy and rebuilds every
+    relation over the copies, so analyzing a script can never mutate the
+    live catalog it was seeded from. *)
+
+type entry = { rel : Hierel.Relation.t; exact : bool }
+
+type t
+
+val empty : unit -> t
+
+val of_catalog : Hierel.Catalog.t -> t
+(** Snapshot a live catalog: hierarchy copies (node ids preserved) and
+    exact shadow relations rebuilt over the copies. *)
+
+val hierarchies : t -> Hr_hierarchy.Hierarchy.t list
+
+val find_hierarchy : t -> string -> Hr_hierarchy.Hierarchy.t option
+(** By domain (root) name. *)
+
+val define_hierarchy : t -> Hr_hierarchy.Hierarchy.t -> unit
+
+val hierarchies_containing : t -> string -> Hr_hierarchy.Hierarchy.t list
+(** All hierarchies defining the given class/instance name. *)
+
+val find_relation : t -> string -> entry option
+val define_relation : t -> exact:bool -> Hierel.Relation.t -> unit
+val replace_relation : t -> entry -> unit
+val drop_relation : t -> string -> unit
+
+val poison : t -> string -> unit
+(** Mark a relation name as known-bad (e.g. a [LET] whose expression did
+    not check): later references are not re-reported as unknown. *)
+
+val is_poisoned : t -> string -> bool

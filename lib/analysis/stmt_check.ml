@@ -1,0 +1,418 @@
+(** Static checking of HRQL statements: abstract interpretation of DDL
+    and DML against the simulated catalog. DDL statements update the sim
+    so later statements see their effects; DML updates shadow relations
+    (schema + asserted rows) but never evaluates a query.
+
+    Checks mirror [Eval.exec] failure modes plus the advisory analyses
+    (dead rows, shadowed negations, ambiguity conflicts, bare-class
+    hints) the evaluator does not perform. *)
+
+module Hierarchy = Hr_hierarchy.Hierarchy
+module Ast = Hr_query.Ast
+open Hierel
+
+(* Content-sensitive analyses enumerate atomic extensions; skip when the
+   extension would exceed this bound. *)
+let extension_cap = 256
+
+let name_defined sim name =
+  Sim_catalog.hierarchies_containing sim name <> []
+  || Option.is_some (Sim_catalog.find_hierarchy sim name)
+
+(* A new class/instance name must be globally fresh, like the
+   evaluator's catalog requires for lookup by member name to work. *)
+let check_fresh_name sim ~loc ~emit name =
+  if name_defined sim name then begin
+    emit
+      (Diagnostic.errorf ~code:"E009" loc
+         "%S is already defined; class and instance names must be unique" name);
+    false
+  end
+  else true
+
+(* Parents for CREATE CLASS/INSTANCE: all known, all in one hierarchy,
+   none an instance. Returns the hierarchy when usable. *)
+let check_parents sim ~loc ~emit ~kind name parents =
+  match parents with
+  | [] -> None
+  | first :: _ -> (
+    match Resolve.hierarchy_of_member sim ~loc ~emit first with
+    | None -> None
+    | Some h ->
+      let ok =
+        List.for_all
+          (fun p ->
+            match Hierarchy.find h p with
+            | None ->
+              (if Sim_catalog.hierarchies_containing sim p = [] then
+                 emit
+                   (Diagnostic.errorf ~code:"E008" loc
+                      "unknown parent %S for %s %s" p kind name)
+               else
+                 emit
+                   (Diagnostic.errorf ~code:"E003" loc
+                      "parent %S of %s %s is not in domain %s" p kind name
+                      (Resolve.domain_name h)));
+              false
+            | Some node ->
+              if Hierarchy.is_instance h node then begin
+                emit
+                  (Diagnostic.errorf ~code:"E010" loc
+                     "%S is an instance and cannot have children" p);
+                false
+              end
+              else true)
+          parents
+      in
+      if ok then Some h else None)
+
+(* W102: the new row is implied by a stored same-sign row, and no
+   opposite-sign row intersects it — so it can neither change a verdict
+   nor serve as a disambiguating assertion (an intersecting opposite row
+   can make an otherwise-implied row load-bearing, as with the third
+   tuple of the paper's Respects relation). *)
+let dead_row schema rel item sign =
+  let tuples = Relation.tuples rel in
+  List.exists
+    (fun (t : Relation.tuple) ->
+      t.Relation.sign = sign && Item.strictly_subsumes schema t.Relation.item item)
+    tuples
+  && not
+       (List.exists
+          (fun (t' : Relation.tuple) ->
+            t'.Relation.sign <> sign && Item.intersects schema t'.Relation.item item)
+          tuples)
+
+let extension_size schema item =
+  let n = ref 1 in
+  (try
+     Array.iteri
+       (fun i c ->
+         let h = Schema.hierarchy schema i in
+         n := !n * List.length (Hierarchy.leaves_under h c);
+         if !n > extension_cap then raise Exit)
+       (Item.coords item)
+   with Exit -> n := extension_cap + 1);
+  !n
+
+(* W103: a negated row every atom of which is re-covered by a strictly
+   more specific positive row — under off-path preemption the negation
+   never wins anywhere. *)
+let shadowed_negation schema rel item =
+  extension_size schema item <= extension_cap
+  &&
+  let atoms = Item.atomic_extension schema item in
+  atoms <> []
+  && List.for_all
+       (fun atom ->
+         List.exists
+           (fun (t : Relation.tuple) ->
+             t.Relation.sign = Types.Pos
+             && Item.strictly_subsumes schema item t.Relation.item
+             && Item.subsumes schema t.Relation.item atom)
+           (Relation.tuples rel))
+       atoms
+
+let check_row_values sim schema ~loc ~emit rel_name row_index values =
+  if List.length values <> Schema.arity schema then begin
+    emit
+      (Diagnostic.errorf ~code:"E002" loc
+         "relation %s has arity %d but row %d has %d value(s)" rel_name
+         (Schema.arity schema) row_index (List.length values));
+    None
+  end
+  else
+    let coords =
+      List.mapi
+        (fun i v ->
+          let h = Schema.hierarchy schema i in
+          match Resolve.value sim h ~loc ~emit v with
+          | None -> None
+          | Some node ->
+            (match v with
+            | Ast.Atom name when Hierarchy.is_class h node ->
+              emit
+                (Diagnostic.hintf ~code:"H201" loc
+                   "%S is a class; the row applies to every member — write ALL \
+                    %s if that is intended"
+                   name name)
+            | _ -> ());
+            Some node)
+        values
+    in
+    if List.for_all Option.is_some coords then
+      Some (Item.make schema (Array.of_list (List.map Option.get coords)))
+    else None
+
+let check_insert sim ~loc ~emit rel rows =
+  match Sim_catalog.find_relation sim rel with
+  | None ->
+    if not (Sim_catalog.is_poisoned sim rel) then
+      emit (Diagnostic.errorf ~code:"E001" loc "unknown relation %S" rel)
+  | Some entry ->
+    let schema = Relation.schema entry.Sim_catalog.rel in
+    let was_consistent =
+      entry.Sim_catalog.exact && Integrity.is_consistent entry.Sim_catalog.rel
+    in
+    let shadow = ref entry.Sim_catalog.rel in
+    List.iteri
+      (fun i { Ast.sign; values } ->
+        match check_row_values sim schema ~loc ~emit rel (i + 1) values with
+        | None -> ()
+        | Some item ->
+          if entry.Sim_catalog.exact then begin
+            (match Relation.find !shadow item with
+            | Some sign' when sign' <> sign ->
+              emit
+                (Diagnostic.warningf ~code:"W104" loc
+                   "row %d directly contradicts a stored tuple: %s is already \
+                    asserted with the opposite sign in %s"
+                   (i + 1)
+                   (Item.to_string schema item)
+                   rel)
+            | _ ->
+              if dead_row schema !shadow item sign then
+                emit
+                  (Diagnostic.warningf ~code:"W102" loc
+                     "row %d is dead: %s is already implied by a more general \
+                      tuple of the same sign in %s"
+                     (i + 1)
+                     (Item.to_string schema item)
+                     rel));
+            shadow := Relation.set !shadow item sign;
+            if sign = Types.Neg && shadowed_negation schema !shadow item then
+              emit
+                (Diagnostic.warningf ~code:"W103" loc
+                   "row %d: the negation on %s is shadowed — every instance it \
+                    covers is re-asserted by a more specific positive tuple"
+                   (i + 1)
+                   (Item.to_string schema item))
+          end)
+      rows;
+    if entry.Sim_catalog.exact then begin
+      (if was_consistent then
+         match Integrity.first_conflict !shadow with
+         | Some c ->
+           emit
+             (Diagnostic.warningf ~code:"W104" loc
+                "insert leaves %s ambiguous: %s" rel
+                (Format.asprintf "%a" (Integrity.pp_conflict schema) c))
+         | None -> ());
+      Sim_catalog.replace_relation sim { entry with Sim_catalog.rel = !shadow }
+    end
+
+let check_values_against sim ~loc ~emit rel values =
+  match Sim_catalog.find_relation sim rel with
+  | None ->
+    if not (Sim_catalog.is_poisoned sim rel) then
+      emit (Diagnostic.errorf ~code:"E001" loc "unknown relation %S" rel);
+    None
+  | Some entry ->
+    let schema = Relation.schema entry.Sim_catalog.rel in
+    (match check_row_values sim schema ~loc ~emit rel 1 values with
+    | Some item -> Some (entry, item)
+    | None -> None)
+
+let check_relation_exists sim ~loc ~emit rel =
+  match Sim_catalog.find_relation sim rel with
+  | Some entry -> Some entry
+  | None ->
+    if not (Sim_catalog.is_poisoned sim rel) then
+      emit (Diagnostic.errorf ~code:"E001" loc "unknown relation %S" rel);
+    None
+
+let infer_schema sim ~emit expr = Expr_check.infer sim ~emit expr
+
+let check sim ~emit { Ast.stmt; sloc = loc } =
+  match stmt with
+  | Ast.Create_domain name ->
+    if Option.is_some (Sim_catalog.find_hierarchy sim name) then
+      emit (Diagnostic.errorf ~code:"E009" loc "domain %S already exists" name)
+    else if name_defined sim name then
+      emit
+        (Diagnostic.errorf ~code:"E009" loc
+           "%S is already defined as a class or instance" name)
+    else Sim_catalog.define_hierarchy sim (Hierarchy.create name)
+  | Ast.Create_class { name; parents } ->
+    let fresh = check_fresh_name sim ~loc ~emit name in
+    (match check_parents sim ~loc ~emit ~kind:"class" name parents with
+    | Some h when fresh -> ignore (Hierarchy.add_class h ~parents name)
+    | _ -> ())
+  | Ast.Create_instance { name; parents } ->
+    let fresh = check_fresh_name sim ~loc ~emit name in
+    (match check_parents sim ~loc ~emit ~kind:"instance" name parents with
+    | Some h when fresh -> ignore (Hierarchy.add_instance h ~parents name)
+    | _ -> ())
+  | Ast.Create_isa { sub; super } -> (
+    match Resolve.hierarchy_of_member sim ~loc ~emit super with
+    | None -> ()
+    | Some h -> (
+      match Hierarchy.find h sub with
+      | None ->
+        if Sim_catalog.hierarchies_containing sim sub = [] then
+          emit (Diagnostic.errorf ~code:"E008" loc "unknown class or instance %S" sub)
+        else
+          emit
+            (Diagnostic.errorf ~code:"E003" loc
+               "%S is not in domain %s; isa edges cannot cross domains" sub
+               (Resolve.domain_name h))
+      | Some sub_node ->
+        let super_node = Hierarchy.find_exn h super in
+        if Hierarchy.subsumes h sub_node super_node then
+          emit
+            (Diagnostic.errorf ~code:"E005" loc
+               "isa edge %s -> %s would create a cycle: %s already subsumes %s"
+               super sub sub super)
+        else begin
+          let before = Hierarchy.validate h in
+          (try Hierarchy.add_isa h ~sub ~super
+           with Hierarchy.Error msg ->
+             emit (Diagnostic.errorf ~code:"E010" loc "%s" msg));
+          List.iter
+            (fun issue ->
+              if not (List.mem issue before) then
+                match issue with
+                | Hierarchy.Redundant_isa_edge (a, b) ->
+                  emit
+                    (Diagnostic.warningf ~code:"W101" loc
+                       "isa edge %s -> %s is redundant (implied by another \
+                        path); it changes off-path preemption"
+                       (Hierarchy.node_label h a) (Hierarchy.node_label h b)))
+            (Hierarchy.validate h)
+        end))
+  | Ast.Create_preference { weaker; stronger } -> (
+    match Resolve.hierarchy_of_member sim ~loc ~emit weaker with
+    | None -> ()
+    | Some h ->
+      if not (Hierarchy.mem h stronger) then begin
+        if Sim_catalog.hierarchies_containing sim stronger = [] then
+          emit
+            (Diagnostic.errorf ~code:"E008" loc "unknown class or instance %S"
+               stronger)
+        else
+          emit
+            (Diagnostic.errorf ~code:"E003" loc
+               "%S is not in domain %s; preference edges cannot cross domains"
+               stronger (Resolve.domain_name h))
+      end
+      else
+        try Hierarchy.add_preference h ~weaker ~stronger
+        with Hierarchy.Error msg ->
+          emit (Diagnostic.errorf ~code:"E010" loc "%s" msg))
+  | Ast.Create_relation { name; attrs } ->
+    let dup_rel = Option.is_some (Sim_catalog.find_relation sim name) in
+    if dup_rel then
+      emit (Diagnostic.errorf ~code:"E009" loc "relation %S already exists" name);
+    let dup_attr =
+      List.exists
+        (fun (a, _) ->
+          List.length (List.filter (fun (a', _) -> a = a') attrs) > 1)
+        attrs
+    in
+    if dup_attr then
+      emit
+        (Diagnostic.errorf ~code:"E009" loc
+           "relation %S declares a duplicate attribute name" name);
+    let resolved =
+      List.map
+        (fun (a, d) ->
+          match Sim_catalog.find_hierarchy sim d with
+          | Some h -> Some (a, h)
+          | None ->
+            emit
+              (Diagnostic.errorf ~code:"E008" loc
+                 "unknown domain %S for attribute %S" d a);
+            None)
+        attrs
+    in
+    if
+      (not dup_rel) && (not dup_attr)
+      && List.for_all Option.is_some resolved
+      && resolved <> []
+    then
+      Sim_catalog.define_relation sim ~exact:true
+        (Relation.empty ~name (Schema.make (List.map Option.get resolved)))
+    else if not dup_rel then Sim_catalog.poison sim name
+  | Ast.Drop_relation name -> (
+    match Sim_catalog.find_relation sim name with
+    | Some _ -> Sim_catalog.drop_relation sim name
+    | None ->
+      if not (Sim_catalog.is_poisoned sim name) then
+        emit (Diagnostic.errorf ~code:"E001" loc "unknown relation %S" name))
+  | Ast.Insert { rel; rows } -> check_insert sim ~loc ~emit rel rows
+  | Ast.Delete { rel; rows } -> (
+    match check_relation_exists sim ~loc ~emit rel with
+    | None -> ()
+    | Some entry ->
+      let schema = Relation.schema entry.Sim_catalog.rel in
+      let shadow = ref entry.Sim_catalog.rel in
+      List.iteri
+        (fun i values ->
+          match check_row_values sim schema ~loc ~emit rel (i + 1) values with
+          | Some item ->
+            if entry.Sim_catalog.exact then shadow := Relation.remove !shadow item
+          | None -> ())
+        rows;
+      if entry.Sim_catalog.exact then
+        Sim_catalog.replace_relation sim { entry with Sim_catalog.rel = !shadow })
+  | Ast.Select_query { expr; _ } -> ignore (infer_schema sim ~emit expr)
+  | Ast.Let_binding { name; expr } -> (
+    match infer_schema sim ~emit expr with
+    | None -> Sim_catalog.poison sim name
+    | Some attrs -> (
+      let schema =
+        Schema.make
+          (List.map (fun a -> (a.Expr_check.aname, a.Expr_check.hier)) attrs)
+      in
+      let rel = Relation.empty ~name schema in
+      match Sim_catalog.find_relation sim name with
+      | Some _ ->
+        Sim_catalog.replace_relation sim { Sim_catalog.rel; exact = false }
+      | None -> Sim_catalog.define_relation sim ~exact:false rel))
+  | Ast.Ask { rel; values; _ } ->
+    ignore (check_values_against sim ~loc ~emit rel values)
+  | Ast.Explain { rel; values } ->
+    ignore (check_values_against sim ~loc ~emit rel values)
+  | Ast.Consolidate name ->
+    ignore (check_relation_exists sim ~loc ~emit name)
+  | Ast.Explicate { rel; over } -> (
+    match check_relation_exists sim ~loc ~emit rel with
+    | None -> ()
+    | Some entry ->
+      let schema = Relation.schema entry.Sim_catalog.rel in
+      (match over with
+      | None -> ()
+      | Some names ->
+        List.iter
+          (fun n ->
+            if Option.is_none (Schema.find_index schema n) then
+              emit
+                (Diagnostic.errorf ~code:"E008" loc
+                   "explication over unknown attribute %S of %s" n rel))
+          names);
+      (* explication rewrites contents; the shadow no longer tracks them *)
+      Sim_catalog.replace_relation sim { entry with Sim_catalog.exact = false })
+  | Ast.Check name -> ignore (check_relation_exists sim ~loc ~emit name)
+  | Ast.Show_hierarchy name ->
+    if Option.is_none (Sim_catalog.find_hierarchy sim name) then
+      emit (Diagnostic.errorf ~code:"E008" loc "unknown domain %S" name)
+  | Ast.Show_relations | Ast.Show_hierarchies -> ()
+  | Ast.Explain_plan expr -> ignore (infer_schema sim ~emit expr)
+  | Ast.Count { expr; by } -> (
+    match infer_schema sim ~emit expr, by with
+    | Some attrs, Some attr ->
+      if Option.is_none (Expr_check.find_attr attrs attr) then
+        emit
+          (Diagnostic.errorf ~code:"E008" loc
+             "COUNT BY unknown attribute %S (schema is %s)" attr
+             (Expr_check.pp_schema attrs))
+    | _ -> ())
+  | Ast.Diff { prev; next } -> (
+    let sp = infer_schema sim ~emit prev and sn = infer_schema sim ~emit next in
+    match sp, sn with
+    | Some sp, Some sn when not (Expr_check.compatible sp sn) ->
+      emit
+        (Diagnostic.errorf ~code:"E006" loc
+           "DIFF operands must have identical schemas: %s vs %s"
+           (Expr_check.pp_schema sp) (Expr_check.pp_schema sn))
+    | _ -> ())

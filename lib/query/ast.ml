@@ -1,7 +1,13 @@
 (** Abstract syntax of HRQL, the query language over the hierarchical
     relational model. One statement per [;]. See [lexer.mli] for the
     surface syntax summary and [eval.ml] for the semantics of each
-    statement. *)
+    statement.
+
+    Every expression node and statement carries the source span the
+    parser consumed for it, so error messages and static diagnostics can
+    point into the script. Nodes built programmatically (tests, the
+    optimizer's rewrites) use {!Loc.dummy} or inherit the span of the
+    node they replace. *)
 
 type value =
   | All of string  (** [ALL name] — a universally quantified class value *)
@@ -13,7 +19,9 @@ type value =
 
 type signed_row = { sign : Hierel.Types.sign; values : value list }
 
-type query_expr =
+type query_expr = { expr : expr_node; eloc : Loc.t }
+
+and expr_node =
   | Rel of string  (** a stored relation *)
   | Select of query_expr * string * value  (** WHERE attr = value *)
   | Project of query_expr * string list
@@ -50,4 +58,13 @@ type statement =
   | Count of { expr : query_expr; by : string option }
   | Diff of { prev : query_expr; next : query_expr }
 
+type located_statement = { stmt : statement; sloc : Loc.t }
+
 let value_name = function All s | Atom s -> s
+
+let at ?(loc = Loc.dummy) expr = { expr; eloc = loc }
+(** Wrap an expression node, defaulting to an unknown span — the
+    programmatic constructor for rewrites and tests. *)
+
+let with_expr e expr = { e with expr }
+(** Replace a node, keeping the original source span. *)

@@ -43,7 +43,8 @@ let resolve_values schema values =
   in
   Item.make schema (Array.of_list coords)
 
-let rec eval_raw cat = function
+let rec eval_raw cat e =
+  match e.Ast.expr with
   | Ast.Rel name -> Catalog.relation cat name
   | Ast.Select (e, attr, v) ->
     Ops.select (eval_raw cat e) ~attr ~value:(Ast.value_name v)
@@ -153,8 +154,8 @@ let exec cat stmt =
         | Ok () -> Printf.sprintf "%d tuple(s) deleted from %s" (List.length rows) rel
         | Error violations -> failwith (violation_report violations))
       | Ast.Select_query { expr; justified } -> (
-        match expr, justified with
-        | Ast.Select (Ast.Rel name, attr, v), true ->
+        match expr.Ast.expr, justified with
+        | Ast.Select ({ Ast.expr = Ast.Rel name; _ }, attr, v), true ->
           let rel = Catalog.relation cat name in
           let result, applicable =
             Ops.select_justified rel ~attr ~value:(Ast.value_name v)
@@ -249,14 +250,15 @@ let exec cat stmt =
 
 let run_script cat input =
   match Parser.parse input with
-  | exception Parser.Parse_error msg -> Error ("parse error: " ^ msg)
-  | exception Lexer.Lex_error msg -> Error ("lex error: " ^ msg)
+  | exception Parser.Parse_error { msg; _ } -> Error ("parse error: " ^ msg)
+  | exception Lexer.Lex_error { msg; _ } -> Error ("lex error: " ^ msg)
   | stmts ->
     let rec loop acc = function
       | [] -> Ok (List.rev acc)
-      | s :: rest -> (
-        match exec cat s with
+      | { Ast.stmt; sloc } :: rest -> (
+        match exec cat stmt with
         | Ok out -> loop (out :: acc) rest
-        | Error msg -> Error msg)
+        | Error msg ->
+          Error (Format.asprintf "at %a: %s" Loc.pp_prose sloc msg))
     in
     loop [] stmts

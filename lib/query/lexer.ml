@@ -11,7 +11,10 @@ type token =
   | Minus
   | Star
 
-exception Lex_error of string
+exception Lex_error of { msg : string; loc : Loc.t }
+
+let lex_error loc fmt =
+  Format.kasprintf (fun msg -> raise (Lex_error { msg; loc })) fmt
 
 let keywords =
   [
@@ -30,43 +33,73 @@ let is_ident_char c =
   || (c >= '0' && c <= '9')
   || c = '_' || c = '&' || c = '-'
 
-let tokenize input =
+(* The scanner tracks the current line and column alongside the byte
+   offset; a token's span covers [start, just-past-end). *)
+type scan = { mutable i : int; mutable line : int; mutable col : int }
+
+let tokenize_spans input =
   let n = String.length input in
-  let rec skip i =
-    if i >= n then i
-    else
-      match input.[i] with
-      | ' ' | '\t' | '\n' | '\r' -> skip (i + 1)
-      | '-' when i + 1 < n && input.[i + 1] = '-' ->
-        let rec eol j = if j >= n || input.[j] = '\n' then j else eol (j + 1) in
-        skip (eol (i + 2))
-      | _ -> i
+  let s = { i = 0; line = 1; col = 1 } in
+  let pos () = { Loc.line = s.line; col = s.col } in
+  let bump () =
+    (if input.[s.i] = '\n' then begin
+       s.line <- s.line + 1;
+       s.col <- 1
+     end
+     else s.col <- s.col + 1);
+    s.i <- s.i + 1
   in
-  let rec loop i acc =
-    let i = skip i in
-    if i >= n then List.rev acc
-    else
-      match input.[i] with
-      | '(' -> loop (i + 1) (Lparen :: acc)
-      | ')' -> loop (i + 1) (Rparen :: acc)
-      | ',' -> loop (i + 1) (Comma :: acc)
-      | ';' -> loop (i + 1) (Semicolon :: acc)
-      | ':' -> loop (i + 1) (Colon :: acc)
-      | '=' -> loop (i + 1) (Equals :: acc)
-      | '+' -> loop (i + 1) (Plus :: acc)
-      | '*' -> loop (i + 1) (Star :: acc)
-      | '-' when i + 1 >= n || not (is_ident_char input.[i + 1]) ->
-        loop (i + 1) (Minus :: acc)
+  let rec skip () =
+    if s.i < n then
+      match input.[s.i] with
+      | ' ' | '\t' | '\n' | '\r' ->
+        bump ();
+        skip ()
+      | '-' when s.i + 1 < n && input.[s.i + 1] = '-' ->
+        while s.i < n && input.[s.i] <> '\n' do
+          bump ()
+        done;
+        skip ()
+      | _ -> ()
+  in
+  let rec loop acc =
+    skip ();
+    if s.i >= n then List.rev acc
+    else begin
+      let lo = pos () in
+      let single tok =
+        bump ();
+        (tok, Loc.make ~lo ~hi:(pos ()))
+      in
+      match input.[s.i] with
+      | '(' -> loop (single Lparen :: acc)
+      | ')' -> loop (single Rparen :: acc)
+      | ',' -> loop (single Comma :: acc)
+      | ';' -> loop (single Semicolon :: acc)
+      | ':' -> loop (single Colon :: acc)
+      | '=' -> loop (single Equals :: acc)
+      | '+' -> loop (single Plus :: acc)
+      | '*' -> loop (single Star :: acc)
+      | '-' when s.i + 1 >= n || not (is_ident_char input.[s.i + 1]) ->
+        loop (single Minus :: acc)
       | c when is_ident_char c || c = '-' ->
-        let rec word j = if j < n && is_ident_char input.[j] then word (j + 1) else j in
-        let j = word i in
-        let s = String.sub input i (j - i) in
-        let upper = String.uppercase_ascii s in
-        let tok = if List.mem upper keywords then Kw upper else Ident s in
-        loop j (tok :: acc)
-      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C at offset %d" c i))
+        let start = s.i in
+        while s.i < n && is_ident_char input.[s.i] do
+          bump ()
+        done;
+        let word = String.sub input start (s.i - start) in
+        let upper = String.uppercase_ascii word in
+        let tok = if List.mem upper keywords then Kw upper else Ident word in
+        loop ((tok, Loc.make ~lo ~hi:(pos ())) :: acc)
+      | c ->
+        let loc = Loc.make ~lo ~hi:{ lo with Loc.col = lo.Loc.col + 1 } in
+        lex_error loc "unexpected character %C at line %d, column %d" c lo.Loc.line
+          lo.Loc.col
+    end
   in
-  loop 0 []
+  loop []
+
+let tokenize input = List.map fst (tokenize_spans input)
 
 let pp_token ppf = function
   | Ident s -> Format.fprintf ppf "identifier %S" s

@@ -37,9 +37,15 @@ type token =
   | Minus
   | Star
 
-exception Lex_error of string
+exception Lex_error of { msg : string; loc : Loc.t }
+(** [msg] already names the line and column; [loc] carries them
+    structurally for diagnostics. *)
+
+val tokenize_spans : string -> (token * Loc.t) list
+(** Tokens stamped with their source spans. Raises {!Lex_error} on an
+    unexpected character. *)
 
 val tokenize : string -> token list
-(** Raises {!Lex_error} on an unexpected character. *)
+(** {!tokenize_spans} without the spans. *)
 
 val pp_token : Format.formatter -> token -> unit

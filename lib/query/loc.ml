@@ -1,0 +1,41 @@
+(** Source locations for HRQL scripts.
+
+    A position is a 1-based line and column; a location is a half-open
+    span [lo, hi) over one script. The lexer stamps every token with its
+    span, the parser merges token spans into statement and expression
+    spans, and downstream consumers (evaluator error messages, the
+    static analyzer's diagnostics) report them. *)
+
+type pos = { line : int; col : int }
+
+type t = { lo : pos; hi : pos }
+
+let dummy = { lo = { line = 0; col = 0 }; hi = { line = 0; col = 0 } }
+
+let is_dummy l = l.lo.line = 0
+
+let make ~lo ~hi = { lo; hi }
+
+(* Spans are merged left-to-right as the parser consumes tokens; a dummy
+   operand (e.g. a synthesized node) defers to the other side. *)
+let merge a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else { lo = a.lo; hi = b.hi }
+
+let compare a b =
+  match Stdlib.compare a.lo.line b.lo.line with
+  | 0 -> Stdlib.compare a.lo.col b.lo.col
+  | c -> c
+
+let pp ppf l =
+  if is_dummy l then Format.pp_print_string ppf "?:?"
+  else if l.lo.line = l.hi.line then
+    Format.fprintf ppf "%d:%d-%d" l.lo.line l.lo.col l.hi.col
+  else Format.fprintf ppf "%d:%d-%d:%d" l.lo.line l.lo.col l.hi.line l.hi.col
+
+let pp_prose ppf l =
+  if is_dummy l then Format.pp_print_string ppf "unknown location"
+  else Format.fprintf ppf "line %d, column %d" l.lo.line l.lo.col
+
+let to_string l = Format.asprintf "%a" pp l

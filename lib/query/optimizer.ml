@@ -5,8 +5,8 @@ open Ast
    when we cannot tell (a bare relation name — the catalog is not
    consulted here), we answer "maybe", and pushdown through joins only
    fires when exactly the operand structure makes it safe. *)
-let rec mentions_attr expr attr =
-  match expr with
+let rec mentions_attr e attr =
+  match e.expr with
   | Rel _ -> `Maybe
   | Select (e, _, _) -> mentions_attr e attr
   | Project (_, attrs) -> if List.mem attr attrs then `Yes else `No
@@ -23,54 +23,60 @@ let rec mentions_attr expr attr =
   | Consolidated e | Explicated (e, _) -> mentions_attr e attr
 
 (* Drop stored-form re-representations in operand position. *)
-let rec strip_representation = function
-  | Consolidated e | Explicated (e, _) -> strip_representation e
-  | e -> e
+let rec strip_representation e =
+  match e.expr with
+  | Consolidated inner | Explicated (inner, _) -> strip_representation inner
+  | _ -> e
 
-let rec rewrite inner expr =
-  match expr with
-  | Rel _ as e -> e
-  | Select (e, attr, v) -> (
-    let e = rewrite true e in
-    match e with
-    | Union (a, b) -> Union (rewrite true (Select (a, attr, v)), rewrite true (Select (b, attr, v)))
+(* Rewrites keep the source span of the node they replace, so a plan
+   step still points back at the script text it came from. *)
+let rec rewrite inner e =
+  match e.expr with
+  | Rel _ -> e
+  | Select (operand, attr, v) -> (
+    let operand = rewrite true operand in
+    let sel o = with_expr e (Select (o, attr, v)) in
+    match operand.expr with
+    | Union (a, b) ->
+      with_expr operand (Union (rewrite true (sel a), rewrite true (sel b)))
     | Intersect (a, b) ->
-      Intersect (rewrite true (Select (a, attr, v)), rewrite true (Select (b, attr, v)))
+      with_expr operand (Intersect (rewrite true (sel a), rewrite true (sel b)))
     | Except (a, b) ->
-      Except (rewrite true (Select (a, attr, v)), rewrite true (Select (b, attr, v)))
+      with_expr operand (Except (rewrite true (sel a), rewrite true (sel b)))
     | Join (a, b) -> (
       (* push onto each side that certainly carries the attribute; if
          neither certainly does, leave the selection above the join *)
       match mentions_attr a attr, mentions_attr b attr with
       | `Yes, `Yes ->
-        Join (rewrite true (Select (a, attr, v)), rewrite true (Select (b, attr, v)))
-      | `Yes, (`No | `Maybe) -> Join (rewrite true (Select (a, attr, v)), b)
-      | (`No | `Maybe), `Yes -> Join (a, rewrite true (Select (b, attr, v)))
-      | _, _ -> Select (Join (a, b), attr, v))
+        with_expr operand (Join (rewrite true (sel a), rewrite true (sel b)))
+      | `Yes, (`No | `Maybe) -> with_expr operand (Join (rewrite true (sel a), b))
+      | (`No | `Maybe), `Yes -> with_expr operand (Join (a, rewrite true (sel b)))
+      | _, _ -> sel operand)
     | Select (e', attr', v') when attr = attr' && Ast.value_name v = Ast.value_name v' ->
-      Select (e', attr, v)
-    | e -> Select (e, attr, v))
-  | Project (e, attrs) -> (
-    let e = rewrite true e in
-    match e with
+      sel e'
+    | _ -> sel operand)
+  | Project (operand, attrs) -> (
+    let operand = rewrite true operand in
+    match operand.expr with
     | Project (e', attrs') when List.for_all (fun a -> List.mem a attrs') attrs ->
-      Project (e', attrs)
-    | e -> Project (e, attrs))
-  | Join (a, b) -> Join (rewrite true a, rewrite true b)
-  | Union (a, b) -> Union (rewrite true a, rewrite true b)
-  | Intersect (a, b) -> Intersect (rewrite true a, rewrite true b)
-  | Except (a, b) -> Except (rewrite true a, rewrite true b)
-  | Rename (e, o, n) -> Rename (rewrite true e, o, n)
-  | Consolidated e ->
-    let e = rewrite true (strip_representation e) in
-    if inner then e else Consolidated e
-  | Explicated (e, over) ->
-    let e = rewrite true (strip_representation e) in
-    if inner then e else Explicated (e, over)
+      with_expr e (Project (e', attrs))
+    | _ -> with_expr e (Project (operand, attrs)))
+  | Join (a, b) -> with_expr e (Join (rewrite true a, rewrite true b))
+  | Union (a, b) -> with_expr e (Union (rewrite true a, rewrite true b))
+  | Intersect (a, b) -> with_expr e (Intersect (rewrite true a, rewrite true b))
+  | Except (a, b) -> with_expr e (Except (rewrite true a, rewrite true b))
+  | Rename (operand, o, n) -> with_expr e (Rename (rewrite true operand, o, n))
+  | Consolidated operand ->
+    let operand = rewrite true (strip_representation operand) in
+    if inner then operand else with_expr e (Consolidated operand)
+  | Explicated (operand, over) ->
+    let operand = rewrite true (strip_representation operand) in
+    if inner then operand else with_expr e (Explicated (operand, over))
 
 let optimize expr = rewrite false expr
 
-let rec describe = function
+let rec describe e =
+  match e.expr with
   | Rel name -> name
   | Select (e, attr, v) ->
     Printf.sprintf "select[%s=%s](%s)" attr (Ast.value_name v) (describe e)

@@ -1,34 +1,47 @@
 open Lexer
 
-exception Parse_error of string
+exception Parse_error of { msg : string; loc : Loc.t }
 
-let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+(* A tiny mutable token cursor over span-stamped tokens. [last] is the
+   span of the most recently consumed token, so a production's span is
+   the merge of its first token's span with [last] when it finishes. *)
+type cursor = { mutable toks : (token * Loc.t) list; mutable last : Loc.t }
 
-(* A tiny mutable token cursor. *)
-type cursor = { mutable toks : token list }
+let fail c fmt =
+  let loc = match c.toks with (_, l) :: _ -> l | [] -> c.last in
+  Format.kasprintf
+    (fun s ->
+      raise
+        (Parse_error
+           { msg = Format.asprintf "%s at %a" s Loc.pp_prose loc; loc }))
+    fmt
 
-let peek c = match c.toks with [] -> None | t :: _ -> Some t
+let peek c = match c.toks with [] -> None | (t, _) :: _ -> Some t
+
+(* The span the next production will start at. *)
+let next_loc c = match c.toks with (_, l) :: _ -> l | [] -> c.last
 
 let advance c =
   match c.toks with
-  | [] -> fail "unexpected end of input"
-  | t :: rest ->
+  | [] -> fail c "unexpected end of input"
+  | (t, l) :: rest ->
     c.toks <- rest;
+    c.last <- l;
     t
 
 let expect c tok =
   let got = advance c in
-  if got <> tok then fail "expected %a but found %a" pp_token tok pp_token got
+  if got <> tok then fail c "expected %a but found %a" pp_token tok pp_token got
 
 let expect_kw c kw =
   match advance c with
   | Kw k when k = kw -> ()
-  | got -> fail "expected keyword %s but found %a" kw pp_token got
+  | got -> fail c "expected keyword %s but found %a" kw pp_token got
 
 let ident c =
   match advance c with
   | Ident s -> s
-  | got -> fail "expected an identifier but found %a" pp_token got
+  | got -> fail c "expected an identifier but found %a" pp_token got
 
 let comma_sep c parse_one =
   let rec rest acc =
@@ -59,7 +72,7 @@ let signed_row c =
     match advance c with
     | Plus -> Hierel.Types.Pos
     | Minus -> Hierel.Types.Neg
-    | got -> fail "expected '+' or '-' but found %a" pp_token got
+    | got -> fail c "expected '+' or '-' but found %a" pp_token got
   in
   let values = comma_sep c value in
   expect c Rparen;
@@ -83,27 +96,33 @@ let semantics_of_kw = function
   | "NO-PREEMPTION" -> Some Hierel.Types.No_preemption
   | _ -> None
 
+(* Builds a located node spanning from [start] to the last consumed
+   token. *)
+let mk c start node = { Ast.expr = node; eloc = Loc.merge start c.last }
+
 let rec expr c =
+  let start = next_loc c in
   let lhs = term c in
   let rec ops lhs =
     match peek c with
     | Some (Kw "UNION") ->
       ignore (advance c);
-      ops (Ast.Union (lhs, term c))
+      ops (mk c start (Ast.Union (lhs, term c)))
     | Some (Kw "INTERSECT") ->
       ignore (advance c);
-      ops (Ast.Intersect (lhs, term c))
+      ops (mk c start (Ast.Intersect (lhs, term c)))
     | Some (Kw "EXCEPT") ->
       ignore (advance c);
-      ops (Ast.Except (lhs, term c))
+      ops (mk c start (Ast.Except (lhs, term c)))
     | Some (Kw "JOIN") ->
       ignore (advance c);
-      ops (Ast.Join (lhs, term c))
+      ops (mk c start (Ast.Join (lhs, term c)))
     | _ -> lhs
   in
   ops lhs
 
 and term c =
+  let start = next_loc c in
   match peek c with
   | Some Lparen ->
     ignore (advance c);
@@ -118,7 +137,7 @@ and term c =
       let attr = ident c in
       expect c Equals;
       let v = value c in
-      let e = Ast.Select (e, attr, v) in
+      let e = mk c start (Ast.Select (e, attr, v)) in
       match peek c with
       | Some (Kw "AND") ->
         ignore (advance c);
@@ -133,17 +152,17 @@ and term c =
     expect c Lparen;
     let attrs = comma_sep c ident in
     expect c Rparen;
-    Ast.Project (e, attrs)
+    mk c start (Ast.Project (e, attrs))
   | Some (Kw "RENAME") ->
     ignore (advance c);
     let e = term c in
     let old_name = ident c in
     expect_kw c "TO";
     let new_name = ident c in
-    Ast.Rename (e, old_name, new_name)
+    mk c start (Ast.Rename (e, old_name, new_name))
   | Some (Kw "CONSOLIDATED") ->
     ignore (advance c);
-    Ast.Consolidated (term c)
+    mk c start (Ast.Consolidated (term c))
   | Some (Kw "EXPLICATED") ->
     ignore (advance c);
     let e = term c in
@@ -153,11 +172,11 @@ and term c =
       expect c Lparen;
       let attrs = comma_sep c ident in
       expect c Rparen;
-      Ast.Explicated (e, Some attrs)
-    | _ -> Ast.Explicated (e, None))
-  | Some (Ident _) -> Ast.Rel (ident c)
-  | Some got -> fail "expected a relation expression but found %a" pp_token got
-  | None -> fail "expected a relation expression but found end of input"
+      mk c start (Ast.Explicated (e, Some attrs))
+    | _ -> mk c start (Ast.Explicated (e, None)))
+  | Some (Ident _) -> mk c start (Ast.Rel (ident c))
+  | Some got -> fail c "expected a relation expression but found %a" pp_token got
+  | None -> fail c "expected a relation expression but found end of input"
 
 let create_stmt c =
   match advance c with
@@ -169,7 +188,7 @@ let create_stmt c =
       | Some (Kw "UNDER") ->
         ignore (advance c);
         comma_sep c ident
-      | _ -> fail "CREATE CLASS %s: missing UNDER <parent>" name
+      | _ -> fail c "CREATE CLASS %s: missing UNDER <parent>" name
     in
     Ast.Create_class { name; parents }
   | Kw "INSTANCE" ->
@@ -179,7 +198,7 @@ let create_stmt c =
       | Some (Kw "OF") ->
         ignore (advance c);
         comma_sep c ident
-      | _ -> fail "CREATE INSTANCE %s: missing OF <class>" name
+      | _ -> fail c "CREATE INSTANCE %s: missing OF <class>" name
     in
     Ast.Create_instance { name; parents }
   | Kw "ISA" ->
@@ -196,7 +215,7 @@ let create_stmt c =
     let name = ident c in
     let attrs = attr_list c in
     Ast.Create_relation { name; attrs }
-  | got -> fail "CREATE: unexpected %a" pp_token got
+  | got -> fail c "CREATE: unexpected %a" pp_token got
 
 let statement c =
   match advance c with
@@ -219,6 +238,7 @@ let statement c =
   | Kw "SELECT" ->
     expect c Star;
     expect_kw c "FROM";
+    let start = next_loc c in
     let e = expr c in
     let e =
       match peek c with
@@ -228,7 +248,7 @@ let statement c =
           let attr = ident c in
           expect c Equals;
           let v = value c in
-          let e = Ast.Select (e, attr, v) in
+          let e = mk c start (Ast.Select (e, attr, v)) in
           match peek c with
           | Some (Kw "AND") ->
             ignore (advance c);
@@ -262,8 +282,8 @@ let statement c =
         | Kw k -> (
           match semantics_of_kw k with
           | Some s -> Some s
-          | None -> fail "unknown semantics %s" k)
-        | got -> fail "expected a semantics name but found %a" pp_token got)
+          | None -> fail c "unknown semantics %s" k)
+        | got -> fail c "expected a semantics name but found %a" pp_token got)
       | _ -> None
     in
     Ast.Ask { rel; values; semantics }
@@ -287,7 +307,7 @@ let statement c =
     | Kw "HIERARCHY" -> Ast.Show_hierarchy (ident c)
     | Kw "RELATIONS" -> Ast.Show_relations
     | Kw "HIERARCHIES" -> Ast.Show_hierarchies
-    | got -> fail "SHOW: unexpected %a" pp_token got)
+    | got -> fail c "SHOW: unexpected %a" pp_token got)
   | Kw "EXPLAIN" -> (
     match peek c with
     | Some (Kw "PLAN") ->
@@ -311,10 +331,10 @@ let statement c =
       | _ -> None
     in
     Ast.Count { expr = e; by }
-  | got -> fail "unexpected %a at start of statement" pp_token got
+  | got -> fail c "unexpected %a at start of statement" pp_token got
 
 let parse input =
-  let c = { toks = tokenize input } in
+  let c = { toks = tokenize_spans input; last = Loc.dummy } in
   let rec loop acc =
     match peek c with
     | None -> List.rev acc
@@ -322,17 +342,20 @@ let parse input =
       ignore (advance c);
       loop acc
     | Some _ ->
+      let start = next_loc c in
       let s = statement c in
+      let sloc = Loc.merge start c.last in
       (match peek c with
       | Some Semicolon -> ignore (advance c)
       | None -> ()
-      | Some got -> fail "expected ';' but found %a" pp_token got);
-      loop (s :: acc)
+      | Some got -> fail c "expected ';' but found %a" pp_token got);
+      loop ({ Ast.stmt = s; sloc } :: acc)
   in
   loop []
 
 let parse_statement input =
+  let c = { toks = []; last = Loc.dummy } in
   match parse input with
   | [ s ] -> s
-  | [] -> fail "empty input"
-  | _ -> fail "expected exactly one statement"
+  | [] -> fail c "empty input"
+  | _ -> fail c "expected exactly one statement"

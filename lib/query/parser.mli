@@ -35,13 +35,16 @@
     v}
 
     Set operators associate left and have equal precedence; parenthesize
-    to disambiguate. *)
+    to disambiguate. Every parsed statement and expression node carries
+    the source span it was read from. *)
 
-exception Parse_error of string
+exception Parse_error of { msg : string; loc : Loc.t }
+(** [msg] already names the line and column; [loc] carries them
+    structurally for diagnostics. *)
 
-val parse : string -> Ast.statement list
+val parse : string -> Ast.located_statement list
 (** Tokenizes and parses a whole script. Raises {!Parse_error} or
     {!Lexer.Lex_error}. *)
 
-val parse_statement : string -> Ast.statement
+val parse_statement : string -> Ast.located_statement
 (** Parses exactly one statement (the trailing [;] is optional). *)

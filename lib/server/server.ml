@@ -31,6 +31,14 @@ let run_script t script =
   | Memory cat -> Hr_query.Eval.run_script cat script
   | Durable db -> Hr_storage.Db.exec db script
 
+let catalog t =
+  match t.backend with
+  | Memory cat -> cat
+  | Durable db -> Hr_storage.Db.catalog db
+
+let lint t script =
+  Hr_analysis.Lint.analyze_script ~catalog:(catalog t) script
+
 (* ---- framing --------------------------------------------------------- *)
 
 exception Disconnected
@@ -102,6 +110,9 @@ let serve_one_connection t =
         | Ok ("EXEC", payload) ->
           handle_request t conn payload;
           loop ()
+        | Ok ("LINT", payload) ->
+          send_frame conn "OK" (Hr_analysis.Diagnostic.render_json (lint t payload));
+          loop ()
         | Ok (tag, _) ->
           send_frame conn "ERR" (Printf.sprintf "unknown request %S" tag);
           loop ()
@@ -129,14 +140,17 @@ module Client = struct
     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
     fd
 
-  let exec conn script =
-    send_frame conn "EXEC" script;
+  let request conn tag script =
+    send_frame conn tag script;
     match recv_frame conn with
     | Ok ("OK", payload) -> Ok payload
     | Ok ("ERR", payload) -> Error payload
     | Ok (tag, _) -> Error (Printf.sprintf "unexpected reply %S" tag)
     | Error msg -> Error msg
     | exception Disconnected -> Error "server disconnected"
+
+  let exec conn script = request conn "EXEC" script
+  let lint conn script = request conn "LINT" script
 
   let close conn = try Unix.close conn with Unix.Unix_error _ -> ()
 end

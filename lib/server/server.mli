@@ -9,6 +9,11 @@
           |  ERR <payload-bytes>\n<payload>     (error message)
     v}
 
+    A [LINT] request has the same framing as [EXEC] but runs the static
+    analyzer against a snapshot of the live catalog instead of executing
+    the script; the [OK] payload is the diagnostics as a JSON array
+    (possibly empty). Lint requests never mutate the database.
+
     The server is sequential: it serves one connection at a time and one
     request at a time (the model's transactions are single-writer anyway;
     see {!Hr_storage.Db}'s lock). A connection is served until the client
@@ -27,6 +32,11 @@ val create_durable : ?host:string -> port:int -> dir:string -> unit -> t
 
 val port : t -> int
 
+val lint : t -> string -> Hr_analysis.Diagnostic.t list
+(** Statically analyze a script against a snapshot of the server's live
+    catalog — schemas and hierarchies are visible to the checks, but
+    nothing is executed or mutated. *)
+
 val serve_one_connection : t -> unit
 (** Accepts a single connection and serves requests until the client
     disconnects. Blocking. *)
@@ -44,6 +54,10 @@ module Client : sig
   val exec : conn -> string -> (string, string) result
   (** Sends one HRQL script; returns the server's combined output or the
       error message. *)
+
+  val lint : conn -> string -> (string, string) result
+  (** Sends one script for static analysis; returns the diagnostics as a
+      JSON array ([[]] when the script is clean). *)
 
   val close : conn -> unit
 end

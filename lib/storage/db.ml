@@ -71,9 +71,9 @@ let exec t script =
       run acc rest
     | source :: rest -> (
       match Parser.parse_statement source with
-      | exception Parser.Parse_error msg -> Error ("parse error: " ^ msg)
-      | exception Hr_query.Lexer.Lex_error msg -> Error ("lex error: " ^ msg)
-      | stmt -> (
+      | exception Parser.Parse_error { msg; _ } -> Error ("parse error: " ^ msg)
+      | exception Hr_query.Lexer.Lex_error { msg; _ } -> Error ("lex error: " ^ msg)
+      | { Ast.stmt; _ } -> (
         match Eval.exec t.catalog stmt with
         | Ok out ->
           (* log only acknowledged statements: a rejected update (e.g. an

@@ -1,0 +1,349 @@
+(* The static analyzer: one positive and one negative case per
+   diagnostic code, the all-codes golden fixture, span correctness,
+   purity (analysis never mutates the live catalog), and totality. *)
+
+module Lint = Hr_analysis.Lint
+module Diagnostic = Hr_analysis.Diagnostic
+module Sim_catalog = Hr_analysis.Sim_catalog
+module Lexer = Hr_query.Lexer
+module Parser = Hr_query.Parser
+module Loc = Hr_query.Loc
+module Eval = Hr_query.Eval
+module Hierarchy = Hr_hierarchy.Hierarchy
+open Hierel
+
+let codes ?catalog script =
+  List.map (fun d -> d.Diagnostic.code) (Lint.analyze_script ?catalog script)
+
+let check_codes name expected script =
+  Alcotest.(check (list string)) name expected (codes script)
+
+(* A world most cases build on: birds and penguins, and a place domain. *)
+let world =
+  {|CREATE DOMAIN animal;
+CREATE CLASS bird UNDER animal;
+CREATE CLASS penguin UNDER bird;
+CREATE INSTANCE tweety OF bird;
+CREATE INSTANCE opus OF penguin;
+CREATE INSTANCE rex OF animal;
+CREATE DOMAIN place;
+CREATE INSTANCE antarctica OF place;
+CREATE RELATION flies (who: animal);
+|}
+
+let test_clean_world () = check_codes "world is clean" [] world
+
+(* -- one positive and one negative case per code ----------------------- *)
+
+let test_e000 () =
+  check_codes "garbage is a syntax error" [ "E000" ] "CREATE NONSENSE;";
+  check_codes "valid statement is clean" [] "CREATE DOMAIN d;"
+
+let test_e001 () =
+  check_codes "unknown relation" [ "E001" ] "SELECT * FROM nosuch;";
+  check_codes "known relation" [] (world ^ "SELECT * FROM flies;")
+
+let test_e002 () =
+  check_codes "arity mismatch" [ "E002" ]
+    (world ^ "INSERT INTO flies VALUES (+ tweety, rex);");
+  check_codes "right arity" [] (world ^ "INSERT INTO flies VALUES (+ tweety);")
+
+let test_e003 () =
+  check_codes "value from the wrong domain" [ "E003" ]
+    (world ^ "INSERT INTO flies VALUES (+ antarctica);");
+  check_codes "value from the right domain" []
+    (world ^ "INSERT INTO flies VALUES (+ rex);")
+
+let test_e004 () =
+  check_codes "ALL on an instance" [ "E004" ]
+    (world ^ "INSERT INTO flies VALUES (+ ALL tweety);");
+  check_codes "ALL on a class" [] (world ^ "INSERT INTO flies VALUES (+ ALL bird);")
+
+let test_e005 () =
+  check_codes "isa cycle" [ "E005" ] (world ^ "CREATE ISA animal UNDER penguin;");
+  check_codes "fresh isa edge is clean" []
+    (world ^ "CREATE CLASS swimmer UNDER animal; CREATE ISA penguin UNDER swimmer;")
+
+let test_e006 () =
+  check_codes "union of different schemas" [ "E006" ]
+    (world
+   ^ "CREATE RELATION lives (who: animal, where_at: place);\n\
+      SELECT * FROM flies UNION lives;");
+  check_codes "union of identical schemas" []
+    (world ^ "CREATE RELATION flew (who: animal); SELECT * FROM flies UNION flew;")
+
+let test_e007 () =
+  check_codes "join on disjoint domains" [ "E007" ]
+    (world
+   ^ "CREATE RELATION guards (who: place);\nSELECT * FROM flies JOIN guards;");
+  check_codes "join on a shared domain" []
+    (world
+   ^ "CREATE RELATION eats (who: animal);\nSELECT * FROM flies JOIN eats;")
+
+let test_e008 () =
+  check_codes "unknown attribute in selection" [ "E008" ]
+    (world ^ "SELECT * FROM flies WHERE nope = tweety;");
+  check_codes "known attribute" [] (world ^ "SELECT * FROM flies WHERE who = tweety;")
+
+let test_e009 () =
+  check_codes "duplicate relation" [ "E009" ]
+    (world ^ "CREATE RELATION flies (who: animal);");
+  check_codes "duplicate class name" [ "E009" ] (world ^ "CREATE CLASS bird UNDER animal;");
+  check_codes "fresh names are clean" []
+    (world ^ "CREATE RELATION flew (who: animal); CREATE CLASS fish UNDER animal;")
+
+let test_e010 () =
+  check_codes "children under an instance" [ "E010" ]
+    (world ^ "CREATE CLASS chick UNDER tweety;");
+  check_codes "children under a class" [] (world ^ "CREATE CLASS chick UNDER bird;")
+
+let test_w101 () =
+  check_codes "redundant isa edge" [ "W101" ]
+    (world ^ "CREATE ISA penguin UNDER animal;");
+  check_codes "non-redundant isa edge" []
+    (world ^ "CREATE CLASS swimmer UNDER animal; CREATE ISA penguin UNDER swimmer;")
+
+let test_w102 () =
+  check_codes "row implied by a more general one" [ "W102" ]
+    (world
+   ^ "INSERT INTO flies VALUES (+ ALL bird);\nINSERT INTO flies VALUES (+ opus);");
+  (* an intersecting negation makes the subsumed row load-bearing: it is
+     the disambiguating assertion, exactly the paper's Respects example —
+     the W104 on the negation is expected, the resolving row is NOT dead *)
+  check_codes "subsumed row that resolves a conflict is not dead" [ "W104" ]
+    (world
+   ^ "CREATE CLASS swimmer UNDER animal; CREATE ISA penguin UNDER swimmer;\n\
+      INSERT INTO flies VALUES (+ ALL bird);\n\
+      INSERT INTO flies VALUES (- ALL swimmer);\n\
+      INSERT INTO flies VALUES (+ ALL penguin);")
+
+let test_w103 () =
+  check_codes "negation fully re-covered by closer positives" [ "W103" ]
+    (world
+   ^ "INSERT INTO flies VALUES (+ opus);\n\
+      INSERT INTO flies VALUES (+ ALL bird);\n\
+      INSERT INTO flies VALUES (- ALL penguin);");
+  check_codes "negation that wins somewhere" []
+    (world
+   ^ "CREATE INSTANCE pingu OF penguin;\n\
+      INSERT INTO flies VALUES (+ opus);\n\
+      INSERT INTO flies VALUES (+ ALL bird);\n\
+      INSERT INTO flies VALUES (- ALL penguin);")
+
+let test_w104 () =
+  check_codes "incomparable opposite rows over a shared descendant" [ "W104" ]
+    (world
+   ^ "CREATE CLASS swimmer UNDER animal; CREATE ISA penguin UNDER swimmer;\n\
+      INSERT INTO flies VALUES (+ ALL bird);\n\
+      INSERT INTO flies VALUES (- ALL swimmer);");
+  check_codes "comparable opposite rows are fine" []
+    (world
+   ^ "INSERT INTO flies VALUES (+ ALL bird);\n\
+      INSERT INTO flies VALUES (- ALL penguin);\n\
+      INSERT INTO flies VALUES (+ opus);")
+
+let test_w105 () =
+  check_codes "contradictory ANDed selections" [ "W105" ]
+    (world ^ "SELECT * FROM flies WHERE who = rex AND who = tweety;");
+  check_codes "narrowing ANDed selections" []
+    (world ^ "SELECT * FROM flies WHERE who = bird AND who = tweety;")
+
+let test_h201 () =
+  check_codes "bare class in an insert row" [ "H201" ]
+    (world ^ "INSERT INTO flies VALUES (+ bird);");
+  check_codes "explicit ALL" [] (world ^ "INSERT INTO flies VALUES (+ ALL bird);")
+
+let test_h202 () =
+  check_codes "projection drops the exception-carrying attribute" [ "H202" ]
+    (world
+   ^ "CREATE RELATION lives (who: animal, where_at: place);\n\
+      INSERT INTO lives VALUES (+ ALL bird, antarctica);\n\
+      INSERT INTO lives VALUES (- ALL penguin, antarctica);\n\
+      SELECT * FROM PROJECT lives ON (where_at);");
+  check_codes "projection keeping the attribute" []
+    (world
+   ^ "CREATE RELATION lives (who: animal, where_at: place);\n\
+      INSERT INTO lives VALUES (+ ALL bird, antarctica);\n\
+      INSERT INTO lives VALUES (- ALL penguin, antarctica);\n\
+      SELECT * FROM PROJECT lives ON (who);")
+
+(* -- cascading-error suppression --------------------------------------- *)
+
+let test_poisoning () =
+  check_codes "a bad LET poisons its name" [ "E001" ]
+    "LET x = nosuch;\nSELECT * FROM x;\nSELECT * FROM x JOIN x;";
+  check_codes "a failed CREATE RELATION poisons its name" [ "E008" ]
+    "CREATE RELATION r (v: nodomain);\nINSERT INTO r VALUES (+ x);\nSELECT * FROM r;"
+
+(* -- spans -------------------------------------------------------------- *)
+
+let test_spans () =
+  let script = world ^ "SELECT * FROM nosuch;" in
+  match Lint.analyze_script script with
+  | [ d ] ->
+    Alcotest.(check string) "code" "E001" d.Diagnostic.code;
+    (* [world] is 9 statements ending in a newline, so the SELECT is
+       line 10 and the relation name starts at column 15 *)
+    Alcotest.(check (pair int int))
+      "start" (10, 15)
+      (d.Diagnostic.loc.Loc.lo.Loc.line, d.Diagnostic.loc.Loc.lo.Loc.col);
+    Alcotest.(check (pair int int))
+      "end" (10, 21)
+      (d.Diagnostic.loc.Loc.hi.Loc.line, d.Diagnostic.loc.Loc.hi.Loc.col)
+  | ds -> Alcotest.failf "expected exactly one diagnostic, got %d" (List.length ds)
+
+let test_lexer_spans () =
+  (match Lexer.tokenize "CREATE\n  ? DOMAIN" with
+  | _ -> Alcotest.fail "expected Lex_error"
+  | exception Lexer.Lex_error { loc; _ } ->
+    Alcotest.(check (pair int int))
+      "garbled char position" (2, 3)
+      (loc.Loc.lo.Loc.line, loc.Loc.lo.Loc.col));
+  match Lint.analyze_script "CREATE DOMAIN d;\n\x01;" with
+  | [ d ] ->
+    Alcotest.(check string) "lex error surfaces as E000" "E000" d.Diagnostic.code;
+    Alcotest.(check (pair int int))
+      "at the bad byte" (2, 1)
+      (d.Diagnostic.loc.Loc.lo.Loc.line, d.Diagnostic.loc.Loc.lo.Loc.col)
+  | ds -> Alcotest.failf "expected one E000, got %d diagnostics" (List.length ds)
+
+(* -- the all-codes golden fixture --------------------------------------- *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_golden () =
+  let script = read_file "fixtures/lint_all_codes.hrql" in
+  let expected = read_file "fixtures/lint_all_codes.expected" in
+  let actual = Diagnostic.render_text (Lint.analyze_script script) in
+  Alcotest.(check string) "full report matches" expected actual;
+  let all_codes = codes script in
+  Alcotest.(check (list string))
+    "all seventeen codes, in order"
+    [
+      "E001"; "E002"; "E003"; "E004"; "E005"; "E006"; "E007"; "E008"; "E009";
+      "E010"; "W101"; "W102"; "W103"; "W104"; "W105"; "H201"; "H202";
+    ]
+    all_codes
+
+(* -- analysis against a live catalog ------------------------------------ *)
+
+let seeded_catalog () =
+  let cat = Catalog.create () in
+  match Eval.run_script cat world with
+  | Ok _ -> cat
+  | Error e -> Alcotest.failf "world script failed: %s" e
+
+let test_catalog_seeding () =
+  let cat = seeded_catalog () in
+  Alcotest.(check (list string))
+    "catalog relations are visible" []
+    (codes ~catalog:cat "INSERT INTO flies VALUES (+ tweety);");
+  Alcotest.(check (list string))
+    "catalog contents are visible" [ "W102" ]
+    (codes ~catalog:cat
+       "INSERT INTO flies VALUES (+ ALL bird);\nINSERT INTO flies VALUES (+ opus);")
+
+let test_purity () =
+  let cat = seeded_catalog () in
+  (match Eval.run_script cat "INSERT INTO flies VALUES (+ ALL bird);" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "seed insert failed: %s" e);
+  let before_card = Relation.cardinality (Catalog.relation cat "flies") in
+  let before_nodes = Hierarchy.node_count (Catalog.hierarchy cat "animal") in
+  (* a script full of DDL and DML: none of it may leak into the catalog *)
+  let script =
+    "CREATE DOMAIN fish;\n\
+     CREATE CLASS seabird UNDER animal;\n\
+     CREATE ISA penguin UNDER seabird;\n\
+     CREATE RELATION eats (who: animal);\n\
+     INSERT INTO flies VALUES (+ rex), (- ALL penguin);\n\
+     DROP RELATION flies;\n\
+     SELECT * FROM nosuch;"
+  in
+  ignore (Lint.analyze_script ~catalog:cat script);
+  Alcotest.(check int)
+    "relation untouched" before_card
+    (Relation.cardinality (Catalog.relation cat "flies"));
+  Alcotest.(check int)
+    "hierarchy untouched" before_nodes
+    (Hierarchy.node_count (Catalog.hierarchy cat "animal"));
+  Alcotest.(check bool)
+    "no new domain appeared" false
+    (Option.is_some (Catalog.find_hierarchy cat "fish"));
+  Alcotest.(check bool)
+    "no new relation appeared" false
+    (Option.is_some (Catalog.find_relation cat "eats"))
+
+(* -- totality: the analyzer never raises -------------------------------- *)
+
+let printable_gen =
+  QCheck2.Gen.(string_size ~gen:(char_range ' ' '~') (int_range 0 120))
+
+let prop_analyzer_total =
+  QCheck2.Test.make ~name:"analyze_script never raises" ~count:500 printable_gen
+    (fun input ->
+      match Lint.analyze_script input with _ -> true)
+
+(* Statement-shaped inputs reach much deeper than uniform strings do. *)
+let statement_gen =
+  let open QCheck2.Gen in
+  let name = oneofl [ "animal"; "bird"; "tweety"; "flies"; "nosuch"; "x" ] in
+  let value = oneof [ map (fun n -> "ALL " ^ n) name; name ] in
+  oneof
+    [
+      map (fun n -> Printf.sprintf "CREATE DOMAIN %s;" n) name;
+      map2 (fun a b -> Printf.sprintf "CREATE CLASS %s UNDER %s;" a b) name name;
+      map2 (fun a b -> Printf.sprintf "CREATE ISA %s UNDER %s;" a b) name name;
+      map2 (fun r v -> Printf.sprintf "INSERT INTO %s VALUES (+ %s);" r v) name value;
+      map2 (fun r v -> Printf.sprintf "INSERT INTO %s VALUES (- %s);" r v) name value;
+      map (fun r -> Printf.sprintf "SELECT * FROM %s;" r) name;
+      map2
+        (fun a b -> Printf.sprintf "SELECT * FROM %s JOIN %s;" a b)
+        name name;
+      map2 (fun n r -> Printf.sprintf "LET %s = %s;" n r) name name;
+      map (fun r -> Printf.sprintf "CONSOLIDATE %s;" r) name;
+      map (fun r -> Printf.sprintf "DROP RELATION %s;" r) name;
+    ]
+
+let script_gen =
+  QCheck2.Gen.(map (String.concat "\n") (list_size (int_range 0 12) statement_gen))
+
+let prop_analyzer_total_on_scripts =
+  QCheck2.Test.make ~name:"analyze_script never raises on statement soup"
+    ~count:300 script_gen (fun input ->
+      match Lint.analyze_script input with _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "clean world" `Quick test_clean_world;
+    Alcotest.test_case "E000 syntax error" `Quick test_e000;
+    Alcotest.test_case "E001 unknown relation" `Quick test_e001;
+    Alcotest.test_case "E002 arity mismatch" `Quick test_e002;
+    Alcotest.test_case "E003 domain mismatch" `Quick test_e003;
+    Alcotest.test_case "E004 ALL on instance" `Quick test_e004;
+    Alcotest.test_case "E005 isa cycle" `Quick test_e005;
+    Alcotest.test_case "E006 incompatible schemas" `Quick test_e006;
+    Alcotest.test_case "E007 join on disjoint domains" `Quick test_e007;
+    Alcotest.test_case "E008 unknown name" `Quick test_e008;
+    Alcotest.test_case "E009 duplicate definition" `Quick test_e009;
+    Alcotest.test_case "E010 invalid hierarchy edit" `Quick test_e010;
+    Alcotest.test_case "W101 redundant isa edge" `Quick test_w101;
+    Alcotest.test_case "W102 dead row" `Quick test_w102;
+    Alcotest.test_case "W103 shadowed negation" `Quick test_w103;
+    Alcotest.test_case "W104 ambiguity conflict" `Quick test_w104;
+    Alcotest.test_case "W105 unsatisfiable selection" `Quick test_w105;
+    Alcotest.test_case "H201 bare class value" `Quick test_h201;
+    Alcotest.test_case "H202 projection drops exceptions" `Quick test_h202;
+    Alcotest.test_case "cascade suppression" `Quick test_poisoning;
+    Alcotest.test_case "diagnostic spans" `Quick test_spans;
+    Alcotest.test_case "lexer positions" `Quick test_lexer_spans;
+    Alcotest.test_case "all-codes golden fixture" `Quick test_golden;
+    Alcotest.test_case "live-catalog seeding" `Quick test_catalog_seeding;
+    Alcotest.test_case "analysis never mutates the catalog" `Quick test_purity;
+    QCheck_alcotest.to_alcotest prop_analyzer_total;
+    QCheck_alcotest.to_alcotest prop_analyzer_total_on_scripts;
+  ]

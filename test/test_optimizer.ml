@@ -9,58 +9,61 @@ open Hierel
 
 let d = Optimizer.describe
 
-let sel e attr v = Ast.Select (e, attr, Ast.Atom v)
+(* Located-node helpers: programmatic trees carry dummy spans. *)
+let at node = Ast.at node
+let rel name = at (Ast.Rel name)
+let sel e attr v = at (Ast.Select (e, attr, Ast.Atom v))
 
 let test_pushdown_union () =
-  let e = sel (Ast.Union (Ast.Rel "a", Ast.Rel "b")) "x" "v" in
+  let e = sel (at (Ast.Union (rel "a", rel "b"))) "x" "v" in
   Alcotest.(check string) "pushed" "union(select[x=v](a), select[x=v](b))"
     (d (Optimizer.optimize e))
 
 let test_pushdown_except () =
-  let e = sel (Ast.Except (Ast.Rel "a", Ast.Rel "b")) "x" "v" in
+  let e = sel (at (Ast.Except (rel "a", rel "b"))) "x" "v" in
   Alcotest.(check string) "pushed" "except(select[x=v](a), select[x=v](b))"
     (d (Optimizer.optimize e))
 
 let test_join_pushdown_by_projection_evidence () =
   (* only the left side provably carries "x" *)
-  let left = Ast.Project (Ast.Rel "a", [ "x"; "y" ]) in
-  let right = Ast.Project (Ast.Rel "b", [ "z" ]) in
-  let e = sel (Ast.Join (left, right)) "x" "v" in
+  let left = at (Ast.Project (rel "a", [ "x"; "y" ])) in
+  let right = at (Ast.Project (rel "b", [ "z" ])) in
+  let e = sel (at (Ast.Join (left, right))) "x" "v" in
   Alcotest.(check string) "pushed left only"
     "join(select[x=v](project[x,y](a)), project[z](b))"
     (d (Optimizer.optimize e))
 
 let test_join_no_evidence_stays () =
-  let e = sel (Ast.Join (Ast.Rel "a", Ast.Rel "b")) "x" "v" in
+  let e = sel (at (Ast.Join (rel "a", rel "b"))) "x" "v" in
   Alcotest.(check string) "stays above" "select[x=v](join(a, b))" (d (Optimizer.optimize e))
 
 let test_select_fusion () =
-  let e = sel (sel (Ast.Rel "a") "x" "v") "x" "v" in
+  let e = sel (sel (rel "a") "x" "v") "x" "v" in
   Alcotest.(check string) "fused" "select[x=v](a)" (d (Optimizer.optimize e))
 
 let test_different_selects_not_fused () =
-  let e = sel (sel (Ast.Rel "a") "x" "w") "x" "v" in
+  let e = sel (sel (rel "a") "x" "w") "x" "v" in
   Alcotest.(check string) "kept" "select[x=v](select[x=w](a))" (d (Optimizer.optimize e))
 
 let test_project_fusion () =
-  let e = Ast.Project (Ast.Project (Ast.Rel "a", [ "x"; "y"; "z" ]), [ "x" ]) in
+  let e = at (Ast.Project (at (Ast.Project (rel "a", [ "x"; "y"; "z" ])), [ "x" ])) in
   Alcotest.(check string) "fused" "project[x](a)" (d (Optimizer.optimize e))
 
 let test_project_widening_not_fused () =
   (* outer asks for a column the inner dropped: must not fuse *)
-  let e = Ast.Project (Ast.Project (Ast.Rel "a", [ "x" ]), [ "x"; "y" ]) in
+  let e = at (Ast.Project (at (Ast.Project (rel "a", [ "x" ])), [ "x"; "y" ])) in
   Alcotest.(check string) "kept" "project[x,y](project[x](a))" (d (Optimizer.optimize e))
 
 let test_inner_consolidated_elided () =
-  let e = Ast.Union (Ast.Consolidated (Ast.Rel "a"), Ast.Rel "b") in
+  let e = at (Ast.Union (at (Ast.Consolidated (rel "a")), rel "b")) in
   Alcotest.(check string) "elided" "union(a, b)" (d (Optimizer.optimize e))
 
 let test_top_level_consolidated_kept () =
-  let e = Ast.Consolidated (Ast.Union (Ast.Rel "a", Ast.Rel "b")) in
+  let e = at (Ast.Consolidated (at (Ast.Union (rel "a", rel "b")))) in
   Alcotest.(check string) "kept" "consolidated(union(a, b))" (d (Optimizer.optimize e))
 
 let test_top_level_explicated_kept () =
-  let e = Ast.Explicated (Ast.Rel "a", None) in
+  let e = at (Ast.Explicated (rel "a", None)) in
   Alcotest.(check string) "kept" "explicated(a)" (d (Optimizer.optimize e))
 
 (* extension equivalence on a real catalog *)
@@ -97,7 +100,7 @@ let exprs_under_test =
 let test_extension_equivalence () =
   List.iter
     (fun q ->
-      match Parser.parse_statement q with
+      match (Parser.parse_statement q).Ast.stmt with
       | Ast.Select_query { expr; _ } ->
         let cat = catalog () in
         let naive =
@@ -106,7 +109,7 @@ let test_extension_equivalence () =
              optimized evaluation against the unoptimized tree evaluated
              as sub-LETs *)
           let rec naive_eval e =
-            match e with
+            match e.Ast.expr with
             | Ast.Rel name -> Catalog.relation cat name
             | Ast.Select (e, attr, v) ->
               Ops.select (naive_eval e) ~attr ~value:(Ast.value_name v)

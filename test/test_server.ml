@@ -80,9 +80,40 @@ let test_durable_backend () =
       | Ok _ | Error _ -> Alcotest.fail "reopen failed");
       Hr_storage.Db.close db)
 
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_lint_over_the_wire () =
+  let port, pid = spawn_server 1 in
+  let conn = Server.Client.connect ~port () in
+  (match Server.Client.exec conn "CREATE DOMAIN d; CREATE INSTANCE x OF d; CREATE RELATION r (v: d); INSERT INTO r VALUES (+ x);" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "setup: %s" e);
+  (* the analyzer sees the live catalog... *)
+  (match Server.Client.lint conn "DELETE FROM r VALUES (x);" with
+  | Ok payload -> Alcotest.(check string) "clean script" "[]\n" payload
+  | Error e -> Alcotest.failf "lint: %s" e);
+  (match Server.Client.lint conn "SELECT * FROM nosuch;" with
+  | Ok payload ->
+    Alcotest.(check bool) "diagnostic in payload" true
+      (contains ~needle:"E001" payload)
+  | Error e -> Alcotest.failf "lint: %s" e);
+  (* ...but linting DROP RELATION must not have dropped anything *)
+  (match Server.Client.lint conn "DROP RELATION r;" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "lint drop: %s" e);
+  (match Server.Client.exec conn "ASK r (x);" with
+  | Ok out -> Alcotest.(check string) "relation still there" "+ (by (x))" out
+  | Error e -> Alcotest.failf "ask after lint: %s" e);
+  Server.Client.close conn;
+  wait_child pid
+
 let suite =
   [
     Alcotest.test_case "tcp round trip" `Quick test_round_trip;
     Alcotest.test_case "errors propagate, connection survives" `Quick test_errors_propagate;
     Alcotest.test_case "durable backend over tcp" `Quick test_durable_backend;
+    Alcotest.test_case "lint over the wire" `Quick test_lint_over_the_wire;
   ]
