@@ -26,10 +26,16 @@ let section title = Format.printf "@.==== %s ====@." title
 open Bechamel
 open Toolkit
 
+(* Per-run knobs (set from argv before any experiment runs) and the
+   accumulated estimates, for the optional --metrics-json report. *)
+let quota_s = ref 0.25
+let metrics_json_path : string option ref = ref None
+let collected : (string * float) list ref = ref []
+
 let run_benches ~label tests =
   let instance = Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ~kde:None ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second !quota_s) ~stabilize:false ~kde:None ()
   in
   let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:label ~fmt:"%s %s" tests) in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
@@ -40,7 +46,9 @@ let run_benches ~label tests =
   |> List.iter (fun (name, ols) ->
          let ns =
            match Analyze.OLS.estimates ols with
-           | Some (e :: _) -> Printf.sprintf "%.0f" e
+           | Some (e :: _) ->
+             collected := (name, e) :: !collected;
+             Printf.sprintf "%.0f" e
            | Some [] | None -> "n/a"
          in
          Texttable.add_row table [ name; ns ]);
@@ -633,10 +641,58 @@ let experiments =
     ("F", check_figures);
   ]
 
+(* The JSON report: bechamel estimates plus a snapshot of the metrics
+   registry, so a CI run records both latency and work counters. The
+   schema is documented in docs/OBSERVABILITY.md. *)
+let write_metrics_json path experiment_ids =
+  let open Hr_obs.Jsonout in
+  let benchmarks =
+    List.rev !collected
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, ns) -> (name, Float ns))
+  in
+  let report =
+    Obj
+      [
+        ("schema_version", Int 1);
+        ("suite", String "hierel-bench");
+        ("quota_seconds", Float !quota_s);
+        ("experiments", List (List.map (fun id -> String id) experiment_ids));
+        ("benchmarks_ns_per_op", Obj benchmarks);
+        ("metrics", Hr_obs.Metrics.json_of_snapshot (Hr_obs.Metrics.snapshot ()));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string report);
+      output_char oc '\n');
+  Format.printf "metrics report written to %s@." path
+
+(* argv: experiment ids freely mixed with [--metrics-json FILE] and
+   [--quota SECONDS]. *)
+let rec parse_args = function
+  | [] -> []
+  | "--metrics-json" :: path :: rest ->
+    metrics_json_path := Some path;
+    parse_args rest
+  | "--quota" :: s :: rest ->
+    (match float_of_string_opt s with
+    | Some q when q > 0. -> quota_s := q
+    | _ ->
+      prerr_endline ("bench: invalid --quota " ^ s);
+      exit 2);
+    parse_args rest
+  | ("--metrics-json" | "--quota") :: [] ->
+    prerr_endline "bench: missing argument to flag";
+    exit 2
+  | id :: rest -> id :: parse_args rest
+
 let () =
   Format.printf
     "hierel benchmark harness — experiments C1..C13 (see DESIGN.md / EXPERIMENTS.md)@.";
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let requested = parse_args (List.tl (Array.to_list Sys.argv)) in
   let selected =
     match requested with
     | [] -> experiments
@@ -649,4 +705,5 @@ let () =
     Format.printf "no such experiment; available: %s@."
       (String.concat " " (List.map fst experiments))
   else List.iter (fun (_, run) -> run ()) selected;
-  Format.printf "@.done.@." 
+  Option.iter (fun path -> write_metrics_json path (List.map fst selected)) !metrics_json_path;
+  Format.printf "@.done.@."

@@ -32,9 +32,10 @@ let help =
   LET s = r UNION t;   (also INTERSECT, EXCEPT, JOIN, PROJECT..ON, RENAME..TO)
   ASK r (x, y) [UNDER OFF-PATH|ON-PATH|NO-PREEMPTION];
   CONSOLIDATE r;   EXPLICATE r [ON (attr)];   CHECK r;
-  COUNT r [BY attr];   EXPLAIN PLAN <expr>;
+  COUNT r [BY attr];   EXPLAIN PLAN <expr>;   EXPLAIN ANALYZE <expr>;
   SHOW HIERARCHY d;   SHOW RELATIONS;   SHOW HIERARCHIES;
   EXPLAIN r (x, y);   DROP RELATION r;
+  STATS;   STATS JSON;   STATS RESET;     engine metrics (docs/OBSERVABILITY.md)
   LINT <statements...>;   statically check against the live catalog, run nothing
 REPL commands:
   \save FILE     dump the whole catalog as an HRQL script

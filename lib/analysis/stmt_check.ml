@@ -397,7 +397,9 @@ let check sim ~emit { Ast.stmt; sloc = loc } =
     if Option.is_none (Sim_catalog.find_hierarchy sim name) then
       emit (Diagnostic.errorf ~code:"E008" loc "unknown domain %S" name)
   | Ast.Show_relations | Ast.Show_hierarchies -> ()
-  | Ast.Explain_plan expr -> ignore (infer_schema sim ~emit expr)
+  | Ast.Explain_plan expr | Ast.Explain_analyze expr ->
+    ignore (infer_schema sim ~emit expr)
+  | Ast.Stats _ | Ast.Stats_reset -> ()
   | Ast.Count { expr; by } -> (
     match infer_schema sim ~emit expr, by with
     | Some attrs, Some attr ->

@@ -1,5 +1,7 @@
 module Hierarchy = Hr_hierarchy.Hierarchy
 
+let m_verdicts = Hr_obs.Metrics.counter "core.binding.verdicts"
+
 type verdict =
   | Asserted of Types.sign * Relation.tuple list
   | Unasserted
@@ -94,6 +96,7 @@ let decide ?(semantics = Types.Off_path) schema item ~exact ~relevant =
       | _ :: _, _ :: _ -> Conflict { positive; negative }))
 
 let verdict ?semantics rel item =
+  Hr_obs.Metrics.incr m_verdicts;
   decide ?semantics (Relation.schema rel) item ~exact:(Relation.find rel item)
     ~relevant:(relevant rel item)
 

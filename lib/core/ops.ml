@@ -1,6 +1,25 @@
 module Hierarchy = Hr_hierarchy.Hierarchy
 module Item_set = Set.Make (Item)
 
+(* Per-operator call and output-row counters. Handles are registered
+   once here, so the per-call cost is two field updates. *)
+let op_counters op =
+  ( Hr_obs.Metrics.counter (Printf.sprintf "core.ops.%s.calls" op),
+    Hr_obs.Metrics.counter (Printf.sprintf "core.ops.%s.rows_out" op) )
+
+let c_select = op_counters "select"
+let c_project = op_counters "project"
+let c_join = op_counters "join"
+let c_union = op_counters "union"
+let c_inter = op_counters "inter"
+let c_diff = op_counters "diff"
+let c_rename = op_counters "rename"
+
+let tally (calls, rows_out) rel =
+  Hr_obs.Metrics.incr calls;
+  Hr_obs.Metrics.add rows_out (Relation.cardinality rel);
+  rel
+
 (* Close a candidate item set under maximal common descendants of
    incomparable intersecting pairs. Worklist: each new item is paired with
    every item already accepted. *)
@@ -51,9 +70,9 @@ let combine ?name op a b =
   in
   refine ?name schema eval seeds
 
-let union ?(name = "union") a b = combine ~name ( || ) a b
-let inter ?(name = "inter") a b = combine ~name ( && ) a b
-let diff ?(name = "diff") a b = combine ~name (fun x y -> x && not y) a b
+let union ?(name = "union") a b = tally c_union (combine ~name ( || ) a b)
+let inter ?(name = "inter") a b = tally c_inter (combine ~name ( && ) a b)
+let diff ?(name = "diff") a b = tally c_diff (combine ~name (fun x y -> x && not y) a b)
 
 let select_seeds rel i v =
   let schema = Relation.schema rel in
@@ -68,7 +87,7 @@ let select ?(name = "select") rel ~attr ~value =
   let schema = Relation.schema rel in
   let i = Schema.index_of schema attr in
   let v = Hierarchy.find_exn (Schema.hierarchy schema i) value in
-  refine ~name schema (Binding.truth rel) (select_seeds rel i v)
+  tally c_select (refine ~name schema (Binding.truth rel) (select_seeds rel i v))
 
 let select_justified ?name rel ~attr ~value =
   let schema = Relation.schema rel in
@@ -99,6 +118,7 @@ let project ?(name = "project") rel attrs =
         else acc)
     rel
     (Relation.empty ~name out_schema)
+  |> tally c_project
 
 let project_exact ?name rel attrs = project ?name (Explicate.explicate rel) attrs
 
@@ -182,7 +202,7 @@ let join ?(name = "join") a b =
     in
     Types.sign_of_bool (Binding.holds a a_item && Binding.holds b b_item)
   in
-  refine ~name out_schema eval seeds
+  tally c_join (refine ~name out_schema eval seeds)
 
 let rename ?name rel ~old_name ~new_name =
   let out_schema = Schema.rename (Relation.schema rel) ~old_name ~new_name in
@@ -192,3 +212,4 @@ let rename ?name rel ~old_name ~new_name =
       Relation.set acc (Item.make out_schema (Item.coords t.Relation.item)) t.Relation.sign)
     rel
     (Relation.empty ~name:out_name out_schema)
+  |> tally c_rename

@@ -1,5 +1,13 @@
 type edge_kind = Isa | Preference
 
+(* Observability: reachability work is the engine's inner loop, so the
+   counters distinguish on-demand DFS walks from closure-index probes
+   (see docs/OBSERVABILITY.md). *)
+let m_reachable = Hr_obs.Metrics.counter "graph.dag.reachable_calls"
+let m_closure = Hr_obs.Metrics.counter "graph.dag.closure_walks"
+let m_reach_builds = Hr_obs.Metrics.counter "graph.reach.builds"
+let m_reach_queries = Hr_obs.Metrics.counter "graph.reach.queries"
+
 let kind_equal a b =
   match a, b with
   | Isa, Isa | Preference, Preference -> true
@@ -119,6 +127,7 @@ let remove_node g v =
   g.alive.(v) <- false
 
 let reachable g ?(kinds = all_kinds) u v =
+  Hr_obs.Metrics.incr m_reachable;
   check_endpoint g u;
   check_endpoint g v;
   if u = v then true
@@ -137,6 +146,7 @@ let reachable g ?(kinds = all_kinds) u v =
   end
 
 let closure adj g kinds v =
+  Hr_obs.Metrics.incr m_closure;
   check_endpoint g v;
   let seen = Array.make g.n false in
   let rec dfs x acc =
@@ -268,6 +278,7 @@ module Reach = struct
      [v / 8], mask [1 lsl (v mod 8)]. *)
 
   let create ?(kinds = all_kinds) (g : dag) =
+    Hr_obs.Metrics.incr m_reach_builds;
     let n = capacity g in
     let row_bytes = (n + 7) / 8 in
     let bits = Bytes.make (max 1 (n * row_bytes)) '\000' in
@@ -292,6 +303,7 @@ module Reach = struct
     { row_bytes; bits; n }
 
   let mem t u v =
+    Hr_obs.Metrics.incr m_reach_queries;
     u >= 0 && v >= 0 && u < t.n && v < t.n
     && Char.code (Bytes.get t.bits ((u * t.row_bytes) + (v lsr 3))) land (1 lsl (v land 7)) <> 0
 end

@@ -3,6 +3,14 @@ module Dag = Hr_graph.Dag
 
 type node = int
 
+(* Closure-index hits vs builds expose the cost of [invalidate]:
+   a schema change after heavy querying shows up as an extra build. *)
+let m_subsumption = Hr_obs.Metrics.counter "hierarchy.subsumption_checks"
+let m_binding = Hr_obs.Metrics.counter "hierarchy.binding_checks"
+let m_index_builds = Hr_obs.Metrics.counter "hierarchy.index_builds"
+let m_index_hits = Hr_obs.Metrics.counter "hierarchy.index_hits"
+let m_mcd = Hr_obs.Metrics.counter "hierarchy.mcd_calls"
+
 exception Error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
@@ -150,21 +158,28 @@ let preference_edges h =
 
 let isa_index h =
   match h.isa_index with
-  | Some idx -> idx
+  | Some idx ->
+    Hr_obs.Metrics.incr m_index_hits;
+    idx
   | None ->
+    Hr_obs.Metrics.incr m_index_builds;
     let idx = Dag.Reach.create ~kinds:isa_kind h.graph in
     h.isa_index <- Some idx;
     idx
 
 let bind_index h =
   match h.bind_index with
-  | Some idx -> idx
+  | Some idx ->
+    Hr_obs.Metrics.incr m_index_hits;
+    idx
   | None ->
+    Hr_obs.Metrics.incr m_index_builds;
     let idx = Dag.Reach.create h.graph in
     h.bind_index <- Some idx;
     idx
 
 let subsumes h a b =
+  Hr_obs.Metrics.incr m_subsumption;
   check_node h a;
   check_node h b;
   Dag.Reach.mem (isa_index h) a b
@@ -172,6 +187,7 @@ let subsumes h a b =
 let strictly_subsumes h a b = a <> b && subsumes h a b
 
 let binds_below h a b =
+  Hr_obs.Metrics.incr m_binding;
   check_node h a;
   check_node h b;
   Dag.Reach.mem (bind_index h) a b
@@ -197,6 +213,7 @@ let intersects h a b = common_descendants h a b <> []
    a common descendant has a strict ancestor in the set iff one of its
    immediate [isa] parents is in the set. *)
 let maximal_common_descendants h a b =
+  Hr_obs.Metrics.incr m_mcd;
   if subsumes h a b then [ b ]
   else if subsumes h b a then [ a ]
   else

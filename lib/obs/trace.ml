@@ -1,0 +1,101 @@
+(* Structured trace spans: a named, timed interval with children. The
+   recorder keeps a stack of open spans; [with_span] pushes, runs, pops
+   and attaches the finished span either to its parent or to the list of
+   completed roots. Tracing is off by default and a disabled [with_span]
+   is exactly the thunk call — no allocation, no clock read.
+
+   Single-process, single-threaded, like the rest of the engine. *)
+
+type span = {
+  name : string;
+  start_ns : int;
+  mutable stop_ns : int;  (* -1 while the span is open *)
+  mutable children : span list;  (* reverse order while building *)
+  mutable notes : (string * int) list;  (* named measurements, e.g. rows *)
+}
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let stack : span list ref = ref []
+let completed : span list ref = ref [] (* reverse order *)
+
+let reset () =
+  stack := [];
+  completed := []
+
+let finish span =
+  span.stop_ns <- Metrics.now_ns ();
+  span.children <- List.rev span.children;
+  match !stack with
+  | top :: rest when top == span ->
+    stack := rest;
+    (match !stack with
+    | parent :: _ -> parent.children <- span :: parent.children
+    | [] -> completed := span :: !completed)
+  | _ ->
+    (* an exception unwound past an enclosing span: drop the orphan
+       rather than corrupt the tree *)
+    ()
+
+let with_span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let span =
+      { name; start_ns = Metrics.now_ns (); stop_ns = -1; children = []; notes = [] }
+    in
+    stack := span :: !stack;
+    Fun.protect ~finally:(fun () -> finish span) f
+  end
+
+let note key v =
+  if !enabled_flag then
+    match !stack with
+    | span :: _ -> span.notes <- (key, v) :: span.notes
+    | [] -> ()
+
+let take () =
+  let roots = List.rev !completed in
+  completed := [];
+  roots
+
+let collect f =
+  let saved = !enabled_flag in
+  enabled_flag := true;
+  let saved_completed = !completed in
+  completed := [];
+  let result =
+    Fun.protect ~finally:(fun () -> enabled_flag := saved) f
+  in
+  let spans = take () in
+  completed := saved_completed;
+  (result, spans)
+
+let name s = s.name
+let duration_ns s = if s.stop_ns < 0 then 0 else s.stop_ns - s.start_ns
+let start_ns s = s.start_ns
+let stop_ns s = s.stop_ns
+let children s = s.children
+let notes s = List.rev s.notes
+
+(* A span is well-nested when it is closed, its children lie within its
+   interval in order, and each child is itself well-nested. *)
+let rec well_nested s =
+  s.stop_ns >= s.start_ns
+  && (let rec check lo = function
+        | [] -> true
+        | c :: rest ->
+          c.start_ns >= lo && c.stop_ns <= s.stop_ns && well_nested c
+          && check c.stop_ns rest
+      in
+      check s.start_ns s.children)
+
+let rec pp ?(indent = 0) ppf s =
+  Format.fprintf ppf "%s%s (%.3fms%s)@."
+    (String.make (2 * indent) ' ')
+    s.name
+    (float_of_int (duration_ns s) /. 1e6)
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf ", %s=%d" k v) (notes s)));
+  List.iter (pp ~indent:(indent + 1) ppf) s.children

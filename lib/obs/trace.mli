@@ -1,0 +1,42 @@
+(** Structured trace spans — named, timed, nested intervals.
+
+    Off by default: a disabled {!with_span} is exactly the thunk call.
+    Enabled, finished root spans accumulate until {!take}. The recorder
+    is single-threaded, matching the engine. Span names used by the
+    repository are catalogued in [docs/OBSERVABILITY.md]. *)
+
+type span
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Drop all open and completed spans. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a new span (child of the innermost open span).
+    The span is finished even if the thunk raises. *)
+
+val note : string -> int -> unit
+(** Attach a named measurement (e.g. ["rows"]) to the innermost open
+    span; ignored when tracing is disabled or no span is open. *)
+
+val take : unit -> span list
+(** Completed root spans in completion order; clears the buffer. *)
+
+val collect : (unit -> 'a) -> 'a * span list
+(** Run a thunk with tracing forced on and return the root spans it
+    completed, restoring the previous enabled state and pending roots. *)
+
+val name : span -> string
+val duration_ns : span -> int
+val start_ns : span -> int
+val stop_ns : span -> int
+val children : span -> span list
+val notes : span -> (string * int) list
+
+val well_nested : span -> bool
+(** Closed, children inside the parent interval, siblings in order,
+    recursively. *)
+
+val pp : ?indent:int -> Format.formatter -> span -> unit

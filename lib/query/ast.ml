@@ -55,8 +55,12 @@ type statement =
   | Show_hierarchies
   | Explain of { rel : string; values : value list }
   | Explain_plan of query_expr
+  | Explain_analyze of query_expr
+      (** run the optimized plan with per-node counters and timings *)
   | Count of { expr : query_expr; by : string option }
   | Diff of { prev : query_expr; next : query_expr }
+  | Stats of { json : bool }  (** snapshot of the metrics registry *)
+  | Stats_reset
 
 type located_statement = { stmt : statement; sloc : Loc.t }
 

@@ -43,24 +43,141 @@ let resolve_values schema values =
   in
   Item.make schema (Array.of_list coords)
 
-let rec eval_raw cat e =
+(* Static span names: picking the label by pattern match keeps a
+   disabled [with_span] allocation-free. *)
+let span_name e =
   match e.Ast.expr with
-  | Ast.Rel name -> Catalog.relation cat name
-  | Ast.Select (e, attr, v) ->
-    Ops.select (eval_raw cat e) ~attr ~value:(Ast.value_name v)
-  | Ast.Project (e, attrs) -> Ops.project (eval_raw cat e) attrs
-  | Ast.Join (a, b) -> Ops.join (eval_raw cat a) (eval_raw cat b)
-  | Ast.Union (a, b) -> Ops.union (eval_raw cat a) (eval_raw cat b)
-  | Ast.Intersect (a, b) -> Ops.inter (eval_raw cat a) (eval_raw cat b)
-  | Ast.Except (a, b) -> Ops.diff (eval_raw cat a) (eval_raw cat b)
-  | Ast.Rename (e, old_name, new_name) ->
-    Ops.rename (eval_raw cat e) ~old_name ~new_name
-  | Ast.Consolidated e -> Consolidate.consolidate (eval_raw cat e)
-  | Ast.Explicated (e, over) -> Explicate.explicate ?over (eval_raw cat e)
+  | Ast.Rel _ -> "eval.rel"
+  | Ast.Select _ -> "eval.select"
+  | Ast.Project _ -> "eval.project"
+  | Ast.Join _ -> "eval.join"
+  | Ast.Union _ -> "eval.union"
+  | Ast.Intersect _ -> "eval.intersect"
+  | Ast.Except _ -> "eval.except"
+  | Ast.Rename _ -> "eval.rename"
+  | Ast.Consolidated _ -> "eval.consolidated"
+  | Ast.Explicated _ -> "eval.explicated"
+
+let rec eval_raw cat e =
+  Hr_obs.Trace.with_span (span_name e) (fun () ->
+      let result =
+        match e.Ast.expr with
+        | Ast.Rel name -> Catalog.relation cat name
+        | Ast.Select (e, attr, v) ->
+          Ops.select (eval_raw cat e) ~attr ~value:(Ast.value_name v)
+        | Ast.Project (e, attrs) -> Ops.project (eval_raw cat e) attrs
+        | Ast.Join (a, b) -> Ops.join (eval_raw cat a) (eval_raw cat b)
+        | Ast.Union (a, b) -> Ops.union (eval_raw cat a) (eval_raw cat b)
+        | Ast.Intersect (a, b) -> Ops.inter (eval_raw cat a) (eval_raw cat b)
+        | Ast.Except (a, b) -> Ops.diff (eval_raw cat a) (eval_raw cat b)
+        | Ast.Rename (e, old_name, new_name) ->
+          Ops.rename (eval_raw cat e) ~old_name ~new_name
+        | Ast.Consolidated e -> Consolidate.consolidate (eval_raw cat e)
+        | Ast.Explicated (e, over) -> Explicate.explicate ?over (eval_raw cat e)
+      in
+      if Hr_obs.Trace.enabled () then
+        Hr_obs.Trace.note "rows" (Relation.cardinality result);
+      result)
 
 (* Statements evaluate optimized plans; the rewrites preserve the
    equivalent flat relation (see [Optimizer]). *)
 let eval_expr cat expr = eval_raw cat (Optimizer.optimize expr)
+
+(* ---- EXPLAIN ANALYZE --------------------------------------------------- *)
+
+(* One evaluated plan node. Counter and time fields are inclusive of the
+   node's subtree, like the "actual time" convention of SQL EXPLAIN
+   ANALYZE: the root row shows the whole query's cost. *)
+type analyzed = {
+  a_label : string;
+  a_rows : int;
+  a_subs : int;  (* hierarchy.subsumption_checks delta *)
+  a_reach : int;  (* graph.reach.queries delta *)
+  a_verdicts : int;  (* core.binding.verdicts delta *)
+  a_time_ns : int;
+  a_children : analyzed list;
+}
+
+let node_label e =
+  match e.Ast.expr with
+  | Ast.Rel name -> "scan " ^ name
+  | Ast.Select (_, attr, v) -> Printf.sprintf "select[%s=%s]" attr (Ast.value_name v)
+  | Ast.Project (_, attrs) -> Printf.sprintf "project[%s]" (String.concat "," attrs)
+  | Ast.Join _ -> "join"
+  | Ast.Union _ -> "union"
+  | Ast.Intersect _ -> "intersect"
+  | Ast.Except _ -> "except"
+  | Ast.Rename (_, o, n) -> Printf.sprintf "rename[%s->%s]" o n
+  | Ast.Consolidated _ -> "consolidated"
+  | Ast.Explicated _ -> "explicated"
+
+let rec analyze_raw cat e =
+  let subs name = Hr_obs.Metrics.counter_value name in
+  let t0 = Hr_obs.Metrics.now_ns () in
+  let subs0 = subs "hierarchy.subsumption_checks" in
+  let reach0 = subs "graph.reach.queries" in
+  let verd0 = subs "core.binding.verdicts" in
+  let rel, children =
+    let one sub = let r, a = analyze_raw cat sub in (r, [ a ]) in
+    let two a b op =
+      let ra, aa = analyze_raw cat a in
+      let rb, ab = analyze_raw cat b in
+      (op ra rb, [ aa; ab ])
+    in
+    match e.Ast.expr with
+    | Ast.Rel name -> (Catalog.relation cat name, [])
+    | Ast.Select (sub, attr, v) ->
+      let r, kids = one sub in
+      (Ops.select r ~attr ~value:(Ast.value_name v), kids)
+    | Ast.Project (sub, attrs) ->
+      let r, kids = one sub in
+      (Ops.project r attrs, kids)
+    | Ast.Join (a, b) -> two a b (fun x y -> Ops.join x y)
+    | Ast.Union (a, b) -> two a b (fun x y -> Ops.union x y)
+    | Ast.Intersect (a, b) -> two a b (fun x y -> Ops.inter x y)
+    | Ast.Except (a, b) -> two a b (fun x y -> Ops.diff x y)
+    | Ast.Rename (sub, old_name, new_name) ->
+      let r, kids = one sub in
+      (Ops.rename r ~old_name ~new_name, kids)
+    | Ast.Consolidated sub ->
+      let r, kids = one sub in
+      (Consolidate.consolidate r, kids)
+    | Ast.Explicated (sub, over) ->
+      let r, kids = one sub in
+      (Explicate.explicate ?over r, kids)
+  in
+  ( rel,
+    {
+      a_label = node_label e;
+      a_rows = Relation.cardinality rel;
+      a_subs = subs "hierarchy.subsumption_checks" - subs0;
+      a_reach = subs "graph.reach.queries" - reach0;
+      a_verdicts = subs "core.binding.verdicts" - verd0;
+      a_time_ns = Hr_obs.Metrics.now_ns () - t0;
+      a_children = children;
+    } )
+
+let render_analyzed root =
+  let buf = Buffer.create 512 in
+  let rec walk depth a =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s  rows=%d subsumption=%d reach=%d verdicts=%d time=%.3fms\n"
+         (String.make (2 * depth) ' ')
+         a.a_label a.a_rows a.a_subs a.a_reach a.a_verdicts
+         (float_of_int a.a_time_ns /. 1e6));
+    List.iter (walk (depth + 1)) a.a_children
+  in
+  walk 0 root;
+  Buffer.contents buf
+
+(* Counters are forced on for the duration so the per-node deltas are
+   real even if the process runs with the registry disabled. *)
+let explain_analyze cat expr =
+  let plan = Optimizer.optimize expr in
+  Hr_obs.Metrics.with_enabled true (fun () ->
+      let rel, root = analyze_raw cat plan in
+      Printf.sprintf "plan: %s\n%sresult: %d tuple(s)" (Optimizer.describe plan)
+        (render_analyzed root) (Relation.cardinality rel))
 
 let render_relation rel =
   buf_fmt (fun ppf ->
@@ -219,6 +336,14 @@ let exec cat stmt =
         Printf.sprintf "naive:     %s\noptimized: %s"
           (Optimizer.describe expr)
           (Optimizer.describe (Optimizer.optimize expr))
+      | Ast.Explain_analyze expr -> explain_analyze cat expr
+      | Ast.Stats { json } ->
+        let snap = Hr_obs.Metrics.snapshot () in
+        if json then Hr_obs.Metrics.render_json snap
+        else Hr_obs.Metrics.render_text snap
+      | Ast.Stats_reset ->
+        Hr_obs.Metrics.reset ();
+        "metrics registry reset"
       | Ast.Count { expr; by } -> (
         let rel = eval_expr cat expr in
         match by with

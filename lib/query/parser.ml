@@ -313,6 +313,9 @@ let statement c =
     | Some (Kw "PLAN") ->
       ignore (advance c);
       Ast.Explain_plan (expr c)
+    | Some (Kw "ANALYZE") ->
+      ignore (advance c);
+      Ast.Explain_analyze (expr c)
     | _ ->
       let rel = ident c in
       let values = paren_values c in
@@ -321,6 +324,15 @@ let statement c =
     let prev = term c in
     let next = term c in
     Ast.Diff { prev; next }
+  | Kw "STATS" -> (
+    match peek c with
+    | Some (Kw "JSON") ->
+      ignore (advance c);
+      Ast.Stats { json = true }
+    | Some (Kw "RESET") ->
+      ignore (advance c);
+      Ast.Stats_reset
+    | _ -> Ast.Stats { json = false })
   | Kw "COUNT" ->
     let e = expr c in
     let by =

@@ -1,5 +1,10 @@
 open Hierel
 
+let m_connections = Hr_obs.Metrics.counter "server.connections"
+let m_frames = Hr_obs.Metrics.counter "server.frames_served"
+let m_errors = Hr_obs.Metrics.counter "server.frame_errors"
+let h_frame = Hr_obs.Metrics.histogram "server.frame_ns"
+
 type backend = Memory of Catalog.t | Durable of Hr_storage.Db.t
 
 type t = { socket : Unix.file_descr; backend : backend; bound_port : int }
@@ -102,21 +107,34 @@ let handle_request t conn payload =
 
 let serve_one_connection t =
   let conn, _ = Unix.accept t.socket in
+  Hr_obs.Metrics.incr m_connections;
   Fun.protect
     ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
     (fun () ->
       let rec loop () =
         match recv_frame conn with
-        | Ok ("EXEC", payload) ->
-          handle_request t conn payload;
-          loop ()
-        | Ok ("LINT", payload) ->
-          send_frame conn "OK" (Hr_analysis.Diagnostic.render_json (lint t payload));
-          loop ()
-        | Ok (tag, _) ->
-          send_frame conn "ERR" (Printf.sprintf "unknown request %S" tag);
+        | Ok (tag, payload) ->
+          Hr_obs.Metrics.incr m_frames;
+          Hr_obs.Metrics.time h_frame (fun () ->
+              match tag with
+              | "EXEC" -> handle_request t conn payload
+              | "LINT" ->
+                send_frame conn "OK" (Hr_analysis.Diagnostic.render_json (lint t payload))
+              | "STATS" ->
+                (* payload selects the rendering: "json" or "" for text *)
+                let snap = Hr_obs.Metrics.snapshot () in
+                let body =
+                  if String.lowercase_ascii (String.trim payload) = "json" then
+                    Hr_obs.Metrics.render_json snap
+                  else Hr_obs.Metrics.render_text snap
+                in
+                send_frame conn "OK" body
+              | _ ->
+                Hr_obs.Metrics.incr m_errors;
+                send_frame conn "ERR" (Printf.sprintf "unknown request %S" tag));
           loop ()
         | Error msg ->
+          Hr_obs.Metrics.incr m_errors;
           send_frame conn "ERR" msg;
           loop ()
         | exception Disconnected -> ()
@@ -151,6 +169,20 @@ module Client = struct
 
   let exec conn script = request conn "EXEC" script
   let lint conn script = request conn "LINT" script
+  let stats ?(json = false) conn = request conn "STATS" (if json then "json" else "")
+
+  let send conn tag payload = send_frame conn tag payload
+
+  let shutdown_send conn =
+    try Unix.shutdown conn Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ()
+
+  let recv conn =
+    match recv_frame conn with
+    | Ok ("OK", payload) -> Ok payload
+    | Ok ("ERR", payload) -> Error payload
+    | Ok (tag, _) -> Error (Printf.sprintf "unexpected reply %S" tag)
+    | Error msg -> Error msg
+    | exception Disconnected -> Error "server disconnected"
 
   let close conn = try Unix.close conn with Unix.Unix_error _ -> ()
 end

@@ -14,6 +14,12 @@
     the script; the [OK] payload is the diagnostics as a JSON array
     (possibly empty). Lint requests never mutate the database.
 
+    A [STATS] request returns a snapshot of the process-wide metrics
+    registry ({!Hr_obs.Metrics}); a payload of ["json"] selects the JSON
+    rendering, anything else the human-readable text table. The server
+    also counts connections, frames and per-frame latency — metric names
+    are catalogued in [docs/OBSERVABILITY.md].
+
     The server is sequential: it serves one connection at a time and one
     request at a time (the model's transactions are single-writer anyway;
     see {!Hr_storage.Db}'s lock). A connection is served until the client
@@ -58,6 +64,24 @@ module Client : sig
   val lint : conn -> string -> (string, string) result
   (** Sends one script for static analysis; returns the diagnostics as a
       JSON array ([[]] when the script is clean). *)
+
+  val stats : ?json:bool -> conn -> (string, string) result
+  (** Fetches the server's metrics snapshot, as text or (with
+      [~json:true]) as the documented JSON object. *)
+
+  val send : conn -> string -> string -> unit
+  (** Writes one raw request frame without waiting for the reply. Paired
+      with {!recv}, this lets a test pipeline several requests on one
+      connection. *)
+
+  val recv : conn -> (string, string) result
+  (** Reads one reply frame ([OK] payload or [ERR] message). *)
+
+  val shutdown_send : conn -> unit
+  (** Half-closes the connection: no more requests will follow, but
+      replies can still be read. Lets a single-threaded test pipeline
+      requests, have the (sequential) server drain them, and collect the
+      replies afterwards. *)
 
   val close : conn -> unit
 end

@@ -3,6 +3,9 @@ module Parser = Hr_query.Parser
 module Ast = Hr_query.Ast
 open Hierel
 
+let m_statements = Hr_obs.Metrics.counter "storage.db.statements"
+let m_checkpoints = Hr_obs.Metrics.counter "storage.db.checkpoints"
+
 type t = {
   dir : string;
   mutable catalog : Catalog.t;
@@ -52,7 +55,8 @@ let mutating = function
   | Ast.Delete _ | Ast.Let_binding _ | Ast.Consolidate _ | Ast.Explicate _ ->
     true
   | Ast.Select_query _ | Ast.Ask _ | Ast.Check _ | Ast.Show_hierarchy _ | Ast.Show_relations
-  | Ast.Show_hierarchies | Ast.Explain _ | Ast.Explain_plan _ | Ast.Count _ | Ast.Diff _ ->
+  | Ast.Show_hierarchies | Ast.Explain _ | Ast.Explain_plan _ | Ast.Explain_analyze _
+  | Ast.Count _ | Ast.Diff _ | Ast.Stats _ | Ast.Stats_reset ->
     false
 
 (* The WAL stores each mutating statement's source text, so the script is
@@ -74,6 +78,7 @@ let exec t script =
       | exception Parser.Parse_error { msg; _ } -> Error ("parse error: " ^ msg)
       | exception Hr_query.Lexer.Lex_error { msg; _ } -> Error ("lex error: " ^ msg)
       | { Ast.stmt; _ } -> (
+        Hr_obs.Metrics.incr m_statements;
         match Eval.exec t.catalog stmt with
         | Ok out ->
           (* log only acknowledged statements: a rejected update (e.g. an
@@ -88,6 +93,7 @@ let exec t script =
   run [] (split_statements script)
 
 let checkpoint t =
+  Hr_obs.Metrics.incr m_checkpoints;
   Snapshot.write_file t.catalog (snapshot_path t.dir);
   Wal.close t.wal;
   Wal.truncate (wal_path t.dir);

@@ -1,5 +1,16 @@
 let page_size = 4096
 
+(* Process-wide counters mirror the per-pager fields so a STATS frame
+   sees I/O across every open pager. [writebacks] counts only dirty
+   pages written back by flush/eviction — allocation's materializing
+   write is deliberately excluded, keeping "reads >= writebacks" a real
+   invariant for fault-in-then-flush workloads. *)
+let m_disk_reads = Hr_obs.Metrics.counter "storage.pager.disk_reads"
+let m_disk_writes = Hr_obs.Metrics.counter "storage.pager.disk_writes"
+let m_pool_hits = Hr_obs.Metrics.counter "storage.pager.pool_hits"
+let m_allocations = Hr_obs.Metrics.counter "storage.pager.allocations"
+let m_writebacks = Hr_obs.Metrics.counter "storage.pager.writebacks"
+
 type slot = { mutable page_no : int; mutable data : bytes; mutable dirty : bool }
 
 type t = {
@@ -43,7 +54,8 @@ let disk_write t page_no data =
   seek t page_no;
   let written = Unix.write t.fd data 0 page_size in
   assert (written = page_size);
-  t.disk_writes <- t.disk_writes + 1
+  t.disk_writes <- t.disk_writes + 1;
+  Hr_obs.Metrics.incr m_disk_writes
 
 let disk_read t page_no =
   seek t page_no;
@@ -56,6 +68,7 @@ let disk_read t page_no =
   in
   fill 0;
   t.disk_reads <- t.disk_reads + 1;
+  Hr_obs.Metrics.incr m_disk_reads;
   data
 
 let touch t page_no = t.lru <- page_no :: List.filter (fun p -> p <> page_no) t.lru
@@ -67,7 +80,10 @@ let evict_if_needed t =
     | victim :: _ ->
       (match Hashtbl.find_opt t.pool victim with
       | Some slot ->
-        if slot.dirty then disk_write t victim slot.data;
+        if slot.dirty then begin
+          Hr_obs.Metrics.incr m_writebacks;
+          disk_write t victim slot.data
+        end;
         Hashtbl.remove t.pool victim
       | None -> ());
       t.lru <- List.filter (fun p -> p <> victim) t.lru
@@ -78,6 +94,7 @@ let slot_of t page_no =
   match Hashtbl.find_opt t.pool page_no with
   | Some slot ->
     t.pool_hits <- t.pool_hits + 1;
+    Hr_obs.Metrics.incr m_pool_hits;
     touch t page_no;
     slot
   | None ->
@@ -89,6 +106,7 @@ let slot_of t page_no =
     slot
 
 let allocate t =
+  Hr_obs.Metrics.incr m_allocations;
   let page_no = t.pages in
   t.pages <- t.pages + 1;
   (* materialize the page on disk so file size tracks page_count *)
@@ -107,6 +125,7 @@ let flush t =
   Hashtbl.iter
     (fun page_no slot ->
       if slot.dirty then begin
+        Hr_obs.Metrics.incr m_writebacks;
         disk_write t page_no slot.data;
         slot.dirty <- false
       end)

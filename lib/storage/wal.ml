@@ -3,15 +3,24 @@ module R = Codec.Reader
 
 type t = { oc : out_channel }
 
+(* Every append is flushed before returning, so fsyncs tracks appends
+   one-for-one; a gap between the two counters would mean a durability
+   bug. *)
+let m_appends = Hr_obs.Metrics.counter "storage.wal.appends"
+let m_fsyncs = Hr_obs.Metrics.counter "storage.wal.fsyncs"
+let m_replayed = Hr_obs.Metrics.counter "storage.wal.replayed"
+
 let open_ path =
   { oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path }
 
 let append t stmt =
+  Hr_obs.Metrics.incr m_appends;
   let w = W.create () in
   W.string w stmt;
   W.u32 w (Int32.to_int (Codec.crc32 stmt) land 0xFFFFFFFF);
   output_string t.oc (W.contents w);
-  flush t.oc
+  flush t.oc;
+  Hr_obs.Metrics.incr m_fsyncs
 
 let close t = close_out t.oc
 
@@ -34,7 +43,9 @@ let replay path =
           if Int32.to_int (Codec.crc32 stmt) land 0xFFFFFFFF <> crc then None
           else Some stmt
         with
-        | Some stmt -> loop (stmt :: acc)
+        | Some stmt ->
+          Hr_obs.Metrics.incr m_replayed;
+          loop (stmt :: acc)
         | None -> List.rev acc (* corrupt record: drop the tail *)
         | exception R.Corrupt _ -> List.rev acc (* torn tail *)
     in

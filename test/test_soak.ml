@@ -2,11 +2,17 @@
    statements hammers a catalog; after every statement the catalog's
    relations must satisfy the ambiguity constraint (rejected updates
    included — rejection must leave no trace). Exercises the parser,
-   evaluator, optimizer, transactions and integrity machinery together. *)
+   evaluator, optimizer, transactions and integrity machinery together.
+
+   The runs double as consistency checks of the metrics registry
+   (lib/obs): statement and WAL counters must account for exactly the
+   work submitted, the pager must read back at least what it wrote back,
+   and a server must serve exactly as many frames as the client sent. *)
 
 module Eval = Hr_query.Eval
 module Prng = Hr_util.Prng
 module Hierarchy = Hr_hierarchy.Hierarchy
+module Metrics = Hr_obs.Metrics
 open Hierel
 
 type state = {
@@ -122,7 +128,8 @@ let test_soak_negative_heavy () =
 
 let test_soak_durable () =
   (* the same stream through the durable engine, with a mid-way
-     checkpoint and a reopen at the end *)
+     checkpoint and a reopen at the end; the registry must account for
+     exactly the statements submitted and the WAL discipline *)
   let dir = Filename.temp_file "hrsoak" "" in
   Sys.remove dir;
   Sys.mkdir dir 0o755;
@@ -131,36 +138,136 @@ let test_soak_durable () =
       Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
       Sys.rmdir dir)
     (fun () ->
-      let db = Hr_storage.Db.open_dir dir in
-      (match Hr_storage.Db.exec db "CREATE DOMAIN soak;" with
-      | Ok _ -> ()
-      | Error e -> failwith e);
-      let state =
-        {
-          cat = Hr_storage.Db.catalog db;
-          g = Prng.create 777L;
-          classes = [ "soak" ];
-          instances = [];
-          relations = [];
-          executed = 0;
-          rejected = 0;
-        }
-      in
-      for step = 1 to 100 do
-        (match random_statement state with
-        | None -> ()
-        | Some stmt -> (
-          match Hr_storage.Db.exec db stmt with
-          | Ok _ -> state.executed <- state.executed + 1
-          | Error _ -> state.rejected <- state.rejected + 1));
-        if step = 50 then Hr_storage.Db.checkpoint db
-      done;
-      let dump_before = Hr_query.Persist.dump_catalog (Hr_storage.Db.catalog db) in
-      Hr_storage.Db.close db;
-      let db2 = Hr_storage.Db.open_dir dir in
-      Alcotest.(check string) "recovered state identical" dump_before
-        (Hr_query.Persist.dump_catalog (Hr_storage.Db.catalog db2));
-      Hr_storage.Db.close db2)
+      Metrics.with_enabled true (fun () ->
+          let statements0 = Metrics.counter_value "storage.db.statements" in
+          let appends0 = Metrics.counter_value "storage.wal.appends" in
+          let fsyncs0 = Metrics.counter_value "storage.wal.fsyncs" in
+          let checkpoints0 = Metrics.counter_value "storage.db.checkpoints" in
+          let db = Hr_storage.Db.open_dir dir in
+          (match Hr_storage.Db.exec db "CREATE DOMAIN soak;" with
+          | Ok _ -> ()
+          | Error e -> failwith e);
+          let state =
+            {
+              cat = Hr_storage.Db.catalog db;
+              g = Prng.create 777L;
+              classes = [ "soak" ];
+              instances = [];
+              relations = [];
+              executed = 0;
+              rejected = 0;
+            }
+          in
+          for step = 1 to 100 do
+            (match random_statement state with
+            | None -> ()
+            | Some stmt -> (
+              match Hr_storage.Db.exec db stmt with
+              | Ok _ -> state.executed <- state.executed + 1
+              | Error _ -> state.rejected <- state.rejected + 1));
+            if step = 50 then Hr_storage.Db.checkpoint db
+          done;
+          (* end-of-run registry consistency: every submitted statement
+             (accepted or rejected, plus the initial CREATE DOMAIN) was
+             counted, and every WAL append was fsynced *)
+          Alcotest.(check int) "storage.db.statements accounts for the run"
+            (state.executed + state.rejected + 1)
+            (Metrics.counter_value "storage.db.statements" - statements0);
+          Alcotest.(check int) "one checkpoint recorded" 1
+            (Metrics.counter_value "storage.db.checkpoints" - checkpoints0);
+          let appends = Metrics.counter_value "storage.wal.appends" - appends0 in
+          Alcotest.(check int) "wal fsyncs = wal appends" appends
+            (Metrics.counter_value "storage.wal.fsyncs" - fsyncs0);
+          Alcotest.(check bool) "the run appended to the wal" true (appends > 0);
+          let dump_before = Hr_query.Persist.dump_catalog (Hr_storage.Db.catalog db) in
+          Hr_storage.Db.close db;
+          let db2 = Hr_storage.Db.open_dir dir in
+          Alcotest.(check string) "recovered state identical" dump_before
+            (Hr_query.Persist.dump_catalog (Hr_storage.Db.catalog db2));
+          Hr_storage.Db.close db2))
+
+(* A controlled pager workload for which "pages read >= pages written
+   back" is a hard invariant: every page becomes dirty only after being
+   faulted in, is flushed exactly once, and is read back afterwards. *)
+let test_pager_registry () =
+  Metrics.with_enabled true (fun () ->
+      let file = Filename.temp_file "hrsoakpager" ".pages" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove file)
+        (fun () ->
+          let reads0 = Metrics.counter_value "storage.pager.disk_reads" in
+          let writebacks0 = Metrics.counter_value "storage.pager.writebacks" in
+          let hits0 = Metrics.counter_value "storage.pager.pool_hits" in
+          let module Pager = Hr_storage.Pager in
+          let pager = Pager.create ~pool_pages:8 file in
+          let pages = 20 (* > pool: forces real evictions and writebacks *) in
+          let ids = List.init pages (fun _ -> Pager.allocate pager) in
+          List.iteri
+            (fun i id ->
+              Pager.write_page pager id
+                (Bytes.make Pager.page_size (Char.chr (65 + (i mod 26)))))
+            ids;
+          Pager.flush pager;
+          List.iteri
+            (fun i id ->
+              Alcotest.(check char)
+                (Printf.sprintf "page %d content survives" id)
+                (Char.chr (65 + (i mod 26)))
+                (Bytes.get (Pager.read_page pager id) 0))
+            ids;
+          (* an immediate re-read of the hottest page must hit the pool
+             (the sequential scan above thrashes LRU by design) *)
+          ignore (Pager.read_page pager (List.nth ids (pages - 1)));
+          Pager.close pager;
+          let reads = Metrics.counter_value "storage.pager.disk_reads" - reads0 in
+          let writebacks = Metrics.counter_value "storage.pager.writebacks" - writebacks0 in
+          Alcotest.(check int) "every page written back exactly once" pages writebacks;
+          Alcotest.(check bool) "pages read >= pages written back" true
+            (reads >= writebacks);
+          Alcotest.(check bool) "the pool served some hits" true
+            (Metrics.counter_value "storage.pager.pool_hits" > hits0)))
+
+(* Frames served must equal requests sent. Single-threaded dance: the
+   client connects (the handshake completes via the listen backlog),
+   pipelines a handful of small frames into the socket buffer and
+   half-closes; the sequential server then drains the connection, and
+   the client collects the buffered replies. *)
+let test_server_frames_registry () =
+  let module Server = Hr_server.Server in
+  Metrics.with_enabled true (fun () ->
+      let server = Server.create_memory ~port:0 () in
+      Fun.protect
+        ~finally:(fun () -> Server.close server)
+        (fun () ->
+          let frames0 = Metrics.counter_value "server.frames_served" in
+          let connections0 = Metrics.counter_value "server.connections" in
+          let conn = Server.Client.connect ~port:(Server.port server) () in
+          let requests =
+            [
+              ("EXEC", "CREATE DOMAIN srvsoak;");
+              ("EXEC", "CREATE INSTANCE srvx OF srvsoak;");
+              ("EXEC", "CREATE RELATION srvr (v: srvsoak);");
+              ("EXEC", "INSERT INTO srvr VALUES (+ srvx);");
+              ("EXEC", "ASK srvr (srvx);");
+              ("EXEC", "EXPLAIN ANALYZE SELECT srvr WHERE v = srvx;");
+              ("STATS", "");
+              ("STATS", "json");
+            ]
+          in
+          List.iter (fun (tag, payload) -> Server.Client.send conn tag payload) requests;
+          Server.Client.shutdown_send conn;
+          Server.serve_one_connection server;
+          List.iter
+            (fun (tag, payload) ->
+              match Server.Client.recv conn with
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "reply to %s %S: %s" tag payload e)
+            requests;
+          Server.Client.close conn;
+          Alcotest.(check int) "frames served = requests sent" (List.length requests)
+            (Metrics.counter_value "server.frames_served" - frames0);
+          Alcotest.(check int) "one connection counted" 1
+            (Metrics.counter_value "server.connections" - connections0)))
 
 let suite =
   [
@@ -168,4 +275,7 @@ let suite =
     Alcotest.test_case "soak: second seed" `Quick test_soak_negative_heavy;
     Alcotest.test_case "soak: durable engine with checkpoint + recovery" `Quick
       test_soak_durable;
+    Alcotest.test_case "soak: pager registry consistency" `Quick test_pager_registry;
+    Alcotest.test_case "soak: server frames = client requests" `Quick
+      test_server_frames_registry;
   ]
