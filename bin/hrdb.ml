@@ -6,7 +6,9 @@
      dune exec bin/hrdb.exe -- -d ./mydb      # durable: snapshot + WAL
      dune exec bin/hrdb.exe -- -f x.hrql      # run a script, then exit
      dune exec bin/hrdb.exe -- -f x.hrql -i   # run a script, then REPL
-     dune exec bin/hrdb.exe -- lint x.hrql    # static analysis only *)
+     dune exec bin/hrdb.exe -- lint x.hrql    # static analysis only
+     dune exec bin/hrdb.exe -- exec -p 7799 'ASK r (x);'   # network client
+     dune exec bin/hrdb.exe -- replica -P 7799 -d ./rep    # read-only replica *)
 
 module Eval = Hr_query.Eval
 module Persist = Hr_query.Persist
@@ -279,12 +281,163 @@ let lint_cmd =
     (Cmd.info "lint" ~doc ~man)
     Term.(const lint_main $ lint_pos_files $ lint_opt_files $ format_arg)
 
+(* ---- the exec subcommand (network client) ----------------------------- *)
+
+let exec_main host port timeout stats scripts =
+  let module Client = Hr_server.Server.Client in
+  match Client.connect ~host ?timeout ~port () with
+  | exception Failure msg ->
+    Printf.eprintf "hrdb exec: %s\n" msg;
+    2
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "hrdb exec: cannot reach %s:%d: %s\n" host port (Unix.error_message e);
+    2
+  | conn ->
+    Fun.protect
+      ~finally:(fun () -> Client.close conn)
+      (fun () ->
+        let request () =
+          if stats then Client.stats conn
+          else Client.exec conn (String.concat " " scripts)
+        in
+        if (not stats) && scripts = [] then begin
+          prerr_endline "hrdb exec: no script given (pass 'STATEMENTS;' or --stats)";
+          2
+        end
+        else
+          match request () with
+          | Ok out ->
+            if out <> "" then print_endline out;
+            0
+          | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1)
+
+let exec_host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "H"; "host" ] ~docv:"HOST" ~doc:"Server address.")
+
+let exec_port_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server TCP port.")
+
+let exec_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Bound the TCP connect and each reply read (default: wait forever).")
+
+let exec_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Fetch the server's metrics snapshot instead of running a script.")
+
+let exec_scripts_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"SCRIPT")
+
+let exec_cmd =
+  let doc = "run an HRQL script against a running server" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Connects to an hrdb_server (or a read-only hrdb_replica), sends the \
+         script as one EXEC frame, and prints the reply. Exits 1 on a server \
+         error, 2 on a connection failure.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc ~man)
+    Term.(
+      const exec_main $ exec_host_arg $ exec_port_arg $ exec_timeout_arg
+      $ exec_stats_arg $ exec_scripts_arg)
+
+(* ---- the replica subcommand ------------------------------------------- *)
+
+let replica_main primary_host primary_port dir port backoff_max checkpoint_every =
+  let module Replica = Hr_repl.Replica in
+  let cfg =
+    Replica.config ~primary_host ~primary_port ~dir ~port ~backoff_max
+      ~checkpoint_every ()
+  in
+  let replica = Replica.create cfg in
+  Printf.printf
+    "hrdb replica listening on 127.0.0.1:%d (read-only; dir: %s; primary: %s:%d; \
+     resume LSN %d)\n\
+     %!"
+    (Replica.port replica) dir primary_host primary_port
+    (Replica.applied_lsn replica);
+  Replica.run replica;
+  0
+
+let replica_primary_host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "H"; "primary-host" ] ~docv:"HOST" ~doc:"Primary's address.")
+
+let replica_primary_port_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "P"; "primary-port" ] ~docv:"PORT" ~doc:"Primary's TCP port.")
+
+let replica_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "d"; "dir" ] ~docv:"DIR"
+        ~doc:"The replica's own database directory (snapshot + WAL + LSN).")
+
+let replica_port_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:"Local TCP port for read-only queries (0 = ephemeral).")
+
+let replica_backoff_max_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "backoff-max" ] ~docv:"SECONDS"
+        ~doc:"Reconnect backoff ceiling (doubles from 50ms).")
+
+let replica_checkpoint_every_arg =
+  Arg.(
+    value & opt int 512
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Checkpoint the local database every $(docv) applied records.")
+
+let replica_cmd =
+  let doc = "run a read-only replica of a durable primary" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Subscribes to the primary's logical WAL stream (REPL_SUBSCRIBE with \
+         the last durably applied LSN), bootstraps from a snapshot when too \
+         far behind, applies records to its own directory, serves read-only \
+         HRQL locally, and reconnects with exponential backoff. See \
+         docs/REPLICATION.md.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "replica" ~doc ~man)
+    Term.(
+      const replica_main $ replica_primary_host_arg $ replica_primary_port_arg
+      $ replica_dir_arg $ replica_port_arg $ replica_backoff_max_arg
+      $ replica_checkpoint_every_arg)
+
 let shell_term = Term.(const main $ file_arg $ interactive_arg $ dir_arg $ strict_arg)
 
 let cmd =
   let doc = "interactive shell for the hierarchical relational model" in
   Cmd.group ~default:shell_term
     (Cmd.info "hrdb" ~version:"1.0.0" ~doc)
-    [ lint_cmd ]
+    [ lint_cmd; exec_cmd; replica_cmd ]
 
 let () = exit (Cmd.eval' cmd)

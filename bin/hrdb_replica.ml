@@ -1,0 +1,76 @@
+(* hrdb_replica — a read-only replica of an hrdb_server primary.
+
+   Usage:
+     dune exec bin/hrdb_server.exe  -- -p 7799 -d ./primary   # the primary
+     dune exec bin/hrdb_replica.exe -- -P 7799 -d ./replica -p 7800
+
+   The replica subscribes to the primary's logical WAL stream, applies
+   it to its own durable directory, serves read-only HRQL on its own
+   port, and reconnects with exponential backoff when the primary goes
+   away (resuming from its last durably applied LSN). Protocol in
+   docs/REPLICATION.md. *)
+
+module Replica = Hr_repl.Replica
+
+let main primary_host primary_port dir port backoff_max checkpoint_every =
+  let cfg =
+    Replica.config ~primary_host ~primary_port ~dir ~port ~backoff_max
+      ~checkpoint_every ()
+  in
+  let replica = Replica.create cfg in
+  Printf.printf
+    "hrdb_replica listening on 127.0.0.1:%d (read-only; dir: %s; primary: %s:%d; \
+     resume LSN %d)\n\
+     %!"
+    (Replica.port replica) dir primary_host primary_port
+    (Replica.applied_lsn replica);
+  Replica.run replica
+
+open Cmdliner
+
+let primary_host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "H"; "primary-host" ] ~docv:"HOST" ~doc:"Primary's address.")
+
+let primary_port_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "P"; "primary-port" ] ~docv:"PORT" ~doc:"Primary's TCP port.")
+
+let dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "d"; "dir" ] ~docv:"DIR"
+        ~doc:"The replica's own database directory (snapshot + WAL + LSN).")
+
+let port_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:"Local TCP port for read-only queries (0 = ephemeral).")
+
+let backoff_max_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "backoff-max" ] ~docv:"SECONDS"
+        ~doc:"Reconnect backoff ceiling (doubles from 50ms).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 512
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Checkpoint the local database every $(docv) applied records.")
+
+let cmd =
+  let doc = "read-only replica for the hierarchical relational model" in
+  Cmd.v
+    (Cmd.info "hrdb_replica" ~version:"1.0.0" ~doc)
+    Term.(
+      const main $ primary_host_arg $ primary_port_arg $ dir_arg $ port_arg
+      $ backoff_max_arg $ checkpoint_every_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,129 @@
+exception Disconnected
+
+let max_frame = 64 * 1024 * 1024
+
+let repl_subscribe = "REPL_SUBSCRIBE"
+let repl_snapshot = "REPL_SNAPSHOT"
+let repl_record = "REPL_RECORD"
+let repl_ack = "REPL_ACK"
+
+(* ---- blocking I/O ----------------------------------------------------- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec push off =
+    if off < len then push (off + Unix.write_substring fd s off (len - off))
+  in
+  push 0
+
+let send fd tag payload =
+  write_all fd (Printf.sprintf "%s %d\n%s" tag (String.length payload) payload)
+
+let read_line_fd fd =
+  let buf = Buffer.create 64 in
+  let byte = Bytes.make 1 ' ' in
+  let rec loop () =
+    match Unix.read fd byte 0 1 with
+    | 0 -> raise Disconnected
+    | _ ->
+      let c = Bytes.get byte 0 in
+      if c = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf c;
+        loop ()
+      end
+  in
+  loop ()
+
+let read_exact fd n =
+  let data = Bytes.make n '\000' in
+  let rec fill off =
+    if off < n then begin
+      let r = Unix.read fd data off (n - off) in
+      if r = 0 then raise Disconnected;
+      fill (off + r)
+    end
+  in
+  fill 0;
+  Bytes.to_string data
+
+let parse_header header =
+  match String.index_opt header ' ' with
+  | None -> Error (Printf.sprintf "malformed frame header %S" header)
+  | Some i -> (
+    let tag = String.sub header 0 i in
+    match int_of_string_opt (String.sub header (i + 1) (String.length header - i - 1)) with
+    | None -> Error (Printf.sprintf "malformed frame length in %S" header)
+    | Some len when len < 0 || len > max_frame ->
+      Error (Printf.sprintf "unreasonable frame length %d" len)
+    | Some len -> Ok (tag, len))
+
+let recv fd =
+  let header = read_line_fd fd in
+  match parse_header header with
+  | Error _ as e -> e
+  | Ok (tag, len) -> Ok (tag, read_exact fd len)
+
+(* ---- incremental decoding -------------------------------------------- *)
+
+module Decoder = struct
+  (* Undecoded input accumulates in [buf]; [pos] is the parse cursor.
+     Consumed bytes are compacted away whenever the cursor passes 64 KiB
+     so a long-lived connection does not grow the buffer forever. *)
+  type t = { mutable buf : Buffer.t; mutable pos : int }
+
+  let create () = { buf = Buffer.create 256; pos = 0 }
+
+  let feed t bytes n = Buffer.add_subbytes t.buf bytes 0 n
+
+  let compact t =
+    if t.pos > 64 * 1024 then begin
+      let rest =
+        Buffer.sub t.buf t.pos (Buffer.length t.buf - t.pos)
+      in
+      let buf = Buffer.create (String.length rest + 256) in
+      Buffer.add_string buf rest;
+      t.buf <- buf;
+      t.pos <- 0
+    end
+
+  let next t =
+    let len = Buffer.length t.buf in
+    let contents = Buffer.contents t.buf in
+    match String.index_from_opt contents t.pos '\n' with
+    | None ->
+      if len - t.pos > 4096 then Error "frame header too long"
+      else Ok None
+    | Some nl -> (
+      let header = String.sub contents t.pos (nl - t.pos) in
+      match parse_header header with
+      | Error _ as e -> e
+      | Ok (tag, payload_len) ->
+        if len - nl - 1 < payload_len then Ok None
+        else begin
+          let payload = String.sub contents (nl + 1) payload_len in
+          t.pos <- nl + 1 + payload_len;
+          compact t;
+          Ok (Some (tag, payload))
+        end)
+end
+
+(* ---- payload helpers -------------------------------------------------- *)
+
+let lsn_payload lsn = string_of_int lsn
+
+let parse_lsn payload =
+  match int_of_string_opt (String.trim payload) with
+  | Some n when n >= 0 -> Ok n
+  | Some _ | None -> Error (Printf.sprintf "malformed LSN payload %S" payload)
+
+let lsn_prefixed lsn rest = Printf.sprintf "%d\n%s" lsn rest
+
+let parse_lsn_prefixed payload =
+  match String.index_opt payload '\n' with
+  | None -> Error "missing LSN prefix"
+  | Some i -> (
+    match int_of_string_opt (String.sub payload 0 i) with
+    | Some lsn when lsn >= 0 ->
+      Ok (lsn, String.sub payload (i + 1) (String.length payload - i - 1))
+    | Some _ | None -> Error (Printf.sprintf "malformed LSN prefix in %S" payload))

@@ -1,13 +1,37 @@
 open Hierel
+module Wire = Hr_frames.Wire
 
 let m_connections = Hr_obs.Metrics.counter "server.connections"
 let m_frames = Hr_obs.Metrics.counter "server.frames_served"
 let m_errors = Hr_obs.Metrics.counter "server.frame_errors"
 let h_frame = Hr_obs.Metrics.histogram "server.frame_ns"
 
+(* Primary-side replication metrics (docs/OBSERVABILITY.md). [repl.lag]
+   is the LSN delta between the primary and the last acknowledged offset
+   — 0 means the acking replica was caught up at that moment. *)
+let m_shipped = Hr_obs.Metrics.counter "repl.records_shipped"
+let m_bootstraps = Hr_obs.Metrics.counter "repl.snapshot_bootstraps"
+let m_acks = Hr_obs.Metrics.counter "repl.acks"
+let g_lag = Hr_obs.Metrics.gauge "repl.lag"
+let g_subscribers = Hr_obs.Metrics.gauge "repl.subscribers"
+
 type backend = Memory of Catalog.t | Durable of Hr_storage.Db.t
 
-type t = { socket : Unix.file_descr; backend : backend; bound_port : int }
+type conn = {
+  fd : Unix.file_descr;
+  dec : Wire.Decoder.t;
+  mutable subscribed : bool;
+  mutable sent_lsn : int;
+}
+
+type t = {
+  socket : Unix.file_descr;
+  backend : backend;
+  bound_port : int;
+  read_only : bool;
+  owns_db : bool;
+  mutable conns : conn list;
+}
 
 let listen_on host port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -21,13 +45,18 @@ let listen_on host port =
   in
   (fd, bound_port)
 
-let create_memory ?(host = "127.0.0.1") ~port () =
+let make ?(host = "127.0.0.1") ?(read_only = false) ~port ~owns_db backend =
   let socket, bound_port = listen_on host port in
-  { socket; backend = Memory (Catalog.create ()); bound_port }
+  { socket; backend; bound_port; read_only; owns_db; conns = [] }
 
-let create_durable ?(host = "127.0.0.1") ~port ~dir () =
-  let socket, bound_port = listen_on host port in
-  { socket; backend = Durable (Hr_storage.Db.open_dir dir); bound_port }
+let create_memory ?host ?read_only ~port () =
+  make ?host ?read_only ~port ~owns_db:true (Memory (Catalog.create ()))
+
+let create_durable ?host ?read_only ~port ~dir () =
+  make ?host ?read_only ~port ~owns_db:true (Durable (Hr_storage.Db.open_dir dir))
+
+let create_for_db ?host ?read_only ~port ~db () =
+  make ?host ?read_only ~port ~owns_db:false (Durable db)
 
 let port t = t.bound_port
 
@@ -44,145 +73,275 @@ let catalog t =
 let lint t script =
   Hr_analysis.Lint.analyze_script ~catalog:(catalog t) script
 
-(* ---- framing --------------------------------------------------------- *)
+(* ---- serving ---------------------------------------------------------- *)
 
-exception Disconnected
+exception Drop_conn
 
-let read_line_fd fd =
-  let buf = Buffer.create 64 in
-  let byte = Bytes.make 1 ' ' in
+let subscriber_count t =
+  List.length (List.filter (fun c -> c.subscribed) t.conns)
+
+(* Ship every logged record past the subscriber's offset. Raises on a
+   vanished peer; the caller drops the connection. *)
+let ship db conn =
+  List.iter
+    (fun { Hr_storage.Wal.lsn; stmt } ->
+      Wire.send conn.fd Wire.repl_record (Wire.lsn_prefixed lsn stmt);
+      conn.sent_lsn <- lsn;
+      Hr_obs.Metrics.incr m_shipped)
+    (Hr_storage.Db.records_since db conn.sent_lsn)
+
+(* After a committed script, push the new records to every subscriber.
+   A subscriber whose connection broke is silently forgotten — it will
+   reconnect and resume from its durable offset. *)
+let ship_all t =
+  match t.backend with
+  | Memory _ -> ()
+  | Durable db ->
+    let dead = ref [] in
+    List.iter
+      (fun c ->
+        if c.subscribed then
+          try ship db c
+          with Unix.Unix_error _ | Wire.Disconnected -> dead := c :: !dead)
+      t.conns;
+    List.iter
+      (fun c ->
+        (try Unix.close c.fd with Unix.Unix_error _ -> ());
+        t.conns <- List.filter (fun c' -> c' != c) t.conns)
+      !dead;
+    if !dead <> [] then Hr_obs.Metrics.set g_subscribers (subscriber_count t)
+
+let handle t conn tag payload =
+  match tag with
+  | "EXEC" -> (
+    match (if t.read_only then Hr_storage.Db.script_mutation payload else None) with
+    | Some src ->
+      Wire.send conn.fd "ERR"
+        (Printf.sprintf "read-only replica: refusing mutating statement %S (execute it on the primary)" src)
+    | None -> (
+      match run_script t payload with
+      | Ok outputs ->
+        Wire.send conn.fd "OK" (String.concat "\n" outputs);
+        ship_all t
+      | Error msg -> Wire.send conn.fd "ERR" msg))
+  | "LINT" ->
+    Wire.send conn.fd "OK" (Hr_analysis.Diagnostic.render_json (lint t payload))
+  | "STATS" ->
+    (* payload selects the rendering: "json" or "" for text *)
+    let snap = Hr_obs.Metrics.snapshot () in
+    let body =
+      if String.lowercase_ascii (String.trim payload) = "json" then
+        Hr_obs.Metrics.render_json snap
+      else Hr_obs.Metrics.render_text snap
+    in
+    Wire.send conn.fd "OK" body
+  | tag when tag = Wire.repl_subscribe -> (
+    match t.backend with
+    | Memory _ ->
+      Hr_obs.Metrics.incr m_errors;
+      Wire.send conn.fd "ERR" "replication requires a durable primary (start with -d DIR)"
+    | Durable db -> (
+      match Wire.parse_lsn payload with
+      | Error msg ->
+        Hr_obs.Metrics.incr m_errors;
+        Wire.send conn.fd "ERR" msg
+      | Ok lsn ->
+        let base = Hr_storage.Db.base_lsn db in
+        conn.subscribed <- true;
+        Hr_obs.Metrics.set g_subscribers (subscriber_count t);
+        conn.sent_lsn <-
+          (if lsn < base then begin
+             (* The WAL no longer covers the requested offset: bootstrap
+                with an image of the live catalog. The image is encoded
+                at the current head LSN (the loop is single-threaded, so
+                it is consistent), and the stream resumes after it. *)
+             let head = Hr_storage.Db.lsn db in
+             Wire.send conn.fd Wire.repl_snapshot
+               (Wire.lsn_prefixed head (Hr_storage.Db.snapshot_image db));
+             Hr_obs.Metrics.incr m_bootstraps;
+             head
+           end
+           else lsn);
+        ship db conn))
+  | tag when tag = Wire.repl_ack -> (
+    match Wire.parse_lsn payload with
+    | Error msg ->
+      Hr_obs.Metrics.incr m_errors;
+      Wire.send conn.fd "ERR" msg
+    | Ok lsn ->
+      Hr_obs.Metrics.incr m_acks;
+      (match t.backend with
+      | Durable db -> Hr_obs.Metrics.set g_lag (Hr_storage.Db.lsn db - lsn)
+      | Memory _ -> ()))
+  | _ ->
+    Hr_obs.Metrics.incr m_errors;
+    Wire.send conn.fd "ERR" (Printf.sprintf "unknown request %S" tag)
+
+let new_conn fd =
+  { fd; dec = Wire.Decoder.create (); subscribed = false; sent_lsn = 0 }
+
+let drop_conn t conn =
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  if conn.subscribed then Hr_obs.Metrics.set g_subscribers (subscriber_count t)
+
+let handle_timed t conn tag payload =
+  Hr_obs.Metrics.incr m_frames;
+  Hr_obs.Metrics.time h_frame (fun () -> handle t conn tag payload)
+
+(* Drain every complete frame the decoder holds. A malformed header is
+   unrecoverable (framing is lost): reply once and drop. *)
+let drain_frames t conn =
   let rec loop () =
-    match Unix.read fd byte 0 1 with
-    | 0 -> if Buffer.length buf = 0 then raise Disconnected else Buffer.contents buf
-    | _ ->
-      let c = Bytes.get byte 0 in
-      if c = '\n' then Buffer.contents buf
-      else begin
-        Buffer.add_char buf c;
-        loop ()
-      end
+    match Wire.Decoder.next conn.dec with
+    | Ok (Some (tag, payload)) ->
+      handle_timed t conn tag payload;
+      loop ()
+    | Ok None -> ()
+    | Error msg ->
+      Hr_obs.Metrics.incr m_errors;
+      (try Wire.send conn.fd "ERR" msg with Unix.Unix_error _ -> ());
+      raise Drop_conn
   in
   loop ()
 
-let read_exact fd n =
-  let data = Bytes.make n '\000' in
-  let rec fill off =
-    if off < n then begin
-      let r = Unix.read fd data (off) (n - off) in
-      if r = 0 then raise Disconnected;
-      fill (off + r)
-    end
-  in
-  fill 0;
-  Bytes.to_string data
+let chunk = Bytes.create 65536
 
-let write_all fd s =
-  let len = String.length s in
-  let rec push off =
-    if off < len then push (off + Unix.write_substring fd s off (len - off))
-  in
-  push 0
+let service t conn =
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> drop_conn t conn
+  | n -> (
+    Wire.Decoder.feed conn.dec chunk n;
+    try drain_frames t conn
+    with
+    | Drop_conn | Wire.Disconnected -> drop_conn t conn
+    | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> drop_conn t conn)
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> drop_conn t conn
 
-let send_frame fd tag payload =
-  write_all fd (Printf.sprintf "%s %d\n%s" tag (String.length payload) payload)
+let accept_conn t =
+  match Unix.accept t.socket with
+  | fd, _ ->
+    Hr_obs.Metrics.incr m_connections;
+    t.conns <- new_conn fd :: t.conns
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
 
-let recv_frame fd =
-  let header = read_line_fd fd in
-  match String.index_opt header ' ' with
-  | None -> Error (Printf.sprintf "malformed frame header %S" header)
-  | Some i -> (
-    let tag = String.sub header 0 i in
-    match int_of_string_opt (String.sub header (i + 1) (String.length header - i - 1)) with
-    | None -> Error (Printf.sprintf "malformed frame length in %S" header)
-    | Some len when len < 0 || len > 16 * 1024 * 1024 ->
-      Error (Printf.sprintf "unreasonable frame length %d" len)
-    | Some len -> Ok (tag, read_exact fd len))
+let poll ?(extra = []) t timeout =
+  let fds = (t.socket :: List.map (fun c -> c.fd) t.conns) @ extra in
+  match Unix.select fds [] [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+  | readable, _, _ ->
+    if List.mem t.socket readable then accept_conn t;
+    (* service over a copy: handlers mutate [t.conns] *)
+    List.iter
+      (fun c -> if List.mem c.fd readable && List.memq c t.conns then service t c)
+      t.conns;
+    List.filter (fun fd -> List.mem fd readable) extra
 
-(* ---- serving ---------------------------------------------------------- *)
+let serve_forever t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  while true do
+    ignore (poll t 0.5)
+  done
 
-let handle_request t conn payload =
-  match run_script t payload with
-  | Ok outputs -> send_frame conn "OK" (String.concat "\n" outputs)
-  | Error msg -> send_frame conn "ERR" msg
-
+(* The historical sequential path: one client at a time, blocking reads.
+   The connection still joins [t.conns] so replication pushes reach a
+   subscriber that pipelines EXECs on its own connection. *)
 let serve_one_connection t =
-  let conn, _ = Unix.accept t.socket in
+  let fd, _ = Unix.accept t.socket in
   Hr_obs.Metrics.incr m_connections;
+  let conn = new_conn fd in
+  t.conns <- conn :: t.conns;
   Fun.protect
-    ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+    ~finally:(fun () -> if List.memq conn t.conns then drop_conn t conn)
     (fun () ->
       let rec loop () =
-        match recv_frame conn with
+        match Wire.recv fd with
         | Ok (tag, payload) ->
-          Hr_obs.Metrics.incr m_frames;
-          Hr_obs.Metrics.time h_frame (fun () ->
-              match tag with
-              | "EXEC" -> handle_request t conn payload
-              | "LINT" ->
-                send_frame conn "OK" (Hr_analysis.Diagnostic.render_json (lint t payload))
-              | "STATS" ->
-                (* payload selects the rendering: "json" or "" for text *)
-                let snap = Hr_obs.Metrics.snapshot () in
-                let body =
-                  if String.lowercase_ascii (String.trim payload) = "json" then
-                    Hr_obs.Metrics.render_json snap
-                  else Hr_obs.Metrics.render_text snap
-                in
-                send_frame conn "OK" body
-              | _ ->
-                Hr_obs.Metrics.incr m_errors;
-                send_frame conn "ERR" (Printf.sprintf "unknown request %S" tag));
+          handle_timed t conn tag payload;
           loop ()
         | Error msg ->
           Hr_obs.Metrics.incr m_errors;
-          send_frame conn "ERR" msg;
+          Wire.send fd "ERR" msg;
           loop ()
-        | exception Disconnected -> ()
+        | exception Wire.Disconnected -> ()
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
       in
       loop ())
 
-let serve_forever t =
-  while true do
-    serve_one_connection t
-  done
-
 let close t =
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+  t.conns <- [];
   (try Unix.close t.socket with Unix.Unix_error _ -> ());
-  match t.backend with Durable db -> Hr_storage.Db.close db | Memory _ -> ()
+  match t.backend with
+  | Durable db when t.owns_db -> Hr_storage.Db.close db
+  | Durable _ | Memory _ -> ()
 
 module Client = struct
   type conn = Unix.file_descr
 
-  let connect ?(host = "127.0.0.1") ~port () =
+  let connect ?(host = "127.0.0.1") ?timeout ~port () =
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+    (match timeout with
+    | None -> (
+      try Unix.connect fd addr
+      with e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e)
+    | Some secs -> (
+      try
+        Unix.set_nonblock fd;
+        (try Unix.connect fd addr
+         with Unix.Unix_error (Unix.EINPROGRESS, _, _) -> ());
+        (match Unix.select [] [ fd ] [] secs with
+        | [], [], [] ->
+          failwith (Printf.sprintf "connect to %s:%d timed out after %.3fs" host port secs)
+        | _ -> (
+          match Unix.getsockopt_error fd with
+          | Some err -> raise (Unix.Unix_error (err, "connect", host))
+          | None -> ()));
+        Unix.clear_nonblock fd;
+        (* Per-frame read deadline for the life of the connection. *)
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO secs
+      with e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e));
     fd
 
-  let request conn tag script =
-    send_frame conn tag script;
-    match recv_frame conn with
+  let recv_result conn =
+    match Wire.recv conn with
     | Ok ("OK", payload) -> Ok payload
     | Ok ("ERR", payload) -> Error payload
     | Ok (tag, _) -> Error (Printf.sprintf "unexpected reply %S" tag)
     | Error msg -> Error msg
-    | exception Disconnected -> Error "server disconnected"
+    | exception Wire.Disconnected -> Error "server disconnected"
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Error "timed out waiting for reply"
+
+  let request conn tag script =
+    Wire.send conn tag script;
+    recv_result conn
 
   let exec conn script = request conn "EXEC" script
   let lint conn script = request conn "LINT" script
   let stats ?(json = false) conn = request conn "STATS" (if json then "json" else "")
 
-  let send conn tag payload = send_frame conn tag payload
+  let send conn tag payload = Wire.send conn tag payload
 
   let shutdown_send conn =
     try Unix.shutdown conn Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ()
 
-  let recv conn =
-    match recv_frame conn with
-    | Ok ("OK", payload) -> Ok payload
-    | Ok ("ERR", payload) -> Error payload
-    | Ok (tag, _) -> Error (Printf.sprintf "unexpected reply %S" tag)
+  let recv conn = recv_result conn
+
+  let recv_any conn =
+    match Wire.recv conn with
+    | Ok frame -> Ok frame
     | Error msg -> Error msg
-    | exception Disconnected -> Error "server disconnected"
+    | exception Wire.Disconnected -> Error "server disconnected"
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Error "timed out waiting for reply"
+
+  let fd conn = conn
 
   let close conn = try Unix.close conn with Unix.Unix_error _ -> ()
 end

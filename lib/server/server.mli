@@ -1,7 +1,7 @@
-(** A TCP server speaking HRQL.
+(** A TCP server speaking HRQL, with logical-replication endpoints.
 
     The wire protocol is deliberately dumb and robust — length-framed
-    text, one round trip per script:
+    text ({!Hr_frames.Wire}), one round trip per script:
 
     {v
     client:  EXEC <payload-bytes>\n<payload>
@@ -20,21 +20,41 @@
     also counts connections, frames and per-frame latency — metric names
     are catalogued in [docs/OBSERVABILITY.md].
 
-    The server is sequential: it serves one connection at a time and one
-    request at a time (the model's transactions are single-writer anyway;
-    see {!Hr_storage.Db}'s lock). A connection is served until the client
-    closes it. Backends: a plain in-memory catalog or a durable
-    {!Hr_storage.Db} directory. *)
+    {b Replication} (durable backends only; protocol and failure matrix
+    in [docs/REPLICATION.md]): a [REPL_SUBSCRIBE] frame carrying the
+    subscriber's last applied LSN turns its connection into a
+    replication stream. If the requested LSN predates the primary's
+    snapshot base, a [REPL_SNAPSHOT] bootstrap frame (catalog image plus
+    its LSN) is sent first; then every logged statement after the
+    subscriber's offset is shipped as a [REPL_RECORD] frame, and new
+    statements are pushed as they commit. [REPL_ACK] frames from the
+    subscriber update the primary's [repl.lag] gauge.
+
+    {b Concurrency model:} {!serve_forever} runs a single-threaded
+    [select] event loop multiplexing every connection, so a replica can
+    hold its subscription open while ordinary clients keep executing
+    scripts — statements stay strictly serialized because one loop runs
+    them all. {!serve_one_connection} is the historical sequential path
+    (accept one client, serve it to disconnection) and is kept for tests
+    and single-client tools. Backends: a plain in-memory catalog or a
+    durable {!Hr_storage.Db} directory. *)
 
 type t
 
-val create_memory : ?host:string -> port:int -> unit -> t
+val create_memory : ?host:string -> ?read_only:bool -> port:int -> unit -> t
 (** Binds and listens; [port = 0] picks an ephemeral port (see {!port}).
     [host] defaults to 127.0.0.1. Statements run against a fresh
-    in-memory catalog. *)
+    in-memory catalog. [read_only] (default false) refuses mutating
+    scripts with an error. *)
 
-val create_durable : ?host:string -> port:int -> dir:string -> unit -> t
+val create_durable : ?host:string -> ?read_only:bool -> port:int -> dir:string -> unit -> t
 (** Same, over a {!Hr_storage.Db} directory (WAL + snapshots). *)
+
+val create_for_db : ?host:string -> ?read_only:bool -> port:int -> db:Hr_storage.Db.t -> unit -> t
+(** Same, over an already-open database the caller owns; {!close} will
+    {e not} close the database. The replica embeds its serving endpoint
+    this way: the replication apply loop and the read path share one
+    {!Hr_storage.Db}. *)
 
 val port : t -> int
 
@@ -43,20 +63,35 @@ val lint : t -> string -> Hr_analysis.Diagnostic.t list
     catalog — schemas and hierarchies are visible to the checks, but
     nothing is executed or mutated. *)
 
+val poll : ?extra:Unix.file_descr list -> t -> float -> Unix.file_descr list
+(** One event-loop iteration: waits up to the given number of seconds
+    for traffic, accepts pending connections, services every readable
+    connection (running complete frames, shipping replication records),
+    and returns which of the [extra] descriptors were readable — the
+    hook that lets an embedding process (the replica) multiplex its own
+    upstream connection into the same [select]. *)
+
 val serve_one_connection : t -> unit
 (** Accepts a single connection and serves requests until the client
-    disconnects. Blocking. *)
+    disconnects. Blocking, sequential. *)
 
 val serve_forever : t -> unit
-(** {!serve_one_connection} in a loop. Blocking; intended for a dedicated
-    process ([bin/hrdb_server.exe]). *)
+(** The multiplexed event loop: {!poll} until the process dies. SIGPIPE
+    is ignored (a vanished subscriber must not kill the primary).
+    Intended for a dedicated process ([bin/hrdb_server.exe]). *)
 
 val close : t -> unit
 
 module Client : sig
   type conn
 
-  val connect : ?host:string -> port:int -> unit -> conn
+  val connect : ?host:string -> ?timeout:float -> port:int -> unit -> conn
+  (** [timeout] (seconds) bounds both the TCP connect and every
+      subsequent single-frame read on the connection; omitted, both
+      block indefinitely (the historical behavior). A connect timeout
+      raises [Failure]; a read timeout surfaces as [Error] from the
+      request calls. *)
+
   val exec : conn -> string -> (string, string) result
   (** Sends one HRQL script; returns the server's combined output or the
       error message. *)
@@ -76,6 +111,14 @@ module Client : sig
 
   val recv : conn -> (string, string) result
   (** Reads one reply frame ([OK] payload or [ERR] message). *)
+
+  val recv_any : conn -> (string * string, string) result
+  (** Reads one frame of any tag — the replication subscriber's read
+      path ([REPL_SNAPSHOT] / [REPL_RECORD] arrive unprompted). *)
+
+  val fd : conn -> Unix.file_descr
+  (** The underlying descriptor, for callers that multiplex ([select])
+      over several connections. *)
 
   val shutdown_send : conn -> unit
   (** Half-closes the connection: no more requests will follow, but

@@ -5,18 +5,22 @@ open Hierel
 
 let m_statements = Hr_obs.Metrics.counter "storage.db.statements"
 let m_checkpoints = Hr_obs.Metrics.counter "storage.db.checkpoints"
+let g_lsn = Hr_obs.Metrics.gauge "storage.db.lsn"
 
 type t = {
   dir : string;
   mutable catalog : Catalog.t;
   mutable wal : Wal.t;
   mutable pending : int;
+  mutable lsn : int;
+  mutable base_lsn : int;
   lock_fd : Unix.file_descr;
 }
 
 let snapshot_path dir = Filename.concat dir "snapshot.bin"
 let wal_path dir = Filename.concat dir "wal.log"
 let lock_path dir = Filename.concat dir "LOCK"
+let meta_path dir = Filename.concat dir "meta"
 
 (* One writer per directory: an OS-level advisory lock on a LOCK file.
    The lock dies with the process, so a crash never wedges the db. *)
@@ -28,6 +32,28 @@ let acquire_lock dir =
      failwith (Printf.sprintf "database %s is locked by another process" dir));
   fd
 
+(* [meta] holds the snapshot's LSN as a single "base_lsn=N" line, written
+   atomically (tmp + rename) so a crash never leaves a half-written
+   number next to a valid snapshot. Absent means 0 (pre-LSN directory or
+   fresh database). *)
+let read_meta dir =
+  let path = meta_path dir in
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in path in
+    let line = Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_line ic) in
+    match String.split_on_char '=' (String.trim line) with
+    | [ "base_lsn"; n ] -> ( match int_of_string_opt n with Some n when n >= 0 -> n | _ -> 0)
+    | _ -> 0
+  end
+
+let write_meta dir base_lsn =
+  let tmp = meta_path dir ^ ".tmp" in
+  let oc = open_out tmp in
+  Printf.fprintf oc "base_lsn=%d\n" base_lsn;
+  close_out oc;
+  Sys.rename tmp (meta_path dir)
+
 let open_dir dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let lock_fd = acquire_lock dir in
@@ -35,9 +61,20 @@ let open_dir dir =
     if Sys.file_exists (snapshot_path dir) then Snapshot.read_file (snapshot_path dir)
     else Catalog.create ()
   in
-  let records = Wal.replay (wal_path dir) in
+  let base_lsn = read_meta dir in
+  let records, torn = Wal.replay (wal_path dir) in
+  (match torn with
+  | None -> ()
+  | Some { Wal.dropped_bytes; dropped_records } ->
+    (* Data-loss-free truncation: only unacknowledged bytes past the
+       last intact record are dropped, but the operator should see it. *)
+    Printf.eprintf
+      "hrdb: warning: %s had a torn tail; dropped %d byte(s) (~%d record(s)) past the \
+       last intact record\n\
+       %!"
+      (wal_path dir) dropped_bytes dropped_records);
   List.iter
-    (fun stmt ->
+    (fun { Wal.stmt; _ } ->
       match Eval.run_script catalog stmt with
       | Ok _ -> ()
       | Error msg ->
@@ -45,7 +82,19 @@ let open_dir dir =
            log disagree; refuse to continue on half-recovered state. *)
         failwith (Printf.sprintf "WAL replay failed on %S: %s" stmt msg))
     records;
-  { dir; catalog; wal = Wal.open_ (wal_path dir); pending = List.length records; lock_fd }
+  let lsn =
+    List.fold_left (fun acc { Wal.lsn; _ } -> max acc lsn) base_lsn records
+  in
+  Hr_obs.Metrics.set g_lsn lsn;
+  {
+    dir;
+    catalog;
+    wal = Wal.open_ (wal_path dir);
+    pending = List.length records;
+    lsn;
+    base_lsn;
+    lock_fd;
+  }
 
 let catalog t = t.catalog
 
@@ -67,6 +116,22 @@ let split_statements script =
   |> List.map String.trim
   |> List.filter (fun s -> s <> "" && not (String.for_all (fun c -> c = '\n' || c = ' ') s))
 
+let script_mutation script =
+  let is_mutating source =
+    match Parser.parse_statement source with
+    | { Ast.stmt; _ } -> mutating stmt
+    | exception Parser.Parse_error _ -> false
+    | exception Hr_query.Lexer.Lex_error _ -> false
+  in
+  List.find_opt is_mutating
+    (List.filter (fun s -> Hr_query.Lexer.tokenize s <> []) (split_statements script))
+
+let log_statement t source =
+  t.lsn <- t.lsn + 1;
+  Wal.append t.wal ~lsn:t.lsn (source ^ ";");
+  t.pending <- t.pending + 1;
+  Hr_obs.Metrics.set g_lsn t.lsn
+
 let exec t script =
   let rec run acc = function
     | [] -> Ok (List.rev acc)
@@ -83,10 +148,7 @@ let exec t script =
         | Ok out ->
           (* log only acknowledged statements: a rejected update (e.g. an
              integrity violation) must not poison replay *)
-          if mutating stmt then begin
-            Wal.append t.wal (source ^ ";");
-            t.pending <- t.pending + 1
-          end;
+          if mutating stmt then log_statement t source;
           run (out :: acc) rest
         | Error msg -> Error msg))
   in
@@ -95,9 +157,11 @@ let exec t script =
 let checkpoint t =
   Hr_obs.Metrics.incr m_checkpoints;
   Snapshot.write_file t.catalog (snapshot_path t.dir);
+  write_meta t.dir t.lsn;
   Wal.close t.wal;
   Wal.truncate (wal_path t.dir);
   t.wal <- Wal.open_ (wal_path t.dir);
+  t.base_lsn <- t.lsn;
   t.pending <- 0
 
 let close t =
@@ -106,3 +170,39 @@ let close t =
   Unix.close t.lock_fd
 
 let wal_records t = t.pending
+let lsn t = t.lsn
+let base_lsn t = t.base_lsn
+
+let records_since t from_lsn = List.of_seq (Wal.stream_from t.wal from_lsn)
+
+let snapshot_image t = Snapshot.encode t.catalog
+
+let install_snapshot t ~lsn image =
+  match Snapshot.decode image with
+  | exception Snapshot.Corrupt_snapshot msg -> Error ("corrupt snapshot image: " ^ msg)
+  | catalog ->
+    t.catalog <- catalog;
+    Snapshot.write_file catalog (snapshot_path t.dir);
+    write_meta t.dir lsn;
+    Wal.close t.wal;
+    Wal.truncate (wal_path t.dir);
+    t.wal <- Wal.open_ (wal_path t.dir);
+    t.lsn <- lsn;
+    t.base_lsn <- lsn;
+    t.pending <- 0;
+    Hr_obs.Metrics.set g_lsn lsn;
+    Ok ()
+
+let apply_replicated t ~lsn source =
+  if lsn <= t.lsn then
+    Error (Printf.sprintf "duplicate record: LSN %d already applied (at %d)" lsn t.lsn)
+  else
+    match Eval.run_script t.catalog source with
+    | Ok _ ->
+      Hr_obs.Metrics.incr m_statements;
+      Wal.append t.wal ~lsn source;
+      t.pending <- t.pending + 1;
+      t.lsn <- lsn;
+      Hr_obs.Metrics.set g_lsn lsn;
+      Ok ()
+    | Error msg -> Error msg

@@ -1,14 +1,25 @@
 (** A durable database: binary snapshot + write-ahead log + HRQL.
 
     A database lives in a directory holding [snapshot.bin] (the last
-    checkpoint, {!Snapshot} format) and [wal.log] (statements applied
-    since, {!Wal} format). {!open_dir} loads the snapshot and replays the
-    log; {!exec} runs HRQL statements, appending each successful mutating
-    statement to the log before acknowledging it (so acknowledged implies
-    replayable — rejected updates are never logged and cannot poison
-    recovery); {!checkpoint} rewrites the snapshot and truncates the log.
-    Reopening after a crash (including one that tore the last log record)
-    recovers every acknowledged statement. *)
+    checkpoint, {!Snapshot} format), [wal.log] (statements applied
+    since, {!Wal} format) and [meta] (the LSN the snapshot is valid
+    through). {!open_dir} loads the snapshot and replays the log;
+    {!exec} runs HRQL statements, appending each successful mutating
+    statement to the log before acknowledging it (so acknowledged
+    implies replayable — rejected updates are never logged and cannot
+    poison recovery); {!checkpoint} rewrites the snapshot and truncates
+    the log. Reopening after a crash (including one that tore the last
+    log record) recovers every acknowledged statement.
+
+    Every logged statement carries a {e log sequence number} (LSN):
+    monotone from 1 over the whole life of the directory, never reset by
+    checkpoints. [lsn t] is the last statement applied, [base_lsn t] the
+    statement the snapshot covers through; the WAL holds exactly
+    [base_lsn+1 .. lsn]. LSNs are the replication protocol's addresses
+    (see [docs/REPLICATION.md]): {!records_since} serves a subscriber's
+    catch-up, {!install_snapshot} and {!apply_replicated} are the
+    replica-side application path, which preserves the primary's LSNs so
+    a replica resumes from exactly where it durably stopped. *)
 
 type t
 
@@ -16,21 +27,65 @@ val open_dir : string -> t
 (** Creates the directory if needed; recovers existing state. Takes an
     advisory lock on [DIR/LOCK] — a second concurrent open of the same
     directory fails with [Failure] rather than corrupting the log. The
-    lock is released by {!close} or process exit. *)
+    lock is released by {!close} or process exit. If recovery dropped a
+    torn WAL tail, a warning with the dropped byte/record counts is
+    printed to stderr (and counted in [storage.wal.torn_tail_*]). *)
 
 val catalog : t -> Hierel.Catalog.t
 
 val exec : t -> string -> (string list, string) result
 (** Runs an HRQL script (one or more statements). Every successful
     statement that changes durable state (CREATE / DROP / INSERT /
-    DELETE / LET / CONSOLIDATE / EXPLICATE) is logged; reads and rejected
-    updates are not. On error, statements before the failing one remain
-    applied and logged (statement-level, not script-level, atomicity). *)
+    DELETE / LET / CONSOLIDATE / EXPLICATE) is logged under a fresh LSN;
+    reads and rejected updates are not. On error, statements before the
+    failing one remain applied and logged (statement-level, not
+    script-level, atomicity). *)
 
 val checkpoint : t -> unit
-(** Writes [snapshot.bin] and truncates [wal.log]. *)
+(** Writes [snapshot.bin], records [base_lsn = lsn] in [meta] and
+    truncates [wal.log]. *)
 
 val close : t -> unit
 
 val wal_records : t -> int
 (** Statements currently in the log (for tests and monitoring). *)
+
+(** {1 Log sequence numbers and replication hooks} *)
+
+val lsn : t -> int
+(** The LSN of the last applied mutating statement (0 for a fresh
+    database). Monotone across checkpoints and reopens. *)
+
+val base_lsn : t -> int
+(** The LSN the current snapshot covers through (0 before the first
+    checkpoint). *)
+
+val records_since : t -> int -> Wal.record list
+(** The logged statements with LSN strictly greater than the argument —
+    the replication catch-up stream. Only meaningful for arguments
+    [>= base_lsn t]; older offsets need {!snapshot_image} first. *)
+
+val snapshot_image : t -> string
+(** The current catalog as a {!Snapshot} binary image (for bootstrapping
+    a subscriber whose offset predates [base_lsn]). *)
+
+val install_snapshot : t -> lsn:int -> string -> (unit, string) result
+(** Replica bootstrap: replaces the whole catalog with the decoded
+    image, persists it as the local snapshot valid through [lsn], and
+    truncates the local log. All previous local state is discarded. *)
+
+val apply_replicated : t -> lsn:int -> string -> (unit, string) result
+(** Replica apply: runs one logged statement from the primary and
+    appends it to the local WAL under the {e primary's} LSN. [Error]
+    means divergence (a statement that replayed cleanly on the primary
+    failed here) and the caller should treat it as fatal. Statements at
+    or below the current {!lsn} are rejected as duplicates. *)
+
+val mutating : Hr_query.Ast.statement -> bool
+(** Whether a statement changes durable state (and hence is logged and
+    replicated). Exposed for read-only front ends. *)
+
+val script_mutation : string -> string option
+(** The source text of the first mutating statement in a script, if any
+    — the read-only replica's pre-flight guard. Scripts that fail to
+    parse return [None] (the evaluator will report the error). *)

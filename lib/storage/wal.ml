@@ -1,7 +1,10 @@
 module W = Codec.Writer
 module R = Codec.Reader
 
-type t = { oc : out_channel }
+type record = { lsn : int; stmt : string }
+type torn_tail = { dropped_bytes : int; dropped_records : int }
+
+type t = { path : string; oc : out_channel }
 
 (* Every append is flushed before returning, so fsyncs tracks appends
    one-for-one; a gap between the two counters would mean a durability
@@ -9,23 +12,50 @@ type t = { oc : out_channel }
 let m_appends = Hr_obs.Metrics.counter "storage.wal.appends"
 let m_fsyncs = Hr_obs.Metrics.counter "storage.wal.fsyncs"
 let m_replayed = Hr_obs.Metrics.counter "storage.wal.replayed"
+let m_torn_bytes = Hr_obs.Metrics.counter "storage.wal.torn_tail_bytes"
+let m_torn_records = Hr_obs.Metrics.counter "storage.wal.torn_tail_records"
 
 let open_ path =
-  { oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path }
+  { path; oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path }
 
-let append t stmt =
+(* The CRC covers the LSN and the statement: a record whose LSN bytes
+   were torn must not replay under a different sequence number. *)
+let record_crc lsn stmt =
+  Int32.to_int (Codec.crc32 (string_of_int lsn ^ "\n" ^ stmt)) land 0xFFFFFFFF
+
+let append t ~lsn stmt =
   Hr_obs.Metrics.incr m_appends;
   let w = W.create () in
+  W.u64 w (Int64.of_int lsn);
   W.string w stmt;
-  W.u32 w (Int32.to_int (Codec.crc32 stmt) land 0xFFFFFFFF);
+  W.u32 w (record_crc lsn stmt);
   output_string t.oc (W.contents w);
   flush t.oc;
   Hr_obs.Metrics.incr m_fsyncs
 
 let close t = close_out t.oc
 
+(* Counts records that still parse structurally after the first bad one.
+   They are never replayed (the framing downstream of a corrupt record
+   cannot be trusted for recovery), but the count tells an operator how
+   much acknowledged work the torn tail may contain. *)
+let count_tail_records r =
+  let rec loop n =
+    if R.at_end r then n
+    else
+      match
+        let _lsn = R.u64 r in
+        let _stmt = R.string r in
+        let _crc = R.u32 r in
+        ()
+      with
+      | () -> loop (n + 1)
+      | exception R.Corrupt _ -> n + 1 (* the torn final record *)
+  in
+  loop 0
+
 let replay path =
-  if not (Sys.file_exists path) then []
+  if not (Sys.file_exists path) then ([], None)
   else begin
     let ic = open_in_bin path in
     let data =
@@ -33,24 +63,41 @@ let replay path =
         ~finally:(fun () -> close_in ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     in
+    let total = String.length data in
     let r = R.of_string data in
-    let rec loop acc =
-      if R.at_end r then List.rev acc
+    let consumed () = total - R.remaining r in
+    let rec loop acc ok_end =
+      if R.at_end r then (List.rev acc, ok_end)
       else
         match
+          let lsn = Int64.to_int (R.u64 r) in
           let stmt = R.string r in
           let crc = R.u32 r in
-          if Int32.to_int (Codec.crc32 stmt) land 0xFFFFFFFF <> crc then None
-          else Some stmt
+          if record_crc lsn stmt <> crc then None else Some { lsn; stmt }
         with
-        | Some stmt ->
+        | Some rec_ ->
           Hr_obs.Metrics.incr m_replayed;
-          loop (stmt :: acc)
-        | None -> List.rev acc (* corrupt record: drop the tail *)
-        | exception R.Corrupt _ -> List.rev acc (* torn tail *)
+          loop (rec_ :: acc) (consumed ())
+        | None -> (List.rev acc, ok_end) (* corrupt record: drop the tail *)
+        | exception R.Corrupt _ -> (List.rev acc, ok_end) (* torn tail *)
     in
-    loop []
+    let records, ok_end = loop [] 0 in
+    if ok_end = total then (records, None)
+    else begin
+      let dropped_bytes = total - ok_end in
+      let tail = R.of_string (String.sub data ok_end dropped_bytes) in
+      let dropped_records = count_tail_records tail in
+      Hr_obs.Metrics.add m_torn_bytes dropped_bytes;
+      Hr_obs.Metrics.add m_torn_records dropped_records;
+      (records, Some { dropped_bytes; dropped_records })
+    end
   end
+
+let records path = fst (replay path)
+
+let stream_from t lsn =
+  let all = records t.path in
+  List.to_seq (List.filter (fun r -> r.lsn > lsn) all)
 
 let truncate path =
   let oc = open_out_gen [ Open_trunc; Open_creat; Open_binary ] 0o644 path in

@@ -1,24 +1,53 @@
-(** A write-ahead log of HRQL statements.
+(** A write-ahead log of HRQL statements, addressed by log sequence
+    number.
 
-    Records are length-prefixed, CRC-32-protected HRQL statement strings
-    appended to a single file and flushed before the statement is applied
-    to the in-memory catalog — the usual WAL discipline. Recovery replays
-    records in order and stops silently at the first torn or corrupt
-    record (a crash mid-append), discarding the tail. *)
+    Each record is a 64-bit LSN, a length-prefixed HRQL statement string
+    and a CRC-32 over both, appended to a single file and flushed before
+    the statement is applied to the in-memory catalog — the usual WAL
+    discipline. LSNs are assigned by {!Db} and are monotone over the
+    whole life of a database directory (they do not reset when the log
+    is truncated at a checkpoint), which is what makes the log
+    offset-addressable for replication: {!stream_from} replays exactly
+    the records after a given LSN.
+
+    Recovery replays records in order and stops at the first torn or
+    corrupt record (a crash mid-append); the dropped tail is measured
+    and reported rather than silently discarded. *)
+
+type record = { lsn : int; stmt : string }
+
+type torn_tail = {
+  dropped_bytes : int;  (** trailing bytes not replayed *)
+  dropped_records : int;
+      (** structurally parseable records in the dropped tail (a torn
+          final record counts as one) *)
+}
 
 type t
 
 val open_ : string -> t
 (** Opens (creating if absent) the log file for appending. *)
 
-val append : t -> string -> unit
+val append : t -> lsn:int -> string -> unit
 (** Appends one statement record and flushes to the OS. *)
 
 val close : t -> unit
 
-val replay : string -> string list
-(** All intact records in the file, in append order; [] if the file does
-    not exist. A trailing partial or corrupt record is dropped. *)
+val replay : string -> record list * torn_tail option
+(** All intact records in the file, in append order; [[]] if the file
+    does not exist. A trailing partial or corrupt record stops the
+    replay; when that happens the second component describes the dropped
+    tail (also counted in the [storage.wal.torn_tail_*] metrics). *)
+
+val records : string -> record list
+(** {!replay} without the tail report (convenience for callers that
+    already surfaced it). *)
+
+val stream_from : t -> int -> record Seq.t
+(** [stream_from t lsn] — the intact records with LSN strictly greater
+    than [lsn], in order, re-read from the file (every append is flushed,
+    so the file is current). The sequence is ephemeral: it reads the
+    whole file once when forced. *)
 
 val truncate : string -> unit
 (** Empties the log (after a successful checkpoint). *)

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Replication smoke test: durable primary, replica attach, mutation
+# workload, kill -9 the primary mid-stream, restart it, then assert the
+# replica reconnected and reconverged (byte-identical query output) and
+# that the replication counters moved. Run from the repository root
+# after `dune build`; CI runs it as the repl-smoke job.
+set -euo pipefail
+
+HRDB=${HRDB:-_build/default/bin/hrdb.exe}
+SERVER=${SERVER:-_build/default/bin/hrdb_server.exe}
+REPLICA=${REPLICA:-_build/default/bin/hrdb_replica.exe}
+PPORT=${PPORT:-7461}
+RPORT=${RPORT:-7462}
+
+WORK=$(mktemp -d)
+PRIMARY_PID=
+REPLICA_PID=
+cleanup() {
+  [ -n "$PRIMARY_PID" ] && kill -9 "$PRIMARY_PID" 2>/dev/null || true
+  [ -n "$REPLICA_PID" ] && kill -9 "$REPLICA_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "repl_smoke: FAIL: $*" >&2; exit 1; }
+
+on_primary() { "$HRDB" exec -p "$PPORT" --timeout 10 "$@"; }
+on_replica() { "$HRDB" exec -p "$RPORT" --timeout 10 "$@"; }
+
+# metric NODE NAME -> prints the counter/gauge value from STATS output
+metric() {
+  "$HRDB" exec -p "$1" --timeout 10 --stats | awk -v n="$2" '$1 == n { print $2 }'
+}
+
+wait_ready() { # wait_ready PORT LABEL
+  for _ in $(seq 1 100); do
+    if "$HRDB" exec -p "$1" --timeout 2 "SHOW RELATIONS;" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  fail "$2 on port $1 never became ready"
+}
+
+start_primary() {
+  "$SERVER" -p "$PPORT" -d "$WORK/primary" &
+  PRIMARY_PID=$!
+  wait_ready "$PPORT" primary
+}
+
+echo "== start durable primary (port $PPORT)"
+start_primary
+on_primary "CREATE DOMAIN animal; CREATE CLASS bird UNDER animal;
+            CREATE CLASS penguin UNDER bird;
+            CREATE INSTANCE tweety OF bird; CREATE INSTANCE paul OF penguin;
+            CREATE RELATION flies (creature: animal);
+            INSERT INTO flies VALUES (+ ALL bird), (- ALL penguin);" >/dev/null
+
+echo "== attach replica (port $RPORT)"
+"$REPLICA" -P "$PPORT" -d "$WORK/replica" -p "$RPORT" --backoff-max 0.5 &
+REPLICA_PID=$!
+wait_ready "$RPORT" replica
+
+converged() {
+  local p r
+  p=$(on_primary "SELECT * FROM flies;") || return 1
+  r=$(on_replica "SELECT * FROM flies;") || return 1
+  [ -n "$p" ] && [ "$p" = "$r" ]
+}
+
+wait_converged() {
+  for _ in $(seq 1 100); do
+    if converged; then return 0; fi
+    sleep 0.1
+  done
+  on_primary "SELECT * FROM flies;" >&2 || true
+  on_replica "SELECT * FROM flies;" >&2 || true
+  fail "replica never converged ($1)"
+}
+
+echo "== mutation workload, then convergence"
+on_primary "CREATE PREFERENCE penguin OVER bird;
+            INSERT INTO flies VALUES (+ paul); CONSOLIDATE flies;" >/dev/null
+wait_converged "initial catch-up"
+
+echo "== mutations on the replica are refused"
+if out=$(on_replica "INSERT INTO flies VALUES (+ tweety);" 2>&1); then
+  fail "replica accepted a mutation: $out"
+fi
+case "$out" in
+  *"read-only replica"*) ;;
+  *) fail "unexpected rejection message: $out" ;;
+esac
+
+echo "== kill -9 the primary mid-stream"
+kill -9 "$PRIMARY_PID"
+wait "$PRIMARY_PID" 2>/dev/null || true
+PRIMARY_PID=
+sleep 1
+[ "$(metric "$RPORT" repl.connected)" = "0" ] || fail "replica still claims to be connected"
+
+echo "== restart the primary, more mutations, reconvergence"
+start_primary
+on_primary "INSERT INTO flies VALUES (- tweety); CONSOLIDATE flies;" >/dev/null
+wait_converged "after primary restart"
+
+echo "== replication counters moved"
+shipped=$(metric "$PPORT" repl.records_shipped)
+applied=$(metric "$RPORT" repl.records_applied)
+reconnects=$(metric "$RPORT" repl.reconnects)
+[ -n "$shipped" ] && [ "$shipped" -gt 0 ] || fail "repl.records_shipped=$shipped"
+[ -n "$applied" ] && [ "$applied" -gt 0 ] || fail "repl.records_applied=$applied"
+[ -n "$reconnects" ] && [ "$reconnects" -gt 0 ] || fail "repl.reconnects=$reconnects"
+
+echo "repl_smoke: OK (shipped=$shipped applied=$applied reconnects=$reconnects)"

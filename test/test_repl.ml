@@ -1,0 +1,340 @@
+(* Logical replication tests: LSN-addressed WAL, replication hooks in
+   Db, the client timeout option, and the full primary/replica loop —
+   snapshot bootstrap mid-workload, byte-identical flattened relations,
+   and backoff-reconnect across a primary kill. *)
+
+module Wal = Hr_storage.Wal
+module Db = Hr_storage.Db
+module Server = Hr_server.Server
+module Replica = Hr_repl.Replica
+module Metrics = Hr_obs.Metrics
+open Hierel
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "hrrepl" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let exec_ok db script =
+  match Db.exec db script with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "exec %S: %s" script msg
+
+(* The paper's yardstick: two catalogs agree iff every relation's
+   equivalent flat relation is identical. Rendered to a string so the
+   comparison is byte-for-byte. *)
+let flat_fingerprint catalog =
+  Catalog.relations catalog
+  |> List.map (fun rel ->
+         let schema = Relation.schema rel in
+         let items =
+           Flatten.extension_list rel |> List.map (Item.to_string schema)
+         in
+         Relation.name rel ^ ":\n" ^ String.concat "\n" items)
+  |> List.sort compare
+  |> String.concat "\n---\n"
+
+(* ---- WAL: LSN addressing --------------------------------------------- *)
+
+let test_wal_stream_from () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.open_ path in
+      Wal.append w ~lsn:5 "CREATE DOMAIN a;";
+      Wal.append w ~lsn:6 "CREATE DOMAIN b;";
+      Wal.append w ~lsn:7 "CREATE DOMAIN c;";
+      let lsns from = List.map (fun r -> r.Wal.lsn) (List.of_seq (Wal.stream_from w from)) in
+      Alcotest.(check (list int)) "from 0" [ 5; 6; 7 ] (lsns 0);
+      Alcotest.(check (list int)) "from 5" [ 6; 7 ] (lsns 5);
+      Alcotest.(check (list int)) "from 7" [] (lsns 7);
+      Wal.close w)
+
+let test_wal_torn_tail_metrics () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.open_ path in
+      Wal.append w ~lsn:1 "CREATE DOMAIN a;";
+      Wal.append w ~lsn:2 "CREATE DOMAIN b;";
+      Wal.close w;
+      let ic = open_in_bin path in
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc (String.sub data 0 (String.length data - 3));
+      close_out oc;
+      let bytes_before = Metrics.counter_value "storage.wal.torn_tail_bytes" in
+      let records_before = Metrics.counter_value "storage.wal.torn_tail_records" in
+      let records, torn = Wal.replay path in
+      Alcotest.(check (list int)) "intact prefix survives" [ 1 ]
+        (List.map (fun r -> r.Wal.lsn) records);
+      (match torn with
+      | None -> Alcotest.fail "expected torn tail"
+      | Some { Wal.dropped_bytes; dropped_records } ->
+        Alcotest.(check int) "metric counts the bytes"
+          (bytes_before + dropped_bytes)
+          (Metrics.counter_value "storage.wal.torn_tail_bytes");
+        Alcotest.(check int) "metric counts the records"
+          (records_before + dropped_records)
+          (Metrics.counter_value "storage.wal.torn_tail_records");
+        Alcotest.(check int) "one torn record" 1 dropped_records))
+
+(* ---- Db: LSN threading ------------------------------------------------ *)
+
+let test_db_lsn_monotone () =
+  with_temp_dir (fun dir ->
+      let db = Db.open_dir dir in
+      Alcotest.(check int) "fresh lsn" 0 (Db.lsn db);
+      exec_ok db "CREATE DOMAIN d; CREATE INSTANCE x OF d;";
+      Alcotest.(check int) "two statements" 2 (Db.lsn db);
+      Alcotest.(check int) "no checkpoint yet" 0 (Db.base_lsn db);
+      Db.checkpoint db;
+      Alcotest.(check int) "base catches up" 2 (Db.base_lsn db);
+      exec_ok db "CREATE RELATION r (v: d);";
+      Alcotest.(check int) "keeps counting past checkpoints" 3 (Db.lsn db);
+      let since = Db.records_since db 2 in
+      Alcotest.(check (list int)) "wal holds base+1..lsn" [ 3 ]
+        (List.map (fun r -> r.Wal.lsn) since);
+      Db.close db;
+      (* reopen: LSN recovered from meta + wal, not reset *)
+      let db2 = Db.open_dir dir in
+      Alcotest.(check int) "lsn survives reopen" 3 (Db.lsn db2);
+      Alcotest.(check int) "base survives reopen" 2 (Db.base_lsn db2);
+      Db.close db2)
+
+let test_db_replication_hooks () =
+  with_temp_dir (fun pdir ->
+      with_temp_dir (fun rdir ->
+          let primary = Db.open_dir pdir in
+          exec_ok primary
+            "CREATE DOMAIN animal; CREATE CLASS bird UNDER animal; CREATE CLASS \
+             penguin UNDER bird; CREATE INSTANCE paul OF penguin; CREATE RELATION \
+             flies (c: animal); INSERT INTO flies VALUES (+ ALL bird), (- ALL \
+             penguin);";
+          let cut = Db.lsn primary in
+          let image = Db.snapshot_image primary in
+          exec_ok primary "INSERT INTO flies VALUES (+ paul);";
+          (* replica: bootstrap from the image, then catch up record by record *)
+          let replica = Db.open_dir rdir in
+          (match Db.install_snapshot replica ~lsn:cut image with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "install: %s" msg);
+          Alcotest.(check int) "image lsn installed" cut (Db.lsn replica);
+          List.iter
+            (fun { Wal.lsn; stmt } ->
+              match Db.apply_replicated replica ~lsn stmt with
+              | Ok () -> ()
+              | Error msg -> Alcotest.failf "apply %d: %s" lsn msg)
+            (Db.records_since primary cut);
+          Alcotest.(check int) "caught up" (Db.lsn primary) (Db.lsn replica);
+          (* duplicates are refused *)
+          (match Db.apply_replicated replica ~lsn:(Db.lsn replica) "CREATE DOMAIN dup;" with
+          | Ok () -> Alcotest.fail "expected duplicate rejection"
+          | Error _ -> ());
+          Alcotest.(check string) "flat fingerprints agree"
+            (flat_fingerprint (Db.catalog primary))
+            (flat_fingerprint (Db.catalog replica));
+          (* the replica's state is durable: reopen and re-compare *)
+          Db.close replica;
+          let replica2 = Db.open_dir rdir in
+          Alcotest.(check string) "durable across reopen"
+            (flat_fingerprint (Db.catalog primary))
+            (flat_fingerprint (Db.catalog replica2));
+          Db.close replica2;
+          Db.close primary))
+
+(* ---- client timeouts -------------------------------------------------- *)
+
+let test_client_timeout () =
+  (* a listener that accepts but never replies *)
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen sock 4;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close sock)
+    (fun () ->
+      let conn = Server.Client.connect ~timeout:0.2 ~port () in
+      let t0 = Unix.gettimeofday () in
+      (match Server.Client.exec conn "SHOW RELATIONS;" with
+      | Ok _ -> Alcotest.fail "expected a timeout"
+      | Error msg ->
+        Alcotest.(check bool) "timeout error mentions it" true
+          (contains ~needle:"timed out" msg));
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool) "came back promptly" true (elapsed < 5.0);
+      Server.Client.close conn)
+
+(* ---- end-to-end: snapshot bootstrap, mid-workload attach, kill and
+   reconnect ------------------------------------------------------------ *)
+
+(* Fork a multiplexed server over [dir] on [port] (0 = ephemeral).
+   Returns (port, pid); the parent's copies of the listening socket and
+   database are closed so the child is the only owner. *)
+let spawn_primary ~dir ~port =
+  let server = Server.create_durable ~port ~dir () in
+  let bound = Server.port server in
+  match Unix.fork () with
+  | 0 ->
+    (try Server.serve_forever server with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Server.close server;
+    (bound, pid)
+
+let rec drive replica ~deadline ~until =
+  if until () then ()
+  else if Unix.gettimeofday () > deadline then
+    Alcotest.failf "replica did not converge (applied LSN %d)"
+      (Replica.applied_lsn replica)
+  else begin
+    Replica.step replica 0.05;
+    drive replica ~deadline ~until
+  end
+
+let workload_setup =
+  "CREATE DOMAIN animal; CREATE CLASS bird UNDER animal; CREATE CLASS penguin \
+   UNDER bird; CREATE INSTANCE tweety OF bird; CREATE INSTANCE paul OF penguin; \
+   CREATE RELATION flies (creature: animal); INSERT INTO flies VALUES (+ ALL \
+   bird), (- ALL penguin);"
+
+(* negated tuples, a preference edge, a consolidation — the paper's
+   exception machinery, all statement-replayed on the replica *)
+let workload_mid =
+  "CREATE PREFERENCE penguin OVER bird; INSERT INTO flies VALUES (+ paul); \
+   CONSOLIDATE flies; CREATE RELATION swims (creature: animal); INSERT INTO \
+   swims VALUES (+ ALL penguin), (- tweety);"
+
+let workload_after_restart =
+  "INSERT INTO swims VALUES (+ paul); DELETE FROM swims VALUES (tweety); \
+   CONSOLIDATE swims;"
+
+let count_mutations script =
+  String.split_on_char ';' script
+  |> List.filter (fun s -> String.trim s <> "")
+  |> List.length
+
+let test_end_to_end () =
+  with_temp_dir (fun pdir ->
+      with_temp_dir (fun rdir ->
+          (* seed + checkpoint first, so a fresh replica (LSN 0 < base)
+             must bootstrap via REPL_SNAPSHOT *)
+          let db = Db.open_dir pdir in
+          exec_ok db workload_setup;
+          Db.checkpoint db;
+          let base = Db.lsn db in
+          Db.close db;
+
+          let port, pid = spawn_primary ~dir:pdir ~port:0 in
+          let client = Server.Client.connect ~timeout:5.0 ~port () in
+          let bootstraps_before = Metrics.counter_value "repl.snapshots_installed" in
+
+          (* attach the replica mid-workload *)
+          let replica =
+            Replica.create
+              (Replica.config ~primary_port:port ~dir:rdir ~backoff_min:0.02
+                 ~backoff_max:0.2 ())
+          in
+          let expect1 = base + count_mutations workload_mid in
+          (match Server.Client.exec client workload_mid with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.failf "mid workload: %s" msg);
+          drive replica
+            ~deadline:(Unix.gettimeofday () +. 10.0)
+            ~until:(fun () -> Replica.applied_lsn replica >= expect1);
+          Alcotest.(check int) "bootstrapped via snapshot" (bootstraps_before + 1)
+            (Metrics.counter_value "repl.snapshots_installed");
+
+          (* the replica answers reads, refuses writes *)
+          let rconn = Server.Client.connect ~timeout:5.0 ~port:(Replica.port replica) () in
+          Server.Client.send rconn "EXEC" "ASK flies (paul);";
+          let read_reply () =
+            let deadline = Unix.gettimeofday () +. 10.0 in
+            let rec loop () =
+              Replica.step replica 0.05;
+              match Unix.select [ Server.Client.fd rconn ] [] [] 0.0 with
+              | [ _ ], _, _ -> Server.Client.recv rconn
+              | _ ->
+                if Unix.gettimeofday () > deadline then Error "no reply from replica"
+                else loop ()
+            in
+            loop ()
+          in
+          (match read_reply () with
+          | Ok out -> Alcotest.(check string) "read on replica" "+ (by (paul))" out
+          | Error msg -> Alcotest.failf "replica read: %s" msg);
+          Server.Client.send rconn "EXEC" "INSERT INTO flies VALUES (+ tweety);";
+          (match read_reply () with
+          | Ok _ -> Alcotest.fail "replica accepted a mutation"
+          | Error msg ->
+            Alcotest.(check bool) "clear read-only error" true
+              (contains ~needle:"read-only replica" msg));
+          Server.Client.close rconn;
+
+          (* kill the primary mid-stream; the replica must reconnect with
+             backoff and resume from its durable offset *)
+          Server.Client.close client;
+          Unix.kill pid Sys.sigkill;
+          ignore (Unix.waitpid [] pid);
+          let reconnects_before = Metrics.counter_value "repl.reconnects" in
+          (* a few steps while the primary is down: backoff, no progress *)
+          for _ = 1 to 5 do
+            Replica.step replica 0.02
+          done;
+          Alcotest.(check bool) "down after kill" false (Replica.connected replica);
+
+          let port', pid' = spawn_primary ~dir:pdir ~port in
+          Alcotest.(check int) "rebound the same port" port port';
+          let client' = Server.Client.connect ~timeout:5.0 ~port () in
+          let expect2 = expect1 + count_mutations workload_after_restart in
+          (match Server.Client.exec client' workload_after_restart with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.failf "post-restart workload: %s" msg);
+          drive replica
+            ~deadline:(Unix.gettimeofday () +. 10.0)
+            ~until:(fun () -> Replica.applied_lsn replica >= expect2);
+          Alcotest.(check bool) "reconnect was counted" true
+            (Metrics.counter_value "repl.reconnects" > reconnects_before);
+
+          (* convergence: equivalent flat relations, byte-identical *)
+          let replica_print = flat_fingerprint (Db.catalog (Replica.db replica)) in
+          Server.Client.close client';
+          Unix.kill pid' Sys.sigkill;
+          ignore (Unix.waitpid [] pid');
+          let pdb = Db.open_dir pdir in
+          Alcotest.(check string) "flattened relations byte-identical"
+            (flat_fingerprint (Db.catalog pdb))
+            replica_print;
+          Db.close pdb;
+
+          (* the acceptance metrics moved *)
+          Alcotest.(check bool) "records applied" true
+            (Metrics.counter_value "repl.records_applied" > 0);
+          Replica.close replica))
+
+let suite =
+  [
+    Alcotest.test_case "wal stream_from by lsn" `Quick test_wal_stream_from;
+    Alcotest.test_case "wal torn tail is measured" `Quick test_wal_torn_tail_metrics;
+    Alcotest.test_case "db lsn is monotone and durable" `Quick test_db_lsn_monotone;
+    Alcotest.test_case "db snapshot/apply replication hooks" `Quick test_db_replication_hooks;
+    Alcotest.test_case "client timeout" `Quick test_client_timeout;
+    Alcotest.test_case "bootstrap, catch-up, kill, reconnect, converge" `Quick
+      test_end_to_end;
+  ]

@@ -105,23 +105,28 @@ let test_snapshot_file_roundtrip () =
 
 (* ---- WAL ------------------------------------------------------------- *)
 
+let stmts records = List.map (fun r -> r.Wal.stmt) records
+
 let test_wal_append_replay () =
   with_temp_dir (fun dir ->
       let path = Filename.concat dir "wal.log" in
       let w = Wal.open_ path in
-      Wal.append w "CREATE DOMAIN d;";
-      Wal.append w "CREATE INSTANCE x OF d;";
+      Wal.append w ~lsn:1 "CREATE DOMAIN d;";
+      Wal.append w ~lsn:2 "CREATE INSTANCE x OF d;";
       Wal.close w;
+      let records = Wal.records path in
       Alcotest.(check (list string)) "replay in order"
         [ "CREATE DOMAIN d;"; "CREATE INSTANCE x OF d;" ]
-        (Wal.replay path))
+        (stmts records);
+      Alcotest.(check (list int)) "lsns preserved" [ 1; 2 ]
+        (List.map (fun r -> r.Wal.lsn) records))
 
 let test_wal_torn_tail_dropped () =
   with_temp_dir (fun dir ->
       let path = Filename.concat dir "wal.log" in
       let w = Wal.open_ path in
-      Wal.append w "CREATE DOMAIN d;";
-      Wal.append w "CREATE DOMAIN e;";
+      Wal.append w ~lsn:1 "CREATE DOMAIN d;";
+      Wal.append w ~lsn:2 "CREATE DOMAIN e;";
       Wal.close w;
       (* tear the last record *)
       let ic = open_in_bin path in
@@ -130,10 +135,17 @@ let test_wal_torn_tail_dropped () =
       let oc = open_out_bin path in
       output_string oc (String.sub data 0 (String.length data - 5));
       close_out oc;
-      Alcotest.(check (list string)) "tail dropped" [ "CREATE DOMAIN d;" ] (Wal.replay path))
+      let records, torn = Wal.replay path in
+      Alcotest.(check (list string)) "tail dropped" [ "CREATE DOMAIN d;" ] (stmts records);
+      match torn with
+      | None -> Alcotest.fail "expected a torn-tail report"
+      | Some { Wal.dropped_bytes; dropped_records } ->
+        Alcotest.(check bool) "dropped bytes counted" true (dropped_bytes > 0);
+        Alcotest.(check int) "one torn record" 1 dropped_records)
 
 let test_wal_missing_file () =
-  Alcotest.(check (list string)) "no file, no records" [] (Wal.replay "/nonexistent/wal.log")
+  Alcotest.(check (list string)) "no file, no records" []
+    (stmts (Wal.records "/nonexistent/wal.log"))
 
 (* ---- Db: recovery ----------------------------------------------------- *)
 
