@@ -16,8 +16,9 @@ let write_all fd s =
   in
   push 0
 
-let send fd tag payload =
-  write_all fd (Printf.sprintf "%s %d\n%s" tag (String.length payload) payload)
+let frame tag payload = Printf.sprintf "%s %d\n%s" tag (String.length payload) payload
+
+let send fd tag payload = write_all fd (frame tag payload)
 
 let read_line_fd fd =
   let buf = Buffer.create 64 in
@@ -67,41 +68,69 @@ let recv fd =
 (* ---- incremental decoding -------------------------------------------- *)
 
 module Decoder = struct
-  (* Undecoded input accumulates in [buf]; [pos] is the parse cursor.
-     Consumed bytes are compacted away whenever the cursor passes 64 KiB
-     so a long-lived connection does not grow the buffer forever. *)
-  type t = { mutable buf : Buffer.t; mutable pos : int }
+  (* Undecoded input accumulates in [buf.[pos..len)]; [pos] is the parse
+     cursor. The buffer is flat bytes rather than a [Buffer.t] so frames
+     can be scanned and extracted without materializing the whole pending
+     input as a string on every [next] — with a 64 MiB snapshot payload
+     arriving in 64 KiB reads, a per-call copy would turn decoding into
+     O(size^2/chunk) of memcpy. Here each byte is blitted in once by
+     [feed], scanned in place, and copied out exactly once as the
+     payload. Consumed bytes are compacted away whenever the cursor
+     passes 64 KiB so a long-lived connection does not grow the buffer
+     forever. *)
+  type t = { mutable buf : Bytes.t; mutable len : int; mutable pos : int }
 
-  let create () = { buf = Buffer.create 256; pos = 0 }
+  let create () = { buf = Bytes.create 256; len = 0; pos = 0 }
 
-  let feed t bytes n = Buffer.add_subbytes t.buf bytes 0 n
+  let feed t bytes n =
+    if t.len + n > Bytes.length t.buf then begin
+      let cap = ref (max 256 (Bytes.length t.buf)) in
+      while !cap < t.len + n do
+        cap := !cap * 2
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end;
+    Bytes.blit bytes 0 t.buf t.len n;
+    t.len <- t.len + n
 
   let compact t =
     if t.pos > 64 * 1024 then begin
-      let rest =
-        Buffer.sub t.buf t.pos (Buffer.length t.buf - t.pos)
-      in
-      let buf = Buffer.create (String.length rest + 256) in
-      Buffer.add_string buf rest;
-      t.buf <- buf;
+      let rest = t.len - t.pos in
+      (* shrink after a large frame (e.g. a snapshot bootstrap) so the
+         capacity tracks the steady-state traffic, not the peak *)
+      if Bytes.length t.buf > 1024 * 1024 && rest < Bytes.length t.buf / 4 then begin
+        let smaller = Bytes.create (max 256 rest) in
+        Bytes.blit t.buf t.pos smaller 0 rest;
+        t.buf <- smaller
+      end
+      else Bytes.blit t.buf t.pos t.buf 0 rest;
+      t.len <- rest;
       t.pos <- 0
     end
 
+  let find_newline t =
+    let rec scan i =
+      if i >= t.len then None
+      else if Bytes.get t.buf i = '\n' then Some i
+      else scan (i + 1)
+    in
+    scan t.pos
+
   let next t =
-    let len = Buffer.length t.buf in
-    let contents = Buffer.contents t.buf in
-    match String.index_from_opt contents t.pos '\n' with
+    match find_newline t with
     | None ->
-      if len - t.pos > 4096 then Error "frame header too long"
+      if t.len - t.pos > 4096 then Error "frame header too long"
       else Ok None
     | Some nl -> (
-      let header = String.sub contents t.pos (nl - t.pos) in
+      let header = Bytes.sub_string t.buf t.pos (nl - t.pos) in
       match parse_header header with
       | Error _ as e -> e
       | Ok (tag, payload_len) ->
-        if len - nl - 1 < payload_len then Ok None
+        if t.len - nl - 1 < payload_len then Ok None
         else begin
-          let payload = String.sub contents (nl + 1) payload_len in
+          let payload = Bytes.sub_string t.buf (nl + 1) payload_len in
           t.pos <- nl + 1 + payload_len;
           compact t;
           Ok (Some (tag, payload))

@@ -49,6 +49,11 @@ val repl_ack : string
 
 (** {1 Blocking I/O} *)
 
+val frame : string -> string -> string
+(** [frame tag payload] is the encoded bytes of one frame — for callers
+    that stage output in their own buffers (the event loop's
+    non-blocking writer) instead of writing directly. *)
+
 val send : Unix.file_descr -> string -> string -> unit
 (** [send fd tag payload] writes one whole frame. *)
 

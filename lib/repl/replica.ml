@@ -49,6 +49,7 @@ type t = {
   server : Server.t;
   mutable upstream : upstream;
   mutable attempts : int;
+  mutable connected_once : bool;  (* a later successful connect is a recovery *)
   mutable warned : bool;  (* one ERR-from-primary warning per outage *)
 }
 
@@ -64,6 +65,7 @@ let create cfg =
     server;
     upstream = Down { until = 0.; backoff = cfg.backoff_min };
     attempts = 0;
+    connected_once = false;
     warned = false;
   }
 
@@ -81,7 +83,6 @@ let go_down t ~now ~backoff =
 
 let try_connect t now =
   t.attempts <- t.attempts + 1;
-  if t.attempts > 1 then Hr_obs.Metrics.incr m_reconnects;
   match
     Server.Client.connect ~host:t.cfg.primary_host ~timeout:t.cfg.connect_timeout
       ~port:t.cfg.primary_port ()
@@ -91,6 +92,8 @@ let try_connect t now =
     (try
        Wire.send fd Wire.repl_subscribe (Wire.lsn_payload (applied_lsn t));
        Hr_obs.Metrics.incr m_connects;
+       if t.connected_once then Hr_obs.Metrics.incr m_reconnects;
+       t.connected_once <- true;
        Hr_obs.Metrics.set g_connected 1;
        t.warned <- false;
        t.upstream <- Up { fd; dec = Wire.Decoder.create () }

@@ -12,6 +12,7 @@ let h_frame = Hr_obs.Metrics.histogram "server.frame_ns"
 let m_shipped = Hr_obs.Metrics.counter "repl.records_shipped"
 let m_bootstraps = Hr_obs.Metrics.counter "repl.snapshot_bootstraps"
 let m_acks = Hr_obs.Metrics.counter "repl.acks"
+let m_backlog_drops = Hr_obs.Metrics.counter "repl.backlog_drops"
 let g_lag = Hr_obs.Metrics.gauge "repl.lag"
 let g_subscribers = Hr_obs.Metrics.gauge "repl.subscribers"
 
@@ -22,6 +23,15 @@ type conn = {
   dec : Wire.Decoder.t;
   mutable subscribed : bool;
   mutable sent_lsn : int;
+  (* Outgoing bytes not yet accepted by the kernel, in
+     [out.[out_start .. out_start+out_len)]. Event-loop connections are
+     non-blocking: a frame is appended here and written opportunistically;
+     the remainder drains when [poll]'s select reports the fd writable.
+     This keeps one stalled subscriber from blocking the loop (and every
+     other client) on a full socket buffer. *)
+  mutable out : Bytes.t;
+  mutable out_start : int;
+  mutable out_len : int;
 }
 
 type t = {
@@ -30,6 +40,7 @@ type t = {
   bound_port : int;
   read_only : bool;
   owns_db : bool;
+  max_backlog : int;
   mutable conns : conn list;
 }
 
@@ -45,18 +56,24 @@ let listen_on host port =
   in
   (fd, bound_port)
 
-let make ?(host = "127.0.0.1") ?(read_only = false) ~port ~owns_db backend =
+(* A backlog bound below one max frame could never ship a snapshot
+   bootstrap, so the default is one full frame plus slack. *)
+let default_max_backlog = Wire.max_frame + (4 * 1024 * 1024)
+
+let make ?(host = "127.0.0.1") ?(read_only = false) ?(max_backlog = default_max_backlog)
+    ~port ~owns_db backend =
   let socket, bound_port = listen_on host port in
-  { socket; backend; bound_port; read_only; owns_db; conns = [] }
+  { socket; backend; bound_port; read_only; owns_db; max_backlog; conns = [] }
 
-let create_memory ?host ?read_only ~port () =
-  make ?host ?read_only ~port ~owns_db:true (Memory (Catalog.create ()))
+let create_memory ?host ?read_only ?max_backlog ~port () =
+  make ?host ?read_only ?max_backlog ~port ~owns_db:true (Memory (Catalog.create ()))
 
-let create_durable ?host ?read_only ~port ~dir () =
-  make ?host ?read_only ~port ~owns_db:true (Durable (Hr_storage.Db.open_dir dir))
+let create_durable ?host ?read_only ?max_backlog ~port ~dir () =
+  make ?host ?read_only ?max_backlog ~port ~owns_db:true
+    (Durable (Hr_storage.Db.open_dir dir))
 
-let create_for_db ?host ?read_only ~port ~db () =
-  make ?host ?read_only ~port ~owns_db:false (Durable db)
+let create_for_db ?host ?read_only ?max_backlog ~port ~db () =
+  make ?host ?read_only ?max_backlog ~port ~owns_db:false (Durable db)
 
 let port t = t.bound_port
 
@@ -80,12 +97,68 @@ exception Drop_conn
 let subscriber_count t =
   List.length (List.filter (fun c -> c.subscribed) t.conns)
 
+(* ---- buffered, non-blocking output ------------------------------------ *)
+
+let out_append conn s =
+  let n = String.length s in
+  if conn.out_start + conn.out_len + n > Bytes.length conn.out then begin
+    let cap = ref (max 1024 (Bytes.length conn.out)) in
+    while !cap < conn.out_len + n do
+      cap := !cap * 2
+    done;
+    let dst = if !cap <= Bytes.length conn.out then conn.out else Bytes.create !cap in
+    (* Bytes.blit handles the overlapping in-place compaction case *)
+    Bytes.blit conn.out conn.out_start dst 0 conn.out_len;
+    conn.out <- dst;
+    conn.out_start <- 0
+  end;
+  Bytes.blit_string s 0 conn.out (conn.out_start + conn.out_len) n;
+  conn.out_len <- conn.out_len + n
+
+(* Write as much pending output as the kernel will take right now.
+   Event-loop fds are non-blocking, so this never stalls; on a blocking
+   fd (the sequential path) it completes the whole buffer. Hard socket
+   errors (EPIPE, ECONNRESET, ...) propagate to the caller. *)
+let out_drain conn =
+  let rec push () =
+    if conn.out_len > 0 then
+      match Unix.write conn.fd conn.out conn.out_start conn.out_len with
+      | 0 -> ()
+      | n ->
+        conn.out_start <- conn.out_start + n;
+        conn.out_len <- conn.out_len - n;
+        push ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        ()
+  in
+  push ();
+  if conn.out_len = 0 then begin
+    conn.out_start <- 0;
+    (* after a burst (e.g. a snapshot bootstrap), stop holding the peak *)
+    if Bytes.length conn.out > 1024 * 1024 then conn.out <- Bytes.create 1024
+  end
+
+(* Every event-loop reply and replication push goes through here so a
+   slow peer accumulates backlog instead of wedging the loop. A peer
+   whose backlog exceeds the bound is cut off — a replica will reconnect
+   and resume from its durable offset (snapshot-bootstrapping if it fell
+   too far behind). *)
+let send_conn t conn tag payload =
+  out_append conn (Wire.frame tag payload);
+  out_drain conn;
+  if conn.out_len > t.max_backlog then begin
+    Hr_obs.Metrics.incr m_backlog_drops;
+    raise Drop_conn
+  end
+
 (* Ship every logged record past the subscriber's offset. Raises on a
-   vanished peer; the caller drops the connection. *)
-let ship db conn =
+   vanished or hopelessly backlogged peer; the caller drops the
+   connection. *)
+let ship t db conn =
   List.iter
     (fun { Hr_storage.Wal.lsn; stmt } ->
-      Wire.send conn.fd Wire.repl_record (Wire.lsn_prefixed lsn stmt);
+      send_conn t conn Wire.repl_record (Wire.lsn_prefixed lsn stmt);
       conn.sent_lsn <- lsn;
       Hr_obs.Metrics.incr m_shipped)
     (Hr_storage.Db.records_since db conn.sent_lsn)
@@ -101,8 +174,8 @@ let ship_all t =
     List.iter
       (fun c ->
         if c.subscribed then
-          try ship db c
-          with Unix.Unix_error _ | Wire.Disconnected -> dead := c :: !dead)
+          try ship t db c
+          with Unix.Unix_error _ | Wire.Disconnected | Drop_conn -> dead := c :: !dead)
       t.conns;
     List.iter
       (fun c ->
@@ -116,16 +189,16 @@ let handle t conn tag payload =
   | "EXEC" -> (
     match (if t.read_only then Hr_storage.Db.script_mutation payload else None) with
     | Some src ->
-      Wire.send conn.fd "ERR"
+      send_conn t conn "ERR"
         (Printf.sprintf "read-only replica: refusing mutating statement %S (execute it on the primary)" src)
     | None -> (
       match run_script t payload with
       | Ok outputs ->
-        Wire.send conn.fd "OK" (String.concat "\n" outputs);
+        send_conn t conn "OK" (String.concat "\n" outputs);
         ship_all t
-      | Error msg -> Wire.send conn.fd "ERR" msg))
+      | Error msg -> send_conn t conn "ERR" msg))
   | "LINT" ->
-    Wire.send conn.fd "OK" (Hr_analysis.Diagnostic.render_json (lint t payload))
+    send_conn t conn "OK" (Hr_analysis.Diagnostic.render_json (lint t payload))
   | "STATS" ->
     (* payload selects the rendering: "json" or "" for text *)
     let snap = Hr_obs.Metrics.snapshot () in
@@ -134,17 +207,17 @@ let handle t conn tag payload =
         Hr_obs.Metrics.render_json snap
       else Hr_obs.Metrics.render_text snap
     in
-    Wire.send conn.fd "OK" body
+    send_conn t conn "OK" body
   | tag when tag = Wire.repl_subscribe -> (
     match t.backend with
     | Memory _ ->
       Hr_obs.Metrics.incr m_errors;
-      Wire.send conn.fd "ERR" "replication requires a durable primary (start with -d DIR)"
+      send_conn t conn "ERR" "replication requires a durable primary (start with -d DIR)"
     | Durable db -> (
       match Wire.parse_lsn payload with
       | Error msg ->
         Hr_obs.Metrics.incr m_errors;
-        Wire.send conn.fd "ERR" msg
+        send_conn t conn "ERR" msg
       | Ok lsn ->
         let base = Hr_storage.Db.base_lsn db in
         conn.subscribed <- true;
@@ -156,18 +229,18 @@ let handle t conn tag payload =
                 at the current head LSN (the loop is single-threaded, so
                 it is consistent), and the stream resumes after it. *)
              let head = Hr_storage.Db.lsn db in
-             Wire.send conn.fd Wire.repl_snapshot
+             send_conn t conn Wire.repl_snapshot
                (Wire.lsn_prefixed head (Hr_storage.Db.snapshot_image db));
              Hr_obs.Metrics.incr m_bootstraps;
              head
            end
            else lsn);
-        ship db conn))
+        ship t db conn))
   | tag when tag = Wire.repl_ack -> (
     match Wire.parse_lsn payload with
     | Error msg ->
       Hr_obs.Metrics.incr m_errors;
-      Wire.send conn.fd "ERR" msg
+      send_conn t conn "ERR" msg
     | Ok lsn ->
       Hr_obs.Metrics.incr m_acks;
       (match t.backend with
@@ -175,10 +248,18 @@ let handle t conn tag payload =
       | Memory _ -> ()))
   | _ ->
     Hr_obs.Metrics.incr m_errors;
-    Wire.send conn.fd "ERR" (Printf.sprintf "unknown request %S" tag)
+    send_conn t conn "ERR" (Printf.sprintf "unknown request %S" tag)
 
 let new_conn fd =
-  { fd; dec = Wire.Decoder.create (); subscribed = false; sent_lsn = 0 }
+  {
+    fd;
+    dec = Wire.Decoder.create ();
+    subscribed = false;
+    sent_lsn = 0;
+    out = Bytes.create 1024;
+    out_start = 0;
+    out_len = 0;
+  }
 
 let drop_conn t conn =
   (try Unix.close conn.fd with Unix.Unix_error _ -> ());
@@ -200,7 +281,7 @@ let drain_frames t conn =
     | Ok None -> ()
     | Error msg ->
       Hr_obs.Metrics.incr m_errors;
-      (try Wire.send conn.fd "ERR" msg with Unix.Unix_error _ -> ());
+      (try send_conn t conn "ERR" msg with Unix.Unix_error _ | Drop_conn -> ());
       raise Drop_conn
   in
   loop ()
@@ -215,23 +296,46 @@ let service t conn =
     try drain_frames t conn
     with
     | Drop_conn | Wire.Disconnected -> drop_conn t conn
-    | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> drop_conn t conn)
+    | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> drop_conn t conn
+    | exn ->
+      (* Last line of defense: a handler bug (an uncaught lexer error,
+         say) must take down this connection, not the event loop and
+         every other client with it. *)
+      Hr_obs.Metrics.incr m_errors;
+      Printf.eprintf "hrdb: dropping connection after handler error: %s\n%!"
+        (Printexc.to_string exn);
+      (try send_conn t conn "ERR" ("internal error: " ^ Printexc.to_string exn)
+       with Unix.Unix_error _ | Drop_conn -> ());
+      drop_conn t conn)
   | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> drop_conn t conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
 
 let accept_conn t =
   match Unix.accept t.socket with
   | fd, _ ->
     Hr_obs.Metrics.incr m_connections;
+    (* event-loop connections are non-blocking so buffered writes (and
+       stray reads) can never stall the loop *)
+    Unix.set_nonblock fd;
     t.conns <- new_conn fd :: t.conns
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
 
+(* Push a connection's buffered output now that select says it fits. *)
+let flush_conn t conn =
+  try out_drain conn
+  with Unix.Unix_error _ -> drop_conn t conn
+
 let poll ?(extra = []) t timeout =
   let fds = (t.socket :: List.map (fun c -> c.fd) t.conns) @ extra in
-  match Unix.select fds [] [] timeout with
+  let wfds = List.filter_map (fun c -> if c.out_len > 0 then Some c.fd else None) t.conns in
+  match Unix.select fds wfds [] timeout with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
-  | readable, _, _ ->
+  | readable, writable, _ ->
     if List.mem t.socket readable then accept_conn t;
     (* service over a copy: handlers mutate [t.conns] *)
+    List.iter
+      (fun c -> if List.mem c.fd writable && List.memq c t.conns then flush_conn t c)
+      t.conns;
     List.iter
       (fun c -> if List.mem c.fd readable && List.memq c t.conns then service t c)
       t.conns;
@@ -256,9 +360,19 @@ let serve_one_connection t =
     (fun () ->
       let rec loop () =
         match Wire.recv fd with
-        | Ok (tag, payload) ->
-          handle_timed t conn tag payload;
-          loop ()
+        | Ok (tag, payload) -> (
+          match handle_timed t conn tag payload with
+          | () -> loop ()
+          | exception Drop_conn -> ()
+          | exception Wire.Disconnected -> ()
+          | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+          | exception exn ->
+            (* mirror the event loop: a handler bug answers ERR and keeps
+               serving rather than killing the connection loop *)
+            Hr_obs.Metrics.incr m_errors;
+            (try Wire.send fd "ERR" ("internal error: " ^ Printexc.to_string exn)
+             with Unix.Unix_error _ -> ());
+            loop ())
         | Error msg ->
           Hr_obs.Metrics.incr m_errors;
           Wire.send fd "ERR" msg;

@@ -41,16 +41,24 @@
 
 type t
 
-val create_memory : ?host:string -> ?read_only:bool -> port:int -> unit -> t
+val create_memory :
+  ?host:string -> ?read_only:bool -> ?max_backlog:int -> port:int -> unit -> t
 (** Binds and listens; [port = 0] picks an ephemeral port (see {!port}).
     [host] defaults to 127.0.0.1. Statements run against a fresh
     in-memory catalog. [read_only] (default false) refuses mutating
-    scripts with an error. *)
+    scripts with an error. [max_backlog] bounds the bytes of unsent
+    output buffered per connection in the event loop (writes are
+    non-blocking, so a stalled peer accumulates backlog instead of
+    wedging the loop); a connection exceeding it is dropped and counted
+    in [repl.backlog_drops]. The default is one maximum frame plus
+    slack, so a snapshot bootstrap always fits. *)
 
-val create_durable : ?host:string -> ?read_only:bool -> port:int -> dir:string -> unit -> t
+val create_durable :
+  ?host:string -> ?read_only:bool -> ?max_backlog:int -> port:int -> dir:string -> unit -> t
 (** Same, over a {!Hr_storage.Db} directory (WAL + snapshots). *)
 
-val create_for_db : ?host:string -> ?read_only:bool -> port:int -> db:Hr_storage.Db.t -> unit -> t
+val create_for_db :
+  ?host:string -> ?read_only:bool -> ?max_backlog:int -> port:int -> db:Hr_storage.Db.t -> unit -> t
 (** Same, over an already-open database the caller owns; {!close} will
     {e not} close the database. The replica embeds its serving endpoint
     this way: the replication apply loop and the read path share one

@@ -14,8 +14,21 @@ type t = {
   mutable pending : int;
   mutable lsn : int;
   mutable base_lsn : int;
+  (* In-memory image of recent WAL records, newest first, covering
+     exactly the LSNs in (tail_base, lsn]. Replication catch-up
+     ([records_since]) is served from here so a committed statement does
+     not re-read and re-parse the whole wal.log per subscriber. The tail
+     is kept across checkpoints (records stay addressable even after the
+     file is truncated) and bounded: once it exceeds [2 * tail_cap]
+     records the oldest half is forgotten and [tail_base] advances. *)
+  mutable tail : Wal.record list;
+  mutable tail_len : int;
+  mutable tail_base : int;
+  auto_checkpoint_every : int;
   lock_fd : Unix.file_descr;
 }
+
+let tail_cap = 4096
 
 let snapshot_path dir = Filename.concat dir "snapshot.bin"
 let wal_path dir = Filename.concat dir "wal.log"
@@ -54,7 +67,7 @@ let write_meta dir base_lsn =
   close_out oc;
   Sys.rename tmp (meta_path dir)
 
-let open_dir dir =
+let open_dir ?(auto_checkpoint_every = 10_000) dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let lock_fd = acquire_lock dir in
   let catalog =
@@ -73,6 +86,11 @@ let open_dir dir =
        last intact record\n\
        %!"
       (wal_path dir) dropped_bytes dropped_records);
+  (* A crash between writing snapshot.bin + meta and truncating the WAL
+     leaves records with lsn <= base_lsn in the file; the snapshot
+     already contains them, so replaying them would double-apply (or
+     fail outright on e.g. a duplicate CREATE). *)
+  let records = List.filter (fun { Wal.lsn; _ } -> lsn > base_lsn) records in
   List.iter
     (fun { Wal.stmt; _ } ->
       match Eval.run_script catalog stmt with
@@ -93,6 +111,10 @@ let open_dir dir =
     pending = List.length records;
     lsn;
     base_lsn;
+    tail = List.rev records;
+    tail_len = List.length records;
+    tail_base = base_lsn;
+    auto_checkpoint_every;
     lock_fd;
   }
 
@@ -117,42 +139,40 @@ let split_statements script =
   |> List.filter (fun s -> s <> "" && not (String.for_all (fun c -> c = '\n' || c = ' ') s))
 
 let script_mutation script =
+  (* Every lexer/parser exception is caught here: this runs on the
+     server's pre-flight path, where an attacker-controlled payload that
+     raised would escape the event loop and kill the process. *)
   let is_mutating source =
-    match Parser.parse_statement source with
-    | { Ast.stmt; _ } -> mutating stmt
-    | exception Parser.Parse_error _ -> false
+    match Hr_query.Lexer.tokenize source with
+    | [] -> false (* comment-only segment *)
+    | _ :: _ -> (
+      match Parser.parse_statement source with
+      | { Ast.stmt; _ } -> mutating stmt
+      | exception Parser.Parse_error _ -> false
+      | exception Hr_query.Lexer.Lex_error _ -> false)
     | exception Hr_query.Lexer.Lex_error _ -> false
   in
-  List.find_opt is_mutating
-    (List.filter (fun s -> Hr_query.Lexer.tokenize s <> []) (split_statements script))
+  List.find_opt is_mutating (split_statements script)
+
+let tail_push t record =
+  t.tail <- record :: t.tail;
+  t.tail_len <- t.tail_len + 1;
+  if t.tail_len > 2 * tail_cap then begin
+    let kept = List.filteri (fun i _ -> i < tail_cap) t.tail in
+    (* oldest kept record is last in the newest-first list *)
+    let oldest = List.nth kept (tail_cap - 1) in
+    t.tail <- kept;
+    t.tail_len <- tail_cap;
+    t.tail_base <- oldest.Wal.lsn - 1
+  end
 
 let log_statement t source =
   t.lsn <- t.lsn + 1;
-  Wal.append t.wal ~lsn:t.lsn (source ^ ";");
+  let stmt = source ^ ";" in
+  Wal.append t.wal ~lsn:t.lsn stmt;
+  tail_push t { Wal.lsn = t.lsn; stmt };
   t.pending <- t.pending + 1;
   Hr_obs.Metrics.set g_lsn t.lsn
-
-let exec t script =
-  let rec run acc = function
-    | [] -> Ok (List.rev acc)
-    | source :: rest when Hr_query.Lexer.tokenize source = [] ->
-      (* comment-only segment *)
-      run acc rest
-    | source :: rest -> (
-      match Parser.parse_statement source with
-      | exception Parser.Parse_error { msg; _ } -> Error ("parse error: " ^ msg)
-      | exception Hr_query.Lexer.Lex_error { msg; _ } -> Error ("lex error: " ^ msg)
-      | { Ast.stmt; _ } -> (
-        Hr_obs.Metrics.incr m_statements;
-        match Eval.exec t.catalog stmt with
-        | Ok out ->
-          (* log only acknowledged statements: a rejected update (e.g. an
-             integrity violation) must not poison replay *)
-          if mutating stmt then log_statement t source;
-          run (out :: acc) rest
-        | Error msg -> Error msg))
-  in
-  run [] (split_statements script)
 
 let checkpoint t =
   Hr_obs.Metrics.incr m_checkpoints;
@@ -164,6 +184,41 @@ let checkpoint t =
   t.base_lsn <- t.lsn;
   t.pending <- 0
 
+(* A long-lived primary would otherwise grow wal.log without bound (and
+   pay for it at the next recovery); the tail keeps checkpointed records
+   addressable for replication catch-up. *)
+let maybe_auto_checkpoint t =
+  if t.auto_checkpoint_every > 0 && t.pending >= t.auto_checkpoint_every then
+    checkpoint t
+
+let exec t script =
+  let rec run acc = function
+    | [] -> Ok (List.rev acc)
+    | source :: rest -> (
+      (* tokenize inside the match, not in a [when] guard: a guard that
+         raises [Lex_error] would escape [exec] entirely instead of
+         becoming an [Error] reply *)
+      match Hr_query.Lexer.tokenize source with
+      | [] -> run acc rest (* comment-only segment *)
+      | exception Hr_query.Lexer.Lex_error { msg; _ } -> Error ("lex error: " ^ msg)
+      | _ :: _ -> (
+      match Parser.parse_statement source with
+      | exception Parser.Parse_error { msg; _ } -> Error ("parse error: " ^ msg)
+      | exception Hr_query.Lexer.Lex_error { msg; _ } -> Error ("lex error: " ^ msg)
+      | { Ast.stmt; _ } -> (
+        Hr_obs.Metrics.incr m_statements;
+        match Eval.exec t.catalog stmt with
+        | Ok out ->
+          (* log only acknowledged statements: a rejected update (e.g. an
+             integrity violation) must not poison replay *)
+          if mutating stmt then log_statement t source;
+          run (out :: acc) rest
+        | Error msg -> Error msg)))
+  in
+  let result = run [] (split_statements script) in
+  maybe_auto_checkpoint t;
+  result
+
 let close t =
   Wal.close t.wal;
   (try Unix.lockf t.lock_fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
@@ -173,7 +228,17 @@ let wal_records t = t.pending
 let lsn t = t.lsn
 let base_lsn t = t.base_lsn
 
-let records_since t from_lsn = List.of_seq (Wal.stream_from t.wal from_lsn)
+let records_since t from_lsn =
+  if from_lsn >= t.tail_base then begin
+    (* served from memory: the tail is newest-first, so collecting while
+       the LSN stays above the offset yields oldest-first *)
+    let rec collect acc = function
+      | ({ Wal.lsn; _ } as r) :: rest when lsn > from_lsn -> collect (r :: acc) rest
+      | _ -> acc
+    in
+    collect [] t.tail
+  end
+  else List.of_seq (Wal.stream_from t.wal from_lsn)
 
 let snapshot_image t = Snapshot.encode t.catalog
 
@@ -190,6 +255,9 @@ let install_snapshot t ~lsn image =
     t.lsn <- lsn;
     t.base_lsn <- lsn;
     t.pending <- 0;
+    t.tail <- [];
+    t.tail_len <- 0;
+    t.tail_base <- lsn;
     Hr_obs.Metrics.set g_lsn lsn;
     Ok ()
 
@@ -201,6 +269,7 @@ let apply_replicated t ~lsn source =
     | Ok _ ->
       Hr_obs.Metrics.incr m_statements;
       Wal.append t.wal ~lsn source;
+      tail_push t { Wal.lsn; stmt = source };
       t.pending <- t.pending + 1;
       t.lsn <- lsn;
       Hr_obs.Metrics.set g_lsn lsn;

@@ -23,13 +23,21 @@
 
 type t
 
-val open_dir : string -> t
+val open_dir : ?auto_checkpoint_every:int -> string -> t
 (** Creates the directory if needed; recovers existing state. Takes an
     advisory lock on [DIR/LOCK] — a second concurrent open of the same
     directory fails with [Failure] rather than corrupting the log. The
     lock is released by {!close} or process exit. If recovery dropped a
     torn WAL tail, a warning with the dropped byte/record counts is
-    printed to stderr (and counted in [storage.wal.torn_tail_*]). *)
+    printed to stderr (and counted in [storage.wal.torn_tail_*]).
+    Recovery replays only records with LSN past the snapshot's
+    [base_lsn], so a crash between a checkpoint's snapshot write and its
+    WAL truncation cannot double-apply.
+
+    [auto_checkpoint_every] (default 10000, 0 to disable) caps the WAL:
+    when {!exec} leaves at least that many logged statements pending, it
+    checkpoints automatically so a long-lived primary's log does not
+    grow without bound. *)
 
 val catalog : t -> Hierel.Catalog.t
 
@@ -62,8 +70,11 @@ val base_lsn : t -> int
 
 val records_since : t -> int -> Wal.record list
 (** The logged statements with LSN strictly greater than the argument —
-    the replication catch-up stream. Only meaningful for arguments
-    [>= base_lsn t]; older offsets need {!snapshot_image} first. *)
+    the replication catch-up stream. Served from a bounded in-memory
+    tail of recent records (falling back to a [wal.log] scan for older
+    offsets the tail no longer covers), so per-commit shipping does not
+    re-read the log file. Only meaningful for arguments [>= base_lsn t];
+    older offsets need {!snapshot_image} first. *)
 
 val snapshot_image : t -> string
 (** The current catalog as a {!Snapshot} binary image (for bootstrapping

@@ -8,6 +8,7 @@ module Db = Hr_storage.Db
 module Server = Hr_server.Server
 module Replica = Hr_repl.Replica
 module Metrics = Hr_obs.Metrics
+module Wire = Hr_frames.Wire
 open Hierel
 
 let with_temp_dir f =
@@ -90,6 +91,63 @@ let test_wal_torn_tail_metrics () =
           (Metrics.counter_value "storage.wal.torn_tail_records");
         Alcotest.(check int) "one torn record" 1 dropped_records))
 
+(* ---- wire decoder: incremental feeds, no quadratic copying ------------ *)
+
+let test_decoder_chunked () =
+  let dec = Wire.Decoder.create () in
+  let payload = String.init (300 * 1024) (fun i -> Char.chr (i mod 256)) in
+  let data =
+    Wire.frame "REPL_SNAPSHOT" payload
+    ^ Wire.frame "OK" ""
+    ^ Wire.frame "REPL_RECORD" "7\nCREATE DOMAIN d;"
+  in
+  let got = ref [] in
+  let rec drain () =
+    match Wire.Decoder.next dec with
+    | Ok (Some frame) ->
+      got := frame :: !got;
+      drain ()
+    | Ok None -> ()
+    | Error msg -> Alcotest.failf "decode: %s" msg
+  in
+  (* feed in small chunks so every boundary (mid-header, mid-payload,
+     frame-straddling) is exercised *)
+  let total = String.length data in
+  let off = ref 0 in
+  while !off < total do
+    let n = min 1000 (total - !off) in
+    Wire.Decoder.feed dec (Bytes.of_string (String.sub data !off n)) n;
+    drain ();
+    off := !off + n
+  done;
+  match List.rev !got with
+  | [ (t1, p1); (t2, p2); (t3, p3) ] ->
+    Alcotest.(check string) "tag 1" "REPL_SNAPSHOT" t1;
+    Alcotest.(check bool) "payload 1 intact" true (p1 = payload);
+    Alcotest.(check string) "tag 2" "OK" t2;
+    Alcotest.(check string) "payload 2 empty" "" p2;
+    Alcotest.(check string) "tag 3" "REPL_RECORD" t3;
+    Alcotest.(check string) "payload 3" "7\nCREATE DOMAIN d;" p3
+  | frames -> Alcotest.failf "expected 3 frames, got %d" (List.length frames)
+
+let test_decoder_byte_at_a_time () =
+  let dec = Wire.Decoder.create () in
+  let data = Wire.frame "OK" "abc" in
+  let result = ref None in
+  String.iter
+    (fun c ->
+      Wire.Decoder.feed dec (Bytes.make 1 c) 1;
+      match Wire.Decoder.next dec with
+      | Ok (Some frame) -> result := Some frame
+      | Ok None -> ()
+      | Error msg -> Alcotest.failf "decode: %s" msg)
+    data;
+  match !result with
+  | Some (tag, payload) ->
+    Alcotest.(check string) "tag" "OK" tag;
+    Alcotest.(check string) "payload" "abc" payload
+  | None -> Alcotest.fail "frame never completed"
+
 (* ---- Db: LSN threading ------------------------------------------------ *)
 
 let test_db_lsn_monotone () =
@@ -106,6 +164,11 @@ let test_db_lsn_monotone () =
       let since = Db.records_since db 2 in
       Alcotest.(check (list int)) "wal holds base+1..lsn" [ 3 ]
         (List.map (fun r -> r.Wal.lsn) since);
+      (* the in-memory tail keeps checkpointed records addressable, so a
+         subscriber slightly behind the snapshot base still catches up
+         without a bootstrap *)
+      Alcotest.(check (list int)) "tail survives the checkpoint" [ 1; 2; 3 ]
+        (List.map (fun r -> r.Wal.lsn) (Db.records_since db 0));
       Db.close db;
       (* reopen: LSN recovered from meta + wal, not reset *)
       let db2 = Db.open_dir dir in
@@ -154,6 +217,68 @@ let test_db_replication_hooks () =
           Db.close replica2;
           Db.close primary))
 
+(* a crash after a checkpoint wrote snapshot.bin + meta but before the
+   WAL was truncated leaves already-snapshotted records in the log; the
+   reopen must skip them instead of double-applying (which would fail
+   outright on the duplicate CREATEs) *)
+let test_reopen_after_interrupted_checkpoint () =
+  with_temp_dir (fun dir ->
+      let db = Db.open_dir dir in
+      exec_ok db
+        "CREATE DOMAIN d; CREATE INSTANCE x OF d; CREATE RELATION r (v: d); INSERT \
+         INTO r VALUES (+ x);";
+      Db.close db;
+      let wal_path = Filename.concat dir "wal.log" in
+      let ic = open_in_bin wal_path in
+      let wal_bytes = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let db = Db.open_dir dir in
+      Db.checkpoint db;
+      Db.close db;
+      (* reconstruct the crash window: restore the pre-checkpoint log *)
+      let oc = open_out_bin wal_path in
+      output_string oc wal_bytes;
+      close_out oc;
+      let db = Db.open_dir dir in
+      Alcotest.(check int) "lsn preserved" 4 (Db.lsn db);
+      Alcotest.(check int) "stale records not re-applied" 0 (Db.wal_records db);
+      (match Db.exec db "ASK r (x);" with
+      | Ok [ out ] -> Alcotest.(check string) "state intact" "+ (by (x))" out
+      | Ok _ | Error _ -> Alcotest.fail "ask after recovery failed");
+      Db.close db)
+
+(* lexically invalid input must surface as an Error/None everywhere the
+   server feeds it attacker-controlled payloads — an escaping Lex_error
+   would kill the whole event loop *)
+let test_lex_error_is_contained () =
+  Alcotest.(check (option string)) "garbage is not a mutation" None
+    (Db.script_mutation "@");
+  Alcotest.(check (option string)) "mutation behind garbage still found"
+    (Some "CREATE DOMAIN d")
+    (Db.script_mutation "@; CREATE DOMAIN d");
+  with_temp_dir (fun dir ->
+      let db = Db.open_dir dir in
+      (match Db.exec db "@" with
+      | Error msg ->
+        Alcotest.(check bool) "lex error is an Error reply" true
+          (contains ~needle:"lex error" msg)
+      | Ok _ -> Alcotest.fail "expected a lex error");
+      Db.close db)
+
+let test_auto_checkpoint () =
+  with_temp_dir (fun dir ->
+      let db = Db.open_dir ~auto_checkpoint_every:5 dir in
+      exec_ok db "CREATE DOMAIN d;";
+      Alcotest.(check int) "below threshold: no checkpoint" 0 (Db.base_lsn db);
+      exec_ok db
+        "CREATE INSTANCE a OF d; CREATE INSTANCE b OF d; CREATE INSTANCE c OF d; \
+         CREATE INSTANCE e OF d;";
+      Alcotest.(check int) "threshold reached: checkpointed" 5 (Db.base_lsn db);
+      Alcotest.(check int) "wal drained" 0 (Db.wal_records db);
+      Alcotest.(check (list int)) "records stay addressable for catch-up" [ 3; 4; 5 ]
+        (List.map (fun r -> r.Wal.lsn) (Db.records_since db 2));
+      Db.close db)
+
 (* ---- client timeouts -------------------------------------------------- *)
 
 let test_client_timeout () =
@@ -180,6 +305,87 @@ let test_client_timeout () =
       let elapsed = Unix.gettimeofday () -. t0 in
       Alcotest.(check bool) "came back promptly" true (elapsed < 5.0);
       Server.Client.close conn)
+
+(* ---- backpressure: a stalled subscriber must not wedge the loop ------- *)
+
+let test_stalled_subscriber_dropped () =
+  with_temp_dir (fun dir ->
+      let server = Server.create_durable ~port:0 ~max_backlog:1024 ~dir () in
+      Fun.protect
+        ~finally:(fun () -> Server.close server)
+        (fun () ->
+          let port = Server.port server in
+          (* a subscriber that never reads, with a tiny receive window so
+             the kernel absorbs as little as possible *)
+          let sub = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.setsockopt_int sub Unix.SO_RCVBUF 4096;
+          Unix.connect sub (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          Wire.send sub Wire.repl_subscribe "0";
+          for _ = 1 to 5 do
+            ignore (Server.poll server 0.01)
+          done;
+          Alcotest.(check int) "subscribed" 1 (Metrics.gauge_value "repl.subscribers");
+          let drops_before = Metrics.counter_value "repl.backlog_drops" in
+          let client = Server.Client.connect ~timeout:5.0 ~port () in
+          (* drive the server's own event loop from this thread: pump the
+             request bytes non-blockingly (a multi-megabyte frame doesn't
+             fit the socket buffer, and nobody else drains it), then poll
+             until the reply arrives *)
+          let exec_via_poll script =
+            let fd = Server.Client.fd client in
+            let frame = Wire.frame "EXEC" script in
+            Unix.set_nonblock fd;
+            let len = String.length frame in
+            let off = ref 0 in
+            while !off < len do
+              match Unix.write_substring fd frame !off (len - !off) with
+              | n -> off := !off + n
+              | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                ignore (Server.poll server 0.01)
+            done;
+            Unix.clear_nonblock fd;
+            let deadline = Unix.gettimeofday () +. 10.0 in
+            let rec await () =
+              ignore (Server.poll server 0.01);
+              match Unix.select [ Server.Client.fd client ] [] [] 0.0 with
+              | [ _ ], _, _ -> Server.Client.recv client
+              | _ ->
+                if Unix.gettimeofday () > deadline then
+                  Error "no reply (event loop wedged?)"
+                else await ()
+            in
+            await ()
+          in
+          (* each INSERT is a ~2 MiB statement (its reply is one short
+             line, so the client itself stays under the bound) shipped as
+             a REPL_RECORD the subscriber never drains; with a 1 KiB
+             backlog bound the subscriber must be cut off while EXECs
+             keep answering *)
+          let name = "inst_" ^ String.make 95 'x' in
+          (match
+             exec_via_poll
+               (Printf.sprintf
+                  "CREATE DOMAIN d; CREATE INSTANCE %s OF d; CREATE RELATION r (v: d);"
+                  name)
+           with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.failf "setup under stalled subscriber: %s" msg);
+          let big_insert =
+            "INSERT INTO r VALUES "
+            ^ String.concat ", " (List.init 20_000 (fun _ -> Printf.sprintf "(+ %s)" name))
+            ^ ";"
+          in
+          for i = 1 to 3 do
+            match exec_via_poll big_insert with
+            | Ok _ -> ()
+            | Error msg -> Alcotest.failf "exec %d under stalled subscriber: %s" i msg
+          done;
+          Alcotest.(check bool) "stalled subscriber was dropped" true
+            (Metrics.counter_value "repl.backlog_drops" > drops_before);
+          Alcotest.(check int) "no subscribers left" 0
+            (Metrics.gauge_value "repl.subscribers");
+          Server.Client.close client;
+          Unix.close sub))
 
 (* ---- end-to-end: snapshot bootstrap, mid-workload attach, kill and
    reconnect ------------------------------------------------------------ *)
@@ -285,6 +491,21 @@ let test_end_to_end () =
           | Error msg ->
             Alcotest.(check bool) "clear read-only error" true
               (contains ~needle:"read-only replica" msg));
+          (* a lexically invalid payload must come back as ERR — before
+             the read-only guard caught Lex_error, this killed the whole
+             replica process *)
+          Server.Client.send rconn "EXEC" "@";
+          (match read_reply () with
+          | Ok _ -> Alcotest.fail "replica accepted garbage"
+          | Error msg ->
+            Alcotest.(check bool) "lex error reported over the wire" true
+              (contains ~needle:"lex" msg));
+          (* and the connection (and replica) survived it *)
+          Server.Client.send rconn "EXEC" "ASK flies (paul);";
+          (match read_reply () with
+          | Ok out ->
+            Alcotest.(check string) "replica still serving" "+ (by (paul))" out
+          | Error msg -> Alcotest.failf "replica read after garbage: %s" msg);
           Server.Client.close rconn;
 
           (* kill the primary mid-stream; the replica must reconnect with
@@ -330,11 +551,19 @@ let test_end_to_end () =
 
 let suite =
   [
+    Alcotest.test_case "wire decoder across chunk boundaries" `Quick test_decoder_chunked;
+    Alcotest.test_case "wire decoder byte at a time" `Quick test_decoder_byte_at_a_time;
     Alcotest.test_case "wal stream_from by lsn" `Quick test_wal_stream_from;
     Alcotest.test_case "wal torn tail is measured" `Quick test_wal_torn_tail_metrics;
     Alcotest.test_case "db lsn is monotone and durable" `Quick test_db_lsn_monotone;
     Alcotest.test_case "db snapshot/apply replication hooks" `Quick test_db_replication_hooks;
+    Alcotest.test_case "reopen after interrupted checkpoint" `Quick
+      test_reopen_after_interrupted_checkpoint;
+    Alcotest.test_case "lex errors are contained" `Quick test_lex_error_is_contained;
+    Alcotest.test_case "auto checkpoint bounds the wal" `Quick test_auto_checkpoint;
     Alcotest.test_case "client timeout" `Quick test_client_timeout;
+    Alcotest.test_case "stalled subscriber is dropped, loop stays live" `Quick
+      test_stalled_subscriber_dropped;
     Alcotest.test_case "bootstrap, catch-up, kill, reconnect, converge" `Quick
       test_end_to_end;
   ]
