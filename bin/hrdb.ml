@@ -219,37 +219,67 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_main pos_files opt_files format =
+let read_stdin () =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    let n = input stdin chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      loop ()
+    end
+  in
+  loop ();
+  Buffer.contents buf
+
+let lint_main pos_files opt_files strict format =
   match opt_files @ pos_files with
   | [] ->
-    prerr_endline "hrdb lint: no script given (pass FILE or -f FILE)";
+    prerr_endline "hrdb lint: no script given (pass FILE, '-' for stdin, or -f FILE)";
     2
-  | files ->
-    let results = List.map (fun f -> (f, Lint.analyze_script (read_file f))) files in
-    (match format with
-    | `Text ->
-      List.iter
-        (fun (f, ds) ->
-          if List.length files > 1 then Printf.printf "%s:\n" f;
-          print_string (Diagnostic.render_text ds))
-        results
-    | `Json -> (
-      match results with
-      | [ (_, ds) ] -> print_string (Diagnostic.render_json ds)
-      | results ->
-        print_string
-          ("["
-          ^ String.concat ","
-              (List.map
-                 (fun (f, ds) ->
-                   Printf.sprintf "{\"file\":%S,\"diagnostics\":%s}" f
-                     (String.trim (Diagnostic.render_json ds)))
-                 results)
-          ^ "]\n")));
-    if List.exists (fun (_, ds) -> Diagnostic.has_errors ds) results then 1 else 0
+  | files -> (
+    match List.filter (fun f -> f <> "-" && not (Sys.file_exists f)) files with
+    | missing :: _ ->
+      Printf.eprintf "hrdb lint: no such file %s\n" missing;
+      2
+    | [] ->
+      let results =
+        List.map
+          (fun f ->
+            if f = "-" then ("<stdin>", Lint.analyze_script (read_stdin ()))
+            else (f, Lint.analyze_script (read_file f)))
+          files
+      in
+      (match format with
+      | `Text ->
+        List.iter
+          (fun (f, ds) ->
+            if List.length files > 1 then Printf.printf "%s:\n" f;
+            print_string (Diagnostic.render_text ds))
+          results
+      | `Json -> (
+        match results with
+        | [ (_, ds) ] -> print_string (Diagnostic.render_json ds)
+        | results ->
+          print_string
+            ("["
+            ^ String.concat ","
+                (List.map
+                   (fun (f, ds) ->
+                     Printf.sprintf "{\"file\":%S,\"diagnostics\":%s}" f
+                       (String.trim (Diagnostic.render_json ds)))
+                   results)
+            ^ "]\n")));
+      if
+        List.exists
+          (fun (_, ds) ->
+            Diagnostic.has_errors ds || (strict && Diagnostic.has_warnings ds))
+          results
+      then 1
+      else 0)
 
 let lint_pos_files =
-  Arg.(value & pos_all file [] & info [] ~docv:"SCRIPT")
+  Arg.(value & pos_all string [] & info [] ~docv:"SCRIPT")
 
 let lint_opt_files =
   Arg.(
@@ -264,6 +294,14 @@ let format_arg =
     & info [ "format" ] ~docv:"FMT"
         ~doc:"Output format: $(b,text) (human-readable) or $(b,json).")
 
+let lint_strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Also fail (exit 1) when any warning-severity diagnostic is \
+           reported. Hints never affect the exit code.")
+
 let lint_cmd =
   let doc = "statically check HRQL scripts without executing them" in
   let man =
@@ -273,13 +311,64 @@ let lint_cmd =
         "Parses each script and abstractly interprets it against a simulated \
          catalog: schema and hierarchy shape are tracked, no query is \
          evaluated and no data is touched. Diagnostics carry stable codes \
-         (see docs/LINT.md) and source spans.";
-      `P "Exits 1 when any error-severity diagnostic is reported, 0 otherwise.";
+         (see docs/LINT.md) and source spans. A $(b,-) script reads from \
+         standard input.";
+      `P
+        "Exits 1 when any error-severity diagnostic is reported (with \
+         $(b,--strict): also on warnings), 0 otherwise.";
     ]
   in
   Cmd.v
     (Cmd.info "lint" ~doc ~man)
-    Term.(const lint_main $ lint_pos_files $ lint_opt_files $ format_arg)
+    Term.(
+      const lint_main $ lint_pos_files $ lint_opt_files $ lint_strict_arg
+      $ format_arg)
+
+(* ---- the fsck subcommand ---------------------------------------------- *)
+
+let fsck_main dir against format =
+  let module Fsck = Hr_check.Fsck in
+  let report = Fsck.run ?against dir in
+  (match format with
+  | `Text -> print_string (Fsck.render_text report)
+  | `Json -> print_string (Fsck.render_json report));
+  if Fsck.has_critical report then 2 else if not (Fsck.clean report) then 1 else 0
+
+let fsck_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"The database directory to verify.")
+
+let fsck_against_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "against" ] ~docv:"DIR"
+        ~doc:
+          "Also verify this peer directory (e.g. a replica of the first) and \
+           cross-check the two for divergence at their greatest common LSN.")
+
+let fsck_cmd =
+  let doc = "verify the durable invariants of a database directory" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Opens the directory read-only (no lock is taken, nothing is written) \
+         and checks WAL framing and LSN continuity, snapshot decode and \
+         round-trip, hierarchy DAG acyclicity and irredundancy, the \
+         graphs.bin subsumption sidecar, the ambiguity constraint, and — \
+         with $(b,--against) — primary/replica convergence. Finding codes \
+         (F001..F018) are stable; see docs/FSCK.md.";
+      `P
+        "Exits 0 when the directory is clean, 1 when only warning-severity \
+         findings were reported, 2 on any critical finding.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "fsck" ~doc ~man)
+    Term.(const fsck_main $ fsck_dir_arg $ fsck_against_arg $ format_arg)
 
 (* ---- the exec subcommand (network client) ----------------------------- *)
 
@@ -359,8 +448,26 @@ let exec_cmd =
 
 (* ---- the replica subcommand ------------------------------------------- *)
 
-let replica_main primary_host primary_port dir port backoff_max checkpoint_every =
+let replica_main primary_host primary_port dir port backoff_max checkpoint_every
+    verify =
   let module Replica = Hr_repl.Replica in
+  (* --verify: fsck the local directory before serving from it. A dir
+     that does not hold a database yet (first bootstrap) is skipped. *)
+  let looks_like_db d =
+    Sys.file_exists (Filename.concat d "wal.log")
+    || Sys.file_exists (Filename.concat d "meta")
+  in
+  if verify && looks_like_db dir then begin
+    let report = Hr_check.Fsck.run dir in
+    if not (Hr_check.Fsck.clean report) then
+      print_string (Hr_check.Fsck.render_text report);
+    if Hr_check.Fsck.has_critical report then begin
+      prerr_endline
+        "hrdb replica: --verify found critical findings; refusing to serve \
+         from this directory";
+      exit 2
+    end
+  end;
   let cfg =
     Replica.config ~primary_host ~primary_port ~dir ~port ~backoff_max
       ~checkpoint_every ()
@@ -412,6 +519,15 @@ let replica_checkpoint_every_arg =
     & info [ "checkpoint-every" ] ~docv:"N"
         ~doc:"Checkpoint the local database every $(docv) applied records.")
 
+let replica_verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Run $(b,hrdb fsck) over the local directory before serving from \
+           it; refuse to start (exit 2) on any critical finding. A directory \
+           holding no database yet is skipped.")
+
 let replica_cmd =
   let doc = "run a read-only replica of a durable primary" in
   let man =
@@ -430,7 +546,7 @@ let replica_cmd =
     Term.(
       const replica_main $ replica_primary_host_arg $ replica_primary_port_arg
       $ replica_dir_arg $ replica_port_arg $ replica_backoff_max_arg
-      $ replica_checkpoint_every_arg)
+      $ replica_checkpoint_every_arg $ replica_verify_arg)
 
 let shell_term = Term.(const main $ file_arg $ interactive_arg $ dir_arg $ strict_arg)
 
@@ -438,6 +554,6 @@ let cmd =
   let doc = "interactive shell for the hierarchical relational model" in
   Cmd.group ~default:shell_term
     (Cmd.info "hrdb" ~version:"1.0.0" ~doc)
-    [ lint_cmd; exec_cmd; replica_cmd ]
+    [ lint_cmd; fsck_cmd; exec_cmd; replica_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -12,7 +12,24 @@
 
 module Replica = Hr_repl.Replica
 
-let main primary_host primary_port dir port backoff_max checkpoint_every =
+let main primary_host primary_port dir port backoff_max checkpoint_every verify =
+  (* --verify: fsck the local directory before serving from it. A dir
+     that does not hold a database yet (first bootstrap) is skipped. *)
+  let looks_like_db d =
+    Sys.file_exists (Filename.concat d "wal.log")
+    || Sys.file_exists (Filename.concat d "meta")
+  in
+  if verify && looks_like_db dir then begin
+    let report = Hr_check.Fsck.run dir in
+    if not (Hr_check.Fsck.clean report) then
+      print_string (Hr_check.Fsck.render_text report);
+    if Hr_check.Fsck.has_critical report then begin
+      prerr_endline
+        "hrdb_replica: --verify found critical findings; refusing to serve \
+         from this directory";
+      exit 2
+    end
+  end;
   let cfg =
     Replica.config ~primary_host ~primary_port ~dir ~port ~backoff_max
       ~checkpoint_every ()
@@ -65,12 +82,21 @@ let checkpoint_every_arg =
     & info [ "checkpoint-every" ] ~docv:"N"
         ~doc:"Checkpoint the local database every $(docv) applied records.")
 
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Run $(b,hrdb fsck) over the local directory before serving from \
+           it; refuse to start (exit 2) on any critical finding. A directory \
+           holding no database yet is skipped.")
+
 let cmd =
   let doc = "read-only replica for the hierarchical relational model" in
   Cmd.v
     (Cmd.info "hrdb_replica" ~version:"1.0.0" ~doc)
     Term.(
       const main $ primary_host_arg $ primary_port_arg $ dir_arg $ port_arg
-      $ backoff_max_arg $ checkpoint_every_arg)
+      $ backoff_max_arg $ checkpoint_every_arg $ verify_arg)
 
 let () = exit (Cmd.eval cmd)

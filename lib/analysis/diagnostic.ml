@@ -43,6 +43,7 @@ let compare a b =
 let sort ds = List.stable_sort compare ds
 
 let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let has_warnings ds = List.exists (fun d -> d.severity = Warning) ds
 
 let pp ppf d =
   Format.fprintf ppf "%a %s[%s] %s" Loc.pp d.loc (severity_label d.severity)

@@ -54,6 +54,7 @@ val compare : t -> t -> int
 val sort : t list -> t list
 
 val has_errors : t list -> bool
+val has_warnings : t list -> bool
 
 val pp : Format.formatter -> t -> unit
 (** One line per diagnostic — [3:8-3:13 error[E001] unknown relation

@@ -14,7 +14,24 @@
     row, W103 shadowed negation, W104 ambiguity conflict, W105
     unsatisfiable selection, H201 bare class value, H202 projection
     drops exceptions. [docs/LINT.md] documents each with a minimal
-    trigger. *)
+    trigger.
+
+    The {e dataflow} checks track asserted tuples, their signs and the
+    hierarchy edits across the whole script (provenance lives in the
+    {!Sim_catalog}): W106 dead write — a row the script asserts and then
+    unconditionally destroys (exact [DELETE] or [DROP RELATION]) before
+    any statement reads the relation; W107 no-op under flattening — an
+    insert whose every atom already receives the same sign from the
+    stored tuples (a patchwork of narrower rows or an exact duplicate;
+    W102's single-generalization case is reported as W102); W108
+    cross-statement contradiction — the same item asserted with opposite
+    signs by two statements, where the later one silently overwrites;
+    W109 exception erasing its generalization — a negation covering the
+    {e entire} extension of a stored positive class tuple; H203 replica
+    replay advisory — [CONSOLIDATE]/[EXPLICATE] are logged as source
+    text and re-derived on replicas (verify with [hrdb fsck --against]).
+    These checks only ever fire on rows the analyzed script itself
+    asserted, never on pre-existing catalog data. *)
 
 val analyze_script : ?catalog:Hierel.Catalog.t -> string -> Diagnostic.t list
 (** Lex, parse and check a whole script. A lex/parse failure yields a

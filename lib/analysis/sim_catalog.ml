@@ -4,13 +4,34 @@ open Hierel
 
 type entry = { rel : Relation.t; exact : bool }
 
+type write = {
+  w_item : Item.t;
+  w_sign : Types.sign;
+  w_loc : Hr_query.Loc.t;
+  w_stmt : int;
+}
+
 type t = {
   mutable hierarchies : Hierarchy.t list;
   mutable relations : (string * entry) list;
   mutable poisoned : string list;
+  (* Dataflow provenance: which statement asserted which tuple, and when
+     each relation was last read — the substrate of the whole-script
+     checks (dead writes, cross-statement contradictions). *)
+  mutable stmt_id : int;
+  mutable writes : (string * write list) list;  (* per relation, newest first *)
+  mutable reads : (string * int) list;  (* relation -> last reading stmt *)
 }
 
-let empty () = { hierarchies = []; relations = []; poisoned = [] }
+let empty () =
+  {
+    hierarchies = [];
+    relations = [];
+    poisoned = [];
+    stmt_id = 0;
+    writes = [];
+    reads = [];
+  }
 
 let hierarchies t = t.hierarchies
 
@@ -36,6 +57,46 @@ let replace_relation t entry =
 
 let drop_relation t name =
   t.relations <- List.filter (fun (n, _) -> n <> name) t.relations
+
+(* ---- dataflow provenance -------------------------------------------- *)
+
+let begin_statement t =
+  t.stmt_id <- t.stmt_id + 1;
+  t.stmt_id
+
+let current_statement t = t.stmt_id
+
+let note_read t rel =
+  t.reads <- (rel, t.stmt_id) :: List.remove_assoc rel t.reads
+
+let last_read t rel = Option.value ~default:0 (List.assoc_opt rel t.reads)
+
+let writes_of t rel = List.rev (Option.value ~default:[] (List.assoc_opt rel t.writes))
+
+let record_write t rel item sign loc =
+  let w = { w_item = item; w_sign = sign; w_loc = loc; w_stmt = t.stmt_id } in
+  let ws =
+    w
+    :: List.filter
+         (fun w' -> not (Item.equal w'.w_item item))
+         (Option.value ~default:[] (List.assoc_opt rel t.writes))
+  in
+  t.writes <- (rel, ws) :: List.remove_assoc rel t.writes
+
+let find_write t rel item =
+  List.find_opt
+    (fun w -> Item.equal w.w_item item)
+    (Option.value ~default:[] (List.assoc_opt rel t.writes))
+
+let forget_write t rel item =
+  match List.assoc_opt rel t.writes with
+  | None -> ()
+  | Some ws ->
+    t.writes <-
+      (rel, List.filter (fun w -> not (Item.equal w.w_item item)) ws)
+      :: List.remove_assoc rel t.writes
+
+let forget_writes t rel = t.writes <- List.remove_assoc rel t.writes
 
 let poison t name =
   if not (List.mem name t.poisoned) then t.poisoned <- name :: t.poisoned
@@ -76,4 +137,7 @@ let of_catalog cat =
         (fun r -> (Relation.name r, { rel = rebuild_relation copies r; exact = true }))
         (Catalog.relations cat);
     poisoned = [];
+    stmt_id = 0;
+    writes = [];
+    reads = [];
   }

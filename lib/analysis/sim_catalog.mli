@@ -14,9 +14,25 @@
 
     {!of_catalog} deep-copies every hierarchy and rebuilds every
     relation over the copies, so analyzing a script can never mutate the
-    live catalog it was seeded from. *)
+    live catalog it was seeded from.
+
+    The sim also carries {e dataflow provenance}: a statement counter, a
+    per-relation table of which statement asserted which tuple (and
+    where), and the statement each relation was last read in. The
+    whole-script checks (dead writes W106, cross-statement
+    contradictions W108) are built on it. Writes are only recorded for
+    rows the analyzed script itself asserted — tuples seeded from a live
+    catalog have no provenance, so those checks never fire on
+    pre-existing data. *)
 
 type entry = { rel : Hierel.Relation.t; exact : bool }
+
+type write = {
+  w_item : Hierel.Item.t;
+  w_sign : Hierel.Types.sign;
+  w_loc : Hr_query.Loc.t;  (** where the script asserted it *)
+  w_stmt : int;  (** statement counter value at the write *)
+}
 
 type t
 
@@ -46,3 +62,29 @@ val poison : t -> string -> unit
     not check): later references are not re-reported as unknown. *)
 
 val is_poisoned : t -> string -> bool
+
+(** {1 Dataflow provenance} *)
+
+val begin_statement : t -> int
+(** Advance and return the statement counter; called once per analyzed
+    statement. *)
+
+val current_statement : t -> int
+
+val note_read : t -> string -> unit
+(** The current statement reads the named relation (query reference,
+    ASK, CHECK, consolidation …) — its recorded writes become live. *)
+
+val last_read : t -> string -> int
+(** Statement id of the last read of the relation (0 if never read). *)
+
+val record_write : t -> string -> Hierel.Item.t -> Hierel.Types.sign -> Hr_query.Loc.t -> unit
+(** Record that the current statement asserted a tuple; an existing
+    record for the same item is replaced (the overwrite wins). *)
+
+val find_write : t -> string -> Hierel.Item.t -> write option
+val writes_of : t -> string -> write list
+(** All recorded writes for a relation, oldest first. *)
+
+val forget_write : t -> string -> Hierel.Item.t -> unit
+val forget_writes : t -> string -> unit

@@ -144,6 +144,42 @@ let check_row_values sim schema ~loc ~emit rel_name row_index values =
       Some (Item.make schema (Array.of_list (List.map Option.get coords)))
     else None
 
+(* W109: the inserted negation is an exception that erases its parent
+   class entirely — a stored positive generalization whose whole atomic
+   extension the exception re-covers. The paper's exceptions (§2.2,
+   penguins among birds) carve a strict subset out of a generalization;
+   an exception congruent with the generalization's extension leaves the
+   positive assertion holding nowhere, which is almost never intended. *)
+let erased_generalization schema rel item sign =
+  if sign <> Types.Neg then None
+  else
+    List.find_opt
+      (fun (t : Relation.tuple) ->
+        t.Relation.sign = Types.Pos
+        && Item.strictly_subsumes schema t.Relation.item item
+        && extension_size schema t.Relation.item <= extension_cap
+        &&
+        let atoms = Item.atomic_extension schema t.Relation.item in
+        atoms <> []
+        && List.for_all (fun atom -> Item.subsumes schema item atom) atoms)
+      (Relation.tuples rel)
+
+(* W107: under flattening the insert changes nothing — every atom of the
+   row already receives exactly this sign from the stored tuples. Unlike
+   W102 this needs no single covering generalization: a patchwork of
+   narrower tuples (or an exact duplicate) triggers it too. *)
+let noop_under_flattening schema rel item sign =
+  extension_size schema item <= extension_cap
+  &&
+  let atoms = Item.atomic_extension schema item in
+  atoms <> []
+  && List.for_all
+       (fun atom ->
+         match Binding.verdict rel atom with
+         | Binding.Asserted (s, _) -> s = sign
+         | Binding.Unasserted | Binding.Conflict _ -> false)
+       atoms
+
 let check_insert sim ~loc ~emit rel rows =
   match Sim_catalog.find_relation sim rel with
   | None ->
@@ -161,25 +197,77 @@ let check_insert sim ~loc ~emit rel rows =
         | None -> ()
         | Some item ->
           if entry.Sim_catalog.exact then begin
+            let fired = ref false in
+            let fire d =
+              fired := true;
+              emit d
+            in
             (match Relation.find !shadow item with
-            | Some sign' when sign' <> sign ->
-              emit
-                (Diagnostic.warningf ~code:"W104" loc
-                   "row %d directly contradicts a stored tuple: %s is already \
-                    asserted with the opposite sign in %s"
-                   (i + 1)
-                   (Item.to_string schema item)
-                   rel)
+            | Some sign' when sign' <> sign -> (
+              (* Same item, opposite sign. If the script itself asserted
+                 the stored tuple in an earlier statement, this is a
+                 cross-statement contradiction (the overwrite silently
+                 wins) — W108; otherwise the contradiction is against
+                 pre-existing or same-statement data — W104. *)
+              match Sim_catalog.find_write sim rel item with
+              | Some w when w.Sim_catalog.w_stmt < Sim_catalog.current_statement sim
+                ->
+                fired := true;
+                emit
+                  (Diagnostic.warningf ~code:"W108"
+                     ~related:
+                       [
+                         Format.asprintf "the contradicted assertion is at %a"
+                           Hr_query.Loc.pp w.Sim_catalog.w_loc;
+                       ]
+                     loc
+                     "row %d asserts %s %s, contradicting the %s asserted \
+                      earlier in this script; the later sign overwrites the \
+                      earlier one"
+                     (i + 1)
+                     (match sign with Types.Pos -> "+" | Types.Neg -> "-")
+                     (Item.to_string schema item)
+                     (match w.Sim_catalog.w_sign with
+                     | Types.Pos -> "+"
+                     | Types.Neg -> "-"))
+              | _ ->
+                fire
+                  (Diagnostic.warningf ~code:"W104" loc
+                     "row %d directly contradicts a stored tuple: %s is already \
+                      asserted with the opposite sign in %s"
+                     (i + 1)
+                     (Item.to_string schema item)
+                     rel))
             | _ ->
               if dead_row schema !shadow item sign then
-                emit
+                fire
                   (Diagnostic.warningf ~code:"W102" loc
                      "row %d is dead: %s is already implied by a more general \
                       tuple of the same sign in %s"
                      (i + 1)
                      (Item.to_string schema item)
                      rel));
+            (if not !fired then
+               match erased_generalization schema !shadow item sign with
+               | Some gen ->
+                 fire
+                   (Diagnostic.warningf ~code:"W109" loc
+                      "row %d: the exception %s covers the entire extension of \
+                       its generalization %s — the positive assertion no longer \
+                       holds anywhere"
+                      (i + 1)
+                      (Item.to_string schema item)
+                      (Item.to_string schema gen.Relation.item))
+               | None -> ());
+            if (not !fired) && noop_under_flattening schema !shadow item sign then
+              fire
+                (Diagnostic.warningf ~code:"W107" loc
+                   "row %d is a no-op under flattening: every instance of %s \
+                    already receives this sign from the stored tuples"
+                   (i + 1)
+                   (Item.to_string schema item));
             shadow := Relation.set !shadow item sign;
+            Sim_catalog.record_write sim rel item sign loc;
             if sign = Types.Neg && shadowed_negation schema !shadow item then
               emit
                 (Diagnostic.warningf ~code:"W103" loc
@@ -223,7 +311,62 @@ let check_relation_exists sim ~loc ~emit rel =
 
 let infer_schema sim ~emit expr = Expr_check.infer sim ~emit expr
 
+(* Relation names a statement reads. A read makes every earlier write to
+   that relation observable, which is what keeps W106 (dead write) from
+   firing on rows a query in between actually used. *)
+let rec expr_rels acc { Ast.expr; _ } =
+  match expr with
+  | Ast.Rel n -> n :: acc
+  | Ast.Select (e, _, _)
+  | Ast.Project (e, _)
+  | Ast.Rename (e, _, _)
+  | Ast.Consolidated e
+  | Ast.Explicated (e, _) ->
+    expr_rels acc e
+  | Ast.Join (a, b) | Ast.Union (a, b) | Ast.Intersect (a, b) | Ast.Except (a, b)
+    ->
+    expr_rels (expr_rels acc a) b
+
+let reads_of = function
+  | Ast.Select_query { expr; _ }
+  | Ast.Let_binding { expr; _ }
+  | Ast.Explain_plan expr
+  | Ast.Explain_analyze expr
+  | Ast.Count { expr; _ } ->
+    expr_rels [] expr
+  | Ast.Diff { prev; next } -> expr_rels (expr_rels [] prev) next
+  | Ast.Ask { rel; _ } | Ast.Explain { rel; _ } | Ast.Check rel
+  | Ast.Consolidate rel
+  | Ast.Explicate { rel; _ } ->
+    [ rel ]
+  | Ast.Create_domain _ | Ast.Create_class _ | Ast.Create_instance _
+  | Ast.Create_isa _ | Ast.Create_preference _ | Ast.Create_relation _
+  | Ast.Drop_relation _ | Ast.Insert _ | Ast.Delete _ | Ast.Show_hierarchy _
+  | Ast.Show_relations | Ast.Show_hierarchies | Ast.Stats _ | Ast.Stats_reset ->
+    []
+
+(* W106: a row this script asserted is unconditionally destroyed (exact
+   DELETE, or the whole relation dropped) with no read of the relation in
+   between — the write could not have been observed. Reported at the
+   write's own span so the fix (delete the insert) is where the cursor
+   lands; the destroying statement is the related note. *)
+let dead_write_check sim ~emit rel schema ~verb ~at w =
+  if
+    w.Sim_catalog.w_stmt < Sim_catalog.current_statement sim
+    && Sim_catalog.last_read sim rel < w.Sim_catalog.w_stmt
+  then
+    emit
+      (Diagnostic.warningf ~code:"W106"
+         ~related:[ Format.asprintf "%s at %a" verb Hr_query.Loc.pp at ]
+         w.Sim_catalog.w_loc
+         "dead write: %s%s is asserted here but %s before %s is ever read"
+         (match w.Sim_catalog.w_sign with Types.Pos -> "+ " | Types.Neg -> "- ")
+         (Item.to_string schema w.Sim_catalog.w_item)
+         verb rel)
+
 let check sim ~emit { Ast.stmt; sloc = loc } =
+  ignore (Sim_catalog.begin_statement sim);
+  List.iter (Sim_catalog.note_read sim) (reads_of stmt);
   match stmt with
   | Ast.Create_domain name ->
     if Option.is_some (Sim_catalog.find_hierarchy sim name) then
@@ -335,7 +478,15 @@ let check sim ~emit { Ast.stmt; sloc = loc } =
     else if not dup_rel then Sim_catalog.poison sim name
   | Ast.Drop_relation name -> (
     match Sim_catalog.find_relation sim name with
-    | Some _ -> Sim_catalog.drop_relation sim name
+    | Some entry ->
+      (if entry.Sim_catalog.exact then
+         let schema = Relation.schema entry.Sim_catalog.rel in
+         List.iter
+           (dead_write_check sim ~emit name schema ~verb:"the relation is dropped"
+              ~at:loc)
+           (Sim_catalog.writes_of sim name));
+      Sim_catalog.forget_writes sim name;
+      Sim_catalog.drop_relation sim name
     | None ->
       if not (Sim_catalog.is_poisoned sim name) then
         emit (Diagnostic.errorf ~code:"E001" loc "unknown relation %S" name))
@@ -350,7 +501,14 @@ let check sim ~emit { Ast.stmt; sloc = loc } =
         (fun i values ->
           match check_row_values sim schema ~loc ~emit rel (i + 1) values with
           | Some item ->
-            if entry.Sim_catalog.exact then shadow := Relation.remove !shadow item
+            if entry.Sim_catalog.exact then begin
+              (match Sim_catalog.find_write sim rel item with
+              | Some w ->
+                dead_write_check sim ~emit rel schema ~verb:"deleted" ~at:loc w
+              | None -> ());
+              Sim_catalog.forget_write sim rel item;
+              shadow := Relation.remove !shadow item
+            end
           | None -> ())
         rows;
       if entry.Sim_catalog.exact then
@@ -367,6 +525,9 @@ let check sim ~emit { Ast.stmt; sloc = loc } =
       let rel = Relation.empty ~name schema in
       match Sim_catalog.find_relation sim name with
       | Some _ ->
+        (* the binding replaces the whole relation; provenance for the
+           old contents no longer applies *)
+        Sim_catalog.forget_writes sim name;
         Sim_catalog.replace_relation sim { Sim_catalog.rel; exact = false }
       | None -> Sim_catalog.define_relation sim ~exact:false rel))
   | Ast.Ask { rel; values; _ } ->
@@ -374,11 +535,25 @@ let check sim ~emit { Ast.stmt; sloc = loc } =
   | Ast.Explain { rel; values } ->
     ignore (check_values_against sim ~loc ~emit rel values)
   | Ast.Consolidate name ->
-    ignore (check_relation_exists sim ~loc ~emit name)
+    (match check_relation_exists sim ~loc ~emit name with
+    | None -> ()
+    | Some _ ->
+      emit
+        (Diagnostic.hintf ~code:"H203" loc
+           "CONSOLIDATE is logged as its source text: a replica re-derives the \
+            rewritten contents of %s at apply time; verify convergence with \
+            hrdb fsck --against"
+           name))
   | Ast.Explicate { rel; over } -> (
     match check_relation_exists sim ~loc ~emit rel with
     | None -> ()
     | Some entry ->
+      emit
+        (Diagnostic.hintf ~code:"H203" loc
+           "EXPLICATE is logged as its source text: a replica re-derives the \
+            rewritten contents of %s at apply time; verify convergence with \
+            hrdb fsck --against"
+           rel);
       let schema = Relation.schema entry.Sim_catalog.rel in
       (match over with
       | None -> ()
@@ -391,6 +566,7 @@ let check sim ~emit { Ast.stmt; sloc = loc } =
                    "explication over unknown attribute %S of %s" n rel))
           names);
       (* explication rewrites contents; the shadow no longer tracks them *)
+      Sim_catalog.forget_writes sim rel;
       Sim_catalog.replace_relation sim { entry with Sim_catalog.exact = false })
   | Ast.Check name -> ignore (check_relation_exists sim ~loc ~emit name)
   | Ast.Show_hierarchy name ->

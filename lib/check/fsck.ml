@@ -1,0 +1,550 @@
+module Wal = Hr_storage.Wal
+module Snapshot = Hr_storage.Snapshot
+module Graph_store = Hr_storage.Graph_store
+module Hierarchy = Hr_hierarchy.Hierarchy
+module Eval = Hr_query.Eval
+module J = Hr_obs.Jsonout
+open Hierel
+
+let m_runs = Hr_obs.Metrics.counter "fsck.runs"
+let m_critical = Hr_obs.Metrics.counter "fsck.findings_critical"
+let m_warning = Hr_obs.Metrics.counter "fsck.findings_warning"
+let h_duration = Hr_obs.Metrics.histogram "fsck.duration_ns"
+
+type severity = Critical | Warning
+
+type finding = {
+  code : string;
+  severity : severity;
+  where : string;
+  message : string;
+}
+
+type report = {
+  dir : string;
+  against : string option;
+  findings : finding list;
+  wal_records : int;
+  hierarchies : int;
+  relations : int;
+  head_lsn : int;
+  base_lsn : int;
+  duration_ns : int;
+}
+
+let severity_label = function Critical -> "critical" | Warning -> "warning"
+
+let snapshot_path dir = Filename.concat dir "snapshot.bin"
+let wal_path dir = Filename.concat dir "wal.log"
+let meta_path dir = Filename.concat dir "meta"
+let graphs_path dir = Filename.concat dir "graphs.bin"
+
+(* ---- finding accumulation ------------------------------------------- *)
+
+type acc = { mutable findings : finding list (* newest first *) }
+
+let emit acc severity code where fmt =
+  Format.kasprintf
+    (fun message ->
+      acc.findings <- { code; severity; where; message } :: acc.findings)
+    fmt
+
+(* ---- per-directory structural state --------------------------------- *)
+
+type state = {
+  s_dir : string;
+  s_base : int;  (** meta's base_lsn (0 when absent or malformed) *)
+  s_scan : Wal.scan_result;
+  s_snap : Catalog.t option;  (** decoded snapshot, pre-replay *)
+  s_cat : Catalog.t option;  (** snapshot + clean WAL replay *)
+}
+
+let s_head st =
+  List.fold_left (fun h { Wal.lsn; _ } -> max h lsn) st.s_base st.s_scan.Wal.records
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* [meta] is forgiving at open time (Db treats anything unreadable as 0);
+   fsck distinguishes absent (fine) from malformed (F002). *)
+let check_meta acc dir =
+  let path = meta_path dir in
+  if not (Sys.file_exists path) then 0
+  else
+    let line =
+      match String.trim (read_file path) with
+      | exception Sys_error _ -> None
+      | s -> ( match String.split_on_char '\n' s with l :: _ -> Some l | [] -> Some "")
+    in
+    match line with
+    | None ->
+      emit acc Warning "F002" path "meta is unreadable";
+      0
+    | Some line -> (
+      match String.split_on_char '=' (String.trim line) with
+      | [ "base_lsn"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> n
+        | _ ->
+          emit acc Warning "F002" path "meta has a malformed base_lsn value: %S" line;
+          0)
+      | _ ->
+        emit acc Warning "F002" path "meta is malformed: %S" line;
+        0)
+
+let check_snapshot acc dir =
+  let path = snapshot_path dir in
+  if not (Sys.file_exists path) then None
+  else
+    let data = read_file path in
+    match Snapshot.decode data with
+    | exception Snapshot.Corrupt_snapshot msg ->
+      emit acc Critical "F003" path "snapshot does not decode: %s" msg;
+      None
+    | cat ->
+      (* The encoder is canonical (sorted hierarchies and relations), so
+         a decodable snapshot that does not round-trip byte-for-byte was
+         not produced by this checkpointer — worth an operator's look. *)
+      if not (String.equal (Snapshot.encode cat) data) then
+        emit acc Warning "F004" path
+          "snapshot decodes but does not round-trip to the same bytes";
+      Some cat
+
+let check_wal acc dir ~base_lsn =
+  let path = wal_path dir in
+  let scan = Wal.scan path in
+  (match scan.Wal.tail with
+  | None -> ()
+  | Some { Wal.dropped_bytes; dropped_records } ->
+    if dropped_records > 1 then
+      emit acc Critical "F006" path
+        "mid-log corruption: %d intact-looking record(s) (%d byte(s)) follow a \
+         corrupt record and cannot be replayed"
+        dropped_records dropped_bytes
+    else
+      emit acc Warning "F005" path
+        "torn tail: %d byte(s) (~%d record(s)) past the last intact record"
+        dropped_bytes dropped_records);
+  (* LSNs must be strictly increasing and contiguous: the primary assigns
+     consecutive numbers and a replica preserves them, so a gap or
+     reversal means lost or reordered records. *)
+  let rec contiguity = function
+    | { Wal.lsn = a; _ } :: ({ Wal.lsn = b; _ } :: _ as rest) ->
+      if b <> a + 1 then
+        emit acc Critical "F007" path
+          "LSNs are not monotone/contiguous: record %d is followed by record %d" a b;
+      contiguity rest
+    | _ -> ()
+  in
+  contiguity scan.Wal.records;
+  let stale = List.filter (fun { Wal.lsn; _ } -> lsn <= base_lsn) scan.Wal.records in
+  if stale <> [] then
+    emit acc Warning "F008" path
+      "%d record(s) at or below base_lsn %d (checkpoint interrupted before the log \
+       was truncated); recovery skips them"
+      (List.length stale) base_lsn;
+  (match List.find_opt (fun { Wal.lsn; _ } -> lsn > base_lsn) scan.Wal.records with
+  | Some { Wal.lsn; _ } when lsn <> base_lsn + 1 ->
+    emit acc Critical "F009" path
+      "meta disagrees with the log: base_lsn is %d but the first post-snapshot \
+       record is LSN %d (records %d..%d are missing)"
+      base_lsn lsn (base_lsn + 1) (lsn - 1)
+  | Some _ | None -> ());
+  scan
+
+(* Replay onto a second decode of the snapshot: the caller keeps the
+   pristine decoded catalog for the graphs.bin comparison. *)
+let materialize acc dir ~base_lsn scan =
+  let cat =
+    if Sys.file_exists (snapshot_path dir) then
+      match Snapshot.read_file (snapshot_path dir) with
+      | cat -> Some cat
+      | exception Snapshot.Corrupt_snapshot _ -> None
+    else Some (Catalog.create ())
+  in
+  match cat with
+  | None -> None
+  | Some cat ->
+    let live = List.filter (fun { Wal.lsn; _ } -> lsn > base_lsn) scan.Wal.records in
+    let ok =
+      List.for_all
+        (fun { Wal.lsn; stmt } ->
+          match Eval.run_script cat stmt with
+          | Ok _ -> true
+          | Error msg ->
+            emit acc Critical "F010" (wal_path dir)
+              "record LSN %d (%S) fails to replay onto the snapshot: %s" lsn stmt msg;
+            false
+          | exception e ->
+            emit acc Critical "F010" (wal_path dir)
+              "record LSN %d (%S) fails to replay onto the snapshot: %s" lsn stmt
+              (Printexc.to_string e);
+            false)
+        live
+    in
+    if ok then Some cat else None
+
+(* ---- semantic checks on a materialized catalog ---------------------- *)
+
+let naive_descendants h v =
+  let seen = Hashtbl.create 16 in
+  let rec go v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      List.iter go (Hierarchy.children h v)
+    end
+  in
+  go v;
+  seen
+
+(* Hierarchies cannot represent cycles by construction ([add_isa]
+   rejects them), so F011 firing means the in-memory invariant itself
+   was broken — defense in depth, and the check is also what makes the
+   F013 closure comparison meaningful. *)
+let check_hierarchy acc dir h =
+  let name = Hr_util.Symbol.name (Hierarchy.domain h) in
+  let where = Printf.sprintf "%s: hierarchy %s" dir name in
+  let label = Hierarchy.node_label h in
+  let nodes = Hierarchy.nodes h in
+  let cycle =
+    let color = Hashtbl.create 16 in
+    (* 1 = on stack, 2 = done *)
+    let rec visit v =
+      match Hashtbl.find_opt color v with
+      | Some 1 -> true
+      | Some _ -> false
+      | None ->
+        Hashtbl.replace color v 1;
+        let c = List.exists visit (Hierarchy.children h v) in
+        Hashtbl.replace color v 2;
+        c
+    in
+    List.exists visit nodes
+  in
+  if cycle then
+    emit acc Critical "F011" where
+      "the isa graph contains a cycle (type-irredundancy violation)"
+  else begin
+    List.iter
+      (fun (Hierarchy.Redundant_isa_edge (u, v)) ->
+        emit acc Warning "F012" where
+          "redundant isa edge %s -> %s (implied by another path; changes off-path \
+           preemption)"
+          (label u) (label v))
+      (Hierarchy.validate h);
+    (* Closure index vs. a naive traversal. Full pairwise comparison is
+       quadratic, so large hierarchies are checked over a prefix. *)
+    let sample = if List.length nodes > 128 then List.filteri (fun i _ -> i < 128) nodes else nodes in
+    let broken = ref false in
+    List.iter
+      (fun a ->
+        if not !broken then begin
+          let naive = naive_descendants h a in
+          List.iter
+            (fun b ->
+              if (not !broken) && Hierarchy.subsumes h a b <> Hashtbl.mem naive b
+              then begin
+                broken := true;
+                emit acc Critical "F013" where
+                  "closure index disagrees with the DAG: subsumes(%s, %s) = %b but \
+                   traversal says %b"
+                  (label a) (label b)
+                  (Hierarchy.subsumes h a b)
+                  (Hashtbl.mem naive b)
+              end)
+            sample
+        end)
+      sample
+  end
+
+let check_relation acc dir rel =
+  let where = Printf.sprintf "%s: relation %s" dir (Relation.name rel) in
+  match Integrity.first_conflict rel with
+  | None -> ()
+  | Some conflict ->
+    emit acc Warning "F018" where "ambiguity constraint violated: %s"
+      (Format.asprintf "%a" (Integrity.pp_conflict (Relation.schema rel)) conflict)
+
+let check_graphs acc dir snap =
+  let path = graphs_path dir in
+  match (snap, Sys.file_exists path) with
+  | None, _ -> ()
+  | Some _, false ->
+    emit acc Warning "F015" path
+      "graphs.bin is missing next to snapshot.bin (pre-sidecar checkpoint?); \
+       re-checkpoint to regenerate it"
+  | Some cat, true -> (
+    let data = read_file path in
+    match Graph_store.decode data with
+    | exception Graph_store.Corrupt_graphs msg ->
+      emit acc Warning "F015" path "graphs.bin does not decode: %s" msg
+    | stored ->
+      if not (String.equal (Graph_store.encode cat) data) then begin
+        let recomputed = Graph_store.of_catalog cat in
+        let names l = List.map fst l in
+        let missing =
+          List.filter (fun n -> not (List.mem n (names stored))) (names recomputed)
+        in
+        let extra =
+          List.filter (fun n -> not (List.mem n (names recomputed))) (names stored)
+        in
+        let differing =
+          List.filter_map
+            (fun (n, g) ->
+              match List.assoc_opt n stored with
+              | Some g' when g' <> g -> Some n
+              | _ -> None)
+            recomputed
+        in
+        let detail =
+          String.concat "; "
+            (List.filter_map
+               (fun (what, l) ->
+                 if l = [] then None
+                 else Some (what ^ " " ^ String.concat ", " l))
+               [ ("stale graph for", differing); ("missing", missing); ("orphaned", extra) ])
+        in
+        emit acc Critical "F014" path
+          "stored subsumption graphs differ from recomputation%s"
+          (if detail = "" then " (encoding drift)" else ": " ^ detail)
+      end)
+
+(* ---- one directory --------------------------------------------------- *)
+
+let inspect acc dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    emit acc Critical "F001" dir "not a database directory";
+    None
+  end
+  else begin
+    let base_lsn = check_meta acc dir in
+    let snap = check_snapshot acc dir in
+    if base_lsn > 0 && snap = None && not (Sys.file_exists (snapshot_path dir)) then
+      emit acc Critical "F009" (meta_path dir)
+        "meta records base_lsn %d but there is no snapshot to cover LSNs 1..%d"
+        base_lsn base_lsn;
+    let scan = check_wal acc dir ~base_lsn in
+    let cat = materialize acc dir ~base_lsn scan in
+    (match cat with
+    | Some cat ->
+      List.iter (check_hierarchy acc dir) (Catalog.hierarchies cat);
+      List.iter (check_relation acc dir) (Catalog.relations cat)
+    | None -> ());
+    check_graphs acc dir snap;
+    Some { s_dir = dir; s_base = base_lsn; s_scan = scan; s_snap = snap; s_cat = cat }
+  end
+
+(* ---- divergence ------------------------------------------------------ *)
+
+(* Node ids are catalog-local, so both sides are compared through
+   process-independent renderings: hierarchy edges as label pairs and
+   relations by their flattened extension (the paper's semantic
+   yardstick — two catalogs that flatten alike answer alike). *)
+let rendered_hierarchy h =
+  let label = Hierarchy.node_label h in
+  let edges =
+    List.concat_map
+      (fun v -> List.map (fun c -> (label v, label c)) (Hierarchy.children h v))
+      (Hierarchy.nodes h)
+    |> List.sort compare
+  in
+  let instances = List.sort compare (List.map label (Hierarchy.instances h)) in
+  let prefs =
+    List.sort compare
+      (List.map (fun (w, s) -> (label w, label s)) (Hierarchy.preference_edges h))
+  in
+  (edges, instances, prefs)
+
+let rendered_extension rel =
+  let schema = Relation.schema rel in
+  Flatten.extension_list rel |> List.map (Item.to_string schema) |> List.sort compare
+
+(* The peer state at LSN [at]: snapshot + the records up to [at]. *)
+let materialize_at st ~at =
+  if st.s_base > at then
+    Error
+      (Printf.sprintf "snapshot covers through LSN %d, past the common LSN %d"
+         st.s_base at)
+  else
+    let cat =
+      if Sys.file_exists (snapshot_path st.s_dir) then
+        match Snapshot.read_file (snapshot_path st.s_dir) with
+        | cat -> Ok cat
+        | exception Snapshot.Corrupt_snapshot msg -> Error ("snapshot: " ^ msg)
+      else Ok (Catalog.create ())
+    in
+    Result.bind cat (fun cat ->
+        let live =
+          List.filter
+            (fun { Wal.lsn; _ } -> lsn > st.s_base && lsn <= at)
+            st.s_scan.Wal.records
+        in
+        let rec replay = function
+          | [] -> Ok cat
+          | { Wal.lsn; stmt } :: rest -> (
+            match Eval.run_script cat stmt with
+            | Ok _ -> replay rest
+            | Error msg -> Error (Printf.sprintf "replay of LSN %d: %s" lsn msg)
+            | exception e ->
+              Error (Printf.sprintf "replay of LSN %d: %s" lsn (Printexc.to_string e)))
+        in
+        replay live)
+
+let check_divergence acc a b =
+  let at = min (s_head a) (s_head b) in
+  let where = Printf.sprintf "%s vs %s @ LSN %d" a.s_dir b.s_dir at in
+  match (materialize_at a ~at, materialize_at b ~at) with
+  | Error msg, _ ->
+    emit acc Warning "F017" where "cannot compare: %s (%s)" msg a.s_dir
+  | _, Error msg ->
+    emit acc Warning "F017" where "cannot compare: %s (%s)" msg b.s_dir
+  | Ok ca, Ok cb ->
+    let dom h = Hr_util.Symbol.name (Hierarchy.domain h) in
+    let doms c = List.sort compare (List.map dom (Catalog.hierarchies c)) in
+    let da, db = (doms ca, doms cb) in
+    if da <> db then
+      emit acc Critical "F016" where "hierarchy sets differ: [%s] vs [%s]"
+        (String.concat ", " da) (String.concat ", " db)
+    else
+      List.iter
+        (fun d ->
+          if
+            rendered_hierarchy (Catalog.hierarchy ca d)
+            <> rendered_hierarchy (Catalog.hierarchy cb d)
+          then
+            emit acc Critical "F016" where
+              "hierarchy %s differs between the two directories" d)
+        da;
+    let rels c =
+      List.sort compare (List.map Relation.name (Catalog.relations c))
+    in
+    let ra, rb = (rels ca, rels cb) in
+    if ra <> rb then
+      emit acc Critical "F016" where "relation sets differ: [%s] vs [%s]"
+        (String.concat ", " ra) (String.concat ", " rb)
+    else
+      List.iter
+        (fun n ->
+          let la = Catalog.relation ca n and lb = Catalog.relation cb n in
+          if
+            Schema.names (Relation.schema la) <> Schema.names (Relation.schema lb)
+          then
+            emit acc Critical "F016" where "relation %s: schemas differ" n
+          else if rendered_extension la <> rendered_extension lb then
+            emit acc Critical "F016" where
+              "relation %s: flattened extensions differ at LSN %d" n at)
+        ra
+
+(* ---- driver ---------------------------------------------------------- *)
+
+let run ?against dir =
+  Hr_obs.Metrics.incr m_runs;
+  let t0 = Hr_obs.Metrics.now_ns () in
+  let acc = { findings = [] } in
+  let st =
+    try inspect acc dir
+    with e ->
+      emit acc Critical "F000" dir "internal error: %s" (Printexc.to_string e);
+      None
+  in
+  (match against with
+  | None -> ()
+  | Some peer -> (
+    try
+      match (st, inspect acc peer) with
+      | Some a, Some b -> check_divergence acc a b
+      | _ ->
+        emit acc Warning "F017"
+          (Printf.sprintf "%s vs %s" dir peer)
+          "cannot compare: one side did not materialize"
+    with e ->
+      emit acc Critical "F000" peer "internal error: %s" (Printexc.to_string e)));
+  let findings = List.rev acc.findings in
+  let duration_ns = Hr_obs.Metrics.now_ns () - t0 in
+  Hr_obs.Metrics.observe h_duration duration_ns;
+  List.iter
+    (fun f ->
+      match f.severity with
+      | Critical -> Hr_obs.Metrics.incr m_critical
+      | Warning -> Hr_obs.Metrics.incr m_warning)
+    findings;
+  let hierarchies, relations =
+    match st with
+    | Some { s_cat = Some cat; _ } ->
+      (List.length (Catalog.hierarchies cat), List.length (Catalog.relations cat))
+    | _ -> (0, 0)
+  in
+  {
+    dir;
+    against;
+    findings;
+    wal_records =
+      (match st with Some s -> List.length s.s_scan.Wal.records | None -> 0);
+    hierarchies;
+    relations;
+    head_lsn = (match st with Some s -> s_head s | None -> 0);
+    base_lsn = (match st with Some s -> s.s_base | None -> 0);
+    duration_ns;
+  }
+
+let clean (r : report) = r.findings = []
+
+let has_critical (r : report) =
+  List.exists (fun f -> f.severity = Critical) r.findings
+
+let render_text (r : report) =
+  let buf = Buffer.create 256 in
+  let target =
+    match r.against with None -> r.dir | Some p -> r.dir ^ " (against " ^ p ^ ")"
+  in
+  (match r.findings with
+  | [] -> Buffer.add_string buf (Printf.sprintf "fsck %s: clean\n" target)
+  | fs ->
+    Buffer.add_string buf
+      (Printf.sprintf "fsck %s: %d finding%s\n" target (List.length fs)
+         (if List.length fs = 1 then "" else "s"));
+    List.iter
+      (fun f ->
+        Buffer.add_string buf
+          (Printf.sprintf "  [%s] %s %s: %s\n" f.code (severity_label f.severity)
+             f.where f.message))
+      fs);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  checked: %d wal record(s), %d hierarchies, %d relations; head LSN %d \
+        (base %d) in %.1fms\n"
+       r.wal_records r.hierarchies r.relations r.head_lsn r.base_lsn
+       (float_of_int r.duration_ns /. 1e6));
+  Buffer.contents buf
+
+let render_json (r : report) =
+  J.to_string
+    (J.Obj
+       [
+         ("dir", J.String r.dir);
+         ( "against",
+           match r.against with None -> J.Null | Some p -> J.String p );
+         ("clean", J.Bool (clean r));
+         ( "findings",
+           J.List
+             (List.map
+                (fun f ->
+                  J.Obj
+                    [
+                      ("code", J.String f.code);
+                      ("severity", J.String (severity_label f.severity));
+                      ("where", J.String f.where);
+                      ("message", J.String f.message);
+                    ])
+                r.findings) );
+         ("wal_records", J.Int r.wal_records);
+         ("hierarchies", J.Int r.hierarchies);
+         ("relations", J.Int r.relations);
+         ("head_lsn", J.Int r.head_lsn);
+         ("base_lsn", J.Int r.base_lsn);
+         ("duration_ns", J.Int r.duration_ns);
+       ])
+  ^ "\n"

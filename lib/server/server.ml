@@ -208,6 +208,22 @@ let handle t conn tag payload =
       else Hr_obs.Metrics.render_text snap
     in
     send_conn t conn "OK" body
+  | "FSCK" -> (
+    (* offline-style verification of the durable directory, served from
+       the running primary: read-only, never takes the lock, and runs
+       inside the single-threaded loop so no checkpoint races it *)
+    match t.backend with
+    | Memory _ ->
+      Hr_obs.Metrics.incr m_errors;
+      send_conn t conn "ERR" "fsck requires a durable backend (start with -d DIR)"
+    | Durable db ->
+      let report = Hr_check.Fsck.run (Hr_storage.Db.dir db) in
+      let body =
+        if String.lowercase_ascii (String.trim payload) = "json" then
+          Hr_check.Fsck.render_json report
+        else Hr_check.Fsck.render_text report
+      in
+      send_conn t conn "OK" body)
   | tag when tag = Wire.repl_subscribe -> (
     match t.backend with
     | Memory _ ->
@@ -439,6 +455,7 @@ module Client = struct
   let exec conn script = request conn "EXEC" script
   let lint conn script = request conn "LINT" script
   let stats ?(json = false) conn = request conn "STATS" (if json then "json" else "")
+  let fsck ?(json = false) conn = request conn "FSCK" (if json then "json" else "")
 
   let send conn tag payload = Wire.send conn tag payload
 

@@ -20,6 +20,12 @@
     also counts connections, frames and per-frame latency — metric names
     are catalogued in [docs/OBSERVABILITY.md].
 
+    An [FSCK] request (durable backends only) runs {!Hr_check.Fsck.run}
+    over the server's own database directory and returns the report — a
+    payload of ["json"] selects the JSON rendering. The check is
+    read-only and runs inside the event loop, so it can never race a
+    checkpoint. In-memory backends answer [ERR].
+
     {b Replication} (durable backends only; protocol and failure matrix
     in [docs/REPLICATION.md]): a [REPL_SUBSCRIBE] frame carrying the
     subscriber's last applied LSN turns its connection into a
@@ -111,6 +117,11 @@ module Client : sig
   val stats : ?json:bool -> conn -> (string, string) result
   (** Fetches the server's metrics snapshot, as text or (with
       [~json:true]) as the documented JSON object. *)
+
+  val fsck : ?json:bool -> conn -> (string, string) result
+  (** Asks a durable server to verify its own database directory
+      ({!Hr_check.Fsck}); returns the rendered report. In-memory
+      backends answer [Error]. *)
 
   val send : conn -> string -> string -> unit
   (** Writes one raw request frame without waiting for the reply. Paired

@@ -34,6 +34,7 @@ let snapshot_path dir = Filename.concat dir "snapshot.bin"
 let wal_path dir = Filename.concat dir "wal.log"
 let lock_path dir = Filename.concat dir "LOCK"
 let meta_path dir = Filename.concat dir "meta"
+let graphs_path dir = Filename.concat dir "graphs.bin"
 
 (* One writer per directory: an OS-level advisory lock on a LOCK file.
    The lock dies with the process, so a crash never wedges the db. *)
@@ -75,8 +76,9 @@ let open_dir ?(auto_checkpoint_every = 10_000) dir =
     else Catalog.create ()
   in
   let base_lsn = read_meta dir in
-  let records, torn = Wal.replay (wal_path dir) in
-  (match torn with
+  let scan = Wal.recover (wal_path dir) in
+  let records = scan.Wal.records in
+  (match scan.Wal.tail with
   | None -> ()
   | Some { Wal.dropped_bytes; dropped_records } ->
     (* Data-loss-free truncation: only unacknowledged bytes past the
@@ -85,7 +87,12 @@ let open_dir ?(auto_checkpoint_every = 10_000) dir =
       "hrdb: warning: %s had a torn tail; dropped %d byte(s) (~%d record(s)) past the \
        last intact record\n\
        %!"
-      (wal_path dir) dropped_bytes dropped_records);
+      (wal_path dir) dropped_bytes dropped_records;
+    (* Repair the file too: appending after unreadable garbage would
+       strand every post-recovery record beyond the next replay's stop
+       point, silently losing acknowledged statements on the reopen
+       after this one. *)
+    Wal.truncate_to (wal_path dir) scan.Wal.ok_bytes);
   (* A crash between writing snapshot.bin + meta and truncating the WAL
      leaves records with lsn <= base_lsn in the file; the snapshot
      already contains them, so replaying them would double-apply (or
@@ -119,6 +126,7 @@ let open_dir ?(auto_checkpoint_every = 10_000) dir =
   }
 
 let catalog t = t.catalog
+let dir t = t.dir
 
 let mutating = function
   | Ast.Create_domain _ | Ast.Create_class _ | Ast.Create_instance _ | Ast.Create_isa _
@@ -177,6 +185,7 @@ let log_statement t source =
 let checkpoint t =
   Hr_obs.Metrics.incr m_checkpoints;
   Snapshot.write_file t.catalog (snapshot_path t.dir);
+  Graph_store.write_file t.catalog (graphs_path t.dir);
   write_meta t.dir t.lsn;
   Wal.close t.wal;
   Wal.truncate (wal_path t.dir);
@@ -248,6 +257,7 @@ let install_snapshot t ~lsn image =
   | catalog ->
     t.catalog <- catalog;
     Snapshot.write_file catalog (snapshot_path t.dir);
+    Graph_store.write_file catalog (graphs_path t.dir);
     write_meta t.dir lsn;
     Wal.close t.wal;
     Wal.truncate (wal_path t.dir);

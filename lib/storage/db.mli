@@ -29,7 +29,9 @@ val open_dir : ?auto_checkpoint_every:int -> string -> t
     directory fails with [Failure] rather than corrupting the log. The
     lock is released by {!close} or process exit. If recovery dropped a
     torn WAL tail, a warning with the dropped byte/record counts is
-    printed to stderr (and counted in [storage.wal.torn_tail_*]).
+    printed to stderr (and counted in [storage.wal.torn_tail_*]), and
+    the log file is truncated back to the last intact record so
+    subsequent appends land on a record boundary.
     Recovery replays only records with LSN past the snapshot's
     [base_lsn], so a crash between a checkpoint's snapshot write and its
     WAL truncation cannot double-apply.
@@ -41,6 +43,10 @@ val open_dir : ?auto_checkpoint_every:int -> string -> t
 
 val catalog : t -> Hierel.Catalog.t
 
+val dir : t -> string
+(** The directory this database was opened on (for diagnostics and the
+    server's [FSCK] endpoint). *)
+
 val exec : t -> string -> (string list, string) result
 (** Runs an HRQL script (one or more statements). Every successful
     statement that changes durable state (CREATE / DROP / INSERT /
@@ -50,8 +56,9 @@ val exec : t -> string -> (string list, string) result
     script-level, atomicity). *)
 
 val checkpoint : t -> unit
-(** Writes [snapshot.bin], records [base_lsn = lsn] in [meta] and
-    truncates [wal.log]. *)
+(** Writes [snapshot.bin] and the [graphs.bin] subsumption-graph sidecar
+    ({!Graph_store}), records [base_lsn = lsn] in [meta] and truncates
+    [wal.log]. *)
 
 val close : t -> unit
 

@@ -1,0 +1,102 @@
+module W = Codec.Writer
+module R = Codec.Reader
+open Hierel
+
+exception Corrupt_graphs of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt_graphs s)) fmt
+
+let magic = "HRELGRPH"
+let version = 1
+
+type graph = { tuples : (Types.sign * string) list; edges : (int * int) list }
+
+(* Tuples are rendered by label, not node id: node ids depend on the
+   order a catalog was built in, while labels survive a decode/re-encode
+   round trip, so the stored bytes are comparable across processes. *)
+let graph_of_relation rel =
+  let sub = Subsumption.build rel in
+  let schema = Relation.schema rel in
+  let tuples =
+    List.init (Subsumption.tuple_count sub) (fun i ->
+        let t = Subsumption.tuple sub i in
+        (t.Relation.sign, Item.to_string schema t.Relation.item))
+  in
+  let edges =
+    List.concat_map
+      (fun u -> List.map (fun v -> (u, v)) (Subsumption.succs sub u))
+      (Subsumption.topological sub)
+    |> List.sort compare
+  in
+  { tuples; edges }
+
+let of_catalog cat =
+  Catalog.relations cat
+  |> List.sort (fun a b -> String.compare (Relation.name a) (Relation.name b))
+  |> List.map (fun rel -> (Relation.name rel, graph_of_relation rel))
+
+let encode cat =
+  let w = W.create () in
+  W.list w
+    (fun w (name, { tuples; edges }) ->
+      W.string w name;
+      W.list w
+        (fun w (sign, item) ->
+          W.u8 w (match sign with Types.Pos -> 1 | Types.Neg -> 0);
+          W.string w item)
+        tuples;
+      W.list w
+        (fun w (u, v) ->
+          W.u32 w u;
+          W.u32 w v)
+        edges)
+    (of_catalog cat);
+  let body = W.contents w in
+  let out = W.create () in
+  W.string out magic;
+  W.u32 out version;
+  W.string out body;
+  W.u32 out (Int32.to_int (Codec.crc32 body) land 0xFFFFFFFF);
+  W.contents out
+
+let decode data =
+  try
+    let r = R.of_string data in
+    let m = R.string r in
+    if m <> magic then corrupt "bad magic %S" m;
+    let v = R.u32 r in
+    if v <> version then corrupt "unsupported graph-store version %d" v;
+    let body = R.string r in
+    let crc = R.u32 r in
+    let actual = Int32.to_int (Codec.crc32 body) land 0xFFFFFFFF in
+    if crc <> actual then corrupt "CRC mismatch: stored %08x, computed %08x" crc actual;
+    let r = R.of_string body in
+    R.list r (fun r ->
+        let name = R.string r in
+        let tuples =
+          R.list r (fun r ->
+              let sign = if R.u8 r = 1 then Types.Pos else Types.Neg in
+              let item = R.string r in
+              (sign, item))
+        in
+        let edges =
+          R.list r (fun r ->
+              let u = R.u32 r in
+              let v = R.u32 r in
+              (u, v))
+        in
+        (name, { tuples; edges }))
+  with R.Corrupt msg -> corrupt "%s" msg
+
+let write_file cat path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (encode cat))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  decode data

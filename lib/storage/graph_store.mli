@@ -1,0 +1,38 @@
+(** Durable subsumption graphs — the [graphs.bin] checkpoint sidecar.
+
+    The paper requires every relation's subsumption graph to be exactly
+    the transitive reduction of the strict item-subsumption order
+    (§2.1); consolidation and explication both traverse it, so a stale
+    or corrupted stored graph silently changes their results. At each
+    checkpoint {!Hr_storage.Db} persists a canonical rendering of every
+    relation's graph next to [snapshot.bin]; [hrdb fsck] recomputes the
+    graphs from the snapshot and demands byte-equality.
+
+    The encoding is canonical — relations sorted by name, tuples in
+    {!Hierel.Relation.tuples} order rendered by label (node ids are
+    process-dependent; labels are not), edges sorted — so two encodings
+    of semantically equal catalogs are byte-equal. Framing matches
+    {!Snapshot}: magic, version, length-prefixed body, CRC-32. *)
+
+exception Corrupt_graphs of string
+
+type graph = {
+  tuples : (Hierel.Types.sign * string) list;
+      (** sign and rendered item, indexed [0 .. n-1]; the virtual
+          universal negated root is node [n] and is not listed *)
+  edges : (int * int) list;
+      (** transitive-reduction edges over node ids, sorted *)
+}
+
+val graph_of_relation : Hierel.Relation.t -> graph
+(** The canonical graph, recomputed from the relation's tuples. *)
+
+val of_catalog : Hierel.Catalog.t -> (string * graph) list
+(** Every relation's recomputed graph, sorted by relation name. *)
+
+val encode : Hierel.Catalog.t -> string
+val decode : string -> (string * graph) list
+(** Raises {!Corrupt_graphs} on bad magic, version, framing or CRC. *)
+
+val write_file : Hierel.Catalog.t -> string -> unit
+val read_file : string -> (string * graph) list

@@ -4,6 +4,13 @@ module R = Codec.Reader
 type record = { lsn : int; stmt : string }
 type torn_tail = { dropped_bytes : int; dropped_records : int }
 
+type scan_result = {
+  records : record list;
+  ok_bytes : int;
+  total_bytes : int;
+  tail : torn_tail option;
+}
+
 type t = { path : string; oc : out_channel }
 
 (* Every append is flushed before returning, so fsyncs tracks appends
@@ -54,8 +61,12 @@ let count_tail_records r =
   in
   loop 0
 
-let replay path =
-  if not (Sys.file_exists path) then ([], None)
+(* The one WAL record reader: recovery replay, replication streaming and
+   fsck all go through here, so the three cannot drift on framing or
+   torn-tail handling. Pure — no metrics, no side effects. *)
+let scan path =
+  if not (Sys.file_exists path) then
+    { records = []; ok_bytes = 0; total_bytes = 0; tail = None }
   else begin
     let ic = open_in_bin path in
     let data =
@@ -75,25 +86,43 @@ let replay path =
           let crc = R.u32 r in
           if record_crc lsn stmt <> crc then None else Some { lsn; stmt }
         with
-        | Some rec_ ->
-          Hr_obs.Metrics.incr m_replayed;
-          loop (rec_ :: acc) (consumed ())
+        | Some rec_ -> loop (rec_ :: acc) (consumed ())
         | None -> (List.rev acc, ok_end) (* corrupt record: drop the tail *)
         | exception R.Corrupt _ -> (List.rev acc, ok_end) (* torn tail *)
     in
     let records, ok_end = loop [] 0 in
-    if ok_end = total then (records, None)
+    if ok_end = total then
+      { records; ok_bytes = ok_end; total_bytes = total; tail = None }
     else begin
       let dropped_bytes = total - ok_end in
-      let tail = R.of_string (String.sub data ok_end dropped_bytes) in
-      let dropped_records = count_tail_records tail in
-      Hr_obs.Metrics.add m_torn_bytes dropped_bytes;
-      Hr_obs.Metrics.add m_torn_records dropped_records;
-      (records, Some { dropped_bytes; dropped_records })
+      let tail_r = R.of_string (String.sub data ok_end dropped_bytes) in
+      let dropped_records = count_tail_records tail_r in
+      {
+        records;
+        ok_bytes = ok_end;
+        total_bytes = total;
+        tail = Some { dropped_bytes; dropped_records };
+      }
     end
   end
 
-let records path = fst (replay path)
+(* Recovery wrapper: the same scan, with the replay / torn-tail metrics
+   the observability layer documents. *)
+let recover path =
+  let s = scan path in
+  Hr_obs.Metrics.add m_replayed (List.length s.records);
+  (match s.tail with
+  | None -> ()
+  | Some { dropped_bytes; dropped_records } ->
+    Hr_obs.Metrics.add m_torn_bytes dropped_bytes;
+    Hr_obs.Metrics.add m_torn_records dropped_records);
+  s
+
+let replay path =
+  let s = recover path in
+  (s.records, s.tail)
+
+let records path = (scan path).records
 
 let stream_from t lsn =
   let all = records t.path in
@@ -102,3 +131,9 @@ let stream_from t lsn =
 let truncate path =
   let oc = open_out_gen [ Open_trunc; Open_creat; Open_binary ] 0o644 path in
   close_out oc
+
+let truncate_to path bytes =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> Unix.ftruncate fd bytes)

@@ -12,7 +12,10 @@
 
     Recovery replays records in order and stops at the first torn or
     corrupt record (a crash mid-append); the dropped tail is measured
-    and reported rather than silently discarded. *)
+    and reported rather than silently discarded. There is exactly one
+    record reader — {!scan} — shared by recovery, replication streaming
+    and [hrdb fsck], so the three cannot drift on framing or torn-tail
+    handling. *)
 
 type record = { lsn : int; stmt : string }
 
@@ -21,6 +24,15 @@ type torn_tail = {
   dropped_records : int;
       (** structurally parseable records in the dropped tail (a torn
           final record counts as one) *)
+}
+
+type scan_result = {
+  records : record list;  (** intact records, in append order *)
+  ok_bytes : int;
+      (** byte offset just past the last intact record — the safe
+          truncation point for a torn tail *)
+  total_bytes : int;  (** the file's size ([ok_bytes] when clean) *)
+  tail : torn_tail option;  (** the dropped tail, if any *)
 }
 
 type t
@@ -33,15 +45,23 @@ val append : t -> lsn:int -> string -> unit
 
 val close : t -> unit
 
+val scan : string -> scan_result
+(** The single shared record reader: every intact record in the file, in
+    append order, plus the accounting of any torn or corrupt tail. Pure —
+    touches no metrics. An absent file scans as empty. *)
+
+val recover : string -> scan_result
+(** {!scan}, plus the recovery-side metrics ([storage.wal.replayed],
+    [storage.wal.torn_tail_*]). The open path uses this; read-only
+    inspectors (fsck, streaming) use {!scan}. *)
+
 val replay : string -> record list * torn_tail option
-(** All intact records in the file, in append order; [[]] if the file
-    does not exist. A trailing partial or corrupt record stops the
-    replay; when that happens the second component describes the dropped
-    tail (also counted in the [storage.wal.torn_tail_*] metrics). *)
+(** [recover] in its historical shape: the intact records and the tail
+    report. *)
 
 val records : string -> record list
-(** {!replay} without the tail report (convenience for callers that
-    already surfaced it). *)
+(** {!scan} projected to just the records (convenience for callers that
+    already surfaced the tail). *)
 
 val stream_from : t -> int -> record Seq.t
 (** [stream_from t lsn] — the intact records with LSN strictly greater
@@ -51,3 +71,8 @@ val stream_from : t -> int -> record Seq.t
 
 val truncate : string -> unit
 (** Empties the log (after a successful checkpoint). *)
+
+val truncate_to : string -> int -> unit
+(** Truncates the file to the given byte length — the recovery path's
+    repair for a torn tail ({!scan_result.ok_bytes}), so the next append
+    lands on a record boundary instead of after unreadable garbage. *)

@@ -57,7 +57,7 @@ on_primary "CREATE DOMAIN animal; CREATE CLASS bird UNDER animal;
             INSERT INTO flies VALUES (+ ALL bird), (- ALL penguin);" >/dev/null
 
 echo "== attach replica (port $RPORT)"
-"$REPLICA" -P "$PPORT" -d "$WORK/replica" -p "$RPORT" --backoff-max 0.5 &
+"$REPLICA" -P "$PPORT" -d "$WORK/replica" -p "$RPORT" --backoff-max 0.5 --verify &
 REPLICA_PID=$!
 wait_ready "$RPORT" replica
 
@@ -111,5 +111,17 @@ reconnects=$(metric "$RPORT" repl.reconnects)
 [ -n "$shipped" ] && [ "$shipped" -gt 0 ] || fail "repl.records_shipped=$shipped"
 [ -n "$applied" ] && [ "$applied" -gt 0 ] || fail "repl.records_applied=$applied"
 [ -n "$reconnects" ] && [ "$reconnects" -gt 0 ] || fail "repl.reconnects=$reconnects"
+
+echo "== offline fsck of both directories, then the divergence cross-check"
+kill -9 "$REPLICA_PID" 2>/dev/null || true
+wait "$REPLICA_PID" 2>/dev/null || true
+REPLICA_PID=
+kill -9 "$PRIMARY_PID" 2>/dev/null || true
+wait "$PRIMARY_PID" 2>/dev/null || true
+PRIMARY_PID=
+"$HRDB" fsck "$WORK/primary" || fail "fsck primary (exit $?)"
+"$HRDB" fsck "$WORK/replica" || fail "fsck replica (exit $?)"
+"$HRDB" fsck --against "$WORK/primary" "$WORK/replica" \
+  || fail "fsck divergence cross-check (exit $?)"
 
 echo "repl_smoke: OK (shipped=$shipped applied=$applied reconnects=$reconnects)"

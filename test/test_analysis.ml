@@ -148,6 +148,83 @@ let test_w105 () =
   check_codes "narrowing ANDed selections" []
     (world ^ "SELECT * FROM flies WHERE who = bird AND who = tweety;")
 
+let seeded_catalog () =
+  let cat = Catalog.create () in
+  match Eval.run_script cat world with
+  | Ok _ -> cat
+  | Error e -> Alcotest.failf "world script failed: %s" e
+
+let test_w106 () =
+  check_codes "write deleted before any read" [ "W106" ]
+    (world
+   ^ "INSERT INTO flies VALUES (+ rex);\nDELETE FROM flies VALUES (rex);");
+  check_codes "write destroyed by DROP RELATION" [ "W106" ]
+    (world ^ "INSERT INTO flies VALUES (+ rex);\nDROP RELATION flies;");
+  check_codes "a read in between keeps the write live" []
+    (world
+   ^ "INSERT INTO flies VALUES (+ rex);\n\
+      SELECT * FROM flies;\n\
+      DELETE FROM flies VALUES (rex);")
+
+let test_w106_no_provenance () =
+  (* rows that pre-exist in a live catalog were not written by the
+     script, so deleting them is not a dead write *)
+  let cat = seeded_catalog () in
+  (match Eval.run_script cat "INSERT INTO flies VALUES (+ tweety);" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "seed insert failed: %s" e);
+  Alcotest.(check (list string))
+    "no W106 on pre-existing rows" []
+    (codes ~catalog:cat "DELETE FROM flies VALUES (tweety);")
+
+let test_w107 () =
+  check_codes "patchwork of narrower tuples makes the row a no-op" [ "W107" ]
+    (world
+   ^ "INSERT INTO flies VALUES (+ ALL penguin), (+ tweety);\n\
+      INSERT INTO flies VALUES (+ ALL bird);");
+  check_codes "exact same-sign duplicate is a no-op" [ "W107" ]
+    (world
+   ^ "INSERT INTO flies VALUES (+ ALL bird);\nINSERT INTO flies VALUES (+ ALL bird);");
+  check_codes "an uncovered instance keeps the row live" []
+    (world
+   ^ "INSERT INTO flies VALUES (+ ALL penguin);\n\
+      INSERT INTO flies VALUES (+ ALL bird);")
+
+let test_w108 () =
+  check_codes "cross-statement contradiction" [ "W108" ]
+    (world
+   ^ "INSERT INTO flies VALUES (+ rex);\nINSERT INTO flies VALUES (- rex);");
+  (* within one statement the overwrite is a plain direct contradiction *)
+  check_codes "same-statement contradiction stays W104" [ "W104" ]
+    (world ^ "INSERT INTO flies VALUES (+ rex), (- rex);")
+
+let test_w108_no_provenance () =
+  (* contradicting a tuple the script did not assert is W104, not W108 *)
+  let cat = seeded_catalog () in
+  (match Eval.run_script cat "INSERT INTO flies VALUES (+ rex);" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "seed insert failed: %s" e);
+  Alcotest.(check (list string))
+    "contradiction against catalog data is W104" [ "W104" ]
+    (codes ~catalog:cat "INSERT INTO flies VALUES (- rex);")
+
+let test_w109 () =
+  check_codes "exception covering the whole generalization" [ "W109" ]
+    (world
+   ^ "INSERT INTO flies VALUES (+ ALL penguin);\n\
+      INSERT INTO flies VALUES (- opus);");
+  check_codes "exception carving a strict subset is fine" []
+    (world
+   ^ "INSERT INTO flies VALUES (+ ALL bird);\nINSERT INTO flies VALUES (- opus);")
+
+let test_h203 () =
+  check_codes "CONSOLIDATE replays from source" [ "H203" ]
+    (world ^ "CONSOLIDATE flies;");
+  check_codes "EXPLICATE replays from source" [ "H203" ]
+    (world ^ "INSERT INTO flies VALUES (+ ALL bird);\nEXPLICATE flies;");
+  check_codes "CONSOLIDATE of an unknown relation is E001" [ "E001" ]
+    (world ^ "CONSOLIDATE nosuch;")
+
 let test_h201 () =
   check_codes "bare class in an insert row" [ "H201" ]
     (world ^ "INSERT INTO flies VALUES (+ bird);");
@@ -222,20 +299,15 @@ let test_golden () =
   Alcotest.(check string) "full report matches" expected actual;
   let all_codes = codes script in
   Alcotest.(check (list string))
-    "all seventeen codes, in order"
+    "all twenty-two codes, in order"
     [
       "E001"; "E002"; "E003"; "E004"; "E005"; "E006"; "E007"; "E008"; "E009";
-      "E010"; "W101"; "W102"; "W103"; "W104"; "W105"; "H201"; "H202";
+      "E010"; "W101"; "W102"; "W103"; "W104"; "W105"; "W106"; "W107"; "W108";
+      "W109"; "H201"; "H202"; "H203";
     ]
     all_codes
 
 (* -- analysis against a live catalog ------------------------------------ *)
-
-let seeded_catalog () =
-  let cat = Catalog.create () in
-  match Eval.run_script cat world with
-  | Ok _ -> cat
-  | Error e -> Alcotest.failf "world script failed: %s" e
 
 let test_catalog_seeding () =
   let cat = seeded_catalog () in
@@ -336,8 +408,15 @@ let suite =
     Alcotest.test_case "W103 shadowed negation" `Quick test_w103;
     Alcotest.test_case "W104 ambiguity conflict" `Quick test_w104;
     Alcotest.test_case "W105 unsatisfiable selection" `Quick test_w105;
+    Alcotest.test_case "W106 dead write" `Quick test_w106;
+    Alcotest.test_case "W106 needs script provenance" `Quick test_w106_no_provenance;
+    Alcotest.test_case "W107 no-op under flattening" `Quick test_w107;
+    Alcotest.test_case "W108 cross-statement contradiction" `Quick test_w108;
+    Alcotest.test_case "W108 needs script provenance" `Quick test_w108_no_provenance;
+    Alcotest.test_case "W109 exception erases generalization" `Quick test_w109;
     Alcotest.test_case "H201 bare class value" `Quick test_h201;
     Alcotest.test_case "H202 projection drops exceptions" `Quick test_h202;
+    Alcotest.test_case "H203 replica replay advisory" `Quick test_h203;
     Alcotest.test_case "cascade suppression" `Quick test_poisoning;
     Alcotest.test_case "diagnostic spans" `Quick test_spans;
     Alcotest.test_case "lexer positions" `Quick test_lexer_spans;

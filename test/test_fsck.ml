@@ -1,0 +1,327 @@
+(* hrdb fsck: offline verification of a database directory. Each
+   seeded-corruption test plants one specific fault and asserts the one
+   finding code that names it; the clean tests pin the zero-findings
+   guarantee on freshly produced directories. *)
+
+module Db = Hr_storage.Db
+module Wal = Hr_storage.Wal
+module Fsck = Hr_check.Fsck
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "hrfsck" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let with_two_dirs f = with_temp_dir (fun a -> with_temp_dir (fun b -> f a b))
+
+let exec db script =
+  match Db.exec db script with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "exec failed: %s" e
+
+(* Statements sent one per [exec] so each becomes its own WAL record. *)
+let world =
+  [
+    "CREATE DOMAIN animal;";
+    "CREATE CLASS bird UNDER animal;";
+    "CREATE CLASS penguin UNDER bird;";
+    "CREATE INSTANCE tweety OF bird;";
+    "CREATE INSTANCE opus OF penguin;";
+    "CREATE RELATION flies (who: animal);";
+    "INSERT INTO flies VALUES (+ ALL bird);";
+  ]
+
+let seed dir =
+  let db = Db.open_dir dir in
+  List.iter (exec db) world;
+  db
+
+let codes (r : Fsck.report) = List.map (fun f -> f.Fsck.code) r.Fsck.findings
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_bytes path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc data)
+
+let copy_file src dst = write_bytes dst (read_bytes src)
+
+let wal dir = Filename.concat dir "wal.log"
+let meta dir = Filename.concat dir "meta"
+let graphs dir = Filename.concat dir "graphs.bin"
+
+(* ---- clean directories ------------------------------------------------ *)
+
+let test_clean_checkpointed () =
+  with_temp_dir (fun dir ->
+      let db = seed dir in
+      Db.checkpoint db;
+      Db.close db;
+      let r = Fsck.run dir in
+      Alcotest.(check (list string)) "no findings" [] (codes r);
+      Alcotest.(check bool) "clean" true (Fsck.clean r);
+      Alcotest.(check int) "wal truncated" 0 r.Fsck.wal_records;
+      Alcotest.(check int) "base = head" r.Fsck.head_lsn r.Fsck.base_lsn;
+      Alcotest.(check int) "head advanced" (List.length world) r.Fsck.head_lsn;
+      Alcotest.(check int) "hierarchies counted" 1 r.Fsck.hierarchies;
+      Alcotest.(check int) "relations counted" 1 r.Fsck.relations)
+
+let test_clean_wal_only () =
+  with_temp_dir (fun dir ->
+      let db = seed dir in
+      Db.close db;
+      let r = Fsck.run dir in
+      Alcotest.(check (list string)) "no findings" [] (codes r);
+      Alcotest.(check int) "all records intact" (List.length world) r.Fsck.wal_records;
+      Alcotest.(check int) "no snapshot yet" 0 r.Fsck.base_lsn)
+
+let test_not_a_db_dir () =
+  let r = Fsck.run "/nonexistent/path/to/nowhere" in
+  Alcotest.(check (list string)) "F001" [ "F001" ] (codes r);
+  Alcotest.(check bool) "critical" true (Fsck.has_critical r)
+
+(* ---- the four seeded corruptions -------------------------------------- *)
+
+(* Flip one byte inside the first record's statement: the record's CRC
+   no longer matches, and every intact-looking record after it is
+   unreachable — mid-log corruption, not a crash-torn tail. *)
+let test_flipped_byte_mid_wal () =
+  with_temp_dir (fun dir ->
+      let db = seed dir in
+      Db.close db;
+      let data = read_bytes (wal dir) in
+      (* record layout: u64 lsn ++ u32 len ++ stmt ++ u32 crc; byte 12 is
+         the first byte of record 1's statement *)
+      let b = Bytes.of_string data in
+      Bytes.set b 12 (Char.chr (Char.code (Bytes.get b 12) lxor 0xff));
+      write_bytes (wal dir) (Bytes.to_string b);
+      let r = Fsck.run dir in
+      Alcotest.(check bool) "F006 reported" true (List.mem "F006" (codes r));
+      Alcotest.(check bool) "critical" true (Fsck.has_critical r))
+
+let test_redundant_isa_edge () =
+  with_temp_dir (fun dir ->
+      let db = seed dir in
+      (* penguin -> animal is implied via bird; the evaluator accepts it
+         and the WAL faithfully records it *)
+      exec db "CREATE ISA penguin UNDER animal;";
+      Db.close db;
+      let r = Fsck.run dir in
+      Alcotest.(check (list string)) "F012 and nothing else" [ "F012" ] (codes r);
+      Alcotest.(check bool) "warning only" false (Fsck.has_critical r))
+
+let test_stale_graphs_sidecar () =
+  with_temp_dir (fun dir ->
+      let db = seed dir in
+      Db.checkpoint db;
+      let old = read_bytes (graphs dir) in
+      exec db "INSERT INTO flies VALUES (- ALL penguin);";
+      Db.checkpoint db;
+      Db.close db;
+      (* the sidecar from the earlier checkpoint no longer matches the
+         snapshot's subsumption graphs *)
+      write_bytes (graphs dir) old;
+      let r = Fsck.run dir in
+      Alcotest.(check (list string)) "F014 and nothing else" [ "F014" ] (codes r);
+      Alcotest.(check bool) "critical" true (Fsck.has_critical r))
+
+let test_mismatched_base_lsn () =
+  with_temp_dir (fun dir ->
+      let db = seed dir in
+      Db.checkpoint db;
+      exec db "INSERT INTO flies VALUES (+ opus);";
+      Db.close db;
+      let base = List.length world in
+      write_bytes (meta dir) (Printf.sprintf "base_lsn=%d\n" (base - 2));
+      let r = Fsck.run dir in
+      Alcotest.(check bool) "F009 reported" true (List.mem "F009" (codes r));
+      Alcotest.(check bool) "critical" true (Fsck.has_critical r))
+
+(* ---- tails, sidecars, semantic state ----------------------------------- *)
+
+let test_torn_tail_is_warning () =
+  with_temp_dir (fun dir ->
+      let db = seed dir in
+      Db.close db;
+      let data = read_bytes (wal dir) in
+      write_bytes (wal dir) (String.sub data 0 (String.length data - 3));
+      let r = Fsck.run dir in
+      Alcotest.(check (list string)) "F005 and nothing else" [ "F005" ] (codes r);
+      Alcotest.(check bool) "warning only" false (Fsck.has_critical r);
+      Alcotest.(check int) "intact prefix replayed"
+        (List.length world - 1)
+        r.Fsck.wal_records)
+
+(* Regression for the recovery repair: before [Db.open_dir] truncated
+   torn tails, a record appended after the garbage was stranded behind
+   it and silently lost at the next recovery. *)
+let test_torn_tail_truncated_on_reopen () =
+  with_temp_dir (fun dir ->
+      let db = seed dir in
+      Db.close db;
+      let data = read_bytes (wal dir) in
+      write_bytes (wal dir) (String.sub data 0 (String.length data - 3));
+      let db = Db.open_dir dir in
+      exec db "INSERT INTO flies VALUES (- ALL penguin);";
+      Db.close db;
+      let scan = Wal.scan (wal dir) in
+      Alcotest.(check bool) "no torn tail left" true (scan.Wal.tail = None);
+      Alcotest.(check int) "append after repair survives" (List.length world)
+        (List.length scan.Wal.records);
+      let r = Fsck.run dir in
+      Alcotest.(check (list string)) "clean after repair" [] (codes r);
+      (* and the appended record is really part of the replayed state *)
+      let db = Db.open_dir dir in
+      (match Db.exec db "ASK flies (opus);" with
+      | Ok [ out ] ->
+        Alcotest.(check string) "negation applied" "- (by (V penguin))" out
+      | Ok _ | Error _ -> Alcotest.fail "ask after reopen failed");
+      Db.close db)
+
+let test_missing_graphs_sidecar () =
+  with_temp_dir (fun dir ->
+      let db = seed dir in
+      Db.checkpoint db;
+      Db.close db;
+      Sys.remove (graphs dir);
+      let r = Fsck.run dir in
+      Alcotest.(check (list string)) "F015 and nothing else" [ "F015" ] (codes r);
+      Alcotest.(check bool) "warning only" false (Fsck.has_critical r))
+
+let test_ambiguous_relation () =
+  with_temp_dir (fun dir ->
+      let db = seed dir in
+      (* swimmer and bird end up incomparable over penguin: the paper's
+         ambiguity pattern. The evaluator rejects an INSERT that would
+         create it directly, so the conflict is smuggled in through a
+         later hierarchy edit — exactly the latent corruption fsck is
+         for. *)
+      exec db "CREATE CLASS swimmer UNDER animal;";
+      exec db "INSERT INTO flies VALUES (- ALL swimmer);";
+      exec db "CREATE ISA penguin UNDER swimmer;";
+      Db.close db;
+      let r = Fsck.run dir in
+      Alcotest.(check (list string)) "F018 and nothing else" [ "F018" ] (codes r);
+      Alcotest.(check bool) "warning only" false (Fsck.has_critical r))
+
+(* ---- divergence -------------------------------------------------------- *)
+
+let test_divergence_detected () =
+  with_two_dirs (fun a b ->
+      let da = seed a and db_ = seed b in
+      exec da "INSERT INTO flies VALUES (+ tweety);";
+      exec db_ "INSERT INTO flies VALUES (- tweety);";
+      Db.close da;
+      Db.close db_;
+      let r = Fsck.run ~against:b a in
+      Alcotest.(check (list string)) "F016 and nothing else" [ "F016" ] (codes r);
+      Alcotest.(check bool) "critical" true (Fsck.has_critical r))
+
+let test_caught_up_replica_clean () =
+  with_two_dirs (fun a b ->
+      let da = seed a in
+      Db.close da;
+      (* b is a caught-up copy; a then commits one more record — the
+         comparison happens at the greatest common LSN *)
+      copy_file (wal a) (wal b);
+      let da = Db.open_dir a in
+      exec da "INSERT INTO flies VALUES (- ALL penguin);";
+      Db.close da;
+      let r = Fsck.run ~against:b a in
+      Alcotest.(check (list string)) "no findings" [] (codes r);
+      Alcotest.(check bool) "clean" true (Fsck.clean r))
+
+let test_checkpoint_past_peer_not_comparable () =
+  with_two_dirs (fun a b ->
+      let da = seed a in
+      Db.close da;
+      copy_file (wal a) (wal b);
+      let da = Db.open_dir a in
+      exec da "INSERT INTO flies VALUES (- ALL penguin);";
+      exec da "INSERT INTO flies VALUES (+ opus);";
+      Db.checkpoint da;
+      Db.close da;
+      (* a's snapshot now covers LSNs past b's head: no common
+         materialization point exists *)
+      let r = Fsck.run ~against:b a in
+      Alcotest.(check (list string)) "F017 and nothing else" [ "F017" ] (codes r);
+      Alcotest.(check bool) "warning only" false (Fsck.has_critical r))
+
+(* ---- plumbing ---------------------------------------------------------- *)
+
+let test_metrics_counted () =
+  let before = Hr_obs.Metrics.counter_value "fsck.runs" in
+  with_temp_dir (fun dir ->
+      let db = seed dir in
+      Db.close db;
+      ignore (Fsck.run dir));
+  Alcotest.(check bool) "fsck.runs incremented" true
+    (Hr_obs.Metrics.counter_value "fsck.runs" > before)
+
+let test_render_json_shape () =
+  with_temp_dir (fun dir ->
+      let db = seed dir in
+      Db.close db;
+      let j = Fsck.render_json (Fsck.run dir) in
+      List.iter
+        (fun needle ->
+          let contains s sub =
+            let n = String.length sub in
+            let rec go i =
+              i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) (needle ^ " present") true (contains j needle))
+        [ "\"clean\":true"; "\"findings\":[]"; "\"wal_records\":7" ])
+
+let test_never_raises () =
+  (* a file where a directory should be, and a directory of garbage *)
+  with_temp_dir (fun dir ->
+      let file = Filename.concat dir "afile" in
+      write_bytes file "not a database";
+      let r = Fsck.run file in
+      Alcotest.(check bool) "file: findings, no exception" false (Fsck.clean r);
+      write_bytes (wal dir) "garbage garbage garbage";
+      write_bytes (meta dir) "nonsense";
+      write_bytes (Filename.concat dir "snapshot.bin") "junk";
+      let r = Fsck.run dir in
+      Alcotest.(check bool) "garbage dir: findings, no exception" false
+        (Fsck.clean r);
+      Alcotest.(check bool) "snapshot junk is critical" true (Fsck.has_critical r))
+
+let suite =
+  [
+    Alcotest.test_case "clean checkpointed db" `Quick test_clean_checkpointed;
+    Alcotest.test_case "clean wal-only db" `Quick test_clean_wal_only;
+    Alcotest.test_case "not a db dir" `Quick test_not_a_db_dir;
+    Alcotest.test_case "seeded: flipped byte mid-wal" `Quick test_flipped_byte_mid_wal;
+    Alcotest.test_case "seeded: redundant isa edge" `Quick test_redundant_isa_edge;
+    Alcotest.test_case "seeded: stale graphs sidecar" `Quick test_stale_graphs_sidecar;
+    Alcotest.test_case "seeded: mismatched base_lsn" `Quick test_mismatched_base_lsn;
+    Alcotest.test_case "torn tail is a warning" `Quick test_torn_tail_is_warning;
+    Alcotest.test_case "torn tail truncated on reopen" `Quick
+      test_torn_tail_truncated_on_reopen;
+    Alcotest.test_case "missing graphs sidecar" `Quick test_missing_graphs_sidecar;
+    Alcotest.test_case "ambiguity violation" `Quick test_ambiguous_relation;
+    Alcotest.test_case "divergence detected" `Quick test_divergence_detected;
+    Alcotest.test_case "caught-up replica is clean" `Quick test_caught_up_replica_clean;
+    Alcotest.test_case "checkpoint past peer" `Quick
+      test_checkpoint_past_peer_not_comparable;
+    Alcotest.test_case "metrics counted" `Quick test_metrics_counted;
+    Alcotest.test_case "json rendering" `Quick test_render_json_shape;
+    Alcotest.test_case "fsck never raises" `Quick test_never_raises;
+  ]

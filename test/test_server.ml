@@ -110,10 +110,46 @@ let test_lint_over_the_wire () =
   Server.Client.close conn;
   wait_child pid
 
+let test_fsck_over_the_wire () =
+  (* in-memory backends refuse the frame *)
+  let port, pid = spawn_server 1 in
+  let conn = Server.Client.connect ~port () in
+  (match Server.Client.fsck conn with
+  | Ok _ -> Alcotest.fail "memory backend should refuse FSCK"
+  | Error msg ->
+    Alcotest.(check bool) "says durable" true (contains ~needle:"durable" msg));
+  Server.Client.close conn;
+  wait_child pid;
+  (* a durable backend verifies its own directory *)
+  let dir = Filename.temp_file "hrsrv" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let port, pid = spawn_server ~dir 1 in
+      let conn = Server.Client.connect ~port () in
+      (match Server.Client.exec conn "CREATE DOMAIN d; CREATE INSTANCE x OF d;" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "setup: %s" e);
+      (match Server.Client.fsck conn with
+      | Ok body -> Alcotest.(check bool) "clean" true (contains ~needle:"clean" body)
+      | Error e -> Alcotest.failf "fsck: %s" e);
+      (match Server.Client.fsck ~json:true conn with
+      | Ok body ->
+        Alcotest.(check bool) "json clean" true
+          (contains ~needle:"\"clean\":true" body)
+      | Error e -> Alcotest.failf "fsck json: %s" e);
+      Server.Client.close conn;
+      wait_child pid)
+
 let suite =
   [
     Alcotest.test_case "tcp round trip" `Quick test_round_trip;
     Alcotest.test_case "errors propagate, connection survives" `Quick test_errors_propagate;
     Alcotest.test_case "durable backend over tcp" `Quick test_durable_backend;
     Alcotest.test_case "lint over the wire" `Quick test_lint_over_the_wire;
+    Alcotest.test_case "fsck over the wire" `Quick test_fsck_over_the_wire;
   ]
