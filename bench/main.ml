@@ -360,27 +360,29 @@ let bench_mine () =
 let bench_index () =
   section "C9 — binding queries: indexed vs full scan (§4 efficiency promise)";
   let g = Prng.create 41L in
+  (* One hierarchy (and one probe) shared by every size, so the cases
+     differ only in tuple count — separate random hierarchies per case
+     made the sizes incomparable (ancestor-set shape dominated, which is
+     how 100 tuples once benched slower than 400). *)
+  let h =
+    Workload.random_hierarchy (Prng.split g)
+      {
+        Workload.name = "c9";
+        classes = 60;
+        instances = 200;
+        multi_parent_prob = 0.15;
+      }
+  in
+  let schema = Schema.make [ ("v", h) ] in
+  let probe = Item.make schema [| List.hd (Hierarchy.instances h) |] in
   let cases =
     List.map
       (fun tuples ->
-        let h =
-          Workload.random_hierarchy (Prng.split g)
-            {
-              Workload.name = Printf.sprintf "c9_%d" tuples;
-              classes = 60;
-              instances = 200;
-              multi_parent_prob = 0.15;
-            }
-        in
-        let schema = Schema.make [ ("v", h) ] in
         let rel =
           Workload.consistent_random_relation (Prng.split g) schema
             { Workload.default_relation_spec with tuples }
         in
         let idx = Index.build rel in
-        let probe =
-          Item.make schema [| List.hd (Hierarchy.instances h) |]
-        in
         (tuples, rel, idx, probe))
       [ 25; 100; 400 ]
   in
@@ -423,20 +425,179 @@ let bench_storage_engine () =
   Sys.remove wal_dir;
   Sys.mkdir wal_dir 0o755;
   let wal_path = Filename.concat wal_dir "wal.log" in
-  let wal = Hr_storage.Wal.open_ wal_path in
+  (* No-fsync WAL: the bench isolates serialization + buffered-write +
+     flush cost; C14 measures real fsync'd throughput end to end. *)
+  let wal = Hr_storage.Wal.open_ ~fsync:false wal_path in
+  let lsn = ref 0 in
   let tests =
     [
       Test.make ~name:"snapshot encode" (Staged.stage (fun () -> Hr_storage.Snapshot.encode cat));
-      Test.make ~name:"snapshot decode" (Staged.stage (fun () -> Hr_storage.Snapshot.decode encoded));
-      Test.make ~name:"wal append+flush"
+      Test.make ~name:"snapshot decode (checked)"
+        (Staged.stage (fun () -> Hr_storage.Snapshot.decode encoded));
+      Test.make ~name:"snapshot decode (trusted)"
+        (Staged.stage (fun () -> Hr_storage.Snapshot.decode ~check:false encoded));
+      Test.make ~name:"wal append (buffered)"
         (Staged.stage (fun () ->
-             Hr_storage.Wal.append wal "INSERT INTO c10_rel VALUES (+ c10_i1);"));
+             incr lsn;
+             Hr_storage.Wal.append wal ~lsn:!lsn "INSERT INTO c10_rel VALUES (+ c10_i1);"));
+      Test.make ~name:"wal append+sync"
+        (Staged.stage (fun () ->
+             incr lsn;
+             Hr_storage.Wal.append wal ~lsn:!lsn "INSERT INTO c10_rel VALUES (+ c10_i1);";
+             Hr_storage.Wal.sync wal));
     ]
   in
   run_benches ~label:"storage" tests;
   Hr_storage.Wal.close wal;
   Sys.remove wal_path;
   Sys.rmdir wal_dir
+
+(* ---- C14: group commit — multi-client mutation throughput --------------- *)
+
+(* End-to-end durable throughput through the real server event loop and
+   wire protocol, with real fsyncs. Two arms:
+
+   - per-stmt sync: one request/response client — every statement waits
+     for its own fsync'd ack, the pre-group-commit behaviour;
+   - group commit: [--clients K] pipelined clients — the event loop
+     drains every readable frame per tick and all of them share one
+     WAL flush+fsync at the commit point.
+
+   Both arms report ns/statement (schema-compatible with the bechamel
+   estimates in the JSON report); the speedup is their ratio. *)
+
+let clients_k = ref 8
+
+let bench_group_commit () =
+  let module Server = Hr_server.Server in
+  let module Wire = Hr_frames.Wire in
+  let module Metrics = Hr_obs.Metrics in
+  section
+    (Printf.sprintf "C14 — group commit: durable mutation throughput (%d pipelined clients)"
+       !clients_k);
+  let with_temp_dir f =
+    let dir = Filename.temp_file "hrbench_c14" "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o755;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Sys.rmdir dir with Sys_error _ -> ())
+      (fun () -> f dir)
+  in
+  (* Scale the statement count with --quota so the CI smoke run stays
+     cheap while the default run measures something stable. *)
+  let stmts_per_client = max 30 (int_of_float (!quota_s *. 800.)) in
+  let stmt = "INSERT INTO r VALUES (+ c14_i1);" in
+  let frame = Wire.frame "EXEC" stmt in
+  let run_arm ~clients ~pipelined =
+    with_temp_dir (fun dir ->
+        let server = Server.create_durable ~port:0 ~dir () in
+        Fun.protect
+          ~finally:(fun () -> Server.close server)
+          (fun () ->
+            let port = Server.port server in
+            (* schema setup over a throwaway request/response client *)
+            let setup = Server.Client.connect ~timeout:10.0 ~port () in
+            let setup_fd = Server.Client.fd setup in
+            Wire.send setup_fd "EXEC"
+              "CREATE DOMAIN c14_d; CREATE INSTANCE c14_i1 OF c14_d; CREATE RELATION r (v: c14_d);";
+            let rec await_setup () =
+              ignore (Server.poll server 0.01);
+              match Unix.select [ setup_fd ] [] [] 0.0 with
+              | [ _ ], _, _ -> (
+                match Server.Client.recv setup with
+                | Ok _ -> ()
+                | Error msg -> failwith ("C14 setup: " ^ msg))
+              | _ -> await_setup ()
+            in
+            await_setup ();
+            Server.Client.close setup;
+            ignore (Server.poll server 0.01);
+            let appends0 = Metrics.counter_value "storage.wal.appends" in
+            let syncs0 = Metrics.counter_value "storage.wal.sync_batches" in
+            let fsyncs0 = Metrics.counter_value "storage.wal.fsyncs" in
+            (* per-client pipelined sender/ack-counter state machine *)
+            let conns =
+              Array.init clients (fun _ ->
+                  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+                  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+                  Unix.set_nonblock fd;
+                  (fd, Wire.Decoder.create (), ref 0 (* sent *), ref 0 (* acked *),
+                   ref 0 (* offset into the in-flight frame *)))
+            in
+            let total = clients * stmts_per_client in
+            let acked_total = ref 0 in
+            let buf = Bytes.create 65536 in
+            let t0 = Unix.gettimeofday () in
+            while !acked_total < total do
+              ignore (Server.poll server 0.002);
+              Array.iter
+                (fun (fd, dec, sent, acked, off) ->
+                  (* send while the socket accepts bytes; the baseline
+                     arm keeps at most one statement in flight *)
+                  (try
+                     while
+                       !sent < stmts_per_client
+                       && (pipelined || !acked = !sent)
+                     do
+                       let n =
+                         Unix.write_substring fd frame !off (String.length frame - !off)
+                       in
+                       off := !off + n;
+                       if !off = String.length frame then begin
+                         off := 0;
+                         incr sent
+                       end
+                     done
+                   with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+                  match Unix.read fd buf 0 (Bytes.length buf) with
+                  | 0 -> failwith "C14: server closed a client connection"
+                  | n ->
+                    Wire.Decoder.feed dec buf n;
+                    let rec drain () =
+                      match Wire.Decoder.next dec with
+                      | Ok (Some (tag, payload)) ->
+                        if tag = "ERR" then failwith ("C14: ERR reply: " ^ payload);
+                        incr acked;
+                        incr acked_total;
+                        drain ()
+                      | Ok None -> ()
+                      | Error msg -> failwith ("C14: bad reply frame: " ^ msg)
+                    in
+                    drain ()
+                  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ())
+                conns
+            done;
+            let elapsed = Unix.gettimeofday () -. t0 in
+            Array.iter (fun (fd, _, _, _, _) -> Unix.close fd) conns;
+            let appends = Metrics.counter_value "storage.wal.appends" - appends0 in
+            let syncs = Metrics.counter_value "storage.wal.sync_batches" - syncs0 in
+            let fsyncs = Metrics.counter_value "storage.wal.fsyncs" - fsyncs0 in
+            (total, elapsed, appends, syncs, fsyncs)))
+  in
+  let report name (total, elapsed, appends, syncs, fsyncs) =
+    let per_sec = float total /. elapsed in
+    let ns_per_stmt = elapsed /. float total *. 1e9 in
+    collected := (name ^ " ns/stmt", ns_per_stmt) :: !collected;
+    Format.printf
+      "%s: %d stmts in %.3fs = %.0f stmts/s (%.0f ns/stmt); %d appends, %d sync batches, %d \
+       fsyncs (%.1f stmts/sync)@."
+      name total elapsed per_sec ns_per_stmt appends syncs fsyncs
+      (float appends /. float (max 1 syncs));
+    ns_per_stmt
+  in
+  let baseline = run_arm ~clients:1 ~pipelined:false in
+  let grouped = run_arm ~clients:!clients_k ~pipelined:true in
+  let ns_base = report "C14 per-stmt sync (1 client)" baseline in
+  let ns_grp =
+    report (Printf.sprintf "C14 group commit (%d clients)" !clients_k) grouped
+  in
+  let _, _, grp_appends, grp_syncs, _ = grouped in
+  Format.printf "group-commit speedup: %.1fx; batching %s@." (ns_base /. ns_grp)
+    (if grp_syncs < grp_appends then "confirmed (sync batches < appends)"
+     else "NOT OBSERVED (sync batches >= appends)")
 
 (* ---- C12: page-level I/O of both representations ------------------------ *)
 
@@ -638,6 +799,7 @@ let experiments =
     ("C11", bench_hrql);
     ("C12", bench_page_io);
     ("C13", bench_semantic_net);
+    ("C14", bench_group_commit);
     ("F", check_figures);
   ]
 
@@ -677,6 +839,13 @@ let rec parse_args = function
   | "--metrics-json" :: path :: rest ->
     metrics_json_path := Some path;
     parse_args rest
+  | "--clients" :: s :: rest ->
+    (match int_of_string_opt s with
+    | Some k when k > 0 -> clients_k := k
+    | _ ->
+      prerr_endline ("bench: invalid --clients " ^ s);
+      exit 2);
+    parse_args rest
   | "--quota" :: s :: rest ->
     (match float_of_string_opt s with
     | Some q when q > 0. -> quota_s := q
@@ -684,14 +853,14 @@ let rec parse_args = function
       prerr_endline ("bench: invalid --quota " ^ s);
       exit 2);
     parse_args rest
-  | ("--metrics-json" | "--quota") :: [] ->
+  | ("--metrics-json" | "--quota" | "--clients") :: [] ->
     prerr_endline "bench: missing argument to flag";
     exit 2
   | id :: rest -> id :: parse_args rest
 
 let () =
   Format.printf
-    "hierel benchmark harness — experiments C1..C13 (see DESIGN.md / EXPERIMENTS.md)@.";
+    "hierel benchmark harness — experiments C1..C14 (see DESIGN.md / EXPERIMENTS.md)@.";
   let requested = parse_args (List.tl (Array.to_list Sys.argv)) in
   let selected =
     match requested with

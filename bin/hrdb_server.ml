@@ -10,14 +10,17 @@
 
 module Server = Hr_server.Server
 
-let main port dir =
+let main port dir group_commit_window max_batch no_fsync =
   let server =
     match dir with
-    | Some dir -> Server.create_durable ~port ~dir ()
-    | None -> Server.create_memory ~port ()
+    | Some dir ->
+      Server.create_durable ~port ~dir ~group_commit_window ~max_batch
+        ~fsync:(not no_fsync) ()
+    | None -> Server.create_memory ~port ~group_commit_window ~max_batch ()
   in
-  Printf.printf "hrdb_server listening on 127.0.0.1:%d%s\n%!" (Server.port server)
-    (match dir with Some d -> Printf.sprintf " (durable: %s)" d | None -> " (in-memory)");
+  Printf.printf "hrdb_server listening on 127.0.0.1:%d%s%s\n%!" (Server.port server)
+    (match dir with Some d -> Printf.sprintf " (durable: %s)" d | None -> " (in-memory)")
+    (if no_fsync then " [no-fsync: commits are NOT crash-durable]" else "");
   Server.serve_forever server
 
 open Cmdliner
@@ -33,10 +36,35 @@ let dir_arg =
     & opt (some string) None
     & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Durable mode: database directory.")
 
+let window_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "group-commit-window" ] ~docv:"SECONDS"
+        ~doc:
+          "Hold a commit batch open up to $(docv) after its first buffered \
+           statement so more statements can share one WAL write+fsync. 0 \
+           (the default) commits at the end of every event-loop tick; acks \
+           are always withheld until the shared sync completes.")
+
+let max_batch_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-batch" ] ~docv:"N"
+        ~doc:"Close an open group-commit window early once $(docv) statements are buffered.")
+
+let no_fsync_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fsync" ]
+        ~doc:
+          "Skip the real fsync at each commit (channel flush to the OS only). \
+           Benchmark escape hatch: a machine crash can lose acknowledged \
+           statements. Never use in production.")
+
 let cmd =
   let doc = "TCP server for the hierarchical relational model" in
   Cmd.v
     (Cmd.info "hrdb_server" ~version:"1.0.0" ~doc)
-    Term.(const main $ port_arg $ dir_arg)
+    Term.(const main $ port_arg $ dir_arg $ window_arg $ max_batch_arg $ no_fsync_arg)
 
 let () = exit (Cmd.eval cmd)

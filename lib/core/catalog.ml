@@ -23,16 +23,17 @@ let hierarchy t name =
 
 let hierarchies t = Symbol.Tbl.fold (fun _ h acc -> h :: acc) t.hierarchies []
 
-let define_relation t r =
+let define_relation ?(check = true) t r =
   let key = Symbol.intern (Relation.name r) in
   if Symbol.Tbl.mem t.relations key then
     Types.model_error "relation %a already defined" Symbol.pp key;
-  (match Integrity.first_conflict r with
-  | None -> ()
-  | Some c ->
-    Types.model_error "initial contents of %S are inconsistent: %a" (Relation.name r)
-      (Integrity.pp_conflict (Relation.schema r))
-      c);
+  if check then
+    (match Integrity.first_conflict r with
+    | None -> ()
+    | Some c ->
+      Types.model_error "initial contents of %S are inconsistent: %a" (Relation.name r)
+        (Integrity.pp_conflict (Relation.schema r))
+        c);
   Symbol.Tbl.add t.relations key r
 
 let find_relation t name = Symbol.Tbl.find_opt t.relations (Symbol.intern name)

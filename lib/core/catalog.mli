@@ -18,9 +18,11 @@ val hierarchy : t -> string -> Hr_hierarchy.Hierarchy.t
 val find_hierarchy : t -> string -> Hr_hierarchy.Hierarchy.t option
 val hierarchies : t -> Hr_hierarchy.Hierarchy.t list
 
-val define_relation : t -> Relation.t -> unit
+val define_relation : ?check:bool -> t -> Relation.t -> unit
 (** Registers a relation under its name; the initial contents must be
-    consistent. *)
+    consistent. [~check:false] skips the (quadratic) consistency sweep —
+    for loaders re-registering contents that were validated when first
+    defined, such as CRC-verified snapshots. *)
 
 val relation : t -> string -> Relation.t
 val find_relation : t -> string -> Relation.t option

@@ -2,9 +2,9 @@ module Hierarchy = Hr_hierarchy.Hierarchy
 
 type t = {
   relation : Relation.t;
-  buckets : (int, int list) Hashtbl.t array;
-      (** per attribute: hierarchy node -> indexes of tuples whose item has
-          that node in this coordinate *)
+  buckets : (int, int array) Hashtbl.t array;
+      (** per attribute: hierarchy node -> indexes (ascending) of tuples
+          whose item has that node in this coordinate *)
   tuples : Relation.tuple array;
 }
 
@@ -12,42 +12,75 @@ let build relation =
   let schema = Relation.schema relation in
   let arity = Schema.arity schema in
   let tuples = Array.of_list (Relation.tuples relation) in
-  let buckets = Array.init arity (fun _ -> Hashtbl.create 64) in
+  let acc = Array.init arity (fun _ -> Hashtbl.create 64) in
   Array.iteri
     (fun idx (t : Relation.tuple) ->
       for i = 0 to arity - 1 do
         let node = Item.coord t.Relation.item i in
-        let existing = Option.value ~default:[] (Hashtbl.find_opt buckets.(i) node) in
-        Hashtbl.replace buckets.(i) node (idx :: existing)
+        match Hashtbl.find_opt acc.(i) node with
+        | Some l -> l := idx :: !l
+        | None -> Hashtbl.add acc.(i) node (ref [ idx ])
       done)
     tuples;
+  (* freeze to arrays: probes sum lengths and iterate, never cons *)
+  let buckets =
+    Array.map
+      (fun tbl ->
+        let frozen = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
+        Hashtbl.iter
+          (fun node l -> Hashtbl.add frozen node (Array.of_list (List.rev !l)))
+          tbl;
+        frozen)
+      acc
+  in
   { relation; buckets; tuples }
 
 let relation t = t.relation
 
 (* Candidate tuples via the cheapest coordinate: those whose coordinate i
    is an ancestor of the query's coordinate i. The other coordinates are
-   then checked by full subsumption. *)
+   then checked by full subsumption. A tuple's coordinate is a single
+   node, so each tuple index appears in at most one bucket per attribute
+   — candidate lists are duplicate-free by construction. *)
 let relevant t item =
   let schema = Relation.schema t.relation in
   let arity = Schema.arity schema in
-  let candidate_lists =
-    List.init arity (fun i ->
-        let h = Schema.hierarchy schema i in
-        let ancestors = Hierarchy.ancestors h (Item.coord item i) in
-        List.concat_map
-          (fun node -> Option.value ~default:[] (Hashtbl.find_opt t.buckets.(i) node))
-          ancestors)
+  let ancestors =
+    Array.init arity (fun i ->
+        Hierarchy.ancestors (Schema.hierarchy schema i) (Item.coord item i))
   in
-  let seed =
+  (* pick the attribute with the fewest candidates by summing frozen
+     bucket lengths — no candidate list is materialized for the losers *)
+  let count i =
     List.fold_left
-      (fun best l -> if List.length l < List.length best then l else best)
-      (List.hd candidate_lists) (List.tl candidate_lists)
+      (fun acc node ->
+        match Hashtbl.find_opt t.buckets.(i) node with
+        | Some a -> acc + Array.length a
+        | None -> acc)
+      0 ancestors.(i)
   in
-  List.sort_uniq Int.compare seed
-  |> List.filter_map (fun idx ->
-         let tup = t.tuples.(idx) in
-         if Item.strictly_subsumes schema tup.Relation.item item then Some tup else None)
+  let best = ref 0 in
+  let best_n = ref (count 0) in
+  for i = 1 to arity - 1 do
+    let n = count i in
+    if n < !best_n then begin
+      best := i;
+      best_n := n
+    end
+  done;
+  if !best_n = 0 then []
+  else
+    List.concat_map
+      (fun node ->
+        match Hashtbl.find_opt t.buckets.(!best) node with
+        | Some a -> Array.to_list a
+        | None -> [])
+      ancestors.(!best)
+    |> List.sort Int.compare
+    |> List.filter_map (fun idx ->
+           let tup = t.tuples.(idx) in
+           if Item.strictly_subsumes schema tup.Relation.item item then Some tup
+           else None)
 
 let verdict ?semantics t item =
   Binding.decide ?semantics (Relation.schema t.relation) item

@@ -23,11 +23,28 @@ type t = {
   root : node;
   mutable isa_index : Dag.Reach.t option; (* descendants over isa edges *)
   mutable bind_index : Dag.Reach.t option; (* descendants over isa + preference *)
+  (* Memoized [ancestors] results. The binding index probes ancestors of
+     every coordinate of every probed item; uncached, each probe pays a
+     full DFS whose cost tracks the hierarchy's shape (the PR 2 bench's
+     "100 tuples slower than 400" anomaly was exactly this). Cleared
+     with the closure indexes on every mutation. *)
+  anc_cache : (node, node list) Hashtbl.t;
+  (* Same memo for [descendants]: maximal-common-descendant computation
+     (the integrity check's inner loop) probes it repeatedly for the
+     same classes. *)
+  desc_cache : (node, node list) Hashtbl.t;
+  (* Pairwise memo for [maximal_common_descendants]: the integrity sweep
+     asks about every opposite-sign tuple pair, and coordinates draw from
+     far fewer distinct classes than there are pairs. *)
+  mcd_cache : (node * node, node list) Hashtbl.t;
 }
 
 let invalidate h =
   h.isa_index <- None;
-  h.bind_index <- None
+  h.bind_index <- None;
+  Hashtbl.reset h.anc_cache;
+  Hashtbl.reset h.desc_cache;
+  Hashtbl.reset h.mcd_cache
 
 let create domain_name =
   let graph = Dag.create () in
@@ -43,6 +60,9 @@ let create domain_name =
     root;
     isa_index = None;
     bind_index = None;
+    anc_cache = Hashtbl.create 64;
+    desc_cache = Hashtbl.create 64;
+    mcd_cache = Hashtbl.create 64;
   }
 
 let copy h =
@@ -54,6 +74,9 @@ let copy h =
     root = h.root;
     isa_index = h.isa_index;
     bind_index = h.bind_index;
+    anc_cache = Hashtbl.copy h.anc_cache;
+    desc_cache = Hashtbl.copy h.desc_cache;
+    mcd_cache = Hashtbl.copy h.mcd_cache;
   }
 
 let domain h = h.names.(h.root)
@@ -194,11 +217,21 @@ let binds_below h a b =
 
 let descendants h v =
   check_node h v;
-  Dag.descendants h.graph ~kinds:isa_kind v
+  match Hashtbl.find_opt h.desc_cache v with
+  | Some l -> l
+  | None ->
+    let l = Dag.descendants h.graph ~kinds:isa_kind v in
+    Hashtbl.add h.desc_cache v l;
+    l
 
 let ancestors h v =
   check_node h v;
-  Dag.ancestors h.graph ~kinds:isa_kind v
+  match Hashtbl.find_opt h.anc_cache v with
+  | Some l -> l
+  | None ->
+    let l = Dag.ancestors h.graph ~kinds:isa_kind v in
+    Hashtbl.add h.anc_cache v l;
+    l
 
 let leaves_under h v = List.filter (fun w -> h.instance.(w)) (descendants h v)
 
@@ -217,12 +250,21 @@ let maximal_common_descendants h a b =
   if subsumes h a b then [ b ]
   else if subsumes h b a then [ a ]
   else
-    let common = common_descendants h a b in
-    let in_common = Hashtbl.create 16 in
-    List.iter (fun w -> Hashtbl.replace in_common w ()) common;
-    List.filter
-      (fun w -> not (List.exists (Hashtbl.mem in_common) (parents h w)))
-      common
+    (* Symmetric, so normalize the key. *)
+    let key = if a <= b then (a, b) else (b, a) in
+    match Hashtbl.find_opt h.mcd_cache key with
+    | Some l -> l
+    | None ->
+      let common = common_descendants h a b in
+      let in_common = Hashtbl.create 16 in
+      List.iter (fun w -> Hashtbl.replace in_common w ()) common;
+      let l =
+        List.filter
+          (fun w -> not (List.exists (Hashtbl.mem in_common) (parents h w)))
+          common
+      in
+      Hashtbl.add h.mcd_cache key l;
+      l
 
 type issue = Redundant_isa_edge of node * node
 

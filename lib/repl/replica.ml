@@ -176,10 +176,15 @@ let service_upstream t fd dec =
     in
     match drain () with
     | () ->
-      (* one cumulative ack per batch *)
-      if applied_lsn t > before then
-        (try Wire.send fd Wire.repl_ack (Wire.lsn_payload (applied_lsn t))
-         with Unix.Unix_error _ -> go_down t ~now ~backoff:t.cfg.backoff_min)
+      (* One cumulative ack per shipped batch, and only after the whole
+         batch is locally durable: the applies above buffer their WAL
+         appends, so sync before telling the primary "applied through
+         this LSN". *)
+      if applied_lsn t > before then begin
+        Db.sync t.database;
+        try Wire.send fd Wire.repl_ack (Wire.lsn_payload (applied_lsn t))
+        with Unix.Unix_error _ -> go_down t ~now ~backoff:t.cfg.backoff_min
+      end
     | exception Wire.Disconnected ->
       (match t.upstream with
       | Down _ -> ()

@@ -6,6 +6,12 @@ let m_frames = Hr_obs.Metrics.counter "server.frames_served"
 let m_errors = Hr_obs.Metrics.counter "server.frame_errors"
 let h_frame = Hr_obs.Metrics.histogram "server.frame_ns"
 
+(* Group-commit visibility: how many frames each event-loop tick
+   executed (pipelining depth actually achieved) and how many records
+   each shipping pass coalesced into one subscriber push. *)
+let h_frames_per_tick = Hr_obs.Metrics.histogram "server.frames_per_tick"
+let h_records_per_ship = Hr_obs.Metrics.histogram "repl.records_per_ship"
+
 (* Primary-side replication metrics (docs/OBSERVABILITY.md). [repl.lag]
    is the LSN delta between the primary and the last acknowledged offset
    — 0 means the acking replica was caught up at that moment. *)
@@ -32,6 +38,10 @@ type conn = {
   mutable out : Bytes.t;
   mutable out_start : int;
   mutable out_len : int;
+  (* The peer sent EOF but replies (possibly held for a pending group
+     commit) are still queued: keep the conn just long enough to drain
+     them, then drop. *)
+  mutable closing : bool;
 }
 
 type t = {
@@ -41,6 +51,19 @@ type t = {
   read_only : bool;
   owns_db : bool;
   max_backlog : int;
+  (* Group commit: statements executed this tick buffer in the WAL and
+     their acks buffer in the per-conn out-buffers; one shared
+     [Db.sync] at the commit point makes the batch durable, and only
+     then do acks drain and records ship. [group_commit_window] lets
+     the commit point wait (up to that many seconds after the first
+     buffered statement) for more statements to amortize the fsync;
+     [max_batch] closes the window early. 0.0 commits every tick. *)
+  group_commit_window : float;
+  max_batch : int;
+  (* [Some deadline] while a window is open (buffered statements are
+     waiting for the batch to fill). *)
+  mutable sync_deadline : float option;
+  mutable frames_this_tick : int;
   mutable conns : conn list;
 }
 
@@ -61,26 +84,54 @@ let listen_on host port =
 let default_max_backlog = Wire.max_frame + (4 * 1024 * 1024)
 
 let make ?(host = "127.0.0.1") ?(read_only = false) ?(max_backlog = default_max_backlog)
-    ~port ~owns_db backend =
+    ?(group_commit_window = 0.0) ?(max_batch = 64) ~port ~owns_db backend =
   let socket, bound_port = listen_on host port in
-  { socket; backend; bound_port; read_only; owns_db; max_backlog; conns = [] }
+  {
+    socket;
+    backend;
+    bound_port;
+    read_only;
+    owns_db;
+    max_backlog;
+    group_commit_window;
+    max_batch;
+    sync_deadline = None;
+    frames_this_tick = 0;
+    conns = [];
+  }
 
-let create_memory ?host ?read_only ?max_backlog ~port () =
-  make ?host ?read_only ?max_backlog ~port ~owns_db:true (Memory (Catalog.create ()))
+let create_memory ?host ?read_only ?max_backlog ?group_commit_window ?max_batch ~port () =
+  make ?host ?read_only ?max_backlog ?group_commit_window ?max_batch ~port ~owns_db:true
+    (Memory (Catalog.create ()))
 
-let create_durable ?host ?read_only ?max_backlog ~port ~dir () =
-  make ?host ?read_only ?max_backlog ~port ~owns_db:true
-    (Durable (Hr_storage.Db.open_dir dir))
+let create_durable ?host ?read_only ?max_backlog ?group_commit_window ?max_batch ?fsync
+    ~port ~dir () =
+  make ?host ?read_only ?max_backlog ?group_commit_window ?max_batch ~port ~owns_db:true
+    (Durable (Hr_storage.Db.open_dir ?fsync dir))
 
-let create_for_db ?host ?read_only ?max_backlog ~port ~db () =
-  make ?host ?read_only ?max_backlog ~port ~owns_db:false (Durable db)
+let create_for_db ?host ?read_only ?max_backlog ?group_commit_window ?max_batch ~port ~db
+    () =
+  make ?host ?read_only ?max_backlog ?group_commit_window ?max_batch ~port ~owns_db:false
+    (Durable db)
 
 let port t = t.bound_port
 
+(* Statements execute against the catalog immediately but their WAL
+   records only buffer; the commit point ([commit_now] / the end-of-tick
+   logic in [poll]) owns the shared sync. Until it runs, the [Ok] here
+   must not reach the client — [holding] below withholds all output
+   while unsynced records exist. *)
 let run_script t script =
   match t.backend with
   | Memory cat -> Hr_query.Eval.run_script cat script
-  | Durable db -> Hr_storage.Db.exec db script
+  | Durable db -> Hr_storage.Db.exec_buffered db script
+
+(* True while acks must be withheld: some executed statement is not yet
+   durable. No conn output may drain while this holds. *)
+let holding t =
+  match t.backend with
+  | Memory _ -> false
+  | Durable db -> Hr_storage.Db.unsynced db > 0
 
 let catalog t =
   match t.backend with
@@ -146,22 +197,33 @@ let out_drain conn =
    too far behind). *)
 let send_conn t conn tag payload =
   out_append conn (Wire.frame tag payload);
-  out_drain conn;
+  (* While a batch is uncommitted the bytes stay here: an ack that
+     reached the kernel before the shared fsync would tell the client
+     "committed" about a statement a crash could still lose. *)
+  if not (holding t) then out_drain conn;
   if conn.out_len > t.max_backlog then begin
     Hr_obs.Metrics.incr m_backlog_drops;
     raise Drop_conn
   end
 
-(* Ship every logged record past the subscriber's offset. Raises on a
-   vanished or hopelessly backlogged peer; the caller drops the
-   connection. *)
+(* Ship every {e durable} logged record past the subscriber's offset, as
+   one coalesced group. Records above [synced_lsn] stay unshipped until
+   the commit point (a replica must never be able to ack a record the
+   primary has not fsynced). Raises on a vanished or hopelessly
+   backlogged peer; the caller drops the connection. *)
 let ship t db conn =
+  let synced = Hr_storage.Db.synced_lsn db in
+  let n = ref 0 in
   List.iter
     (fun { Hr_storage.Wal.lsn; stmt } ->
-      send_conn t conn Wire.repl_record (Wire.lsn_prefixed lsn stmt);
-      conn.sent_lsn <- lsn;
-      Hr_obs.Metrics.incr m_shipped)
-    (Hr_storage.Db.records_since db conn.sent_lsn)
+      if lsn <= synced then begin
+        send_conn t conn Wire.repl_record (Wire.lsn_prefixed lsn stmt);
+        conn.sent_lsn <- lsn;
+        incr n;
+        Hr_obs.Metrics.incr m_shipped
+      end)
+    (Hr_storage.Db.records_since db conn.sent_lsn);
+  if !n > 0 then Hr_obs.Metrics.observe h_records_per_ship !n
 
 (* After a committed script, push the new records to every subscriber.
    A subscriber whose connection broke is silently forgotten — it will
@@ -194,8 +256,9 @@ let handle t conn tag payload =
     | None -> (
       match run_script t payload with
       | Ok outputs ->
-        send_conn t conn "OK" (String.concat "\n" outputs);
-        ship_all t
+        (* the ack buffers; shipping to subscribers happens at the
+           commit point, after the batch's shared sync *)
+        send_conn t conn "OK" (String.concat "\n" outputs)
       | Error msg -> send_conn t conn "ERR" msg))
   | "LINT" ->
     send_conn t conn "OK" (Hr_analysis.Diagnostic.render_json (lint t payload))
@@ -275,6 +338,7 @@ let new_conn fd =
     out = Bytes.create 1024;
     out_start = 0;
     out_len = 0;
+    closing = false;
   }
 
 let drop_conn t conn =
@@ -284,6 +348,7 @@ let drop_conn t conn =
 
 let handle_timed t conn tag payload =
   Hr_obs.Metrics.incr m_frames;
+  t.frames_this_tick <- t.frames_this_tick + 1;
   Hr_obs.Metrics.time h_frame (fun () -> handle t conn tag payload)
 
 (* Drain every complete frame the decoder holds. A malformed header is
@@ -304,27 +369,50 @@ let drain_frames t conn =
 
 let chunk = Bytes.create 65536
 
+(* Read everything the kernel has buffered for this connection (bounded
+   so one firehose client cannot starve the tick), then execute every
+   complete frame. A pipelining client's whole burst lands in one tick
+   and shares the tick's single commit. *)
+let max_reads_per_tick = 16
+
 let service t conn =
-  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
-  | 0 -> drop_conn t conn
-  | n -> (
-    Wire.Decoder.feed conn.dec chunk n;
-    try drain_frames t conn
-    with
-    | Drop_conn | Wire.Disconnected -> drop_conn t conn
-    | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> drop_conn t conn
-    | exn ->
-      (* Last line of defense: a handler bug (an uncaught lexer error,
-         say) must take down this connection, not the event loop and
-         every other client with it. *)
-      Hr_obs.Metrics.incr m_errors;
-      Printf.eprintf "hrdb: dropping connection after handler error: %s\n%!"
-        (Printexc.to_string exn);
-      (try send_conn t conn "ERR" ("internal error: " ^ Printexc.to_string exn)
-       with Unix.Unix_error _ | Drop_conn -> ());
-      drop_conn t conn)
+  let eof = ref false in
+  let fed = ref false in
+  let rec read_all budget =
+    if budget > 0 && not !eof then
+      match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> eof := true
+      | n ->
+        Wire.Decoder.feed conn.dec chunk n;
+        fed := true;
+        if n = Bytes.length chunk then read_all (budget - 1)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        ()
+  in
+  match read_all max_reads_per_tick with
   | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> drop_conn t conn
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | () ->
+    (* A burst that ends in EOF (pipeline + shutdown) still executes
+       every complete frame it carried before the conn is dropped. *)
+    (if !fed || not !eof then
+       try drain_frames t conn
+       with
+       | Drop_conn | Wire.Disconnected -> drop_conn t conn
+       | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> drop_conn t conn
+       | exn ->
+         (* Last line of defense: a handler bug (an uncaught lexer error,
+            say) must take down this connection, not the event loop and
+            every other client with it. *)
+         Hr_obs.Metrics.incr m_errors;
+         Printf.eprintf "hrdb: dropping connection after handler error: %s\n%!"
+           (Printexc.to_string exn);
+         (try send_conn t conn "ERR" ("internal error: " ^ Printexc.to_string exn)
+          with Unix.Unix_error _ | Drop_conn -> ());
+         drop_conn t conn);
+    if !eof && List.memq conn t.conns then
+      if conn.subscribed || (conn.out_len = 0 && not (holding t)) then drop_conn t conn
+      else conn.closing <- true
 
 let accept_conn t =
   match Unix.accept t.socket with
@@ -336,14 +424,66 @@ let accept_conn t =
     t.conns <- new_conn fd :: t.conns
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
 
-(* Push a connection's buffered output now that select says it fits. *)
+(* Push a connection's buffered output now that select says it fits.
+   A fully drained closing conn (EOF already seen) is dropped here. *)
 let flush_conn t conn =
-  try out_drain conn
-  with Unix.Unix_error _ -> drop_conn t conn
+  match out_drain conn with
+  | () -> if conn.closing && conn.out_len = 0 then drop_conn t conn
+  | exception Unix.Unix_error _ -> drop_conn t conn
+
+(* The commit point: one shared WAL sync covers every statement buffered
+   since the last one, then the batch ships to subscribers as one
+   coalesced record group and every withheld ack drains. Order matters —
+   sync before acks, sync before ship. *)
+let commit_now t =
+  (match t.backend with
+  | Memory _ -> ()
+  | Durable db -> Hr_storage.Db.sync db);
+  t.sync_deadline <- None;
+  ship_all t;
+  List.iter (fun c -> if c.out_len > 0 || c.closing then flush_conn t c) t.conns
+
+(* End-of-tick commit decision. With a zero window (the default) every
+   tick that buffered statements commits; a positive window holds the
+   batch open across ticks until the deadline or [max_batch], letting
+   slow-trickling clients share one fsync. *)
+let end_tick t =
+  (if t.frames_this_tick > 0 then begin
+     Hr_obs.Metrics.observe h_frames_per_tick t.frames_this_tick;
+     t.frames_this_tick <- 0
+   end);
+  match t.backend with
+  | Memory _ -> commit_now t
+  | Durable db ->
+    let u = Hr_storage.Db.unsynced db in
+    if u = 0 then commit_now t (* nothing to sync; still ship + drain *)
+    else if u >= t.max_batch || t.group_commit_window <= 0.0 then commit_now t
+    else begin
+      let now = Unix.gettimeofday () in
+      match t.sync_deadline with
+      | Some d when now < d -> () (* window still open: keep holding *)
+      | Some _ -> commit_now t
+      | None -> t.sync_deadline <- Some (now +. t.group_commit_window)
+    end
 
 let poll ?(extra = []) t timeout =
+  (* an open commit window caps the select wait so the deadline fires *)
+  let timeout =
+    match t.sync_deadline with
+    | None -> timeout
+    | Some d ->
+      let remaining = d -. Unix.gettimeofday () in
+      if remaining <= 0.0 then 0.0
+      else if timeout < 0.0 then remaining
+      else min timeout remaining
+  in
   let fds = (t.socket :: List.map (fun c -> c.fd) t.conns) @ extra in
-  let wfds = List.filter_map (fun c -> if c.out_len > 0 then Some c.fd else None) t.conns in
+  (* held output must not drain mid-window, so writability only matters
+     when no batch is pending *)
+  let wfds =
+    if holding t then []
+    else List.filter_map (fun c -> if c.out_len > 0 then Some c.fd else None) t.conns
+  in
   match Unix.select fds wfds [] timeout with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
   | readable, writable, _ ->
@@ -355,6 +495,7 @@ let poll ?(extra = []) t timeout =
     List.iter
       (fun c -> if List.mem c.fd readable && List.memq c t.conns then service t c)
       t.conns;
+    end_tick t;
     List.filter (fun fd -> List.mem fd readable) extra
 
 let serve_forever t =
@@ -377,7 +518,13 @@ let serve_one_connection t =
       let rec loop () =
         match Wire.recv fd with
         | Ok (tag, payload) -> (
-          match handle_timed t conn tag payload with
+          (* one frame, one commit: the sequential path keeps its
+             historical request/response durability (the fd is blocking,
+             so the drain in [commit_now] completes the reply) *)
+          match
+            handle_timed t conn tag payload;
+            commit_now t
+          with
           | () -> loop ()
           | exception Drop_conn -> ()
           | exception Wire.Disconnected -> ()

@@ -48,7 +48,14 @@
 type t
 
 val create_memory :
-  ?host:string -> ?read_only:bool -> ?max_backlog:int -> port:int -> unit -> t
+  ?host:string ->
+  ?read_only:bool ->
+  ?max_backlog:int ->
+  ?group_commit_window:float ->
+  ?max_batch:int ->
+  port:int ->
+  unit ->
+  t
 (** Binds and listens; [port = 0] picks an ephemeral port (see {!port}).
     [host] defaults to 127.0.0.1. Statements run against a fresh
     in-memory catalog. [read_only] (default false) refuses mutating
@@ -57,14 +64,44 @@ val create_memory :
     non-blocking, so a stalled peer accumulates backlog instead of
     wedging the loop); a connection exceeding it is dropped and counted
     in [repl.backlog_drops]. The default is one maximum frame plus
-    slack, so a snapshot bootstrap always fits. *)
+    slack, so a snapshot bootstrap always fits.
+
+    {b Group commit} (durable backends; the two knobs are accepted but
+    inert on an in-memory catalog): each event-loop tick executes every
+    complete frame from every readable connection, buffering the WAL
+    appends and the clients' acks, then commits the whole batch with one
+    shared write+fsync — only after that sync do acks drain and records
+    ship to subscribers. [group_commit_window] (seconds, default 0.0)
+    optionally holds the batch open across ticks, up to that long after
+    the first buffered statement, so trickling clients can share a sync;
+    [max_batch] (default 64) closes the window early once that many
+    statements are buffered. *)
 
 val create_durable :
-  ?host:string -> ?read_only:bool -> ?max_backlog:int -> port:int -> dir:string -> unit -> t
-(** Same, over a {!Hr_storage.Db} directory (WAL + snapshots). *)
+  ?host:string ->
+  ?read_only:bool ->
+  ?max_backlog:int ->
+  ?group_commit_window:float ->
+  ?max_batch:int ->
+  ?fsync:bool ->
+  port:int ->
+  dir:string ->
+  unit ->
+  t
+(** Same, over a {!Hr_storage.Db} directory (WAL + snapshots).
+    [fsync:false] (default true) is the benchmark escape hatch: commits
+    flush to the OS but skip the real [Unix.fsync]. *)
 
 val create_for_db :
-  ?host:string -> ?read_only:bool -> ?max_backlog:int -> port:int -> db:Hr_storage.Db.t -> unit -> t
+  ?host:string ->
+  ?read_only:bool ->
+  ?max_backlog:int ->
+  ?group_commit_window:float ->
+  ?max_batch:int ->
+  port:int ->
+  db:Hr_storage.Db.t ->
+  unit ->
+  t
 (** Same, over an already-open database the caller owns; {!close} will
     {e not} close the database. The replica embeds its serving endpoint
     this way: the replication apply loop and the read path share one
@@ -79,11 +116,14 @@ val lint : t -> string -> Hr_analysis.Diagnostic.t list
 
 val poll : ?extra:Unix.file_descr list -> t -> float -> Unix.file_descr list
 (** One event-loop iteration: waits up to the given number of seconds
-    for traffic, accepts pending connections, services every readable
-    connection (running complete frames, shipping replication records),
-    and returns which of the [extra] descriptors were readable — the
-    hook that lets an embedding process (the replica) multiplex its own
-    upstream connection into the same [select]. *)
+    for traffic (less if an open group-commit window's deadline is
+    nearer), accepts pending connections, drains and executes {e every}
+    complete frame on every readable connection, then runs the
+    end-of-tick commit point — shared WAL sync, coalesced shipping to
+    subscribers, ack drain. Returns which of the [extra] descriptors
+    were readable — the hook that lets an embedding process (the
+    replica) multiplex its own upstream connection into the same
+    [select]. *)
 
 val serve_one_connection : t -> unit
 (** Accepts a single connection and serves requests until the client

@@ -68,9 +68,21 @@ module Reader = struct
     r.pos <- r.pos + n;
     s
 
+  (* Explicitly left-to-right: each element read advances [r.pos], so the
+     evaluation order IS the wire order ([List.init]'s order is not
+     specified, which this replaced). *)
   let list r f =
     let n = u32 r in
-    List.init n (fun _ -> f r)
+    let rec loop acc i = if i = n then List.rev acc else loop (f r :: acc) (i + 1) in
+    loop [] 0
+
+  (* Length-prefixed repetition without materializing a list — the
+     snapshot decode hot path streams records through this. *)
+  let iter r f =
+    let n = u32 r in
+    for _ = 1 to n do
+      f r
+    done
 
   let at_end r = r.pos >= String.length r.data
   let remaining r = String.length r.data - r.pos

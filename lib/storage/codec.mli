@@ -34,6 +34,13 @@ module Reader : sig
   val u64 : t -> int64
   val string : t -> string
   val list : t -> (t -> 'a) -> 'a list
+  (** Count-prefixed; elements are read (and [f] is applied) strictly
+      left to right, matching the wire order. *)
+
+  val iter : t -> (t -> unit) -> unit
+  (** [list] without building the result — for decode paths that fold
+      elements into an accumulator as they stream past. *)
+
   val at_end : t -> bool
   val remaining : t -> int
 end

@@ -24,7 +24,13 @@ type t = {
   mutable tail : Wal.record list;
   mutable tail_len : int;
   mutable tail_base : int;
+  (* Highest LSN covered by a completed WAL sync. Shipping must never
+     send records above this: a replica could make them durable and ack
+     before the primary does, and a primary crash would then leave the
+     replica ahead — divergence. *)
+  mutable synced_lsn : int;
   auto_checkpoint_every : int;
+  fsync : bool;
   lock_fd : Unix.file_descr;
 }
 
@@ -68,11 +74,15 @@ let write_meta dir base_lsn =
   close_out oc;
   Sys.rename tmp (meta_path dir)
 
-let open_dir ?(auto_checkpoint_every = 10_000) dir =
+let open_dir ?(auto_checkpoint_every = 10_000) ?(fsync = true) dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let lock_fd = acquire_lock dir in
   let catalog =
-    if Sys.file_exists (snapshot_path dir) then Snapshot.read_file (snapshot_path dir)
+    (* Trusted load: the checkpointer only writes snapshots of catalogs
+       whose relations were validated at [define_relation] time, and the
+       CRC trailer guards the bytes. [fsck] re-runs the full check. *)
+    if Sys.file_exists (snapshot_path dir) then
+      Snapshot.read_file ~check:false (snapshot_path dir)
     else Catalog.create ()
   in
   let base_lsn = read_meta dir in
@@ -114,14 +124,16 @@ let open_dir ?(auto_checkpoint_every = 10_000) dir =
   {
     dir;
     catalog;
-    wal = Wal.open_ (wal_path dir);
+    wal = Wal.open_ ~fsync (wal_path dir);
     pending = List.length records;
     lsn;
     base_lsn;
     tail = List.rev records;
     tail_len = List.length records;
     tail_base = base_lsn;
+    synced_lsn = lsn;
     auto_checkpoint_every;
+    fsync;
     lock_fd;
   }
 
@@ -184,12 +196,15 @@ let log_statement t source =
 
 let checkpoint t =
   Hr_obs.Metrics.incr m_checkpoints;
+  (* Wal.close below syncs buffered appends before the file is truncated;
+     everything up to [t.lsn] is durable once the snapshot is written. *)
+  t.synced_lsn <- t.lsn;
   Snapshot.write_file t.catalog (snapshot_path t.dir);
   Graph_store.write_file t.catalog (graphs_path t.dir);
   write_meta t.dir t.lsn;
   Wal.close t.wal;
   Wal.truncate (wal_path t.dir);
-  t.wal <- Wal.open_ (wal_path t.dir);
+  t.wal <- Wal.open_ ~fsync:t.fsync (wal_path t.dir);
   t.base_lsn <- t.lsn;
   t.pending <- 0
 
@@ -200,7 +215,10 @@ let maybe_auto_checkpoint t =
   if t.auto_checkpoint_every > 0 && t.pending >= t.auto_checkpoint_every then
     checkpoint t
 
-let exec t script =
+(* Executes a script, appending mutating statements to the WAL buffer
+   without syncing. The caller owns the commit point: nothing run here
+   may be acknowledged to a client until [sync] returns. *)
+let exec_buffered t script =
   let rec run acc = function
     | [] -> Ok (List.rev acc)
     | source :: rest -> (
@@ -227,6 +245,26 @@ let exec t script =
   let result = run [] (split_statements script) in
   maybe_auto_checkpoint t;
   result
+
+let sync t =
+  Wal.sync t.wal;
+  t.synced_lsn <- t.lsn
+
+let unsynced t = Wal.unsynced t.wal
+let synced_lsn t = t.synced_lsn
+
+(* The sequential path keeps its historical contract: one call, one
+   durable commit. Batching callers use [exec_buffered]/[commit_many]
+   and share the sync. *)
+let exec t script =
+  let result = exec_buffered t script in
+  sync t;
+  result
+
+let commit_many t scripts =
+  let results = List.map (exec_buffered t) scripts in
+  sync t;
+  results
 
 let close t =
   Wal.close t.wal;
@@ -261,13 +299,14 @@ let install_snapshot t ~lsn image =
     write_meta t.dir lsn;
     Wal.close t.wal;
     Wal.truncate (wal_path t.dir);
-    t.wal <- Wal.open_ (wal_path t.dir);
+    t.wal <- Wal.open_ ~fsync:t.fsync (wal_path t.dir);
     t.lsn <- lsn;
     t.base_lsn <- lsn;
     t.pending <- 0;
     t.tail <- [];
     t.tail_len <- 0;
     t.tail_base <- lsn;
+    t.synced_lsn <- lsn;
     Hr_obs.Metrics.set g_lsn lsn;
     Ok ()
 

@@ -23,7 +23,7 @@
 
 type t
 
-val open_dir : ?auto_checkpoint_every:int -> string -> t
+val open_dir : ?auto_checkpoint_every:int -> ?fsync:bool -> string -> t
 (** Creates the directory if needed; recovers existing state. Takes an
     advisory lock on [DIR/LOCK] — a second concurrent open of the same
     directory fails with [Failure] rather than corrupting the log. The
@@ -39,7 +39,11 @@ val open_dir : ?auto_checkpoint_every:int -> string -> t
     [auto_checkpoint_every] (default 10000, 0 to disable) caps the WAL:
     when {!exec} leaves at least that many logged statements pending, it
     checkpoints automatically so a long-lived primary's log does not
-    grow without bound. *)
+    grow without bound.
+
+    [fsync] (default [true]) governs whether WAL syncs issue a real
+    [Unix.fsync] — the [--no-fsync] escape hatch for benchmarks. With it
+    off, "committed" means "flushed to the OS", not "on disk". *)
 
 val catalog : t -> Hierel.Catalog.t
 
@@ -53,7 +57,42 @@ val exec : t -> string -> (string list, string) result
     DELETE / LET / CONSOLIDATE / EXPLICATE) is logged under a fresh LSN;
     reads and rejected updates are not. On error, statements before the
     failing one remain applied and logged (statement-level, not
-    script-level, atomicity). *)
+    script-level, atomicity). Returns only after a WAL {!sync}: when
+    this call comes back, every logged statement is durable. *)
+
+(** {1 Group commit}
+
+    The batched write path. [exec_buffered] appends to the WAL without
+    syncing; the caller decides the commit point and must call {!sync}
+    (or let {!commit_many} do it) before acknowledging any of the
+    batched statements as committed. The server's event loop uses this
+    to make N statements from one select tick share a single
+    write+fsync. *)
+
+val exec_buffered : t -> string -> (string list, string) result
+(** {!exec} without the trailing sync. The returned [Ok] means "applied
+    and staged", not "durable" — never surface it to a client before
+    {!sync} returns. *)
+
+val commit_many : t -> string list -> (string list, string) result list
+(** Runs each script with {!exec_buffered}, then one shared {!sync}:
+    the group-commit primitive. Result [i] corresponds to script [i];
+    per-script statement-level atomicity is unchanged. *)
+
+val sync : t -> unit
+(** Makes every buffered WAL append durable (one flush + fsync, unless
+    the database was opened with [~fsync:false]). No-op when nothing is
+    buffered. *)
+
+val unsynced : t -> int
+(** WAL appends staged since the last {!sync} — the server's window /
+    max-batch bookkeeping reads this. *)
+
+val synced_lsn : t -> int
+(** The highest LSN covered by a completed sync ([lsn t] right after
+    {!sync}). Replication must only ship records at or below this: a
+    record a replica could ack before the primary made it durable would
+    diverge the pair on a primary crash. *)
 
 val checkpoint : t -> unit
 (** Writes [snapshot.bin] and the [graphs.bin] subsumption-graph sidecar
@@ -94,7 +133,9 @@ val install_snapshot : t -> lsn:int -> string -> (unit, string) result
 
 val apply_replicated : t -> lsn:int -> string -> (unit, string) result
 (** Replica apply: runs one logged statement from the primary and
-    appends it to the local WAL under the {e primary's} LSN. [Error]
+    appends it to the local WAL under the {e primary's} LSN. The append
+    is buffered — the replica must {!sync} before acking the batch's
+    final LSN upstream. [Error]
     means divergence (a statement that replayed cleanly on the primary
     failed here) and the caller should treat it as fatal. Statements at
     or below the current {!lsn} are rejected as duplicates. *)

@@ -84,27 +84,22 @@ let encode cat =
 
 (* ---- decoding -------------------------------------------------------- *)
 
+(* The encoder wrote nodes in topological order (parents precede
+   children), so each node can be added the moment it streams past — no
+   intermediate (name, is_instance, parents) list. *)
 let decode_hierarchy r =
   let root = R.string r in
   let h = Hierarchy.create root in
-  let nodes = R.list r (fun r ->
+  R.iter r (fun r ->
       let name = R.string r in
       let is_instance = R.u8 r = 1 in
-      let parents = R.list r R.string in
-      (name, is_instance, parents))
-  in
-  List.iter
-    (fun (name, is_instance, parents) ->
-      let parents = List.filter (fun p -> p <> root) parents in
+      let parents = List.filter (fun p -> p <> root) (R.list r R.string) in
       if is_instance then ignore (Hierarchy.add_instance h ~parents name)
-      else ignore (Hierarchy.add_class h ~parents name))
-    nodes;
-  let prefs = R.list r (fun r ->
+      else ignore (Hierarchy.add_class h ~parents name));
+  R.iter r (fun r ->
       let weaker = R.string r in
       let stronger = R.string r in
-      (weaker, stronger))
-  in
-  List.iter (fun (weaker, stronger) -> Hierarchy.add_preference h ~weaker ~stronger) prefs;
+      Hierarchy.add_preference h ~weaker ~stronger);
   h
 
 let decode_relation cat r =
@@ -117,16 +112,33 @@ let decode_relation cat r =
   let schema =
     Schema.make (List.map (fun (a, d) -> (a, Catalog.hierarchy cat d)) attrs)
   in
-  let tuples = R.list r (fun r ->
-      let sign = if R.u8 r = 1 then Types.Pos else Types.Neg in
-      let coords = R.list r R.string in
-      (sign, coords))
+  let arity = Schema.arity schema in
+  (* Per-attribute name -> node memo: a snapshot repeats the same labels
+     across thousands of tuples, and the per-coordinate [find_exn]
+     (symbol intern + table lookup) dominated decode cost. *)
+  let memo = Array.init arity (fun _ -> Hashtbl.create 256) in
+  let node i label =
+    match Hashtbl.find_opt memo.(i) label with
+    | Some v -> v
+    | None ->
+      let v = Hierarchy.find_exn (Schema.hierarchy schema i) label in
+      Hashtbl.add memo.(i) label v;
+      v
   in
-  List.fold_left
-    (fun rel (sign, coords) -> Relation.add rel (Item.of_names schema coords) sign)
-    (Relation.empty ~name schema) tuples
+  let rel = ref (Relation.empty ~name schema) in
+  R.iter r (fun r ->
+      let sign = if R.u8 r = 1 then Types.Pos else Types.Neg in
+      let n = R.u32 r in
+      if n <> arity then
+        corrupt "tuple arity %d does not match schema arity %d in %S" n arity name;
+      let coords = Array.make arity 0 in
+      for i = 0 to arity - 1 do
+        coords.(i) <- node i (R.string r)
+      done;
+      rel := Relation.add !rel (Item.make schema coords) sign);
+  !rel
 
-let decode data =
+let decode ?(check = true) data =
   try
     let r = R.of_string data in
     let m = R.string r in
@@ -142,7 +154,7 @@ let decode data =
     let hierarchies = R.list r decode_hierarchy in
     List.iter (Catalog.define_hierarchy cat) hierarchies;
     let relations = R.list r (fun r -> decode_relation cat r) in
-    List.iter (Catalog.define_relation cat) relations;
+    List.iter (Catalog.define_relation ~check cat) relations;
     cat
   with
   | R.Corrupt msg -> corrupt "%s" msg
@@ -152,11 +164,11 @@ let write_file cat path =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (encode cat))
 
-let read_file path =
+let read_file ?check path =
   let ic = open_in_bin path in
   let data =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  decode data
+  decode ?check data

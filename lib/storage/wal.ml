@@ -11,19 +11,30 @@ type scan_result = {
   tail : torn_tail option;
 }
 
-type t = { path : string; oc : out_channel }
+type t = {
+  path : string;
+  oc : out_channel;
+  fd : Unix.file_descr;  (* the channel's descriptor, for real fsync *)
+  fsync : bool;
+  mutable unsynced : int;  (* appends buffered since the last [sync] *)
+}
 
-(* Every append is flushed before returning, so fsyncs tracks appends
-   one-for-one; a gap between the two counters would mean a durability
-   bug. *)
+(* Appends only buffer; durability is the batched [sync] below, which
+   flushes the channel and fsyncs the descriptor. [fsyncs] counts actual
+   Unix.fsync calls, [sync_batches] counts sync calls that had work to
+   do, and the [stmts_per_sync] histogram records how many appends each
+   shared sync made durable. *)
 let m_appends = Hr_obs.Metrics.counter "storage.wal.appends"
 let m_fsyncs = Hr_obs.Metrics.counter "storage.wal.fsyncs"
+let m_sync_batches = Hr_obs.Metrics.counter "storage.wal.sync_batches"
+let m_stmts_per_sync = Hr_obs.Metrics.histogram "storage.wal.stmts_per_sync"
 let m_replayed = Hr_obs.Metrics.counter "storage.wal.replayed"
 let m_torn_bytes = Hr_obs.Metrics.counter "storage.wal.torn_tail_bytes"
 let m_torn_records = Hr_obs.Metrics.counter "storage.wal.torn_tail_records"
 
-let open_ path =
-  { path; oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path }
+let open_ ?(fsync = true) path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  { path; oc; fd = Unix.descr_of_out_channel oc; fsync; unsynced = 0 }
 
 (* The CRC covers the LSN and the statement: a record whose LSN bytes
    were torn must not replay under a different sequence number. *)
@@ -37,10 +48,25 @@ let append t ~lsn stmt =
   W.string w stmt;
   W.u32 w (record_crc lsn stmt);
   output_string t.oc (W.contents w);
-  flush t.oc;
-  Hr_obs.Metrics.incr m_fsyncs
+  t.unsynced <- t.unsynced + 1
 
-let close t = close_out t.oc
+let unsynced t = t.unsynced
+
+let sync t =
+  if t.unsynced > 0 then begin
+    flush t.oc;
+    if t.fsync then begin
+      Unix.fsync t.fd;
+      Hr_obs.Metrics.incr m_fsyncs
+    end;
+    Hr_obs.Metrics.incr m_sync_batches;
+    Hr_obs.Metrics.observe m_stmts_per_sync t.unsynced;
+    t.unsynced <- 0
+  end
+
+let close t =
+  sync t;
+  close_out t.oc
 
 (* Counts records that still parse structurally after the first bad one.
    They are never replayed (the framing downstream of a corrupt record
@@ -125,6 +151,10 @@ let replay path =
 let records path = (scan path).records
 
 let stream_from t lsn =
+  (* Appends buffer in the channel until [sync]; push them to the OS so
+     the file read below sees every appended record. No fsync — reading
+     back our own writes needs visibility, not durability. *)
+  flush t.oc;
   let all = records t.path in
   List.to_seq (List.filter (fun r -> r.lsn > lsn) all)
 

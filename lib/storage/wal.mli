@@ -2,9 +2,11 @@
     number.
 
     Each record is a 64-bit LSN, a length-prefixed HRQL statement string
-    and a CRC-32 over both, appended to a single file and flushed before
-    the statement is applied to the in-memory catalog — the usual WAL
-    discipline. LSNs are assigned by {!Db} and are monotone over the
+    and a CRC-32 over both, appended to a single file. {!append} only
+    buffers; {!sync} flushes the channel and [Unix.fsync]s the
+    descriptor, so N appends between syncs share one write+fsync — the
+    group-commit discipline. Callers must not acknowledge a statement as
+    committed before the sync that covers it returns. LSNs are assigned by {!Db} and are monotone over the
     whole life of a database directory (they do not reset when the log
     is truncated at a checkpoint), which is what makes the log
     offset-addressable for replication: {!stream_from} replays exactly
@@ -37,13 +39,29 @@ type scan_result = {
 
 type t
 
-val open_ : string -> t
-(** Opens (creating if absent) the log file for appending. *)
+val open_ : ?fsync:bool -> string -> t
+(** Opens (creating if absent) the log file for appending. [~fsync:false]
+    makes {!sync} skip the [Unix.fsync] (channel flush only) — an escape
+    hatch for benchmarks; never use it where durability matters. Default
+    [true]. *)
 
 val append : t -> lsn:int -> string -> unit
-(** Appends one statement record and flushes to the OS. *)
+(** Buffers one statement record. Not durable — not even visible to the
+    OS — until the next {!sync}. *)
+
+val sync : t -> unit
+(** Makes every buffered append durable: flushes the channel, then
+    [Unix.fsync] on the descriptor (unless the log was opened with
+    [~fsync:false]). A no-op when nothing is buffered. Counts one
+    [storage.wal.sync_batches] (and one [storage.wal.fsyncs] when a real
+    fsync ran) and observes the batch size in
+    [storage.wal.stmts_per_sync]. *)
+
+val unsynced : t -> int
+(** Appends buffered since the last {!sync}. *)
 
 val close : t -> unit
+(** Syncs, then closes. *)
 
 val scan : string -> scan_result
 (** The single shared record reader: every intact record in the file, in
@@ -65,9 +83,9 @@ val records : string -> record list
 
 val stream_from : t -> int -> record Seq.t
 (** [stream_from t lsn] — the intact records with LSN strictly greater
-    than [lsn], in order, re-read from the file (every append is flushed,
-    so the file is current). The sequence is ephemeral: it reads the
-    whole file once when forced. *)
+    than [lsn], in order, re-read from the file after flushing buffered
+    appends to the OS (visibility, not durability). The sequence is
+    ephemeral: it reads the whole file once when forced. *)
 
 val truncate : string -> unit
 (** Empties the log (after a successful checkpoint). *)

@@ -112,16 +112,42 @@ reconnects=$(metric "$RPORT" repl.reconnects)
 [ -n "$applied" ] && [ "$applied" -gt 0 ] || fail "repl.records_applied=$applied"
 [ -n "$reconnects" ] && [ "$reconnects" -gt 0 ] || fail "repl.reconnects=$reconnects"
 
-echo "== offline fsck of both directories, then the divergence cross-check"
+echo "== kill -9 the primary during sustained batched load"
+# Four concurrent client loops keep the group-commit path busy (several
+# frames per event-loop tick sharing one fsync); the primary dies
+# mid-load.  Every statement a client saw acked must survive recovery.
+LOAD_PIDS=()
+for c in 1 2 3 4; do
+  (
+    for _ in $(seq 1 200); do
+      on_primary "INSERT INTO flies VALUES (+ tweety);" >/dev/null 2>&1 || exit 0
+    done
+  ) &
+  LOAD_PIDS+=($!)
+done
+sleep 0.7
+kill -9 "$PRIMARY_PID"
+wait "$PRIMARY_PID" 2>/dev/null || true
+PRIMARY_PID=
+for p in "${LOAD_PIDS[@]}"; do wait "$p" 2>/dev/null || true; done
+# let the replica notice the outage and go quiescent before stopping it
+sleep 1
 kill -9 "$REPLICA_PID" 2>/dev/null || true
 wait "$REPLICA_PID" 2>/dev/null || true
 REPLICA_PID=
-kill -9 "$PRIMARY_PID" 2>/dev/null || true
-wait "$PRIMARY_PID" 2>/dev/null || true
-PRIMARY_PID=
-"$HRDB" fsck "$WORK/primary" || fail "fsck primary (exit $?)"
-"$HRDB" fsck "$WORK/replica" || fail "fsck replica (exit $?)"
+
+echo "== offline fsck of both crashed directories, then the divergence cross-check"
+"$HRDB" fsck "$WORK/primary" || fail "fsck primary after kill-during-load (exit $?)"
+"$HRDB" fsck "$WORK/replica" || fail "fsck replica after kill-during-load (exit $?)"
 "$HRDB" fsck --against "$WORK/primary" "$WORK/replica" \
   || fail "fsck divergence cross-check (exit $?)"
+
+echo "== both nodes restart from the crashed directories and reconverge"
+start_primary
+"$REPLICA" -P "$PPORT" -d "$WORK/replica" -p "$RPORT" --backoff-max 0.5 --verify &
+REPLICA_PID=$!
+wait_ready "$RPORT" replica
+on_primary "INSERT INTO flies VALUES (- tweety); CONSOLIDATE flies;" >/dev/null
+wait_converged "after crash-under-load restart"
 
 echo "repl_smoke: OK (shipped=$shipped applied=$applied reconnects=$reconnects)"

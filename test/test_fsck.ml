@@ -260,6 +260,80 @@ let test_checkpoint_past_peer_not_comparable () =
       Alcotest.(check (list string)) "F017 and nothing else" [ "F017" ] (codes r);
       Alcotest.(check bool) "warning only" false (Fsck.has_critical r))
 
+(* ---- crash window: SIGKILL between buffered appends and sync ----------- *)
+
+(* A process killed with a group-commit batch in flight must come back
+   with every synced (acked) statement intact, and with the unsynced
+   tail applied record-by-record or not at all: the recovered head is a
+   clean prefix of the statement sequence, never a half-applied record.
+   The child reports its synced LSN over a pipe after buffering the
+   unacked tail, then blocks until it is killed. *)
+let test_kill_mid_batch () =
+  with_temp_dir (fun dir ->
+      let acked_stmts = 5 and unacked_stmts = 4 in
+      let r_fd, w_fd = Unix.pipe () in
+      match Unix.fork () with
+      | 0 ->
+        Unix.close r_fd;
+        (try
+           let db = Db.open_dir dir in
+           (match Db.exec db "CREATE DOMAIN d;" with
+           | Ok _ -> ()
+           | Error _ -> Unix._exit 2);
+           for i = 1 to acked_stmts do
+             match Db.exec db (Printf.sprintf "CREATE INSTANCE acked_%d OF d;" i) with
+             | Ok _ -> ()
+             | Error _ -> Unix._exit 2
+           done;
+           (* the unacked tail: buffered, never synced *)
+           for i = 1 to unacked_stmts do
+             match
+               Db.exec_buffered db (Printf.sprintf "CREATE INSTANCE unacked_%d OF d;" i)
+             with
+             | Ok _ -> ()
+             | Error _ -> Unix._exit 2
+           done;
+           let msg = string_of_int (Db.synced_lsn db) ^ "\n" in
+           ignore (Unix.write_substring w_fd msg 0 (String.length msg));
+           Unix.sleep 60;
+           Unix._exit 0
+         with _ -> Unix._exit 3)
+      | pid ->
+        Unix.close w_fd;
+        let buf = Bytes.create 64 in
+        let n = Unix.read r_fd buf 0 64 in
+        Unix.close r_fd;
+        let acked_lsn = int_of_string (String.trim (Bytes.sub_string buf 0 n)) in
+        Alcotest.(check int) "child synced the acked prefix" (1 + acked_stmts) acked_lsn;
+        Unix.kill pid Sys.sigkill;
+        ignore (Unix.waitpid [] pid);
+        (* the dead child's directory must verify clean... *)
+        let r = Fsck.run dir in
+        Alcotest.(check (list string)) "fsck clean after SIGKILL" [] (codes r);
+        (* ...and recover to a prefix: all acked statements, then zero or
+           more whole unacked records, nothing else *)
+        let db = Db.open_dir dir in
+        let lsn = Db.lsn db in
+        Alcotest.(check bool) "no acked statement lost" true (lsn >= acked_lsn);
+        Alcotest.(check bool) "head within the buffered tail" true
+          (lsn <= acked_lsn + unacked_stmts);
+        let cat = Db.catalog db in
+        let h = Hierel.Catalog.hierarchy cat "d" in
+        for i = 1 to acked_stmts do
+          Alcotest.(check bool)
+            (Printf.sprintf "acked_%d recovered" i)
+            true
+            (Hr_hierarchy.Hierarchy.mem h (Printf.sprintf "acked_%d" i))
+        done;
+        let replayed_tail = lsn - acked_lsn in
+        for i = 1 to unacked_stmts do
+          Alcotest.(check bool)
+            (Printf.sprintf "unacked_%d wholly replayed or wholly absent" i)
+            (i <= replayed_tail)
+            (Hr_hierarchy.Hierarchy.mem h (Printf.sprintf "unacked_%d" i))
+        done;
+        Db.close db)
+
 (* ---- plumbing ---------------------------------------------------------- *)
 
 let test_metrics_counted () =
@@ -321,6 +395,8 @@ let suite =
     Alcotest.test_case "caught-up replica is clean" `Quick test_caught_up_replica_clean;
     Alcotest.test_case "checkpoint past peer" `Quick
       test_checkpoint_past_peer_not_comparable;
+    Alcotest.test_case "kill -9 mid-batch: acked survive, tail is atomic" `Quick
+      test_kill_mid_batch;
     Alcotest.test_case "metrics counted" `Quick test_metrics_counted;
     Alcotest.test_case "json rendering" `Quick test_render_json_shape;
     Alcotest.test_case "fsck never raises" `Quick test_never_raises;

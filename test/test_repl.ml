@@ -8,6 +8,7 @@ module Db = Hr_storage.Db
 module Server = Hr_server.Server
 module Replica = Hr_repl.Replica
 module Metrics = Hr_obs.Metrics
+module Fsck = Hr_check.Fsck
 module Wire = Hr_frames.Wire
 open Hierel
 
@@ -549,6 +550,83 @@ let test_end_to_end () =
             (Metrics.counter_value "repl.records_applied" > 0);
           Replica.close replica))
 
+(* ---- crash window: kill -9 the primary under pipelined load ----------- *)
+
+(* A primary killed while a pipelined client is mid-burst and a replica
+   is chasing the stream must leave BOTH directories verifiable: the
+   primary fsck-clean with every client-acked statement durable, and the
+   replica a strict prefix of it (no divergence at the greatest common
+   LSN) — the replica can never have applied a record the primary lost,
+   because the primary ships nothing above its synced LSN and the
+   replica syncs before acking. *)
+let test_kill_during_pipelined_load () =
+  with_temp_dir (fun pdir ->
+      with_temp_dir (fun rdir ->
+          let db = Db.open_dir pdir in
+          exec_ok db workload_setup;
+          let base = Db.lsn db in
+          Db.close db;
+          let port, pid = spawn_primary ~dir:pdir ~port:0 in
+          let replica =
+            Replica.create
+              (Replica.config ~primary_port:port ~dir:rdir ~backoff_min:0.02
+                 ~backoff_max:0.2 ())
+          in
+          (* pipeline a burst of durable mutations without awaiting acks *)
+          let burst = 64 in
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let frame = Wire.frame "EXEC" "INSERT INTO flies VALUES (+ tweety);" in
+          let bytes = String.concat "" (List.init burst (fun _ -> frame)) in
+          let off = ref 0 in
+          Unix.set_nonblock fd;
+          (try
+             while !off < String.length bytes do
+               off := !off + Unix.write_substring fd bytes !off (String.length bytes - !off)
+             done
+           with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+          (* chase the stream briefly, counting acks as they land, then
+             kill mid-load *)
+          let dec = Wire.Decoder.create () in
+          let acked = ref 0 in
+          let buf = Bytes.create 65536 in
+          let drain_acks () =
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> ()
+            | n ->
+              Wire.Decoder.feed dec buf n;
+              let rec loop () =
+                match Wire.Decoder.next dec with
+                | Ok (Some _) ->
+                  incr acked;
+                  loop ()
+                | Ok None | Error _ -> ()
+              in
+              loop ()
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+          in
+          let deadline = Unix.gettimeofday () +. 2.0 in
+          while Unix.gettimeofday () < deadline && !acked < burst / 2 do
+            Replica.step replica 0.02;
+            drain_acks ()
+          done;
+          Unix.kill pid Sys.sigkill;
+          ignore (Unix.waitpid [] pid);
+          Unix.close fd;
+          Replica.close replica;
+          (* both nodes verify; the cross-check finds no divergence *)
+          let r = Fsck.run ~against:rdir pdir in
+          Alcotest.(check (list string)) "both nodes fsck-clean, no divergence" []
+            (List.map (fun f -> f.Fsck.code) r.Fsck.findings);
+          (* every statement acked to the client survived the crash *)
+          let pdb = Db.open_dir pdir in
+          Alcotest.(check bool)
+            (Printf.sprintf "acked statements durable (%d acked, head %d, base %d)"
+               !acked (Db.lsn pdb) base)
+            true
+            (Db.lsn pdb >= base + !acked);
+          Db.close pdb))
+
 let suite =
   [
     Alcotest.test_case "wire decoder across chunk boundaries" `Quick test_decoder_chunked;
@@ -566,4 +644,6 @@ let suite =
       test_stalled_subscriber_dropped;
     Alcotest.test_case "bootstrap, catch-up, kill, reconnect, converge" `Quick
       test_end_to_end;
+    Alcotest.test_case "kill -9 under pipelined load: both nodes verify" `Quick
+      test_kill_during_pipelined_load;
   ]

@@ -169,14 +169,17 @@ let test_soak_durable () =
           done;
           (* end-of-run registry consistency: every submitted statement
              (accepted or rejected, plus the initial CREATE DOMAIN) was
-             counted, and every WAL append was fsynced *)
+             counted.  [Db.exec] syncs after every statement, so on this
+             path each append gets its own fsync — the group-commit
+             batching (fsyncs < appends) only appears under the server's
+             event loop, and is asserted by bench C14 / the CI report. *)
           Alcotest.(check int) "storage.db.statements accounts for the run"
             (state.executed + state.rejected + 1)
             (Metrics.counter_value "storage.db.statements" - statements0);
           Alcotest.(check int) "one checkpoint recorded" 1
             (Metrics.counter_value "storage.db.checkpoints" - checkpoints0);
           let appends = Metrics.counter_value "storage.wal.appends" - appends0 in
-          Alcotest.(check int) "wal fsyncs = wal appends" appends
+          Alcotest.(check int) "per-statement exec: wal fsyncs = wal appends" appends
             (Metrics.counter_value "storage.wal.fsyncs" - fsyncs0);
           Alcotest.(check bool) "the run appended to the wal" true (appends > 0);
           let dump_before = Hr_query.Persist.dump_catalog (Hr_storage.Db.catalog db) in
