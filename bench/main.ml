@@ -751,6 +751,182 @@ let bench_hrql () =
   in
   run_benches ~label:"hrql" tests
 
+(* ---- C15: estimator accuracy — estimated vs actual rows ------------------ *)
+
+(* Per-workload q-error summaries and catalog statistics, accumulated
+   for the --metrics-json report (docs/OBSERVABILITY.md, docs/COST.md). *)
+let c15_json : (string * Hr_obs.Jsonout.t) list ref = ref []
+
+(* The standard q-error with +1 smoothing, so empty nodes (estimated or
+   actual) stay finite. *)
+let qerror est actual =
+  let e = est +. 1.0 and a = float_of_int actual +. 1.0 in
+  Float.max (e /. a) (a /. e)
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+    let sorted = List.sort compare xs in
+    List.nth sorted (List.length sorted / 2)
+
+(* Pairs each estimate node with the evaluated node of the same plan —
+   Cost_model.plan and Eval.analyze_raw both walk Optimizer.optimize's
+   output, so the trees are shape-identical by construction. *)
+let rec zip_estimates (n : Hr_analysis.Cost_model.node) (a : Hr_query.Eval.analyzed) acc =
+  let acc = (n.Hr_analysis.Cost_model.n_label, n.Hr_analysis.Cost_model.n_rows, a.Hr_query.Eval.a_rows) :: acc in
+  List.fold_left2
+    (fun acc c ac -> zip_estimates c ac acc)
+    acc n.Hr_analysis.Cost_model.n_children a.Hr_query.Eval.a_children
+
+(* Per-class extension counts and cone sizes — the statistics the
+   estimator reads, snapshotted so a metrics report pins down the
+   catalog the q-errors were measured against. *)
+let catalog_stats cat =
+  let open Hr_obs.Jsonout in
+  let per_hierarchy h =
+    let classes =
+      List.filter (fun v -> not (Hierarchy.is_instance h v)) (Hierarchy.nodes h)
+    in
+    ( Hr_util.Symbol.name (Hierarchy.domain h),
+      Obj
+        (List.map
+           (fun v ->
+             ( Hierarchy.node_label h v,
+               Obj
+                 [
+                   ("extension", Int (Hr_analysis.Cost_model.extension_count h v));
+                   ("cone", Int (Hr_analysis.Cost_model.cone_size h v));
+                 ] ))
+           classes) )
+  in
+  Obj (List.map per_hierarchy (Catalog.hierarchies cat))
+
+let bench_estimator () =
+  section "C15 — estimator accuracy: estimated vs actual rows per plan node";
+  let module Cost_model = Hr_analysis.Cost_model in
+  let run_workload (name, cat, queries) =
+    let src = Cost_model.of_catalog cat in
+    let qs = ref [] in
+    let nodes = ref 0 in
+    List.iter
+      (fun q ->
+        let { Hr_query.Ast.stmt; _ } =
+          Hr_query.Parser.parse_statement ("EXPLAIN ESTIMATE " ^ q)
+        in
+        let expr =
+          match stmt with
+          | Hr_query.Ast.Explain_estimate e -> e
+          | _ -> failwith "C15: not an expression"
+        in
+        match Cost_model.plan src expr with
+        | Error msg -> failwith ("C15 " ^ name ^ ": " ^ msg)
+        | Ok (optimized, root) ->
+          let _, actual = Hr_query.Eval.analyze_raw cat optimized in
+          let pairs = zip_estimates root actual [] in
+          nodes := !nodes + List.length pairs;
+          List.iter (fun (_, est, act) -> qs := qerror est act :: !qs) pairs)
+      queries;
+    let med = median !qs and worst = List.fold_left Float.max 1.0 !qs in
+    c15_json :=
+      ( name,
+        Hr_obs.Jsonout.Obj
+          [
+            ("queries", Hr_obs.Jsonout.Int (List.length queries));
+            ("nodes", Hr_obs.Jsonout.Int !nodes);
+            ("median_q_error", Hr_obs.Jsonout.Float med);
+            ("max_q_error", Hr_obs.Jsonout.Float worst);
+            ("catalog", catalog_stats cat);
+          ] )
+      :: !c15_json;
+    (name, List.length queries, !nodes, med, worst)
+  in
+  let scripted name setup queries =
+    let cat = Catalog.create () in
+    (match Hr_query.Eval.run_script cat setup with
+    | Ok _ -> ()
+    | Error e -> failwith ("C15 setup: " ^ e));
+    (name, cat, queries)
+  in
+  let flat =
+    scripted "flat"
+      {|
+      CREATE DOMAIN d;
+      CREATE INSTANCE x1 OF d; CREATE INSTANCE x2 OF d;
+      CREATE INSTANCE x3 OF d; CREATE INSTANCE x4 OF d;
+      CREATE RELATION r (v: d);
+      CREATE RELATION s (v: d);
+      INSERT INTO r VALUES (+ x1), (+ x2), (+ x3);
+      INSERT INTO s VALUES (+ x2), (+ x3), (+ x4);
+      |}
+      [
+        "r";
+        "SELECT r WHERE v = x1";
+        "r UNION s";
+        "r INTERSECT s";
+        "r JOIN s";
+      ]
+  in
+  let hierarchy =
+    scripted "hierarchy"
+      {|
+      CREATE DOMAIN animal;
+      CREATE CLASS bird UNDER animal;
+      CREATE CLASS penguin UNDER bird;
+      CREATE CLASS afp UNDER penguin;
+      CREATE INSTANCE tweety OF bird;
+      CREATE INSTANCE paul OF penguin;
+      CREATE INSTANCE pamela OF afp;
+      CREATE RELATION jack (creature: animal);
+      CREATE RELATION jill (creature: animal);
+      INSERT INTO jack VALUES (+ ALL bird), (- ALL penguin);
+      INSERT INTO jill VALUES (+ ALL penguin), (- ALL afp);
+      |}
+      [
+        "jack";
+        "SELECT jack WHERE creature = penguin";
+        "jack UNION jill";
+        "EXPLICATED jack";
+        "EXPLICATED (jack UNION jill)";
+      ]
+  in
+  let synthetic =
+    let h =
+      Workload.tree_hierarchy ~name:"syn" ~depth:2 ~fanout:3
+        ~instances_per_leaf:2 ()
+    in
+    let cat = Catalog.create () in
+    Catalog.define_hierarchy cat h;
+    let prng = Prng.create 15L in
+    let schema = Schema.make [ ("a", h); ("b", h) ] in
+    let rel =
+      Workload.repair prng
+        (Workload.random_relation prng schema
+           { Workload.default_relation_spec with Workload.rel_name = "syn_rel"; tuples = 12 })
+    in
+    Catalog.define_relation cat rel;
+    ( "synthetic",
+      cat,
+      [ "syn_rel"; "SELECT syn_rel WHERE a = c0_1"; "EXPLICATED syn_rel" ] )
+  in
+  let table =
+    Texttable.create
+      ~aligns:[ Texttable.Left; Texttable.Right; Texttable.Right; Texttable.Right; Texttable.Right ]
+      [ "workload"; "queries"; "nodes"; "median q-error"; "max q-error" ]
+  in
+  List.iter
+    (fun w ->
+      let name, queries, nodes, med, worst = run_workload w in
+      Texttable.add_row table
+        [
+          name;
+          string_of_int queries;
+          string_of_int nodes;
+          Printf.sprintf "%.2f" med;
+          Printf.sprintf "%.2f" worst;
+        ])
+    [ flat; hierarchy; synthetic ];
+  print_string (Texttable.render table)
+
 (* ---- figure regeneration check (F1–F11) -------------------------------- *)
 
 let check_figures () =
@@ -800,6 +976,7 @@ let experiments =
     ("C12", bench_page_io);
     ("C13", bench_semantic_net);
     ("C14", bench_group_commit);
+    ("C15", bench_estimator);
     ("F", check_figures);
   ]
 
@@ -821,6 +998,7 @@ let write_metrics_json path experiment_ids =
         ("quota_seconds", Float !quota_s);
         ("experiments", List (List.map (fun id -> String id) experiment_ids));
         ("benchmarks_ns_per_op", Obj benchmarks);
+        ("estimator", Obj (List.rev !c15_json));
         ("metrics", Hr_obs.Metrics.json_of_snapshot (Hr_obs.Metrics.snapshot ()));
       ]
   in

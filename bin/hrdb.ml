@@ -17,6 +17,10 @@ module Lint = Hr_analysis.Lint
 module Diagnostic = Hr_analysis.Diagnostic
 open Hierel
 
+(* Installs the EXPLAIN ESTIMATE hook into Hr_query.Eval — the module
+   must be referenced for its initializer to be linked. *)
+let () = Hr_analysis.Estimate.ensure_registered ()
+
 let banner durable =
   Printf.sprintf
     "hrdb — hierarchical relational database (Jagadish, SIGMOD 1989)%s\n\
@@ -35,6 +39,7 @@ let help =
   ASK r (x, y) [UNDER OFF-PATH|ON-PATH|NO-PREEMPTION];
   CONSOLIDATE r;   EXPLICATE r [ON (attr)];   CHECK r;
   COUNT r [BY attr];   EXPLAIN PLAN <expr>;   EXPLAIN ANALYZE <expr>;
+  EXPLAIN ESTIMATE <expr>;   price the plan statically, run nothing (docs/COST.md)
   SHOW HIERARCHY d;   SHOW RELATIONS;   SHOW HIERARCHIES;
   EXPLAIN r (x, y);   DROP RELATION r;
   STATS;   STATS JSON;   STATS RESET;     engine metrics (docs/OBSERVABILITY.md)
@@ -232,7 +237,17 @@ let read_stdin () =
   loop ();
   Buffer.contents buf
 
-let lint_main pos_files opt_files strict format =
+let lint_main pos_files opt_files strict format explain_code =
+  match explain_code with
+  | Some code -> (
+    match Hr_analysis.Codes.find code with
+    | Some entry ->
+      print_string (Hr_analysis.Codes.render entry);
+      0
+    | None ->
+      Printf.eprintf "hrdb lint: unknown diagnostic code %S\n" code;
+      2)
+  | None -> (
   match opt_files @ pos_files with
   | [] ->
     prerr_endline "hrdb lint: no script given (pass FILE, '-' for stdin, or -f FILE)";
@@ -257,6 +272,7 @@ let lint_main pos_files opt_files strict format =
             if List.length files > 1 then Printf.printf "%s:\n" f;
             print_string (Diagnostic.render_text ds))
           results
+      | `Sarif -> print_string (Hr_analysis.Sarif.render results)
       | `Json -> (
         match results with
         | [ (_, ds) ] -> print_string (Diagnostic.render_json ds)
@@ -276,7 +292,7 @@ let lint_main pos_files opt_files strict format =
             Diagnostic.has_errors ds || (strict && Diagnostic.has_warnings ds))
           results
       then 1
-      else 0)
+      else 0))
 
 let lint_pos_files =
   Arg.(value & pos_all string [] & info [] ~docv:"SCRIPT")
@@ -300,7 +316,27 @@ let lint_strict_arg =
     & info [ "strict" ]
         ~doc:
           "Also fail (exit 1) when any warning-severity diagnostic is \
-           reported. Hints never affect the exit code.")
+           reported. Hints and perf notes never affect the exit code.")
+
+(* lint grows a sarif variant; fsck keeps the shared text/json pair. *)
+let lint_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: $(b,text) (human-readable), $(b,json), or \
+           $(b,sarif) (SARIF 2.1.0, for CI annotation upload).")
+
+let explain_code_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "explain" ] ~docv:"CODE"
+        ~doc:
+          "Explain a diagnostic code (e.g. $(b,W104), $(b,P301), \
+           $(b,F010)): meaning, a triggering example, and the usual fix. \
+           No script is linted.")
 
 let lint_cmd =
   let doc = "statically check HRQL scripts without executing them" in
@@ -315,14 +351,15 @@ let lint_cmd =
          standard input.";
       `P
         "Exits 1 when any error-severity diagnostic is reported (with \
-         $(b,--strict): also on warnings), 0 otherwise.";
+         $(b,--strict): also on warnings), 0 otherwise. Perf notes \
+         (P3xx, docs/COST.md) are always advisory.";
     ]
   in
   Cmd.v
     (Cmd.info "lint" ~doc ~man)
     Term.(
       const lint_main $ lint_pos_files $ lint_opt_files $ lint_strict_arg
-      $ format_arg)
+      $ lint_format_arg $ explain_code_arg)
 
 (* ---- the fsck subcommand ---------------------------------------------- *)
 

@@ -1,0 +1,28 @@
+(** The diagnostic-code catalogue.
+
+    One entry per stable code — lint errors/warnings/hints (E/W/H,
+    docs/LINT.md), performance notes (P, docs/COST.md), and fsck
+    findings (F, docs/FSCK.md). [hrdb lint --explain CODE] renders an
+    entry, and the SARIF writer ({!Sarif}) embeds entries as rule
+    metadata, so every surface quotes the same prose. *)
+
+type entry = {
+  code : string;
+  title : string;
+  severity : string;
+      (** ["error"], ["warning"], ["hint"], ["perf"], ["fsck critical"],
+          or ["fsck warning"]. *)
+  meaning : string;
+  example : string;  (** an HRQL script triggering it; [""] when none applies *)
+  fix : string;
+}
+
+val all : entry list
+(** Every known code, in catalogue order (E, W, H, P, F). *)
+
+val find : string -> entry option
+(** Case-insensitive lookup by code. *)
+
+val render : entry -> string
+(** Multi-line human rendering: title line, meaning, indented example,
+    fix. *)

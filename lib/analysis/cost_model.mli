@@ -1,0 +1,89 @@
+(** Hierarchy-aware cardinality and cost model for optimized HRQL plans.
+
+    Prices a plan {e statically} — no operator is evaluated, no tuple
+    materialized. Statistics come from a {!source}, which abstracts over
+    the two catalogs the analyzer meets: the live {!Hierel.Catalog.t}
+    (per-class extension counts, exception counts and cone sizes read
+    straight from the stored relations and hierarchies, plus actual row
+    counts fed back by [EXPLAIN ANALYZE]) and the lint-time
+    {!Sim_catalog} (symbolic counts from the rows the analyzed script
+    itself asserts). Costs are abstract work units: 1 unit ≈ one tuple
+    visit or one closure-index probe. See [docs/COST.md]. *)
+
+(** {1 Statistics sources} *)
+
+type input = { rel : Hierel.Relation.t; exact : bool }
+
+type source = {
+  find : string -> input option;
+  observed : rel:string -> label:string -> int option;
+  hierarchies : unit -> Hr_hierarchy.Hierarchy.t list;
+}
+
+val of_catalog : Hierel.Catalog.t -> source
+(** Live statistics; [observed] consults the catalog's feedback store
+    ({!Hierel.Catalog.observed_stat}). *)
+
+val of_sim : Sim_catalog.t -> source
+(** Symbolic statistics from shadow relations; [observed] is always
+    [None]. Shadow relations carry their {e exact} flag through, so
+    rows asserted by the script itself still price exactly. *)
+
+(** {1 Primitive statistics} *)
+
+val extension_count : Hr_hierarchy.Hierarchy.t -> Hr_hierarchy.Hierarchy.node -> int
+(** Atomic extension size: 1 for an instance, the leaf count of the cone
+    for a class. *)
+
+val cone_size : Hr_hierarchy.Hierarchy.t -> Hr_hierarchy.Hierarchy.node -> int
+(** Nodes isa-reachable from the node, inclusive. *)
+
+val domain_width : Hr_hierarchy.Hierarchy.t -> int
+(** Number of instances in the hierarchy (at least 1). *)
+
+val avg_extension : Hr_hierarchy.Hierarchy.t -> float
+(** Mean atomic extension over all nodes — the per-attribute expansion a
+    flattening applies when actual coordinates are unknown. *)
+
+val stored_rows : Hierel.Relation.t -> int
+val exception_count : Hierel.Relation.t -> int
+val is_flat : Hierel.Relation.t -> bool
+
+val extension_rows : ?over:string list -> Hierel.Relation.t -> int
+(** Estimated flat cardinality of [EXPLICATE rel]: per stored tuple, the
+    product of the flattened coordinates' atomic extensions; negated
+    tuples subtract. Exact when the relation is flat; an upper bound
+    when cones overlap. *)
+
+(** {1 The annotated plan} *)
+
+type node = {
+  n_label : string;  (** same operator vocabulary as [EXPLAIN ANALYZE] *)
+  n_loc : Hr_query.Loc.t;
+  n_rows : float;  (** estimated output rows *)
+  n_cost : float;  (** cumulative work units, inclusive of children *)
+  n_exact : bool;  (** the row estimate is provably exact *)
+  n_kind : kind;
+  n_children : node list;
+}
+
+and kind =
+  | Scan of string
+  | Selection of { selectivity : float }
+  | Joining of { cartesian : bool }
+  | Flatten of { expansion : float }
+  | Opaque
+
+val plan :
+  source -> Hr_query.Ast.query_expr -> (Hr_query.Ast.query_expr * node, string) result
+(** Optimize the expression ({!Hr_query.Optimizer.optimize}) and price
+    the optimized plan. Returns the optimized plan alongside the
+    annotated root so callers can pair estimate nodes with the plan (or
+    with [EXPLAIN ANALYZE] output, which optimizes identically).
+    [Error] names an unknown relation. Never evaluates the plan. *)
+
+(** {1 Lint thresholds} (P300/P301/P303; documented in [docs/COST.md]) *)
+
+val cartesian_rows_threshold : float
+val explicate_cone_threshold : float
+val rederive_cost_threshold : float

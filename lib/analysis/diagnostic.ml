@@ -1,6 +1,6 @@
 module Loc = Hr_query.Loc
 
-type severity = Error | Warning | Hint
+type severity = Error | Warning | Hint | Perf
 
 type t = {
   code : string;
@@ -24,13 +24,16 @@ let warningf ?related ~code loc fmt =
   Format.kasprintf (warning ?related ~code loc) fmt
 
 let hintf ?related ~code loc fmt = Format.kasprintf (hint ?related ~code loc) fmt
+let perf ?related ~code loc message = make ?related Perf ~code loc message
+let perff ?related ~code loc fmt = Format.kasprintf (perf ?related ~code loc) fmt
 
 let severity_label = function
   | Error -> "error"
   | Warning -> "warning"
   | Hint -> "hint"
+  | Perf -> "perf"
 
-let severity_rank = function Error -> 0 | Warning -> 1 | Hint -> 2
+let severity_rank = function Error -> 0 | Warning -> 1 | Hint -> 2 | Perf -> 3
 
 let compare a b =
   match Loc.compare a.loc b.loc with
@@ -88,7 +91,7 @@ let render_text ds =
         (fun (sev, noun) ->
           let n = count sev in
           if n = 0 then None else Some (plural n noun))
-        [ (Error, "error"); (Warning, "warning"); (Hint, "hint") ]
+        [ (Error, "error"); (Warning, "warning"); (Hint, "hint"); (Perf, "perf note") ]
     in
     Buffer.add_string buf (String.concat ", " parts);
     Buffer.add_char buf '\n';

@@ -9,9 +9,12 @@
     Severity encodes what execution would do: [Error] — the statement
     would be rejected (or crash) by the evaluator; [Warning] — the
     statement executes but almost certainly not as intended; [Hint] — a
-    stylistic or clarity nudge. *)
+    stylistic or clarity nudge; [Perf] — the statement is correct but
+    the cost model ({!Cost_model}) predicts it is needlessly expensive.
+    Perf notes are always advisory: like hints, they never affect exit
+    codes, even under [--strict]. *)
 
-type severity = Error | Warning | Hint
+type severity = Error | Warning | Hint | Perf
 
 type t = {
   code : string;
@@ -40,6 +43,15 @@ val warningf :
   'a
 
 val hintf :
+  ?related:string list ->
+  code:string ->
+  Hr_query.Loc.t ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val perf : ?related:string list -> code:string -> Hr_query.Loc.t -> string -> t
+
+val perff :
   ?related:string list ->
   code:string ->
   Hr_query.Loc.t ->

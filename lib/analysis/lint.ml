@@ -19,6 +19,13 @@ let analyze_statement sim (lstmt : Hr_query.Ast.located_statement) =
     emit
       (Diagnostic.errorf ~code:"E999" lstmt.Hr_query.Ast.sloc
          "internal analyzer error: %s" (Printexc.to_string exn)));
+  (* Performance lints (P3xx) run after the correctness checks so the
+     cost model prices the statement against the post-statement sim; a
+     statement that already failed to check is skipped rather than
+     priced on garbage. *)
+  (if not (Diagnostic.has_errors !acc) then
+     try Perf_check.check sim ~emit lstmt
+     with _ -> () (* advisory only: never let pricing break the lint *));
   Diagnostic.sort (List.rev !acc)
 
 let analyze_script ?catalog input =

@@ -1,0 +1,109 @@
+(* SARIF 2.1.0 output for [hrdb lint --format sarif]: one run, one
+   result per diagnostic, rule metadata pulled from {!Codes} for every
+   code that actually fired. The point is CI integration — GitHub code
+   scanning and most SARIF viewers render these as inline annotations. *)
+
+module J = Hr_obs.Jsonout
+module Loc = Hr_query.Loc
+
+let level_of = function
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Hint | Diagnostic.Perf -> "note"
+
+let region (loc : Loc.t) =
+  if Loc.is_dummy loc then J.Obj [ ("startLine", J.Int 1) ]
+  else
+    J.Obj
+      [
+        ("startLine", J.Int loc.Loc.lo.Loc.line);
+        ("startColumn", J.Int loc.Loc.lo.Loc.col);
+        ("endLine", J.Int loc.Loc.hi.Loc.line);
+        ("endColumn", J.Int loc.Loc.hi.Loc.col);
+      ]
+
+let result file (d : Diagnostic.t) =
+  let text =
+    match d.Diagnostic.related with
+    | [] -> d.Diagnostic.message
+    | notes -> d.Diagnostic.message ^ " (" ^ String.concat "; " notes ^ ")"
+  in
+  J.Obj
+    [
+      ("ruleId", J.String d.Diagnostic.code);
+      ("level", J.String (level_of d.Diagnostic.severity));
+      ("message", J.Obj [ ("text", J.String text) ]);
+      ( "locations",
+        J.List
+          [
+            J.Obj
+              [
+                ( "physicalLocation",
+                  J.Obj
+                    [
+                      ( "artifactLocation",
+                        J.Obj [ ("uri", J.String file) ] );
+                      ("region", region d.Diagnostic.loc);
+                    ] );
+              ];
+          ] );
+    ]
+
+let rule code =
+  match Codes.find code with
+  | None -> J.Obj [ ("id", J.String code) ]
+  | Some entry ->
+    J.Obj
+      [
+        ("id", J.String code);
+        ("name", J.String entry.Codes.title);
+        ( "shortDescription",
+          J.Obj [ ("text", J.String entry.Codes.title) ] );
+        ( "fullDescription",
+          J.Obj [ ("text", J.String entry.Codes.meaning) ] );
+        ("help", J.Obj [ ("text", J.String entry.Codes.fix) ]);
+      ]
+
+(* Aggregates every (file, diagnostics) pair into a single run, the
+   shape CI upload actions expect for one analysis step. *)
+let render results =
+  let fired =
+    List.sort_uniq String.compare
+      (List.concat_map
+         (fun (_, ds) -> List.map (fun d -> d.Diagnostic.code) ds)
+         results)
+  in
+  J.to_string
+    (J.Obj
+       [
+         ("version", J.String "2.1.0");
+         ( "$schema",
+           J.String
+             "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+         );
+         ( "runs",
+           J.List
+             [
+               J.Obj
+                 [
+                   ( "tool",
+                     J.Obj
+                       [
+                         ( "driver",
+                           J.Obj
+                             [
+                               ("name", J.String "hrdb-lint");
+                               ( "informationUri",
+                                 J.String "docs/LINT.md" );
+                               ("rules", J.List (List.map rule fired));
+                             ] );
+                       ] );
+                   ( "results",
+                     J.List
+                       (List.concat_map
+                          (fun (file, ds) -> List.map (result file) ds)
+                          results) );
+                 ];
+             ] );
+       ])
+  ^ "\n"

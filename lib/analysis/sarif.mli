@@ -1,0 +1,11 @@
+(** SARIF 2.1.0 rendering of lint results ([hrdb lint --format sarif]).
+
+    Severity mapping: errors and warnings keep their SARIF level; hints
+    and perf notes map to [note]. Rule metadata for every code that
+    fired is embedded from {!Codes}. *)
+
+val render : (string * Diagnostic.t list) list -> string
+(** [render results] aggregates per-file diagnostics into one SARIF log
+    with a single run; the first component of each pair is the artifact
+    URI (the script path, or ["<stdin>"]). The output ends with a
+    newline. *)

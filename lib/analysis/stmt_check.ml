@@ -332,6 +332,7 @@ let reads_of = function
   | Ast.Let_binding { expr; _ }
   | Ast.Explain_plan expr
   | Ast.Explain_analyze expr
+  | Ast.Explain_estimate expr
   | Ast.Count { expr; _ } ->
     expr_rels [] expr
   | Ast.Diff { prev; next } -> expr_rels (expr_rels [] prev) next
@@ -573,7 +574,7 @@ let check sim ~emit { Ast.stmt; sloc = loc } =
     if Option.is_none (Sim_catalog.find_hierarchy sim name) then
       emit (Diagnostic.errorf ~code:"E008" loc "unknown domain %S" name)
   | Ast.Show_relations | Ast.Show_hierarchies -> ()
-  | Ast.Explain_plan expr | Ast.Explain_analyze expr ->
+  | Ast.Explain_plan expr | Ast.Explain_analyze expr | Ast.Explain_estimate expr ->
     ignore (infer_schema sim ~emit expr)
   | Ast.Stats _ | Ast.Stats_reset -> ()
   | Ast.Count { expr; by } -> (

@@ -4,9 +4,19 @@ module Symbol = Hr_util.Symbol
 type t = {
   hierarchies : Hierarchy.t Symbol.Tbl.t;
   relations : Relation.t Symbol.Tbl.t;
+  observed : (string * string, int) Hashtbl.t;
+      (* (relation, label) -> last actual row count reported by EXPLAIN
+         ANALYZE. [label] is ["*"] for the whole stored extension or
+         ["attr=value"] for a selection; the cost estimator prefers these
+         over its formulas. *)
 }
 
-let create () = { hierarchies = Symbol.Tbl.create 16; relations = Symbol.Tbl.create 16 }
+let create () =
+  {
+    hierarchies = Symbol.Tbl.create 16;
+    relations = Symbol.Tbl.create 16;
+    observed = Hashtbl.create 16;
+  }
 
 let define_hierarchy t h =
   let key = Hierarchy.domain h in
@@ -51,4 +61,15 @@ let replace_relation t r =
     Types.model_error "no relation %S" (Relation.name r);
   Symbol.Tbl.replace t.relations key r
 
-let drop_relation t name = Symbol.Tbl.remove t.relations (Symbol.intern name)
+let drop_relation t name =
+  Symbol.Tbl.remove t.relations (Symbol.intern name);
+  Hashtbl.iter
+    (fun ((rel, _) as key) _ -> if rel = name then Hashtbl.remove t.observed key)
+    (Hashtbl.copy t.observed)
+
+let record_stat t ~rel ~label count = Hashtbl.replace t.observed (rel, label) count
+let observed_stat t ~rel ~label = Hashtbl.find_opt t.observed (rel, label)
+
+let observed_stats t =
+  Hashtbl.fold (fun key count acc -> (key, count) :: acc) t.observed []
+  |> List.sort compare

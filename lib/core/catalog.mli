@@ -34,3 +34,20 @@ val replace_relation : t -> Relation.t -> unit
     semantics by construction). *)
 
 val drop_relation : t -> string -> unit
+(** Also forgets any observed statistics recorded for the relation. *)
+
+(** {2 Observed statistics}
+
+    A tiny feedback store for the static cost estimator: [EXPLAIN
+    ANALYZE] records the actual row counts it measured per (relation,
+    label) pair, and the estimator prefers an observed count over its
+    formula the next time the same scan or selection is priced. Labels
+    are ["*"] (the stored extension) or ["attr=value"] (a selection on
+    the stored relation). The store is part of the catalog so durable
+    backends persist it across checkpoints ({!Hr_storage.Snapshot}). *)
+
+val record_stat : t -> rel:string -> label:string -> int -> unit
+val observed_stat : t -> rel:string -> label:string -> int option
+
+val observed_stats : t -> ((string * string) * int) list
+(** All recorded pairs, sorted — for snapshot encoding and metrics. *)

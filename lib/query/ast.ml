@@ -57,6 +57,9 @@ type statement =
   | Explain_plan of query_expr
   | Explain_analyze of query_expr
       (** run the optimized plan with per-node counters and timings *)
+  | Explain_estimate of query_expr
+      (** price the optimized plan statically — per-node estimated rows
+          and cost, no evaluation *)
   | Count of { expr : query_expr; by : string option }
   | Diff of { prev : query_expr; next : query_expr }
   | Stats of { json : bool }  (** snapshot of the metrics registry *)

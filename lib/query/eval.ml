@@ -170,14 +170,55 @@ let render_analyzed root =
   walk 0 root;
   Buffer.contents buf
 
+(* Feedback to the static estimator: measured row counts flow back into
+   the catalog's observed-statistics store, keyed the way the estimator
+   looks them up — the whole stored extension of a scanned relation, or
+   a selection directly over one. *)
+let rec record_actuals cat plan (a : analyzed) =
+  (match plan.Ast.expr, a.a_children with
+  | Ast.Rel name, _ -> Catalog.record_stat cat ~rel:name ~label:"*" a.a_rows
+  | Ast.Select ({ Ast.expr = Ast.Rel name; _ }, attr, v), _ ->
+    Catalog.record_stat cat ~rel:name
+      ~label:(Printf.sprintf "%s=%s" attr (Ast.value_name v))
+      a.a_rows
+  | _ -> ());
+  let children =
+    match plan.Ast.expr with
+    | Ast.Rel _ -> []
+    | Ast.Select (e, _, _)
+    | Ast.Project (e, _)
+    | Ast.Rename (e, _, _)
+    | Ast.Consolidated e
+    | Ast.Explicated (e, _) ->
+      [ e ]
+    | Ast.Join (x, y) | Ast.Union (x, y) | Ast.Intersect (x, y) | Ast.Except (x, y)
+      ->
+      [ x; y ]
+  in
+  List.iter2 (record_actuals cat) children a.a_children
+
 (* Counters are forced on for the duration so the per-node deltas are
    real even if the process runs with the registry disabled. *)
 let explain_analyze cat expr =
   let plan = Optimizer.optimize expr in
   Hr_obs.Metrics.with_enabled true (fun () ->
       let rel, root = analyze_raw cat plan in
+      record_actuals cat plan root;
       Printf.sprintf "plan: %s\n%sresult: %d tuple(s)" (Optimizer.describe plan)
         (render_analyzed root) (Relation.cardinality rel))
+
+(* ---- EXPLAIN ESTIMATE -------------------------------------------------- *)
+
+(* The cost estimator lives a layer up (Hr_analysis.Estimate, which also
+   serves `hrdb lint`), so it registers itself here at module-init time
+   rather than being called directly — the dependency points the other
+   way. Executables that evaluate HRQL all link the analysis library. *)
+let estimator :
+    (Catalog.t -> Ast.query_expr -> (string, string) result) ref =
+  ref (fun _ _ ->
+      Error "EXPLAIN ESTIMATE: no estimator registered (link hr_analysis)")
+
+let set_estimator f = estimator := f
 
 let render_relation rel =
   buf_fmt (fun ppf ->
@@ -337,6 +378,8 @@ let exec cat stmt =
           (Optimizer.describe expr)
           (Optimizer.describe (Optimizer.optimize expr))
       | Ast.Explain_analyze expr -> explain_analyze cat expr
+      | Ast.Explain_estimate expr -> (
+        match !estimator cat expr with Ok out -> out | Error msg -> failwith msg)
       | Ast.Stats { json } ->
         let snap = Hr_obs.Metrics.snapshot () in
         if json then Hr_obs.Metrics.render_json snap

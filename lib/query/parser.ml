@@ -316,6 +316,9 @@ let statement c =
     | Some (Kw "ANALYZE") ->
       ignore (advance c);
       Ast.Explain_analyze (expr c)
+    | Some (Kw "ESTIMATE") ->
+      ignore (advance c);
+      Ast.Explain_estimate (expr c)
     | _ ->
       let rel = ident c in
       let values = paren_values c in

@@ -141,6 +141,18 @@ let catalog t =
 let lint t script =
   Hr_analysis.Lint.analyze_script ~catalog:(catalog t) script
 
+(* An ESTIMATE frame carries a bare query expression; it is priced
+   against the live catalog without evaluating anything. The payload is
+   parsed by wrapping it in the statement form, so the expression
+   grammar is exactly the REPL's. *)
+let explain_estimate t payload =
+  match Hr_query.Parser.parse_statement ("EXPLAIN ESTIMATE " ^ payload) with
+  | exception Hr_query.Parser.Parse_error { msg; _ } -> Error ("parse error: " ^ msg)
+  | exception Hr_query.Lexer.Lex_error { msg; _ } -> Error ("lex error: " ^ msg)
+  | { Hr_query.Ast.stmt = Hr_query.Ast.Explain_estimate expr; _ } ->
+    Hr_analysis.Estimate.explain_live (catalog t) expr
+  | _ -> Error "ESTIMATE expects a single query expression"
+
 (* ---- serving ---------------------------------------------------------- *)
 
 exception Drop_conn
@@ -262,6 +274,12 @@ let handle t conn tag payload =
       | Error msg -> send_conn t conn "ERR" msg))
   | "LINT" ->
     send_conn t conn "OK" (Hr_analysis.Diagnostic.render_json (lint t payload))
+  | "ESTIMATE" -> (
+    match explain_estimate t payload with
+    | Ok body -> send_conn t conn "OK" body
+    | Error msg ->
+      Hr_obs.Metrics.incr m_errors;
+      send_conn t conn "ERR" msg)
   | "STATS" ->
     (* payload selects the rendering: "json" or "" for text *)
     let snap = Hr_obs.Metrics.snapshot () in
@@ -601,6 +619,7 @@ module Client = struct
 
   let exec conn script = request conn "EXEC" script
   let lint conn script = request conn "LINT" script
+  let explain_estimate conn expr = request conn "ESTIMATE" expr
   let stats ?(json = false) conn = request conn "STATS" (if json then "json" else "")
   let fsck ?(json = false) conn = request conn "FSCK" (if json then "json" else "")
 

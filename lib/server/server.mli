@@ -14,6 +14,14 @@
     the script; the [OK] payload is the diagnostics as a JSON array
     (possibly empty). Lint requests never mutate the database.
 
+    An [ESTIMATE] request carries a single query expression (not a
+    script); the server prices its optimized plan with the static cost
+    model ({!Hr_analysis.Cost_model}) against the live catalog and
+    returns the annotated plan — estimated rows and work units per node
+    — as the [OK] payload. Like [LINT], nothing is executed or mutated:
+    the frame is classified as non-mutating, so it is never WAL-logged
+    and leaves every statement counter untouched.
+
     A [STATS] request returns a snapshot of the process-wide metrics
     registry ({!Hr_obs.Metrics}); a payload of ["json"] selects the JSON
     rendering, anything else the human-readable text table. The server
@@ -153,6 +161,11 @@ module Client : sig
   val lint : conn -> string -> (string, string) result
   (** Sends one script for static analysis; returns the diagnostics as a
       JSON array ([[]] when the script is clean). *)
+
+  val explain_estimate : conn -> string -> (string, string) result
+  (** Sends one query expression to be priced statically against the
+      live catalog; returns the annotated plan (estimated rows and work
+      units per node). Nothing is executed. *)
 
   val stats : ?json:bool -> conn -> (string, string) result
   (** Fetches the server's metrics snapshot, as text or (with

@@ -147,7 +147,7 @@ let mutating = function
     true
   | Ast.Select_query _ | Ast.Ask _ | Ast.Check _ | Ast.Show_hierarchy _ | Ast.Show_relations
   | Ast.Show_hierarchies | Ast.Explain _ | Ast.Explain_plan _ | Ast.Explain_analyze _
-  | Ast.Count _ | Ast.Diff _ | Ast.Stats _ | Ast.Stats_reset ->
+  | Ast.Explain_estimate _ | Ast.Count _ | Ast.Diff _ | Ast.Stats _ | Ast.Stats_reset ->
     false
 
 (* The WAL stores each mutating statement's source text, so the script is

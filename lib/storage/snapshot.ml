@@ -8,7 +8,11 @@ exception Corrupt_snapshot of string
 let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt_snapshot s)) fmt
 
 let magic = "HRELSNAP"
-let version = 1
+
+(* v2 appends the observed-statistics section (the cost estimator's
+   EXPLAIN ANALYZE feedback); v1 snapshots still decode, with an empty
+   store. *)
+let version = 2
 
 (* ---- encoding -------------------------------------------------------- *)
 
@@ -74,6 +78,12 @@ let encode cat =
       (Catalog.relations cat)
   in
   W.list w encode_relation relations;
+  W.list w
+    (fun w ((rel, label), count) ->
+      W.string w rel;
+      W.string w label;
+      W.u32 w count)
+    (Catalog.observed_stats cat);
   let body = W.contents w in
   let out = W.create () in
   W.string out magic;
@@ -144,7 +154,7 @@ let decode ?(check = true) data =
     let m = R.string r in
     if m <> magic then corrupt "bad magic %S" m;
     let v = R.u32 r in
-    if v <> version then corrupt "unsupported snapshot version %d" v;
+    if v <> 1 && v <> version then corrupt "unsupported snapshot version %d" v;
     let body = R.string r in
     let crc = R.u32 r in
     let actual = Int32.to_int (Codec.crc32 body) land 0xFFFFFFFF in
@@ -155,6 +165,12 @@ let decode ?(check = true) data =
     List.iter (Catalog.define_hierarchy cat) hierarchies;
     let relations = R.list r (fun r -> decode_relation cat r) in
     List.iter (Catalog.define_relation ~check cat) relations;
+    if v >= 2 then
+      R.iter r (fun r ->
+          let rel = R.string r in
+          let label = R.string r in
+          let count = R.u32 r in
+          Catalog.record_stat cat ~rel ~label count);
     cat
   with
   | R.Corrupt msg -> corrupt "%s" msg
