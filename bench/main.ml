@@ -960,6 +960,145 @@ let check_figures () =
     checks;
   print_string (Texttable.render table)
 
+(* ---- C16: reader domains — snapshot-isolated read throughput ------------ *)
+
+(* Read QPS through the pool server (lib/exec) at K=1 vs K=N reader
+   domains: the C14 pipelined-client state machine, but the traffic is
+   read-only, so every frame is offloaded to the domain pool and
+   evaluated against the pinned catalog version while the event loop
+   only shuttles bytes. On a multi-core host the K=N arm must scale;
+   the CI assertion (>= 2.5x at K=4) is gated on the [cores] field the
+   JSON report records, because a 1-core container can only interleave.
+
+   Must stay last in the experiment list: spawning a domain forbids
+   Unix.fork for the rest of the process. *)
+
+let reader_domains_k = ref 4
+
+let bench_reader_domains () =
+  let module Server = Hr_server.Server in
+  let module Wire = Hr_frames.Wire in
+  section
+    (Printf.sprintf
+       "C16 — reader domains: snapshot-isolated read throughput (K=1 vs K=%d)"
+       !reader_domains_k);
+  let reads_per_client = max 150 (int_of_float (!quota_s *. 1200.)) in
+  let clients = 6 in
+  (* The reads must be evaluation-heavy (subsumption reasoning) with
+     small replies: evaluation runs on the domains and scales with K,
+     while reply bytes are shuttled by the single event-loop thread and
+     do not. *)
+  let setup_script =
+    String.concat " "
+      ([ "CREATE DOMAIN c16_d;";
+         "CREATE CLASS c16_c0 UNDER c16_d; CREATE CLASS c16_c1 UNDER c16_d;";
+         "CREATE CLASS c16_c2 UNDER c16_c0;" ]
+      @ List.init 32 (fun i ->
+            Printf.sprintf "CREATE INSTANCE c16_i%d OF c16_c%d;" i (i mod 3))
+      @ [ "CREATE RELATION c16_r (v: c16_d);";
+          "INSERT INTO c16_r VALUES (+ ALL c16_c0);";
+          "INSERT INTO c16_r VALUES (- c16_i4);";
+          "INSERT INTO c16_r VALUES (+ c16_i7);" ])
+  in
+  let read_script =
+    String.concat " "
+      (List.init 8 (fun i -> Printf.sprintf "ASK c16_r (c16_i%d);" (i * 4))
+      @ [ "SELECT * FROM c16_r WHERE v = c16_i2;";
+          "SELECT * FROM c16_r WHERE v = c16_i9;" ])
+  in
+  let frame = Wire.frame "EXEC" read_script in
+  let run_arm ~domains =
+    let server = Server.create_memory ~port:0 ~reader_domains:domains () in
+    Fun.protect
+      ~finally:(fun () -> Server.close server)
+      (fun () ->
+        let port = Server.port server in
+        let setup = Server.Client.connect ~timeout:10.0 ~port () in
+        let setup_fd = Server.Client.fd setup in
+        Wire.send setup_fd "EXEC" setup_script;
+        let rec await_setup () =
+          ignore (Server.poll server 0.01);
+          match Unix.select [ setup_fd ] [] [] 0.0 with
+          | [ _ ], _, _ -> (
+            match Server.Client.recv setup with
+            | Ok _ -> ()
+            | Error msg -> failwith ("C16 setup: " ^ msg))
+          | _ -> await_setup ()
+        in
+        await_setup ();
+        Server.Client.close setup;
+        ignore (Server.poll server 0.01);
+        let conns =
+          Array.init clients (fun _ ->
+              let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+              Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              Unix.set_nonblock fd;
+              (fd, Wire.Decoder.create (), ref 0 (* sent *), ref 0 (* off *)))
+        in
+        let total = clients * reads_per_client in
+        let acked_total = ref 0 in
+        let buf = Bytes.create 65536 in
+        let t0 = Unix.gettimeofday () in
+        while !acked_total < total do
+          ignore (Server.poll server 0.002);
+          Array.iter
+            (fun (fd, dec, sent, off) ->
+              (try
+                 while !sent < reads_per_client do
+                   let n =
+                     Unix.write_substring fd frame !off (String.length frame - !off)
+                   in
+                   off := !off + n;
+                   if !off = String.length frame then begin
+                     off := 0;
+                     incr sent
+                   end
+                 done
+               with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+              match Unix.read fd buf 0 (Bytes.length buf) with
+              | 0 -> failwith "C16: server closed a client connection"
+              | n ->
+                Wire.Decoder.feed dec buf n;
+                let rec drain () =
+                  match Wire.Decoder.next dec with
+                  | Ok (Some (tag, payload)) ->
+                    if tag = "ERR" then failwith ("C16: ERR reply: " ^ payload);
+                    incr acked_total;
+                    drain ()
+                  | Ok None -> ()
+                  | Error msg -> failwith ("C16: bad reply frame: " ^ msg)
+                in
+                drain ()
+              | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                ())
+            conns
+        done;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Array.iter (fun (fd, _, _, _) -> Unix.close fd) conns;
+        (total, elapsed))
+  in
+  let report name (total, elapsed) =
+    let qps = float total /. elapsed in
+    let ns = elapsed /. float total *. 1e9 in
+    collected := (name ^ " ns/op", ns) :: !collected;
+    Format.printf "%s: %d read scripts in %.3fs = %.0f reads/s (%.0f ns/read)@." name
+      total elapsed qps ns;
+    ns
+  in
+  let ns_1 = report "C16 snapshot reads K=1" (run_arm ~domains:1) in
+  let ns_k =
+    report
+      (Printf.sprintf "C16 snapshot reads K=%d" !reader_domains_k)
+      (run_arm ~domains:!reader_domains_k)
+  in
+  let cores = Domain.recommended_domain_count () in
+  Format.printf
+    "read scaling K=1 -> K=%d: %.2fx on %d core(s)%s@." !reader_domains_k (ns_1 /. ns_k)
+    cores
+    (if cores < !reader_domains_k then
+       " (fewer cores than domains: interleaving only, no speedup expected)"
+     else "")
+
 let experiments =
   [
     ("C1", bench_storage);
@@ -978,6 +1117,9 @@ let experiments =
     ("C14", bench_group_commit);
     ("C15", bench_estimator);
     ("F", check_figures);
+    (* last: C16 spawns OCaml 5 domains, which forbids Unix.fork for the
+       rest of the process *)
+    ("C16", bench_reader_domains);
   ]
 
 (* The JSON report: bechamel estimates plus a snapshot of the metrics
@@ -996,6 +1138,10 @@ let write_metrics_json path experiment_ids =
         ("schema_version", Int 1);
         ("suite", String "hierel-bench");
         ("quota_seconds", Float !quota_s);
+        (* cores on the measuring host: scaling assertions (C16's 2.5x
+           at K=4) only hold where the domains can actually run in
+           parallel *)
+        ("cores", Int (Domain.recommended_domain_count ()));
         ("experiments", List (List.map (fun id -> String id) experiment_ids));
         ("benchmarks_ns_per_op", Obj benchmarks);
         ("estimator", Obj (List.rev !c15_json));
@@ -1024,6 +1170,13 @@ let rec parse_args = function
       prerr_endline ("bench: invalid --clients " ^ s);
       exit 2);
     parse_args rest
+  | "--reader-domains" :: s :: rest ->
+    (match int_of_string_opt s with
+    | Some k when k > 0 -> reader_domains_k := k
+    | _ ->
+      prerr_endline ("bench: invalid --reader-domains " ^ s);
+      exit 2);
+    parse_args rest
   | "--quota" :: s :: rest ->
     (match float_of_string_opt s with
     | Some q when q > 0. -> quota_s := q
@@ -1031,14 +1184,14 @@ let rec parse_args = function
       prerr_endline ("bench: invalid --quota " ^ s);
       exit 2);
     parse_args rest
-  | ("--metrics-json" | "--quota" | "--clients") :: [] ->
+  | ("--metrics-json" | "--quota" | "--clients" | "--reader-domains") :: [] ->
     prerr_endline "bench: missing argument to flag";
     exit 2
   | id :: rest -> id :: parse_args rest
 
 let () =
   Format.printf
-    "hierel benchmark harness — experiments C1..C14 (see DESIGN.md / EXPERIMENTS.md)@.";
+    "hierel benchmark harness — experiments C1..C16 (see DESIGN.md / EXPERIMENTS.md)@.";
   let requested = parse_args (List.tl (Array.to_list Sys.argv)) in
   let selected =
     match requested with

@@ -10,17 +10,20 @@
 
 module Server = Hr_server.Server
 
-let main port dir group_commit_window max_batch no_fsync =
+let main port dir group_commit_window max_batch no_fsync reader_domains =
   let server =
     match dir with
     | Some dir ->
-      Server.create_durable ~port ~dir ~group_commit_window ~max_batch
+      Server.create_durable ~port ~dir ~group_commit_window ~max_batch ~reader_domains
         ~fsync:(not no_fsync) ()
-    | None -> Server.create_memory ~port ~group_commit_window ~max_batch ()
+    | None -> Server.create_memory ~port ~group_commit_window ~max_batch ~reader_domains ()
   in
-  Printf.printf "hrdb_server listening on 127.0.0.1:%d%s%s\n%!" (Server.port server)
+  Printf.printf "hrdb_server listening on 127.0.0.1:%d%s%s%s\n%!" (Server.port server)
     (match dir with Some d -> Printf.sprintf " (durable: %s)" d | None -> " (in-memory)")
-    (if no_fsync then " [no-fsync: commits are NOT crash-durable]" else "");
+    (if no_fsync then " [no-fsync: commits are NOT crash-durable]" else "")
+    (if reader_domains > 0 then
+       Printf.sprintf " [%d reader domain(s), snapshot-isolated reads]" reader_domains
+     else "");
   Server.serve_forever server
 
 open Cmdliner
@@ -61,10 +64,24 @@ let no_fsync_arg =
            Benchmark escape hatch: a machine crash can lose acknowledged \
            statements. Never use in production.")
 
+let reader_domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "reader-domains" ] ~docv:"K"
+        ~doc:
+          "Execute read-only frames (queries, LINT, ESTIMATE, STATS) on $(docv) \
+           OCaml 5 reader domains instead of the event loop. Each read pins the \
+           catalog version published at the last group commit, so reads are \
+           snapshot-isolated, never block writes, and never observe \
+           not-yet-durable state. 0 (the default) keeps the fully \
+           single-threaded loop.")
+
 let cmd =
   let doc = "TCP server for the hierarchical relational model" in
   Cmd.v
     (Cmd.info "hrdb_server" ~version:"1.0.0" ~doc)
-    Term.(const main $ port_arg $ dir_arg $ window_arg $ max_batch_arg $ no_fsync_arg)
+    Term.(
+      const main $ port_arg $ dir_arg $ window_arg $ max_batch_arg $ no_fsync_arg
+      $ reader_domains_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -155,6 +155,35 @@ let check_wal acc dir ~base_lsn =
   | Some _ | None -> ());
   scan
 
+(* The commit point records the newest publishable catalog version in
+   meta ("published_lsn="; docs/CONCURRENCY.md). Visibility must never
+   outrun durability: a published LSN beyond the durable head means
+   reader domains could have served state a crash has since destroyed.
+   The line is optional — directories written by older builds predate
+   it — and only its relation to the head is checked here. *)
+let check_published acc dir ~head =
+  let path = meta_path dir in
+  if Sys.file_exists path then
+    match String.trim (read_file path) with
+    | exception Sys_error _ -> ()
+    | contents ->
+      List.iter
+        (fun line ->
+          match String.split_on_char '=' (String.trim line) with
+          | [ "published_lsn"; n ] -> (
+            match int_of_string_opt n with
+            | Some p when p >= 0 ->
+              if p > head then
+                emit acc Critical "F019" path
+                  "published_lsn %d exceeds the durable head LSN %d: a published \
+                   version claimed visibility beyond what is durable"
+                  p head
+            | Some _ | None ->
+              emit acc Warning "F002" path "meta has a malformed published_lsn value: %S"
+                line)
+          | _ -> ())
+        (String.split_on_char '\n' contents)
+
 (* Replay onto a second decode of the snapshot: the caller keeps the
    pristine decoded catalog for the graphs.bin comparison. *)
 let materialize acc dir ~base_lsn scan =
@@ -327,6 +356,10 @@ let inspect acc dir =
         "meta records base_lsn %d but there is no snapshot to cover LSNs 1..%d"
         base_lsn base_lsn;
     let scan = check_wal acc dir ~base_lsn in
+    let head =
+      List.fold_left (fun h { Wal.lsn; _ } -> max h lsn) base_lsn scan.Wal.records
+    in
+    check_published acc dir ~head;
     let cat = materialize acc dir ~base_lsn scan in
     (match cat with
     | Some cat ->

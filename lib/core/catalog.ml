@@ -1,41 +1,95 @@
 module Hierarchy = Hr_hierarchy.Hierarchy
 module Symbol = Hr_util.Symbol
 
+(* The maps are persistent (Symbol.Map): the catalog's mutable fields
+   are just roots, and {!snapshot} captures them in O(1). A snapshot
+   shares all structure with the live catalog, but the writer's
+   subsequent updates rebind the roots to {e new} maps, so a captured
+   version never changes — the foundation of snapshot-isolated reads
+   (docs/CONCURRENCY.md). Relations are immutable values already;
+   hierarchies are mutable, so sharing one across a snapshot boundary
+   is only safe once it is {!Hierarchy.freeze}d ({!freeze} seals every
+   hierarchy; {!update_hierarchy} is the writer's copy-on-write way to
+   change one afterwards). *)
+
+(* The observed-statistics store is deliberately {e not} versioned: it
+   is advisory feedback for the cost estimator ((relation, label) ->
+   last actual row count from EXPLAIN ANALYZE), never query-visible
+   data, and snapshots share it with the live catalog so actuals
+   measured on a reader domain still teach the estimator. The mutex
+   makes cross-domain access safe; [label] is ["*"] for the whole
+   stored extension or ["attr=value"] for a selection. *)
+type observed = {
+  obs_mu : Mutex.t;
+  obs_tbl : (string * string, int) Hashtbl.t;
+}
+
 type t = {
-  hierarchies : Hierarchy.t Symbol.Tbl.t;
-  relations : Relation.t Symbol.Tbl.t;
-  observed : (string * string, int) Hashtbl.t;
-      (* (relation, label) -> last actual row count reported by EXPLAIN
-         ANALYZE. [label] is ["*"] for the whole stored extension or
-         ["attr=value"] for a selection; the cost estimator prefers these
-         over its formulas. *)
+  mutable hiers : Hierarchy.t Symbol.Map.t;
+  mutable rels : Relation.t Symbol.Map.t;
+  observed : observed;
 }
 
 let create () =
   {
-    hierarchies = Symbol.Tbl.create 16;
-    relations = Symbol.Tbl.create 16;
-    observed = Hashtbl.create 16;
+    hiers = Symbol.Map.empty;
+    rels = Symbol.Map.empty;
+    observed = { obs_mu = Mutex.create (); obs_tbl = Hashtbl.create 16 };
   }
+
+let snapshot t = { hiers = t.hiers; rels = t.rels; observed = t.observed }
+
+let same_bindings a b = a.hiers == b.hiers && a.rels == b.rels
+
+let freeze t = Symbol.Map.iter (fun _ h -> Hierarchy.freeze h) t.hiers
 
 let define_hierarchy t h =
   let key = Hierarchy.domain h in
-  if Symbol.Tbl.mem t.hierarchies key then
+  if Symbol.Map.mem key t.hiers then
     Types.model_error "hierarchy %a already defined" Symbol.pp key;
-  Symbol.Tbl.add t.hierarchies key h
+  t.hiers <- Symbol.Map.add key h t.hiers
 
-let find_hierarchy t name = Symbol.Tbl.find_opt t.hierarchies (Symbol.intern name)
+let find_hierarchy t name = Symbol.Map.find_opt (Symbol.intern name) t.hiers
 
 let hierarchy t name =
   match find_hierarchy t name with
   | Some h -> h
   | None -> Types.model_error "no hierarchy %S" name
 
-let hierarchies t = Symbol.Tbl.fold (fun _ h acc -> h :: acc) t.hierarchies []
+let hierarchies t = Symbol.Map.fold (fun _ h acc -> h :: acc) t.hiers []
+
+(* Copy-on-write mutation of a registered hierarchy. Unfrozen (REPL,
+   WAL replay, tests — no snapshot shares it), the mutation runs in
+   place, exactly the historical behavior and cost. Frozen (the server
+   has published a version pinning it), the mutation runs on a private
+   {!Hierarchy.copy}; on success the copy replaces the original in the
+   hierarchy map {e and} in the schema of every relation bound to the
+   original (same node ids, so bodies carry over untouched). Published
+   snapshots keep the original — readers pinned to them are unaffected.
+   If [f] raises, nothing is swapped. *)
+let update_hierarchy t h f =
+  if not (Hierarchy.frozen h) then f h
+  else begin
+    let h' = Hierarchy.copy h in
+    let result = f h' in
+    (* Replace under whatever key currently binds this object — the
+       registration key, which [rename_node] on the root cannot move. *)
+    t.hiers <-
+      Symbol.Map.map (fun existing -> if existing == h then h' else existing) t.hiers;
+    t.rels <-
+      Symbol.Map.map
+        (fun rel ->
+          let s = Relation.schema rel in
+          if Schema.references s h then
+            Relation.with_schema rel (Schema.rebind s ~old_h:h ~new_h:h')
+          else rel)
+        t.rels;
+    result
+  end
 
 let define_relation ?(check = true) t r =
   let key = Symbol.intern (Relation.name r) in
-  if Symbol.Tbl.mem t.relations key then
+  if Symbol.Map.mem key t.rels then
     Types.model_error "relation %a already defined" Symbol.pp key;
   if check then
     (match Integrity.first_conflict r with
@@ -44,32 +98,48 @@ let define_relation ?(check = true) t r =
       Types.model_error "initial contents of %S are inconsistent: %a" (Relation.name r)
         (Integrity.pp_conflict (Relation.schema r))
         c);
-  Symbol.Tbl.add t.relations key r
+  t.rels <- Symbol.Map.add key r t.rels
 
-let find_relation t name = Symbol.Tbl.find_opt t.relations (Symbol.intern name)
+let find_relation t name = Symbol.Map.find_opt (Symbol.intern name) t.rels
 
 let relation t name =
   match find_relation t name with
   | Some r -> r
   | None -> Types.model_error "no relation %S" name
 
-let relations t = Symbol.Tbl.fold (fun _ r acc -> r :: acc) t.relations []
+let relations t = Symbol.Map.fold (fun _ r acc -> r :: acc) t.rels []
 
 let replace_relation t r =
   let key = Symbol.intern (Relation.name r) in
-  if not (Symbol.Tbl.mem t.relations key) then
+  if not (Symbol.Map.mem key t.rels) then
     Types.model_error "no relation %S" (Relation.name r);
-  Symbol.Tbl.replace t.relations key r
+  t.rels <- Symbol.Map.add key r t.rels
 
 let drop_relation t name =
-  Symbol.Tbl.remove t.relations (Symbol.intern name);
+  t.rels <- Symbol.Map.remove (Symbol.intern name) t.rels;
+  let o = t.observed in
+  Mutex.lock o.obs_mu;
   Hashtbl.iter
-    (fun ((rel, _) as key) _ -> if rel = name then Hashtbl.remove t.observed key)
-    (Hashtbl.copy t.observed)
+    (fun ((rel, _) as key) _ -> if rel = name then Hashtbl.remove o.obs_tbl key)
+    (Hashtbl.copy o.obs_tbl);
+  Mutex.unlock o.obs_mu
 
-let record_stat t ~rel ~label count = Hashtbl.replace t.observed (rel, label) count
-let observed_stat t ~rel ~label = Hashtbl.find_opt t.observed (rel, label)
+let record_stat t ~rel ~label count =
+  let o = t.observed in
+  Mutex.lock o.obs_mu;
+  Hashtbl.replace o.obs_tbl (rel, label) count;
+  Mutex.unlock o.obs_mu
+
+let observed_stat t ~rel ~label =
+  let o = t.observed in
+  Mutex.lock o.obs_mu;
+  let v = Hashtbl.find_opt o.obs_tbl (rel, label) in
+  Mutex.unlock o.obs_mu;
+  v
 
 let observed_stats t =
-  Hashtbl.fold (fun key count acc -> (key, count) :: acc) t.observed []
-  |> List.sort compare
+  let o = t.observed in
+  Mutex.lock o.obs_mu;
+  let l = Hashtbl.fold (fun key count acc -> ((key, count) : _ * int) :: acc) o.obs_tbl [] in
+  Mutex.unlock o.obs_mu;
+  List.sort compare l

@@ -10,6 +10,42 @@ type t
 
 val create : unit -> t
 
+(** {2 Versioning}
+
+    The catalog's name maps are persistent: {!snapshot} captures the
+    current hierarchy and relation bindings in O(1), and no later
+    mutation of the live catalog can change what the captured value
+    sees. A snapshot is only safe to read from other OCaml domains
+    after {!freeze} has sealed every hierarchy (reads then touch no
+    mutable state); the server's version publisher
+    ([Hr_exec.Publisher]) enforces that order. Observed statistics are
+    shared between a catalog and its snapshots by design — they are
+    estimator feedback, not query-visible data. *)
+
+val snapshot : t -> t
+(** An immutable capture of the current bindings (O(1), shares all
+    structure). The live catalog continues to evolve independently. *)
+
+val same_bindings : t -> t -> bool
+(** Physical equality of both map roots — true iff no binding has been
+    added, replaced or dropped between the two captures. O(1); used by
+    the publisher to skip republishing an unchanged catalog. *)
+
+val freeze : t -> unit
+(** {!Hr_hierarchy.Hierarchy.freeze} every registered hierarchy, making
+    all read paths pure. Subsequent DDL must go through
+    {!update_hierarchy}, which copies. Idempotent; newly registered
+    hierarchies start unfrozen. *)
+
+val update_hierarchy : t -> Hr_hierarchy.Hierarchy.t -> (Hr_hierarchy.Hierarchy.t -> 'a) -> 'a
+(** [update_hierarchy t h f] mutates registered hierarchy [h] through
+    [f]. Unfrozen, [f] runs on [h] in place (the historical path).
+    Frozen, [f] runs on a private copy which — on success — replaces
+    [h] in the catalog and in the schema of every relation bound to it
+    (node ids are preserved, so relation bodies carry over); snapshots
+    taken earlier keep the original. If [f] raises, the catalog is
+    unchanged. *)
+
 val define_hierarchy : t -> Hr_hierarchy.Hierarchy.t -> unit
 (** Registers a hierarchy under its domain name. Raises
     {!Types.Model_error} on duplicates. *)

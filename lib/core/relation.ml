@@ -10,6 +10,10 @@ let empty ?(name = "r") schema = { name; schema; body = Item_map.empty }
 let name r = r.name
 let with_name r name = { r with name }
 let schema r = r.schema
+
+(* Items order by raw node-id arrays (not through the schema), so a
+   schema swap never reorders the body map. *)
+let with_schema r schema = { r with schema }
 let cardinality r = Item_map.cardinal r.body
 let is_empty r = Item_map.is_empty r.body
 

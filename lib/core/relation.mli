@@ -17,6 +17,11 @@ val name : t -> string
 val with_name : t -> string -> t
 val schema : t -> Schema.t
 
+val with_schema : t -> Schema.t -> t
+(** The same body under a different schema value — for rebinding a
+    schema to a copied hierarchy ({!Schema.rebind}). The caller must
+    preserve arity and node-id meaning; the body is not revalidated. *)
+
 val cardinality : t -> int
 (** Number of stored tuples (not the extension size). *)
 

@@ -53,6 +53,15 @@ let concat a b =
     joined;
   joined
 
+let references t h = Array.exists (fun a -> a.hierarchy == h) t
+
+(* Swap one hierarchy object for another (same node ids) in every
+   attribute bound to it — the catalog's copy-on-write DDL path rebinds
+   relation schemas this way after copying a frozen hierarchy. Items
+   are bare node-id arrays, so a relation body needs no translation. *)
+let rebind t ~old_h ~new_h =
+  Array.map (fun a -> if a.hierarchy == old_h then { a with hierarchy = new_h } else a) t
+
 let rename t ~old_name ~new_name =
   let i = index_of t old_name in
   if Option.is_some (find_index t new_name) then

@@ -40,4 +40,11 @@ val concat : t -> t -> t
 
 val rename : t -> old_name:string -> new_name:string -> t
 
+val references : t -> Hr_hierarchy.Hierarchy.t -> bool
+(** Whether any attribute is bound (physically) to the given hierarchy. *)
+
+val rebind : t -> old_h:Hr_hierarchy.Hierarchy.t -> new_h:Hr_hierarchy.Hierarchy.t -> t
+(** Every attribute bound to [old_h] rebound to [new_h]. Only meaningful
+    when [new_h] preserves [old_h]'s node ids ({!Hr_hierarchy.Hierarchy.copy}). *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,140 @@
+(* A fixed pool of OCaml 5 reader domains behind a Mutex+Condition job
+   queue. The server's event loop [submit]s read-only frames as thunks
+   (each thunk pins a published {!Version.t} when it starts executing);
+   workers push results onto a completion list and write one byte to a
+   self-pipe so the event loop's [select] wakes immediately. The event
+   loop then [drain]s completions and routes each reply to the
+   connection that owns it.
+
+   The queue is deliberately simple: reads are independent, ordering is
+   reimposed per connection by the server's reply slots, and the single
+   writer never enters the pool — so a plain FIFO protected by one
+   mutex is contention-free enough (the lock is held for a push/pop,
+   never during query evaluation). *)
+
+type completion = {
+  c_key : int;  (** the token [submit] returned *)
+  c_tag : string;  (** reply frame tag, e.g. ["OKV"] / ["ERR"] *)
+  c_payload : string;
+}
+
+type job = { j_key : int; j_submitted_ns : int; j_run : unit -> string * string }
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  jobs : job Queue.t;
+  mutable completed : completion list;  (* newest first; drained by the event loop *)
+  mutable stopping : bool;
+  mutable next_key : int;
+  notify_r : Unix.file_descr;
+  notify_w : Unix.file_descr;
+  mutable workers : unit Domain.t array;
+  m_offloaded : Hr_obs.Metrics.counter;
+  m_completed : Hr_obs.Metrics.counter;
+  m_failed : Hr_obs.Metrics.counter;
+  m_queue_depth : Hr_obs.Metrics.histogram;
+  m_handoff : Hr_obs.Metrics.histogram;
+}
+
+let notify t =
+  (* Best effort: the pipe is non-blocking, and a full pipe already
+     guarantees a pending wakeup. *)
+  try ignore (Unix.write t.notify_w (Bytes.make 1 '!') 0 1) with
+  | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE), _, _) -> ()
+
+let rec worker_loop t =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.jobs && not t.stopping do
+    Condition.wait t.cond t.mu
+  done;
+  if Queue.is_empty t.jobs then Mutex.unlock t.mu (* stopping *)
+  else begin
+    let job = Queue.pop t.jobs in
+    Mutex.unlock t.mu;
+    Hr_obs.Metrics.observe t.m_handoff (Hr_obs.Metrics.now_ns () - job.j_submitted_ns);
+    let tag, payload =
+      try job.j_run ()
+      with exn ->
+        Hr_obs.Metrics.incr t.m_failed;
+        ("ERR", Printexc.to_string exn)
+    in
+    Mutex.lock t.mu;
+    t.completed <- { c_key = job.j_key; c_tag = tag; c_payload = payload } :: t.completed;
+    Mutex.unlock t.mu;
+    Hr_obs.Metrics.incr t.m_completed;
+    notify t;
+    worker_loop t
+  end
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let notify_r, notify_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock notify_r;
+  Unix.set_nonblock notify_w;
+  let t =
+    {
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      jobs = Queue.create ();
+      completed = [];
+      stopping = false;
+      next_key = 0;
+      notify_r;
+      notify_w;
+      workers = [||];
+      m_offloaded = Hr_obs.Metrics.counter "exec.jobs_offloaded";
+      m_completed = Hr_obs.Metrics.counter "exec.jobs_completed";
+      m_failed = Hr_obs.Metrics.counter "exec.jobs_failed";
+      m_queue_depth = Hr_obs.Metrics.histogram "exec.queue_depth";
+      m_handoff = Hr_obs.Metrics.histogram "exec.handoff_ns";
+    }
+  in
+  Hr_obs.Metrics.set (Hr_obs.Metrics.gauge "exec.reader_domains") domains;
+  t.workers <- Array.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = Array.length t.workers
+
+let notify_fd t = t.notify_r
+
+(* Enqueue [run]; returns the key its completion will carry. [run]
+   executes on some reader domain and must be self-contained: it pins
+   its own version and touches no event-loop state. *)
+let submit t run =
+  Mutex.lock t.mu;
+  let key = t.next_key in
+  t.next_key <- key + 1;
+  Queue.push { j_key = key; j_submitted_ns = Hr_obs.Metrics.now_ns (); j_run = run } t.jobs;
+  let depth = Queue.length t.jobs in
+  Condition.signal t.cond;
+  Mutex.unlock t.mu;
+  Hr_obs.Metrics.incr t.m_offloaded;
+  Hr_obs.Metrics.observe t.m_queue_depth depth;
+  key
+
+(* All completions accumulated since the last drain, oldest first.
+   Also clears the self-pipe. *)
+let drain t =
+  (let buf = Bytes.create 64 in
+   let rec clear () =
+     match Unix.read t.notify_r buf 0 64 with
+     | 0 -> ()
+     | _ -> clear ()
+     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+   in
+   clear ());
+  Mutex.lock t.mu;
+  let l = t.completed in
+  t.completed <- [];
+  Mutex.unlock t.mu;
+  List.rev l
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stopping <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu;
+  Array.iter Domain.join t.workers;
+  (try Unix.close t.notify_r with Unix.Unix_error _ -> ());
+  try Unix.close t.notify_w with Unix.Unix_error _ -> ()

@@ -1,0 +1,60 @@
+(* The single writer's side of snapshot isolation: after each group
+   commit it seals the live catalog and swings one atomic root to a new
+   {!Version.t}. Readers pin [current] with a single [Atomic.get] — no
+   lock, no reference counting; versions no longer pinned are simply
+   collected by the GC.
+
+   The safe publish order is load-bearing:
+
+   1. [Catalog.freeze] — every hierarchy's memo caches are fully
+      populated and sealed, so every read path on the snapshot is pure;
+   2. [Catalog.snapshot] — O(1) capture of the map roots; the writer's
+      later rebinds cannot reach it;
+   3. [Atomic.set] — the version becomes visible, tagged with the LSN
+      the caller proved durable ([Db.synced_lsn] at the commit point).
+
+   [~unsafe_publish:true] is a deliberately seeded isolation bug for
+   the concurrency harness (test/test_mc.ml): it skips steps 1-2 and
+   publishes the {e live} catalog object, so readers observe the
+   writer's in-progress mutations under a stale LSN tag. The harness
+   must detect the resulting oracle mismatches; production code paths
+   never set it. *)
+
+type t = {
+  current : Version.t Atomic.t;
+  unsafe : bool;
+  published : Hr_obs.Metrics.counter;
+  version_id : Hr_obs.Metrics.gauge;
+}
+
+let seal cat =
+  Hierel.Catalog.freeze cat;
+  Hierel.Catalog.snapshot cat
+
+let create ?(unsafe_publish = false) ~lsn cat =
+  let catalog = if unsafe_publish then cat else seal cat in
+  {
+    current = Atomic.make { Version.id = 1; lsn; catalog };
+    unsafe = unsafe_publish;
+    published = Hr_obs.Metrics.counter "exec.published_versions";
+    version_id = Hr_obs.Metrics.gauge "exec.version_id";
+  }
+
+let current t = Atomic.get t.current
+let unsafe t = t.unsafe
+
+(* Publish [cat] as the new current version iff it differs from what is
+   already published (new bindings, or a higher durable LSN). Returns
+   the now-current version either way. Single-writer: only the event
+   loop calls this, so read-modify-write without CAS is fine. *)
+let publish t ~lsn cat =
+  let prev = Atomic.get t.current in
+  if lsn = prev.Version.lsn && Hierel.Catalog.same_bindings cat prev.Version.catalog then prev
+  else begin
+    let catalog = if t.unsafe then cat else seal cat in
+    let v = { Version.id = prev.Version.id + 1; lsn; catalog } in
+    Atomic.set t.current v;
+    Hr_obs.Metrics.incr t.published;
+    Hr_obs.Metrics.set t.version_id v.Version.id;
+    v
+  end

@@ -1,0 +1,12 @@
+(* One published catalog version: an immutable snapshot tagged with a
+   monotone id and the WAL LSN it is consistent through. A reader pins
+   a version for the duration of one query and evaluates against its
+   [catalog] without any lock — the publisher guarantees the catalog is
+   frozen (every read path pure) and that [lsn] never exceeds the
+   database's synced LSN (visibility never outruns durability). *)
+
+type t = {
+  id : int;  (** monotone per publisher, 1 at startup *)
+  lsn : int;  (** the version reflects exactly WAL records 1..lsn *)
+  catalog : Hierel.Catalog.t;
+}

@@ -37,6 +37,13 @@ type t = {
      asks about every opposite-sign tuple pair, and coordinates draw from
      far fewer distinct classes than there are pairs. *)
   mcd_cache : (node * node, node list) Hashtbl.t;
+  (* A frozen hierarchy is immutable and safe to read from any number of
+     domains concurrently: the closure indexes are prebuilt, the
+     ancestor/descendant memos are fully populated (so lookups never
+     write), and every mutator refuses. The writer mutates via
+     copy-on-write ({!Catalog.update_hierarchy}): [copy] always yields
+     an unfrozen, privately owned value. *)
+  mutable frozen : bool;
 }
 
 let invalidate h =
@@ -45,6 +52,13 @@ let invalidate h =
   Hashtbl.reset h.anc_cache;
   Hashtbl.reset h.desc_cache;
   Hashtbl.reset h.mcd_cache
+
+let frozen h = h.frozen
+
+let check_mutable h =
+  if h.frozen then
+    error "hierarchy %s is frozen (a published snapshot shares it); mutate through the catalog's copy-on-write path"
+      (Symbol.name h.names.(h.root))
 
 let create domain_name =
   let graph = Dag.create () in
@@ -63,8 +77,12 @@ let create domain_name =
     anc_cache = Hashtbl.create 64;
     desc_cache = Hashtbl.create 64;
     mcd_cache = Hashtbl.create 64;
+    frozen = false;
   }
 
+(* Node ids survive the copy ([Dag.copy] preserves them), so items in
+   relations over the original remain valid over the copy. The copy is
+   always unfrozen: it is a new private value the caller may mutate. *)
 let copy h =
   {
     graph = Dag.copy h.graph;
@@ -77,6 +95,7 @@ let copy h =
     anc_cache = Hashtbl.copy h.anc_cache;
     desc_cache = Hashtbl.copy h.desc_cache;
     mcd_cache = Hashtbl.copy h.mcd_cache;
+    frozen = false;
   }
 
 let domain h = h.names.(h.root)
@@ -115,6 +134,7 @@ let grow_meta h v =
   end
 
 let add_named h ~instance ~parents name =
+  check_mutable h;
   let sym = Symbol.intern name in
   if Symbol.Tbl.mem h.by_name sym then error "name %S already defined" name;
   let parent_nodes =
@@ -140,6 +160,7 @@ let add_class h ?(parents = []) name = add_named h ~instance:false ~parents name
 let add_instance h ?(parents = []) name = add_named h ~instance:true ~parents name
 
 let add_isa h ~sub ~super =
+  check_mutable h;
   let sub_node = find_exn h sub and super_node = find_exn h super in
   if h.instance.(super_node) then
     error "cannot place %S under instance %S" sub super;
@@ -150,6 +171,7 @@ let add_isa h ~sub ~super =
   invalidate h
 
 let add_preference h ~weaker ~stronger =
+  check_mutable h;
   let w = find_exn h weaker and s = find_exn h stronger in
   if w = s then error "preference self-loop on %S" weaker;
   if Dag.reachable h.graph s w then
@@ -215,13 +237,18 @@ let binds_below h a b =
   check_node h b;
   Dag.Reach.mem (bind_index h) a b
 
+(* On a frozen hierarchy the memo tables are fully populated (every live
+   node was forced by [freeze]) and never written again, so concurrent
+   lookups from reader domains are safe. A miss can only happen
+   unfrozen; writing to the cache then is fine because an unfrozen
+   hierarchy is owned by a single domain (the writer). *)
 let descendants h v =
   check_node h v;
   match Hashtbl.find_opt h.desc_cache v with
   | Some l -> l
   | None ->
     let l = Dag.descendants h.graph ~kinds:isa_kind v in
-    Hashtbl.add h.desc_cache v l;
+    if not h.frozen then Hashtbl.add h.desc_cache v l;
     l
 
 let ancestors h v =
@@ -230,7 +257,7 @@ let ancestors h v =
   | Some l -> l
   | None ->
     let l = Dag.ancestors h.graph ~kinds:isa_kind v in
-    Hashtbl.add h.anc_cache v l;
+    if not h.frozen then Hashtbl.add h.anc_cache v l;
     l
 
 let leaves_under h v = List.filter (fun w -> h.instance.(w)) (descendants h v)
@@ -263,8 +290,33 @@ let maximal_common_descendants h a b =
           (fun w -> not (List.exists (Hashtbl.mem in_common) (parents h w)))
           common
       in
-      Hashtbl.add h.mcd_cache key l;
+      (* The pairwise memo stays lazy (quadratic to precompute), so a
+         frozen hierarchy recomputes misses instead of caching: the
+         write-path integrity sweeps that hammer MCD always run on the
+         writer's unfrozen copies, where the memo still applies. *)
+      if not h.frozen then Hashtbl.add h.mcd_cache key l;
       l
+
+(* Make every read path pure: build both closure indexes and force the
+   ancestor/descendant memo for every live node, then seal the value.
+   After this, [subsumes]/[binds_below] probe immutable bitsets,
+   [ancestors]/[descendants]/[leaves_under] hit the fully populated
+   memos, and [maximal_common_descendants] recomputes misses without
+   caching — no read ever writes, so any number of domains may query a
+   frozen hierarchy while holding no lock. O(V·E) once per publish of a
+   mutated hierarchy; untouched hierarchies stay frozen across
+   publishes and pay nothing. *)
+let freeze h =
+  if not h.frozen then begin
+    ignore (isa_index h);
+    ignore (bind_index h);
+    List.iter
+      (fun v ->
+        ignore (descendants h v);
+        ignore (ancestors h v))
+      (nodes h);
+    h.frozen <- true
+  end
 
 type issue = Redundant_isa_edge of node * node
 
@@ -272,10 +324,12 @@ let validate h =
   List.map (fun (u, v) -> Redundant_isa_edge (u, v)) (Dag.redundant_edges h.graph)
 
 let reduce h =
+  check_mutable h;
   Dag.transitive_reduction h.graph;
   invalidate h
 
 let rename_node h ~old_name ~new_name =
+  check_mutable h;
   let v = find_exn h old_name in
   let new_sym = Symbol.intern new_name in
   if Symbol.Tbl.mem h.by_name new_sym then error "name %S already defined" new_name;
@@ -284,6 +338,7 @@ let rename_node h ~old_name ~new_name =
   h.names.(v) <- new_sym
 
 let eliminate h ~on_path v =
+  check_mutable h;
   check_node h v;
   if v = h.root then error "cannot eliminate the domain root";
   if h.instance.(v) then error "cannot eliminate instance %S" (node_label h v);

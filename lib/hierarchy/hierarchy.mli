@@ -30,6 +30,20 @@ val create : string -> t
 (** [create domain] is a hierarchy whose root class is named [domain]. *)
 
 val copy : t -> t
+(** A deep, {e unfrozen} copy. Node ids are preserved, so items built
+    against the original remain valid against the copy — the basis of
+    the catalog's copy-on-write DDL path. *)
+
+val freeze : t -> unit
+(** Seals the hierarchy for lock-free concurrent reads: prebuilds both
+    closure indexes, fully populates the ancestor/descendant memos, and
+    makes every mutator raise {!Error}. After [freeze], no read path
+    writes any internal state, so the value may be shared across OCaml
+    domains (the snapshot-isolation contract in [docs/CONCURRENCY.md]).
+    Idempotent. To change a frozen hierarchy, {!copy} it (the copy is
+    unfrozen), mutate the copy, and republish. *)
+
+val frozen : t -> bool
 
 val domain : t -> Hr_util.Symbol.t
 (** The root class's name. *)

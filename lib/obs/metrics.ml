@@ -1,21 +1,40 @@
 (* A process-wide metrics registry: monotonic counters, gauges and
    latency histograms, identified by dotted names. Instrumented modules
    register their handles once at module-initialization time; the hot
-   path of every operation is a single mutable-field update guarded by
-   the global [enabled] flag, so a disabled registry is a no-op sink
-   that allocates nothing and perturbs nothing. *)
+   path of every operation is a single guarded update, so a disabled
+   registry is a no-op sink that allocates nothing and perturbs nothing.
 
-type counter = { c_name : string; mutable count : int }
-type gauge = { g_name : string; mutable level : int }
+   Multicore: instrumented code runs on the writer event loop {e and} on
+   reader domains (lib/exec), so every instrument must tolerate
+   concurrent updates without losing structure. Counters are sharded
+   into per-domain atomic cells (summed at read time) so reader domains
+   do not contend on one cache line; gauges are a single atomic cell;
+   histograms take a tiny per-histogram mutex (observations are
+   per-frame, not per-tuple, so the lock is off every hot loop).
+   Registration stays Hashtbl-based but is mutex-protected — in
+   practice all registration happens at module init, before any domain
+   spawns. *)
+
+(* Cells are sharded by domain id; collisions just share a cell (the
+   updates are atomic either way, nothing is lost). *)
+let shards = 8
+
+let slot () = (Domain.self () :> int) land (shards - 1)
+
+type counter = { c_name : string; cells : int Atomic.t array }
+type gauge = { g_name : string; g_cell : int Atomic.t }
 
 (* Histograms bucket nanosecond latencies by magnitude: bucket [i] holds
    observations with [2^i <= ns < 2^(i+1)] (bucket 0 also takes <= 1ns).
    64 buckets cover every value an int can hold, so the bucket counts
-   always conserve the total observation count. *)
+   always conserve the total observation count — including under
+   concurrent observers, because the mutex makes each observation's
+   bucket increment and total increment one atomic step. *)
 let bucket_count = 64
 
 type histogram = {
   h_name : string;
+  h_mu : Mutex.t;
   buckets : int array;
   mutable total : int;
   mutable sum_ns : int;
@@ -24,67 +43,77 @@ type histogram = {
 }
 
 type t = {
+  reg_mu : Mutex.t;
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
 }
 
 let create () =
-  { counters = Hashtbl.create 32; gauges = Hashtbl.create 8; histograms = Hashtbl.create 8 }
+  {
+    reg_mu = Mutex.create ();
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    histograms = Hashtbl.create 8;
+  }
 
 let default = create ()
 
-let enabled_flag = ref true
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
+let enabled_flag = Atomic.make true
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
 
 let with_enabled b f =
-  let saved = !enabled_flag in
-  enabled_flag := b;
-  Fun.protect ~finally:(fun () -> enabled_flag := saved) f
+  let saved = Atomic.get enabled_flag in
+  Atomic.set enabled_flag b;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled_flag saved) f
 
 (* ---- registration ----------------------------------------------------- *)
 
+let registered mu tbl name make =
+  Mutex.lock mu;
+  let v =
+    match Hashtbl.find_opt tbl name with
+    | Some v -> v
+    | None ->
+      let v = make () in
+      Hashtbl.replace tbl name v;
+      v
+  in
+  Mutex.unlock mu;
+  v
+
 let counter ?(registry = default) name =
-  match Hashtbl.find_opt registry.counters name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; count = 0 } in
-    Hashtbl.replace registry.counters name c;
-    c
+  registered registry.reg_mu registry.counters name (fun () ->
+      { c_name = name; cells = Array.init shards (fun _ -> Atomic.make 0) })
 
 let gauge ?(registry = default) name =
-  match Hashtbl.find_opt registry.gauges name with
-  | Some g -> g
-  | None ->
-    let g = { g_name = name; level = 0 } in
-    Hashtbl.replace registry.gauges name g;
-    g
+  registered registry.reg_mu registry.gauges name (fun () ->
+      { g_name = name; g_cell = Atomic.make 0 })
 
 let histogram ?(registry = default) name =
-  match Hashtbl.find_opt registry.histograms name with
-  | Some h -> h
-  | None ->
-    let h =
-      { h_name = name; buckets = Array.make bucket_count 0; total = 0; sum_ns = 0;
-        min_ns = max_int; max_ns = 0 }
-    in
-    Hashtbl.replace registry.histograms name h;
-    h
+  registered registry.reg_mu registry.histograms name (fun () ->
+      { h_name = name; h_mu = Mutex.create (); buckets = Array.make bucket_count 0;
+        total = 0; sum_ns = 0; min_ns = max_int; max_ns = 0 })
 
 (* ---- hot-path updates ------------------------------------------------- *)
 
-let incr c = if !enabled_flag then c.count <- c.count + 1
+let incr c = if Atomic.get enabled_flag then Atomic.incr c.cells.(slot ())
 
 (* Counters are monotonic by construction: negative deltas are ignored. *)
-let add c n = if !enabled_flag && n > 0 then c.count <- c.count + n
+let add c n =
+  if Atomic.get enabled_flag && n > 0 then
+    ignore (Atomic.fetch_and_add c.cells.(slot ()) n)
 
-let value c = c.count
+let value c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.cells
 let counter_name c = c.c_name
 
-let set g v = if !enabled_flag then g.level <- v
-let gauge_add g d = if !enabled_flag then g.level <- g.level + d
-let level g = g.level
+let set g v = if Atomic.get enabled_flag then Atomic.set g.g_cell v
+
+let gauge_add g d =
+  if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add g.g_cell d)
+
+let level g = Atomic.get g.g_cell
 
 let bucket_of ns =
   if ns <= 1 then 0
@@ -98,16 +127,22 @@ let bucket_of ns =
   end
 
 let observe h ns =
-  if !enabled_flag then begin
+  if Atomic.get enabled_flag then begin
     let ns = max 0 ns in
+    Mutex.lock h.h_mu;
     h.buckets.(bucket_of ns) <- h.buckets.(bucket_of ns) + 1;
     h.total <- h.total + 1;
     h.sum_ns <- h.sum_ns + ns;
     if ns < h.min_ns then h.min_ns <- ns;
-    if ns > h.max_ns then h.max_ns <- ns
+    if ns > h.max_ns then h.max_ns <- ns;
+    Mutex.unlock h.h_mu
   end
 
-let observations h = h.total
+let observations h =
+  Mutex.lock h.h_mu;
+  let n = h.total in
+  Mutex.unlock h.h_mu;
+  n
 
 (* ---- clock ------------------------------------------------------------ *)
 
@@ -120,10 +155,10 @@ let time h f =
 (* ---- lookup by name --------------------------------------------------- *)
 
 let counter_value ?(registry = default) name =
-  match Hashtbl.find_opt registry.counters name with Some c -> c.count | None -> 0
+  match Hashtbl.find_opt registry.counters name with Some c -> value c | None -> 0
 
 let gauge_value ?(registry = default) name =
-  match Hashtbl.find_opt registry.gauges name with Some g -> g.level | None -> 0
+  match Hashtbl.find_opt registry.gauges name with Some g -> level g | None -> 0
 
 (* ---- snapshots -------------------------------------------------------- *)
 
@@ -147,38 +182,47 @@ let sorted_bindings tbl value =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let hist_stats (h : histogram) =
+  Mutex.lock h.h_mu;
   let nonzero = ref [] in
   for i = bucket_count - 1 downto 0 do
     if h.buckets.(i) > 0 then nonzero := (i, h.buckets.(i)) :: !nonzero
   done;
-  {
-    name = h.h_name;
-    count = h.total;
-    sum = h.sum_ns;
-    min = (if h.total = 0 then 0 else h.min_ns);
-    max = h.max_ns;
-    nonzero_buckets = !nonzero;
-  }
+  let stats =
+    {
+      name = h.h_name;
+      count = h.total;
+      sum = h.sum_ns;
+      min = (if h.total = 0 then 0 else h.min_ns);
+      max = h.max_ns;
+      nonzero_buckets = !nonzero;
+    }
+  in
+  Mutex.unlock h.h_mu;
+  stats
 
 let snapshot ?(registry = default) () =
   {
-    counters = sorted_bindings registry.counters (fun c -> c.count);
-    gauges = sorted_bindings registry.gauges (fun g -> g.level);
+    counters = sorted_bindings registry.counters value;
+    gauges = sorted_bindings registry.gauges level;
     histograms =
       Hashtbl.fold (fun _ h acc -> hist_stats h :: acc) registry.histograms []
       |> List.sort (fun a b -> String.compare a.name b.name);
   }
 
 let reset ?(registry = default) () =
-  Hashtbl.iter (fun _ (c : counter) -> c.count <- 0) registry.counters;
-  Hashtbl.iter (fun _ (g : gauge) -> g.level <- 0) registry.gauges;
+  Hashtbl.iter
+    (fun _ (c : counter) -> Array.iter (fun cell -> Atomic.set cell 0) c.cells)
+    registry.counters;
+  Hashtbl.iter (fun _ (g : gauge) -> Atomic.set g.g_cell 0) registry.gauges;
   Hashtbl.iter
     (fun _ (h : histogram) ->
+      Mutex.lock h.h_mu;
       Array.fill h.buckets 0 bucket_count 0;
       h.total <- 0;
       h.sum_ns <- 0;
       h.min_ns <- max_int;
-      h.max_ns <- 0)
+      h.max_ns <- 0;
+      Mutex.unlock h.h_mu)
     registry.histograms
 
 (* ---- rendering -------------------------------------------------------- *)

@@ -4,7 +4,11 @@
    completed roots. Tracing is off by default and a disabled [with_span]
    is exactly the thunk call — no allocation, no clock read.
 
-   Single-process, single-threaded, like the rest of the engine. *)
+   The recorder state is {e domain-local}: reader domains (lib/exec)
+   evaluate queries concurrently with the writer, and a shared span
+   stack would interleave their trees. Each domain traces into its own
+   stack and completed list, so [collect] observes exactly the spans the
+   calling domain opened. *)
 
 type span = {
   name : string;
@@ -14,59 +18,70 @@ type span = {
   mutable notes : (string * int) list;  (* named measurements, e.g. rows *)
 }
 
-let enabled_flag = ref false
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
 
-let stack : span list ref = ref []
-let completed : span list ref = ref [] (* reverse order *)
+let stack_key : span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let completed_key : span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref []) (* reverse order *)
+
+let stack () = Domain.DLS.get stack_key
+let completed () = Domain.DLS.get completed_key
 
 let reset () =
-  stack := [];
-  completed := []
+  stack () := [];
+  completed () := []
 
 let finish span =
   span.stop_ns <- Metrics.now_ns ();
   span.children <- List.rev span.children;
+  let stack = stack () in
   match !stack with
   | top :: rest when top == span ->
     stack := rest;
     (match !stack with
     | parent :: _ -> parent.children <- span :: parent.children
-    | [] -> completed := span :: !completed)
+    | [] ->
+      let completed = completed () in
+      completed := span :: !completed)
   | _ ->
     (* an exception unwound past an enclosing span: drop the orphan
        rather than corrupt the tree *)
     ()
 
 let with_span name f =
-  if not !enabled_flag then f ()
+  if not (Atomic.get enabled_flag) then f ()
   else begin
     let span =
       { name; start_ns = Metrics.now_ns (); stop_ns = -1; children = []; notes = [] }
     in
+    let stack = stack () in
     stack := span :: !stack;
     Fun.protect ~finally:(fun () -> finish span) f
   end
 
 let note key v =
-  if !enabled_flag then
-    match !stack with
+  if Atomic.get enabled_flag then
+    match !(stack ()) with
     | span :: _ -> span.notes <- (key, v) :: span.notes
     | [] -> ()
 
 let take () =
+  let completed = completed () in
   let roots = List.rev !completed in
   completed := [];
   roots
 
 let collect f =
-  let saved = !enabled_flag in
-  enabled_flag := true;
+  let saved = Atomic.get enabled_flag in
+  Atomic.set enabled_flag true;
+  let completed = completed () in
   let saved_completed = !completed in
   completed := [];
   let result =
-    Fun.protect ~finally:(fun () -> enabled_flag := saved) f
+    Fun.protect ~finally:(fun () -> Atomic.set enabled_flag saved) f
   in
   let spans = take () in
   completed := saved_completed;

@@ -266,21 +266,27 @@ let exec cat stmt =
       | Ast.Create_domain name ->
         Catalog.define_hierarchy cat (Hierarchy.create name);
         Printf.sprintf "domain %s created" name
+      (* Hierarchy DDL goes through the catalog's copy-on-write path:
+         in-place when the hierarchy is unfrozen (REPL, replay, tests),
+         copy-swap-rebind when a published snapshot shares it. *)
       | Ast.Create_class { name; parents } ->
         let h = hierarchy_containing cat (List.hd parents) in
-        ignore (Hierarchy.add_class h ~parents name);
+        Catalog.update_hierarchy cat h (fun h ->
+            ignore (Hierarchy.add_class h ~parents name));
         Printf.sprintf "class %s created" name
       | Ast.Create_instance { name; parents } ->
         let h = hierarchy_containing cat (List.hd parents) in
-        ignore (Hierarchy.add_instance h ~parents name);
+        Catalog.update_hierarchy cat h (fun h ->
+            ignore (Hierarchy.add_instance h ~parents name));
         Printf.sprintf "instance %s created" name
       | Ast.Create_isa { sub; super } ->
         let h = hierarchy_containing cat super in
-        Hierarchy.add_isa h ~sub ~super;
+        Catalog.update_hierarchy cat h (fun h -> Hierarchy.add_isa h ~sub ~super);
         Printf.sprintf "isa edge %s -> %s created" super sub
       | Ast.Create_preference { weaker; stronger } ->
         let h = hierarchy_containing cat weaker in
-        Hierarchy.add_preference h ~weaker ~stronger;
+        Catalog.update_hierarchy cat h (fun h ->
+            Hierarchy.add_preference h ~weaker ~stronger);
         Printf.sprintf "preference %s over %s created" stronger weaker
       | Ast.Create_relation { name; attrs } ->
         let schema =

@@ -22,13 +22,38 @@ let m_backlog_drops = Hr_obs.Metrics.counter "repl.backlog_drops"
 let g_lag = Hr_obs.Metrics.gauge "repl.lag"
 let g_subscribers = Hr_obs.Metrics.gauge "repl.subscribers"
 
+(* Reader-domain offload: how far behind the latest published version a
+   pinned read ran, and how many reads went to the pool vs stayed on the
+   event loop (docs/CONCURRENCY.md). *)
+let g_pinned_lag = Hr_obs.Metrics.gauge "exec.pinned_version_lag"
+let m_inline_reads = Hr_obs.Metrics.counter "exec.inline_reads"
+
 type backend = Memory of Catalog.t | Durable of Hr_storage.Db.t
+
+(* One queued reply. Replies leave a connection strictly in request
+   order: inline handlers fill their slot immediately, offloaded reads
+   fill theirs when the pool completes them, and [pump_conn] only emits
+   the filled prefix — a fast inline ack can never overtake a slower
+   offloaded read submitted before it. *)
+type pending = { mutable reply : (string * string) option }
 
 type conn = {
   fd : Unix.file_descr;
   dec : Wire.Decoder.t;
   mutable subscribed : bool;
   mutable sent_lsn : int;
+  (* FIFO of replies not yet appended to [out]. *)
+  slots : pending Queue.t;
+  (* This conn buffered an ack for a statement whose group commit has
+     not happened yet: no output may reach the kernel until the commit
+     point (an early ack could claim durability a crash would break).
+     Per-connection on purpose — other conns' offloaded reads are
+     derived from already-durable published versions and keep draining
+     while a batch is open. *)
+  mutable held : bool;
+  (* Sequential-path connections block on [Wire.recv], so their replies
+     must be computed before [commit_now] returns: never offload. *)
+  inline_only : bool;
   (* Outgoing bytes not yet accepted by the kernel, in
      [out.[out_start .. out_start+out_len)]. Event-loop connections are
      non-blocking: a frame is appended here and written opportunistically;
@@ -65,6 +90,16 @@ type t = {
   mutable sync_deadline : float option;
   mutable frames_this_tick : int;
   mutable conns : conn list;
+  (* Snapshot-isolated reads (docs/CONCURRENCY.md): the event loop is
+     the single writer; [publisher] republishes a frozen O(1) snapshot
+     of the catalog at every commit point, tagged with the synced LSN.
+     With [pool = Some _] ([--reader-domains K]), read-only frames are
+     dispatched to K reader domains, each pinning the current published
+     version for the duration of one query. *)
+  publisher : Hr_exec.Publisher.t;
+  pool : Hr_exec.Pool.t option;
+  (* In-flight offloaded jobs: pool completion key -> owning reply slot. *)
+  jobs : (int, conn * pending) Hashtbl.t;
 }
 
 let listen_on host port =
@@ -84,8 +119,14 @@ let listen_on host port =
 let default_max_backlog = Wire.max_frame + (4 * 1024 * 1024)
 
 let make ?(host = "127.0.0.1") ?(read_only = false) ?(max_backlog = default_max_backlog)
-    ?(group_commit_window = 0.0) ?(max_batch = 64) ~port ~owns_db backend =
+    ?(group_commit_window = 0.0) ?(max_batch = 64) ?(reader_domains = 0)
+    ?(unsafe_publish = false) ~port ~owns_db backend =
   let socket, bound_port = listen_on host port in
+  let cat, lsn =
+    match backend with
+    | Memory cat -> (cat, 0)
+    | Durable db -> (Hr_storage.Db.catalog db, Hr_storage.Db.synced_lsn db)
+  in
   {
     socket;
     backend;
@@ -98,21 +139,27 @@ let make ?(host = "127.0.0.1") ?(read_only = false) ?(max_backlog = default_max_
     sync_deadline = None;
     frames_this_tick = 0;
     conns = [];
+    publisher = Hr_exec.Publisher.create ~unsafe_publish ~lsn cat;
+    pool = (if reader_domains > 0 then Some (Hr_exec.Pool.create ~domains:reader_domains) else None);
+    jobs = Hashtbl.create 64;
   }
 
-let create_memory ?host ?read_only ?max_backlog ?group_commit_window ?max_batch ~port () =
-  make ?host ?read_only ?max_backlog ?group_commit_window ?max_batch ~port ~owns_db:true
+let create_memory ?host ?read_only ?max_backlog ?group_commit_window ?max_batch
+    ?reader_domains ?unsafe_publish ~port () =
+  make ?host ?read_only ?max_backlog ?group_commit_window ?max_batch ?reader_domains
+    ?unsafe_publish ~port ~owns_db:true
     (Memory (Catalog.create ()))
 
-let create_durable ?host ?read_only ?max_backlog ?group_commit_window ?max_batch ?fsync
-    ~port ~dir () =
-  make ?host ?read_only ?max_backlog ?group_commit_window ?max_batch ~port ~owns_db:true
+let create_durable ?host ?read_only ?max_backlog ?group_commit_window ?max_batch
+    ?reader_domains ?unsafe_publish ?fsync ~port ~dir () =
+  make ?host ?read_only ?max_backlog ?group_commit_window ?max_batch ?reader_domains
+    ?unsafe_publish ~port ~owns_db:true
     (Durable (Hr_storage.Db.open_dir ?fsync dir))
 
-let create_for_db ?host ?read_only ?max_backlog ?group_commit_window ?max_batch ~port ~db
-    () =
-  make ?host ?read_only ?max_backlog ?group_commit_window ?max_batch ~port ~owns_db:false
-    (Durable db)
+let create_for_db ?host ?read_only ?max_backlog ?group_commit_window ?max_batch
+    ?reader_domains ?unsafe_publish ~port ~db () =
+  make ?host ?read_only ?max_backlog ?group_commit_window ?max_batch ?reader_domains
+    ?unsafe_publish ~port ~owns_db:false (Durable db)
 
 let port t = t.bound_port
 
@@ -138,20 +185,28 @@ let catalog t =
   | Memory cat -> cat
   | Durable db -> Hr_storage.Db.catalog db
 
-let lint t script =
-  Hr_analysis.Lint.analyze_script ~catalog:(catalog t) script
+let lint_catalog cat script = Hr_analysis.Lint.analyze_script ~catalog:cat script
+let lint t script = lint_catalog (catalog t) script
 
 (* An ESTIMATE frame carries a bare query expression; it is priced
-   against the live catalog without evaluating anything. The payload is
+   against a catalog without evaluating anything. The payload is
    parsed by wrapping it in the statement form, so the expression
    grammar is exactly the REPL's. *)
-let explain_estimate t payload =
+let explain_estimate_catalog cat payload =
   match Hr_query.Parser.parse_statement ("EXPLAIN ESTIMATE " ^ payload) with
   | exception Hr_query.Parser.Parse_error { msg; _ } -> Error ("parse error: " ^ msg)
   | exception Hr_query.Lexer.Lex_error { msg; _ } -> Error ("lex error: " ^ msg)
   | { Hr_query.Ast.stmt = Hr_query.Ast.Explain_estimate expr; _ } ->
-    Hr_analysis.Estimate.explain_live (catalog t) expr
+    Hr_analysis.Estimate.explain_live cat expr
   | _ -> Error "ESTIMATE expects a single query expression"
+
+let explain_estimate t payload = explain_estimate_catalog (catalog t) payload
+
+let stats_body payload =
+  let snap = Hr_obs.Metrics.snapshot () in
+  if String.lowercase_ascii (String.trim payload) = "json" then
+    Hr_obs.Metrics.render_json snap
+  else Hr_obs.Metrics.render_text snap
 
 (* ---- serving ---------------------------------------------------------- *)
 
@@ -202,21 +257,97 @@ let out_drain conn =
     if Bytes.length conn.out > 1024 * 1024 then conn.out <- Bytes.create 1024
   end
 
-(* Every event-loop reply and replication push goes through here so a
-   slow peer accumulates backlog instead of wedging the loop. A peer
-   whose backlog exceeds the bound is cut off — a replica will reconnect
-   and resume from its durable offset (snapshot-bootstrapping if it fell
-   too far behind). *)
-let send_conn t conn tag payload =
-  out_append conn (Wire.frame tag payload);
-  (* While a batch is uncommitted the bytes stay here: an ack that
-     reached the kernel before the shared fsync would tell the client
-     "committed" about a statement a crash could still lose. *)
-  if not (holding t) then out_drain conn;
+(* Append the filled prefix of the reply FIFO to the out buffer, then
+   push to the kernel — unless this conn's earlier bytes are acks
+   awaiting a group commit. An empty slot (an offloaded read still
+   executing) blocks everything queued behind it, which is exactly the
+   per-connection ordering clients rely on. *)
+let pump_conn t conn =
+  let rec take () =
+    match Queue.peek_opt conn.slots with
+    | Some { reply = Some (tag, payload) } ->
+      ignore (Queue.pop conn.slots);
+      out_append conn (Wire.frame tag payload);
+      take ()
+    | Some { reply = None } | None -> ()
+  in
+  take ();
+  if not conn.held then out_drain conn;
   if conn.out_len > t.max_backlog then begin
     Hr_obs.Metrics.incr m_backlog_drops;
     raise Drop_conn
   end
+
+(* Every inline event-loop reply and replication push goes through here
+   so a slow peer accumulates backlog instead of wedging the loop. A
+   peer whose backlog exceeds the bound is cut off — a replica will
+   reconnect and resume from its durable offset (snapshot-bootstrapping
+   if it fell too far behind). *)
+let send_conn t conn tag payload =
+  Queue.push { reply = Some (tag, payload) } conn.slots;
+  (* While a batch is uncommitted the bytes stay buffered: an ack that
+     reached the kernel before the shared fsync would tell the client
+     "committed" about a statement a crash could still lose. Inline
+     replies may reflect live (not-yet-durable) state, so any of them
+     pins the conn's output while a batch is open; offloaded replies
+     (filled in [reap]) are derived from published — durable — versions
+     and never set this. *)
+  if holding t then conn.held <- true;
+  pump_conn t conn
+
+(* Reply slot for a read dispatched to the pool: reserve FIFO position
+   now, fill it when the completion comes back. *)
+let offload t conn run =
+  match t.pool with
+  | None -> invalid_arg "Server.offload: no reader pool"
+  | Some pool ->
+    let slot = { reply = None } in
+    Queue.push slot conn.slots;
+    let key = Hr_exec.Pool.submit pool run in
+    Hashtbl.replace t.jobs key (conn, slot)
+
+(* Which frames may leave the event loop. A held conn executes reads
+   inline so a client that just wrote sees its own (acked) write — the
+   published version may not include it yet. Subscribers and
+   sequential-path conns stay inline. *)
+let can_offload t conn =
+  t.pool <> None && (not conn.inline_only) && (not conn.subscribed) && not conn.held
+
+(* Offloaded replies are version-tagged: the payload's first line is
+   "<version-id> <lsn> <OK|ERR>", the body follows. The tag is what
+   makes snapshot isolation checkable from outside — test/test_mc.ml
+   replays the WAL prefix 1..lsn and demands byte equality. *)
+let versioned_reply v ok body =
+  ( "OKV",
+    Printf.sprintf "%d %d %s\n%s" v.Hr_exec.Version.id v.Hr_exec.Version.lsn
+      (if ok then "OK" else "ERR")
+      body )
+
+(* Build the thunk a reader domain runs: pin the current version, judge
+   the frame against its frozen catalog, tag the reply. Everything it
+   touches is immutable, domain-local, or internally synchronized
+   (metrics, observed-stats store). *)
+let read_job t kind payload () =
+  let v = Hr_exec.Publisher.current t.publisher in
+  let ok, body =
+    match kind with
+    | `Exec -> (
+      match Hr_query.Eval.run_script v.Hr_exec.Version.catalog payload with
+      | Ok outputs -> (true, String.concat "\n" outputs)
+      | Error msg -> (false, msg))
+    | `Lint ->
+      (true, Hr_analysis.Diagnostic.render_json (lint_catalog v.Hr_exec.Version.catalog payload))
+    | `Estimate -> (
+      match explain_estimate_catalog v.Hr_exec.Version.catalog payload with
+      | Ok out -> (true, out)
+      | Error msg ->
+        Hr_obs.Metrics.incr m_errors;
+        (false, msg))
+    | `Stats -> (true, stats_body payload)
+  in
+  Hr_obs.Metrics.set g_pinned_lag
+    ((Hr_exec.Publisher.current t.publisher).Hr_exec.Version.id - v.Hr_exec.Version.id);
+  versioned_reply v ok body
 
 (* Ship every {e durable} logged record past the subscriber's offset, as
    one coalesced group. Records above [synced_lsn] stay unshipped until
@@ -265,30 +396,35 @@ let handle t conn tag payload =
     | Some src ->
       send_conn t conn "ERR"
         (Printf.sprintf "read-only replica: refusing mutating statement %S (execute it on the primary)" src)
-    | None -> (
-      match run_script t payload with
-      | Ok outputs ->
-        (* the ack buffers; shipping to subscribers happens at the
-           commit point, after the batch's shared sync *)
-        send_conn t conn "OK" (String.concat "\n" outputs)
-      | Error msg -> send_conn t conn "ERR" msg))
+    | None ->
+      if can_offload t conn && Hr_storage.Db.script_mutation payload = None then
+        offload t conn (read_job t `Exec payload)
+      else begin
+        if Hr_storage.Db.script_mutation payload = None then
+          Hr_obs.Metrics.incr m_inline_reads;
+        match run_script t payload with
+        | Ok outputs ->
+          (* the ack buffers; shipping to subscribers happens at the
+             commit point, after the batch's shared sync *)
+          send_conn t conn "OK" (String.concat "\n" outputs)
+        | Error msg -> send_conn t conn "ERR" msg
+      end)
   | "LINT" ->
-    send_conn t conn "OK" (Hr_analysis.Diagnostic.render_json (lint t payload))
-  | "ESTIMATE" -> (
-    match explain_estimate t payload with
-    | Ok body -> send_conn t conn "OK" body
-    | Error msg ->
-      Hr_obs.Metrics.incr m_errors;
-      send_conn t conn "ERR" msg)
+    if can_offload t conn then offload t conn (read_job t `Lint payload)
+    else send_conn t conn "OK" (Hr_analysis.Diagnostic.render_json (lint t payload))
+  | "ESTIMATE" ->
+    if can_offload t conn then offload t conn (read_job t `Estimate payload)
+    else (
+      match explain_estimate t payload with
+      | Ok body -> send_conn t conn "OK" body
+      | Error msg ->
+        Hr_obs.Metrics.incr m_errors;
+        send_conn t conn "ERR" msg)
   | "STATS" ->
-    (* payload selects the rendering: "json" or "" for text *)
-    let snap = Hr_obs.Metrics.snapshot () in
-    let body =
-      if String.lowercase_ascii (String.trim payload) = "json" then
-        Hr_obs.Metrics.render_json snap
-      else Hr_obs.Metrics.render_text snap
-    in
-    send_conn t conn "OK" body
+    if can_offload t conn then offload t conn (read_job t `Stats payload)
+    else
+      (* payload selects the rendering: "json" or "" for text *)
+      send_conn t conn "OK" (stats_body payload)
   | "FSCK" -> (
     (* offline-style verification of the durable directory, served from
        the running primary: read-only, never takes the lock, and runs
@@ -347,12 +483,15 @@ let handle t conn tag payload =
     Hr_obs.Metrics.incr m_errors;
     send_conn t conn "ERR" (Printf.sprintf "unknown request %S" tag)
 
-let new_conn fd =
+let new_conn ?(inline_only = false) fd =
   {
     fd;
     dec = Wire.Decoder.create ();
     subscribed = false;
     sent_lsn = 0;
+    slots = Queue.create ();
+    held = false;
+    inline_only;
     out = Bytes.create 1024;
     out_start = 0;
     out_len = 0;
@@ -429,7 +568,8 @@ let service t conn =
           with Unix.Unix_error _ | Drop_conn -> ());
          drop_conn t conn);
     if !eof && List.memq conn t.conns then
-      if conn.subscribed || (conn.out_len = 0 && not (holding t)) then drop_conn t conn
+      if conn.subscribed || (conn.out_len = 0 && Queue.is_empty conn.slots && not conn.held)
+      then drop_conn t conn
       else conn.closing <- true
 
 let accept_conn t =
@@ -442,24 +582,68 @@ let accept_conn t =
     t.conns <- new_conn fd :: t.conns
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
 
-(* Push a connection's buffered output now that select says it fits.
-   A fully drained closing conn (EOF already seen) is dropped here. *)
+(* Push a connection's ready replies and buffered output now that it
+   can make progress. A fully drained closing conn (EOF already seen)
+   is dropped here. *)
 let flush_conn t conn =
-  match out_drain conn with
-  | () -> if conn.closing && conn.out_len = 0 then drop_conn t conn
-  | exception Unix.Unix_error _ -> drop_conn t conn
+  match pump_conn t conn with
+  | () ->
+    if conn.closing && conn.out_len = 0 && Queue.is_empty conn.slots then drop_conn t conn
+  | exception (Drop_conn | Unix.Unix_error _) -> drop_conn t conn
+
+(* Collect finished pool jobs and route each reply into its reserved
+   slot; a conn that vanished while its read was in flight just
+   discards the completion. *)
+let reap t =
+  match t.pool with
+  | None -> ()
+  | Some pool ->
+    List.iter
+      (fun { Hr_exec.Pool.c_key; c_tag; c_payload } ->
+        match Hashtbl.find_opt t.jobs c_key with
+        | None -> ()
+        | Some (conn, slot) ->
+          Hashtbl.remove t.jobs c_key;
+          slot.reply <- Some (c_tag, c_payload);
+          if List.memq conn t.conns then flush_conn t conn)
+      (Hr_exec.Pool.drain pool)
+
+(* Publish the post-commit catalog as a new pinned version. Runs after
+   the shared sync, so a version's LSN can never exceed the durable
+   LSN — visibility never outruns durability. The in-memory backend has
+   no WAL; its "LSN" is a publish sequence number. *)
+let publish_now t =
+  match t.backend with
+  | Durable db ->
+    ignore
+      (Hr_exec.Publisher.publish t.publisher
+         ~lsn:(Hr_storage.Db.synced_lsn db)
+         (Hr_storage.Db.catalog db))
+  | Memory cat ->
+    let prev = Hr_exec.Publisher.current t.publisher in
+    if not (Catalog.same_bindings cat prev.Hr_exec.Version.catalog) then
+      ignore (Hr_exec.Publisher.publish t.publisher ~lsn:(prev.Hr_exec.Version.lsn + 1) cat)
 
 (* The commit point: one shared WAL sync covers every statement buffered
-   since the last one, then the batch ships to subscribers as one
-   coalesced record group and every withheld ack drains. Order matters —
-   sync before acks, sync before ship. *)
+   since the last one, then the new catalog version publishes, the batch
+   ships to subscribers as one coalesced record group and every withheld
+   ack drains. Order matters — sync before publish, sync before acks,
+   sync before ship. *)
 let commit_now t =
   (match t.backend with
   | Memory _ -> ()
   | Durable db -> Hr_storage.Db.sync db);
   t.sync_deadline <- None;
+  publish_now t;
+  List.iter (fun c -> c.held <- false) t.conns;
   ship_all t;
-  List.iter (fun c -> if c.out_len > 0 || c.closing then flush_conn t c) t.conns
+  List.iter
+    (fun c ->
+      if
+        List.memq c t.conns
+        && (c.out_len > 0 || (not (Queue.is_empty c.slots)) || c.closing)
+      then flush_conn t c)
+    t.conns
 
 (* End-of-tick commit decision. With a zero window (the default) every
    tick that buffered statements commits; a positive window holds the
@@ -495,12 +679,16 @@ let poll ?(extra = []) t timeout =
       else if timeout < 0.0 then remaining
       else min timeout remaining
   in
-  let fds = (t.socket :: List.map (fun c -> c.fd) t.conns) @ extra in
-  (* held output must not drain mid-window, so writability only matters
-     when no batch is pending *)
+  (* the pool's self-pipe joins the select set so a completed read
+     wakes the loop immediately instead of at the next timeout *)
+  let pool_fds = match t.pool with None -> [] | Some p -> [ Hr_exec.Pool.notify_fd p ] in
+  let fds = (t.socket :: pool_fds) @ List.map (fun c -> c.fd) t.conns @ extra in
+  (* a held conn's output must not drain mid-window, so its writability
+     is irrelevant until the commit point clears it *)
   let wfds =
-    if holding t then []
-    else List.filter_map (fun c -> if c.out_len > 0 then Some c.fd else None) t.conns
+    List.filter_map
+      (fun c -> if c.out_len > 0 && not c.held then Some c.fd else None)
+      t.conns
   in
   match Unix.select fds wfds [] timeout with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
@@ -513,6 +701,7 @@ let poll ?(extra = []) t timeout =
     List.iter
       (fun c -> if List.mem c.fd readable && List.memq c t.conns then service t c)
       t.conns;
+    reap t;
     end_tick t;
     List.filter (fun fd -> List.mem fd readable) extra
 
@@ -528,7 +717,8 @@ let serve_forever t =
 let serve_one_connection t =
   let fd, _ = Unix.accept t.socket in
   Hr_obs.Metrics.incr m_connections;
-  let conn = new_conn fd in
+  (* blocking fd; the reply must be complete when [commit_now] returns *)
+  let conn = new_conn ~inline_only:true fd in
   t.conns <- conn :: t.conns;
   Fun.protect
     ~finally:(fun () -> if List.memq conn t.conns then drop_conn t conn)
@@ -564,6 +754,8 @@ let serve_one_connection t =
       loop ())
 
 let close t =
+  (match t.pool with None -> () | Some pool -> Hr_exec.Pool.shutdown pool);
+  Hashtbl.reset t.jobs;
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
   t.conns <- [];
   (try Unix.close t.socket with Unix.Unix_error _ -> ());
@@ -603,15 +795,56 @@ module Client = struct
         raise e));
     fd
 
+  (* An [OKV] payload is "<version-id> <lsn> <OK|ERR>\n<body>": the
+     reply to a read a pool server ran on a reader domain, tagged with
+     the published version it pinned. *)
+  let parse_versioned payload =
+    match String.index_opt payload '\n' with
+    | None -> None
+    | Some nl -> (
+      let header = String.sub payload 0 nl in
+      let body = String.sub payload (nl + 1) (String.length payload - nl - 1) in
+      match String.split_on_char ' ' header with
+      | [ id; lsn; (("OK" | "ERR") as status) ] -> (
+        match (int_of_string_opt id, int_of_string_opt lsn) with
+        | Some id, Some lsn -> Some ((id, lsn), status = "OK", body)
+        | _ -> None)
+      | _ -> None)
+
   let recv_result conn =
     match Wire.recv conn with
     | Ok ("OK", payload) -> Ok payload
+    | Ok ("OKV", payload) -> (
+      match parse_versioned payload with
+      | Some (_, true, body) -> Ok body
+      | Some (_, false, body) -> Error body
+      | None -> Error "malformed versioned reply")
     | Ok ("ERR", payload) -> Error payload
     | Ok (tag, _) -> Error (Printf.sprintf "unexpected reply %S" tag)
     | Error msg -> Error msg
     | exception Wire.Disconnected -> Error "server disconnected"
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
       Error "timed out waiting for reply"
+
+  (* Like {!recv_result} but keeps the version tag: [Some (id, lsn)] on
+     a reply a reader domain pinned, [None] from the inline path. *)
+  let recv_versioned conn =
+    match Wire.recv conn with
+    | Ok ("OK", payload) -> Ok (None, true, payload)
+    | Ok ("ERR", payload) -> Ok (None, false, payload)
+    | Ok ("OKV", payload) -> (
+      match parse_versioned payload with
+      | Some (v, ok, body) -> Ok (Some v, ok, body)
+      | None -> Error "malformed versioned reply")
+    | Ok (tag, _) -> Error (Printf.sprintf "unexpected reply %S" tag)
+    | Error msg -> Error msg
+    | exception Wire.Disconnected -> Error "server disconnected"
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Error "timed out waiting for reply"
+
+  let exec_versioned conn script =
+    Wire.send conn "EXEC" script;
+    recv_versioned conn
 
   let request conn tag script =
     Wire.send conn tag script;

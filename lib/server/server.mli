@@ -44,13 +44,26 @@
     statements are pushed as they commit. [REPL_ACK] frames from the
     subscriber update the primary's [repl.lag] gauge.
 
-    {b Concurrency model:} {!serve_forever} runs a single-threaded
-    [select] event loop multiplexing every connection, so a replica can
-    hold its subscription open while ordinary clients keep executing
-    scripts — statements stay strictly serialized because one loop runs
-    them all. {!serve_one_connection} is the historical sequential path
-    (accept one client, serve it to disconnection) and is kept for tests
-    and single-client tools. Backends: a plain in-memory catalog or a
+    {b Concurrency model} (details in [docs/CONCURRENCY.md]): the
+    [select] event loop of {!serve_forever} is the {e single writer} —
+    every mutating statement runs on it, strictly serialized. With
+    [reader_domains = 0] (the default) it also runs every read, the
+    historical single-threaded behavior. With [reader_domains = K > 0],
+    read-only frames ([EXEC] with no mutating statement, [LINT],
+    [ESTIMATE], [STATS]) are dispatched to a pool of K OCaml 5 reader
+    domains. Each offloaded read pins the {e published version} current
+    when it starts — an immutable, frozen snapshot of the catalog the
+    commit point republishes after each group commit, tagged with the
+    synced LSN — and evaluates lock-free against it. Readers therefore
+    observe only whole committed-and-durable batches (snapshot
+    isolation; visibility never outruns durability), writes never wait
+    for reads, and replies still leave each connection in request order
+    (offloaded replies are version-tagged [OKV] frames). A connection
+    whose write is awaiting its group commit runs its reads inline so
+    it always sees its own writes. {!serve_one_connection} is the
+    historical sequential path (accept one client, serve it to
+    disconnection; never offloads) and is kept for tests and
+    single-client tools. Backends: a plain in-memory catalog or a
     durable {!Hr_storage.Db} directory. *)
 
 type t
@@ -61,6 +74,8 @@ val create_memory :
   ?max_backlog:int ->
   ?group_commit_window:float ->
   ?max_batch:int ->
+  ?reader_domains:int ->
+  ?unsafe_publish:bool ->
   port:int ->
   unit ->
   t
@@ -83,7 +98,18 @@ val create_memory :
     optionally holds the batch open across ticks, up to that long after
     the first buffered statement, so trickling clients can share a sync;
     [max_batch] (default 64) closes the window early once that many
-    statements are buffered. *)
+    statements are buffered.
+
+    {b Reader domains:} [reader_domains] (default 0 — fully
+    single-threaded) spawns that many OCaml 5 domains that execute
+    read-only frames against pinned published versions; see the
+    concurrency model above. [unsafe_publish] (default false) is a
+    {e deliberately broken} publication mode for the concurrency test
+    harness: the commit point publishes the live mutable catalog
+    instead of a frozen snapshot, so concurrent readers can observe
+    partially applied batches under a stale version tag. It exists so
+    [test/test_mc.ml] can prove it would catch an isolation bug; never
+    set it outside tests. *)
 
 val create_durable :
   ?host:string ->
@@ -91,6 +117,8 @@ val create_durable :
   ?max_backlog:int ->
   ?group_commit_window:float ->
   ?max_batch:int ->
+  ?reader_domains:int ->
+  ?unsafe_publish:bool ->
   ?fsync:bool ->
   port:int ->
   dir:string ->
@@ -106,6 +134,8 @@ val create_for_db :
   ?max_backlog:int ->
   ?group_commit_window:float ->
   ?max_batch:int ->
+  ?reader_domains:int ->
+  ?unsafe_publish:bool ->
   port:int ->
   db:Hr_storage.Db.t ->
   unit ->
@@ -182,7 +212,21 @@ module Client : sig
       connection. *)
 
   val recv : conn -> (string, string) result
-  (** Reads one reply frame ([OK] payload or [ERR] message). *)
+  (** Reads one reply frame ([OK] payload or [ERR] message). A
+      version-tagged [OKV] reply (from a server with reader domains) is
+      transparently unwrapped to its body. *)
+
+  val recv_versioned : conn -> ((int * int) option * bool * string, string) result
+  (** Reads one reply frame keeping the version tag: [Ok (v, ok, body)]
+      where [v] is [Some (version_id, lsn)] when the reply was computed
+      on a reader domain against that pinned published version, [None]
+      when the event loop answered inline; [ok] distinguishes the
+      server's OK/ERR verdict. [Error] is a transport-level failure.
+      The concurrency harness uses the tag to replay the WAL prefix
+      [1..lsn] and demand byte equality. *)
+
+  val exec_versioned : conn -> string -> ((int * int) option * bool * string, string) result
+  (** [send conn "EXEC" script] followed by {!recv_versioned}. *)
 
   val recv_any : conn -> (string * string, string) result
   (** Reads one frame of any tag — the replication subscriber's read

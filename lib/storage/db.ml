@@ -52,10 +52,15 @@ let acquire_lock dir =
      failwith (Printf.sprintf "database %s is locked by another process" dir));
   fd
 
-(* [meta] holds the snapshot's LSN as a single "base_lsn=N" line, written
+(* [meta] holds the snapshot's LSN as a "base_lsn=N" first line, written
    atomically (tmp + rename) so a crash never leaves a half-written
    number next to a valid snapshot. Absent means 0 (pre-LSN directory or
-   fresh database). *)
+   fresh database). A second "published_lsn=N" line records the catalog
+   version LSN that was publishable at the checkpoint — by the
+   visibility-never-outruns-durability invariant (docs/CONCURRENCY.md)
+   it can never legitimately exceed the durable head LSN, which is what
+   [hrdb fsck] finding F019 verifies. [read_meta] only consumes the
+   first line, so directories written by older builds load unchanged. *)
 let read_meta dir =
   let path = meta_path dir in
   if not (Sys.file_exists path) then 0
@@ -71,6 +76,9 @@ let write_meta dir base_lsn =
   let tmp = meta_path dir ^ ".tmp" in
   let oc = open_out tmp in
   Printf.fprintf oc "base_lsn=%d\n" base_lsn;
+  (* the checkpoint is itself a commit point: the snapshot's LSN is
+     both durable and the newest publishable version *)
+  Printf.fprintf oc "published_lsn=%d\n" base_lsn;
   close_out oc;
   Sys.rename tmp (meta_path dir)
 

@@ -3,14 +3,26 @@ type t = { id : int; name : string }
 let table : (string, t) Hashtbl.t = Hashtbl.create 1024
 let next_id = ref 0
 
+(* The intern table is process-global and reader domains intern symbols
+   on their query paths (schema lookups, value resolution), so both the
+   lookup and the insert must be under one lock: a bare [Hashtbl.add]
+   racing a resize from another domain can corrupt the table. Interning
+   is not hot enough for the single mutex to matter. *)
+let mu = Mutex.create ()
+
 let intern name =
-  match Hashtbl.find_opt table name with
-  | Some sym -> sym
-  | None ->
-    let sym = { id = !next_id; name } in
-    incr next_id;
-    Hashtbl.add table name sym;
-    sym
+  Mutex.lock mu;
+  let sym =
+    match Hashtbl.find_opt table name with
+    | Some sym -> sym
+    | None ->
+      let sym = { id = !next_id; name } in
+      incr next_id;
+      Hashtbl.add table name sym;
+      sym
+  in
+  Mutex.unlock mu;
+  sym
 
 let name sym = sym.name
 let id sym = sym.id

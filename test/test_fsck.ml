@@ -150,6 +150,26 @@ let test_mismatched_base_lsn () =
       Alcotest.(check bool) "F009 reported" true (List.mem "F009" (codes r));
       Alcotest.(check bool) "critical" true (Fsck.has_critical r))
 
+(* The published-version watermark claims visibility beyond the durable
+   head: a reader could have been served state that a crash then lost.
+   Seeded by rewriting meta with a published_lsn past every WAL record. *)
+let test_published_beyond_durable () =
+  with_temp_dir (fun dir ->
+      let db = seed dir in
+      Db.checkpoint db;
+      Db.close db;
+      let head = List.length world in
+      write_bytes (meta dir)
+        (Printf.sprintf "base_lsn=%d\npublished_lsn=%d\n" head (head + 5));
+      let r = Fsck.run dir in
+      Alcotest.(check (list string)) "F019 and nothing else" [ "F019" ] (codes r);
+      Alcotest.(check bool) "critical" true (Fsck.has_critical r);
+      (* a watermark at the durable head is exactly right *)
+      write_bytes (meta dir)
+        (Printf.sprintf "base_lsn=%d\npublished_lsn=%d\n" head head);
+      let r = Fsck.run dir in
+      Alcotest.(check (list string)) "watermark at head is clean" [] (codes r))
+
 (* ---- tails, sidecars, semantic state ----------------------------------- *)
 
 let test_torn_tail_is_warning () =
@@ -386,6 +406,8 @@ let suite =
     Alcotest.test_case "seeded: redundant isa edge" `Quick test_redundant_isa_edge;
     Alcotest.test_case "seeded: stale graphs sidecar" `Quick test_stale_graphs_sidecar;
     Alcotest.test_case "seeded: mismatched base_lsn" `Quick test_mismatched_base_lsn;
+    Alcotest.test_case "seeded: published version beyond durable head" `Quick
+      test_published_beyond_durable;
     Alcotest.test_case "torn tail is a warning" `Quick test_torn_tail_is_warning;
     Alcotest.test_case "torn tail truncated on reopen" `Quick
       test_torn_tail_truncated_on_reopen;

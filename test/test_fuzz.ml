@@ -16,6 +16,22 @@ module Hierarchy = Hr_hierarchy.Hierarchy
 module Metrics = Hr_obs.Metrics
 open Hierel
 
+(* Deterministic replay: every property's random state derives from one
+   integer seed, printed up front so a failing CI run can be replayed
+   locally with [HRDB_TEST_SEED=n dune runtest]. Unset, the seed varies
+   run to run so repeated runs keep exploring new inputs. *)
+let seed =
+  match Sys.getenv_opt "HRDB_TEST_SEED" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "HRDB_TEST_SEED must be an integer, got %S" s))
+  | None -> Int64.to_int (Int64.rem (Int64.of_float (Unix.gettimeofday () *. 1e6)) 0xFFFFFFL)
+
+let () =
+  Printf.eprintf "test_fuzz: property RNG seed %d (replay with HRDB_TEST_SEED=%d)\n%!" seed
+    seed
+
 let printable_gen = QCheck2.Gen.(string_size ~gen:(char_range ' ' '~') (int_range 0 120))
 
 let prop_lexer_total =
@@ -172,7 +188,8 @@ let prop_select_over_join_differential =
           agreed && counted))
 
 let suite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map
+    (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]))
     [
       prop_lexer_total;
       prop_parser_total;

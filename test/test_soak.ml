@@ -7,7 +7,11 @@
    The runs double as consistency checks of the metrics registry
    (lib/obs): statement and WAL counters must account for exactly the
    work submitted, the pager must read back at least what it wrote back,
-   and a server must serve exactly as many frames as the client sent. *)
+   and a server must serve exactly as many frames as the client sent.
+
+   The concurrent-reader arm of the soak lives in test_mc.ml ("soak with
+   concurrent readers"): spawning an OCaml 5 domain forbids Unix.fork for
+   the rest of the process, and suites registered after this one fork. *)
 
 module Eval = Hr_query.Eval
 module Prng = Hr_util.Prng
