@@ -960,6 +960,211 @@ let check_figures () =
     checks;
   print_string (Texttable.render table)
 
+(* ---- C17: sharding — partitioned writes and scatter-gather reads --------- *)
+
+(* End-to-end throughput through a real sharded deployment: K forked
+   backend shard servers, a shard map splitting four subtree classes
+   round-robin across them, and the router forked on top. The same
+   workload runs at K in {1, 2, --shards}: every arm inserts the same
+   instances into the same relation, so only the partitioning varies.
+
+   - writes: 8 pipelined clients, each a stream of single-statement,
+     single-shard INSERTs (the router's fast path). Per-insert cost
+     grows with the shard's stored relation, so partitioning K ways
+     both parallelizes the work and shrinks every shard's relation —
+     the paper's locality argument made measurable. Shards run with
+     fsync off so the arm compares sharding, not disk sync (C14
+     measures the real durability hot path).
+   - reads: synchronous full-relation scatter-gather queries — the
+     router pulls every shard, merges with subsumption-aware dedup, and
+     evaluates locally.
+
+   Must run before C16: the shard and router processes are forked, and
+   spawning a domain forbids Unix.fork for the rest of the process. *)
+
+let shards_k = ref 4
+
+let bench_sharding () =
+  let module Server = Hr_server.Server in
+  let module Client = Hr_server.Server.Client in
+  let module Router = Hr_shard.Router in
+  let module Shard_map = Hr_check.Shard_map in
+  let module Wire = Hr_frames.Wire in
+  section
+    (Printf.sprintf
+       "C17 — sharding: partitioned write throughput and scatter-gather reads \
+        (K in {1, 2, %d})"
+       !shards_k);
+  let clients = 8 in
+  let subtrees = 4 in
+  let stmts_per_client = max 25 (int_of_float (!quota_s *. 300.)) in
+  let queries = max 20 (int_of_float (!quota_s *. 120.)) in
+  let instance c j = Printf.sprintf "c17_x%d_%d" c j in
+  let setup_script =
+    String.concat " "
+      ([ "CREATE DOMAIN c17_d;" ]
+      @ List.init subtrees (fun s ->
+            Printf.sprintf "CREATE CLASS c17_s%d UNDER c17_d;" s)
+      @ List.concat
+          (List.init clients (fun c ->
+               List.init stmts_per_client (fun j ->
+                   Printf.sprintf "CREATE INSTANCE %s OF c17_s%d;" (instance c j)
+                     (c mod subtrees))))
+      @ [ "CREATE RELATION c17_r (v: c17_d);" ])
+  in
+  let temp_dir tag =
+    let dir = Filename.temp_file ("hrbench_c17_" ^ tag) "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o755;
+    dir
+  in
+  let rm_dir dir =
+    Array.iter
+      (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  in
+  let kill pid =
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+  in
+  let run_arm k =
+    let dirs = List.init k (fun i -> temp_dir (string_of_int i)) in
+    let pids = ref [] in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter kill !pids;
+        List.iter rm_dir dirs)
+      (fun () ->
+        let ports =
+          List.map
+            (fun dir ->
+              let server = Server.create_durable ~port:0 ~dir ~fsync:false () in
+              let port = Server.port server in
+              (match Unix.fork () with
+              | 0 ->
+                (try Server.serve_forever server with _ -> ());
+                Unix._exit 0
+              | pid -> pids := pid :: !pids);
+              port)
+            dirs
+        in
+        let map_text =
+          String.concat "\n"
+            (List.mapi
+               (fun i p -> Printf.sprintf "shard %d 127.0.0.1:%d" i p)
+               ports
+            @ List.init subtrees (fun s ->
+                  Printf.sprintf "subtree c17_s%d %d" s (s mod k))
+            @ [ "default 0" ])
+        in
+        let map =
+          match Shard_map.parse map_text with
+          | Ok m -> m
+          | Error e -> failwith ("C17 map: " ^ e)
+        in
+        let router = Router.create ~port:0 ~timeout:10.0 ~map () in
+        let rport = Router.port router in
+        (match Unix.fork () with
+        | 0 ->
+          (try Router.serve_forever router with _ -> ());
+          Unix._exit 0
+        | pid -> pids := pid :: !pids);
+        let setup = Client.connect ~timeout:30.0 ~port:rport () in
+        (match Client.exec setup setup_script with
+        | Ok _ -> ()
+        | Error msg -> failwith ("C17 setup: " ^ msg));
+        Client.close setup;
+        (* pipelined partitioned writes, the C14 client state machine *)
+        let conns =
+          Array.init clients (fun _ ->
+              let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+              Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, rport));
+              Unix.set_nonblock fd;
+              (fd, Wire.Decoder.create (), ref 0 (* sent *), ref 0 (* acked *),
+               ref 0 (* offset *), Buffer.create 256))
+        in
+        let frame_for c j =
+          Wire.frame "EXEC"
+            (Printf.sprintf "INSERT INTO c17_r VALUES (+ %s);" (instance c j))
+        in
+        let total = clients * stmts_per_client in
+        let acked_total = ref 0 in
+        let buf = Bytes.create 65536 in
+        let t0 = Unix.gettimeofday () in
+        while !acked_total < total do
+          Array.iteri
+            (fun c (fd, dec, sent, acked, off, pending) ->
+              (try
+                 while !sent < stmts_per_client do
+                   if Buffer.length pending = 0 then
+                     Buffer.add_string pending (frame_for c !sent);
+                   let s = Buffer.contents pending in
+                   let n = Unix.write_substring fd s !off (String.length s - !off) in
+                   off := !off + n;
+                   if !off = String.length s then begin
+                     off := 0;
+                     Buffer.clear pending;
+                     incr sent
+                   end
+                 done
+               with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+              match Unix.read fd buf 0 (Bytes.length buf) with
+              | 0 -> failwith "C17: router closed a client connection"
+              | n ->
+                Wire.Decoder.feed dec buf n;
+                let rec drain () =
+                  match Wire.Decoder.next dec with
+                  | Ok (Some (tag, payload)) ->
+                    if tag = "ERR" then failwith ("C17: ERR reply: " ^ payload);
+                    incr acked;
+                    incr acked_total;
+                    drain ()
+                  | Ok None -> ()
+                  | Error msg -> failwith ("C17: bad reply frame: " ^ msg)
+                in
+                drain ()
+              | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                -> ())
+            conns;
+        done;
+        let write_elapsed = Unix.gettimeofday () -. t0 in
+        Array.iter (fun (fd, _, _, _, _, _) -> Unix.close fd) conns;
+        (* synchronous scatter-gather reads over the merged relation *)
+        let q = Client.connect ~timeout:30.0 ~port:rport () in
+        let t1 = Unix.gettimeofday () in
+        for _ = 1 to queries do
+          match Client.exec q "SELECT * FROM c17_r;" with
+          | Ok _ -> ()
+          | Error msg -> failwith ("C17 query: " ^ msg)
+        done;
+        let read_elapsed = Unix.gettimeofday () -. t1 in
+        Client.close q;
+        let write_ns = write_elapsed /. float total *. 1e9 in
+        let read_ns = read_elapsed /. float queries *. 1e9 in
+        Format.printf
+          "K=%d: %d inserts in %.3fs = %.0f stmts/s (%.0f ns/stmt); %d \
+           scatter-gather queries at %.0f ns/op@."
+          k total write_elapsed
+          (float total /. write_elapsed)
+          write_ns queries read_ns;
+        collected :=
+          (Printf.sprintf "C17 sharded writes K=%d ns/stmt" k, write_ns)
+          :: (Printf.sprintf "C17 scatter-gather query K=%d ns/op" k, read_ns)
+          :: !collected;
+        (write_ns, read_ns))
+  in
+  let arms =
+    List.sort_uniq compare (List.filter (fun k -> k > 0) [ 1; 2; !shards_k ])
+  in
+  let results = List.map (fun k -> (k, run_arm k)) arms in
+  match (List.assoc_opt 1 results, List.assoc_opt !shards_k results) with
+  | Some (w1, _), Some (wk, _) when !shards_k > 1 ->
+    Format.printf "write speedup at K=%d: %.2fx (%d cores)@." !shards_k
+      (w1 /. wk)
+      (Domain.recommended_domain_count ())
+  | _ -> ()
+
 (* ---- C16: reader domains — snapshot-isolated read throughput ------------ *)
 
 (* Read QPS through the pool server (lib/exec) at K=1 vs K=N reader
@@ -1117,6 +1322,9 @@ let experiments =
     ("C14", bench_group_commit);
     ("C15", bench_estimator);
     ("F", check_figures);
+    (* C17 forks shard and router subprocesses, so it must precede any
+       experiment that spawns a domain *)
+    ("C17", bench_sharding);
     (* last: C16 spawns OCaml 5 domains, which forbids Unix.fork for the
        rest of the process *)
     ("C16", bench_reader_domains);
@@ -1177,6 +1385,13 @@ let rec parse_args = function
       prerr_endline ("bench: invalid --reader-domains " ^ s);
       exit 2);
     parse_args rest
+  | "--shards" :: s :: rest ->
+    (match int_of_string_opt s with
+    | Some k when k > 0 -> shards_k := k
+    | _ ->
+      prerr_endline ("bench: invalid --shards " ^ s);
+      exit 2);
+    parse_args rest
   | "--quota" :: s :: rest ->
     (match float_of_string_opt s with
     | Some q when q > 0. -> quota_s := q
@@ -1184,14 +1399,14 @@ let rec parse_args = function
       prerr_endline ("bench: invalid --quota " ^ s);
       exit 2);
     parse_args rest
-  | ("--metrics-json" | "--quota" | "--clients" | "--reader-domains") :: [] ->
+  | ("--metrics-json" | "--quota" | "--clients" | "--reader-domains" | "--shards") :: [] ->
     prerr_endline "bench: missing argument to flag";
     exit 2
   | id :: rest -> id :: parse_args rest
 
 let () =
   Format.printf
-    "hierel benchmark harness — experiments C1..C16 (see DESIGN.md / EXPERIMENTS.md)@.";
+    "hierel benchmark harness — experiments C1..C17 (see DESIGN.md / EXPERIMENTS.md)@.";
   let requested = parse_args (List.tl (Array.to_list Sys.argv)) in
   let selected =
     match requested with

@@ -381,10 +381,13 @@ let fsck_against_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "against" ] ~docv:"DIR"
+    & info [ "against" ] ~docv:"DIR|MAP"
         ~doc:
-          "Also verify this peer directory (e.g. a replica of the first) and \
-           cross-check the two for divergence at their greatest common LSN.")
+          "With a directory: also verify this peer (e.g. a replica of the \
+           first) and cross-check the two for divergence at their greatest \
+           common LSN. With a regular file: load it as a shard map and \
+           verify the whole sharded deployment's placement invariants \
+           (docs/SHARDING.md).")
 
 let fsck_cmd =
   let doc = "verify the durable invariants of a database directory" in
@@ -396,8 +399,10 @@ let fsck_cmd =
          and checks WAL framing and LSN continuity, snapshot decode and \
          round-trip, hierarchy DAG acyclicity and irredundancy, the \
          graphs.bin subsumption sidecar, the ambiguity constraint, and — \
-         with $(b,--against) — primary/replica convergence. Finding codes \
-         (F001..F018) are stable; see docs/FSCK.md.";
+         with $(b,--against) — primary/replica convergence, or, when the \
+         argument is a shard-map file, sharded placement (misplaced tuples, \
+         cross-subtree replicas, DDL agreement). Finding codes \
+         (F001..F024) are stable; see docs/FSCK.md.";
       `P
         "Exits 0 when the directory is clean, 1 when only warning-severity \
          findings were reported, 2 on any critical finding.";
@@ -411,6 +416,7 @@ let fsck_cmd =
 
 let exec_main host port timeout stats scripts =
   let module Client = Hr_server.Server.Client in
+  let timeout = match timeout with Some s when s <= 0.0 -> None | t -> t in
   match Client.connect ~host ?timeout ~port () with
   | exception Failure msg ->
     Printf.eprintf "hrdb exec: %s\n" msg;
@@ -454,9 +460,11 @@ let exec_port_arg =
 let exec_timeout_arg =
   Arg.(
     value
-    & opt (some float) None
+    & opt (some float) (Some 5.0)
     & info [ "timeout" ] ~docv:"SECONDS"
-        ~doc:"Bound the TCP connect and each reply read (default: wait forever).")
+        ~doc:
+          "Bound the TCP connect and each reply read. Pass a non-positive \
+           value to wait forever.")
 
 let exec_stats_arg =
   Arg.(

@@ -3,28 +3,58 @@
    Usage:
      dune exec bin/hrdb_server.exe -- -p 7799            # in-memory
      dune exec bin/hrdb_server.exe -- -p 7799 -d ./mydb  # durable
+     dune exec bin/hrdb_server.exe -- -p 7799 --router --shard-map map.txt
 
    Protocol (see lib/server/server.mli): length-framed HRQL scripts.
    A quick manual client:
-     printf 'EXEC 16\nSHOW RELATIONS;' | nc 127.0.0.1 7799 *)
+     printf 'EXEC 16\nSHOW RELATIONS;' | nc 127.0.0.1 7799
+
+   Router mode (see docs/SHARDING.md) stores nothing locally: it routes
+   every mutation to the backend shards named by the shard map and
+   evaluates queries scatter-gather over them. *)
 
 module Server = Hr_server.Server
+module Router = Hr_shard.Router
 
-let main port dir group_commit_window max_batch no_fsync reader_domains =
-  let server =
-    match dir with
-    | Some dir ->
-      Server.create_durable ~port ~dir ~group_commit_window ~max_batch ~reader_domains
-        ~fsync:(not no_fsync) ()
-    | None -> Server.create_memory ~port ~group_commit_window ~max_batch ~reader_domains ()
-  in
-  Printf.printf "hrdb_server listening on 127.0.0.1:%d%s%s%s\n%!" (Server.port server)
-    (match dir with Some d -> Printf.sprintf " (durable: %s)" d | None -> " (in-memory)")
-    (if no_fsync then " [no-fsync: commits are NOT crash-durable]" else "")
-    (if reader_domains > 0 then
-       Printf.sprintf " [%d reader domain(s), snapshot-isolated reads]" reader_domains
-     else "");
-  Server.serve_forever server
+let run_router port shard_map shard_timeout =
+  match Hr_check.Shard_map.load shard_map with
+  | Error msg ->
+    Printf.eprintf "hrdb_server: cannot load shard map %s: %s\n%!" shard_map msg;
+    exit 2
+  | Ok map ->
+    let router = Router.create ~port ~map ~timeout:shard_timeout () in
+    Printf.printf
+      "hrdb_server routing on 127.0.0.1:%d over %d shard(s) (map: %s)\n%!"
+      (Router.port router)
+      (List.length (Hr_check.Shard_map.ids map))
+      shard_map;
+    Router.serve_forever router
+
+let main port dir group_commit_window max_batch no_fsync reader_domains router
+    shard_map shard_timeout =
+  match (router, shard_map) with
+  | true, None ->
+    Printf.eprintf "hrdb_server: --router requires --shard-map FILE\n%!";
+    exit 2
+  | true, Some shard_map -> run_router port shard_map shard_timeout
+  | false, Some _ ->
+    Printf.eprintf "hrdb_server: --shard-map only makes sense with --router\n%!";
+    exit 2
+  | false, None ->
+    let server =
+      match dir with
+      | Some dir ->
+        Server.create_durable ~port ~dir ~group_commit_window ~max_batch ~reader_domains
+          ~fsync:(not no_fsync) ()
+      | None -> Server.create_memory ~port ~group_commit_window ~max_batch ~reader_domains ()
+    in
+    Printf.printf "hrdb_server listening on 127.0.0.1:%d%s%s%s\n%!" (Server.port server)
+      (match dir with Some d -> Printf.sprintf " (durable: %s)" d | None -> " (in-memory)")
+      (if no_fsync then " [no-fsync: commits are NOT crash-durable]" else "")
+      (if reader_domains > 0 then
+         Printf.sprintf " [%d reader domain(s), snapshot-isolated reads]" reader_domains
+       else "");
+    Server.serve_forever server
 
 open Cmdliner
 
@@ -76,12 +106,41 @@ let reader_domains_arg =
            not-yet-durable state. 0 (the default) keeps the fully \
            single-threaded loop.")
 
+let router_arg =
+  Arg.(
+    value & flag
+    & info [ "router" ]
+        ~doc:
+          "Router mode: store nothing locally; route mutations to the backend \
+           shards declared in $(b,--shard-map) by hierarchy subtree, replicate \
+           cross-subtree tuples to every covered shard, and evaluate queries \
+           scatter-gather. See docs/SHARDING.md.")
+
+let shard_map_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "shard-map" ] ~docv:"FILE"
+        ~doc:
+          "The shard map (format in docs/SHARDING.md): shard endpoints, \
+           subtree-root assignments and the default shard. Required with \
+           $(b,--router); the same file drives $(b,hrdb fsck --against).")
+
+let shard_timeout_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "shard-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Router mode: per-shard connect and per-frame read deadline. A shard \
+           that misses it is marked down and answered around — the router \
+           never blocks indefinitely on a dead backend.")
+
 let cmd =
   let doc = "TCP server for the hierarchical relational model" in
   Cmd.v
     (Cmd.info "hrdb_server" ~version:"1.0.0" ~doc)
     Term.(
       const main $ port_arg $ dir_arg $ window_arg $ max_batch_arg $ no_fsync_arg
-      $ reader_domains_arg)
+      $ reader_domains_arg $ router_arg $ shard_map_arg $ shard_timeout_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -271,6 +271,18 @@ let all =
       "SELECT * FROM r JOIN r;"
       "RENAME one side's attributes (making the intent explicit), and \
        restrict each side before joining.";
+    p "P305" "unrouted scan under sharding"
+      "The query selects a relation, but never on its first attribute — \
+       the sharding key. A sharded router (docs/SHARDING.md) can restrict \
+       its scatter only when the plan selects on the first attribute, so \
+       this query fans out to every shard. Advisory, and meaningless on \
+       single-node deployments."
+      "CREATE DOMAIN animal; CREATE DOMAIN place;\n\
+       CREATE INSTANCE rex OF animal; CREATE INSTANCE zoo OF place;\n\
+       CREATE RELATION lives (who: animal, where_at: place);\n\
+       SELECT * FROM lives WHERE where_at = zoo;"
+      "Select on the first attribute too when possible, or order the \
+       schema so the most-selected attribute comes first.";
     (* ---- fsck findings (docs/FSCK.md) -------------------------------- *)
     fc "F000" "internal fsck error"
       "A check raised; never expected." "Please report the directory layout that triggers it.";
@@ -316,6 +328,30 @@ let all =
     fw "F018" "ambiguity constraint violated"
       "A stored relation has an item with incomparable opposite-sign binders."
       "Add a preference edge or a disambiguating row, then re-store.";
+    fc "F019" "published_lsn exceeds the durable head"
+      "meta records a published catalog version beyond what the WAL covers: \
+       visibility outran durability."
+      "Recover from the WAL head; investigate how the watermark advanced.";
+    fc "F020" "misplaced tuple"
+      "A stored tuple's first coordinate routes to other shard(s) under the \
+       shard map; routed reads that restrict their scatter would miss it."
+      "Re-insert the tuple through the router, then delete the stray copy.";
+    fc "F021" "cross-subtree replica missing or sign-flipped"
+      "A tuple whose cover spans several shards is absent, or stored with \
+       the opposite sign, on a covered shard."
+      "Re-apply the tuple on the lagging shard (a crash window between \
+       per-shard commits can leave this behind).";
+    fc "F022" "shard map does not load"
+      "The --against file looks like a shard map but does not parse."
+      "Fix the map (format in docs/SHARDING.md).";
+    fc "F023" "shard directory unavailable"
+      "A shard's data directory is missing, unreadable, or does not \
+       materialize (warning when the map simply lists none)."
+      "Point the map's shard line at the shard's data directory.";
+    fc "F024" "shards disagree on DDL"
+      "Hierarchies or relation schemas differ across shards; the router \
+       replicates every DDL statement, so a shard missed one."
+      "Replay the missing DDL on the lagging shard, or rebuild it.";
   ]
 
 let find code =

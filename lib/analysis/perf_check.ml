@@ -1,4 +1,4 @@
-(** Performance lints P300–P304.
+(** Performance lints P300–P305.
 
     Each check prices the statement's (optimized) query plans with
     {!Cost_model} over the simulated catalog and flags shapes the cost
@@ -32,10 +32,64 @@ let rec has_selection (n : Cost_model.node) =
 (* P302 only fires on intermediates big enough to matter. *)
 let reorder_min_rows = 4.0
 
+(* P305: a sharded router restricts a query's scatter to the cover of
+   the selected subtree only when the plan selects a relation on its
+   {e first} attribute — the sharding key (docs/SHARDING.md). A query
+   that selects the relation on other attributes alone still fans out
+   to every shard, which usually surprises: the user restricted the
+   query, just not on the routable coordinate. Bare unselected scans
+   are not flagged (nothing suggests a restriction was intended). *)
+let check_routing ~emit src expr =
+  let first_attr name =
+    match src.Cost_model.find name with
+    | None -> None
+    | Some { Cost_model.rel; _ } ->
+      let schema = Hierel.Relation.schema rel in
+      if Hierel.Schema.arity schema = 0 then None
+      else
+        Some
+          (Hr_util.Symbol.name
+             (Hierel.Schema.attrs schema).(0).Hierel.Schema.name)
+  in
+  let rec walk sels (e : Ast.query_expr) =
+    match e.Ast.expr with
+    | Ast.Rel name -> (
+      match first_attr name with
+      | Some first when sels <> [] && not (List.mem first sels) ->
+        emit
+          (Diagnostic.perff ~code:"P305" e.Ast.eloc
+             ~related:
+               [
+                 Printf.sprintf
+                   "%s is routed by its first attribute %s; selections on [%s] \
+                    cannot restrict the scatter"
+                   name first
+                   (String.concat ", " (List.rev sels));
+               ]
+             "unrouted scan: under a sharded deployment this query fans out \
+              to every shard because nothing selects %S on its sharding key"
+             name)
+      | _ -> ())
+    | Ast.Select (inner, attr, _) -> walk (attr :: sels) inner
+    | Ast.Project (inner, _)
+    | Ast.Rename (inner, _, _)
+    | Ast.Consolidated inner
+    | Ast.Explicated (inner, _) ->
+      walk sels inner
+    | Ast.Join (a, b)
+    | Ast.Union (a, b)
+    | Ast.Intersect (a, b)
+    | Ast.Except (a, b) ->
+      walk sels a;
+      walk sels b
+  in
+  walk [] expr
+
 let check_expr ~emit src expr =
   match Cost_model.plan src expr with
   | Error _ -> () (* unknown relation: E001 already reported *)
-  | Ok (_, root) ->
+  | Ok (opt, root) ->
+    check_routing ~emit src opt;
     let open Cost_model in
     let seen_rederive = Hashtbl.create 8 in
     let counts = Hashtbl.create 8 in

@@ -471,6 +471,192 @@ let check_divergence acc a b =
               "relation %s: flattened extensions differ at LSN %d" n at)
         ra
 
+(* ---- shard-map mode (F020–F024) -------------------------------------- *)
+
+(* [--against] pointed at a shard map instead of a peer directory: verify
+   a sharded deployment offline. Every shard listing a data directory is
+   inspected with the ordinary F00x battery, then the placement
+   invariants the router maintains online are re-checked from first
+   principles:
+
+   - F024: the shards must agree on all DDL (hierarchies and relation
+     schemas) — the router replicates every DDL statement to every
+     shard, so a disagreement means a shard missed one.
+   - F020: every stored tuple must lie on a shard in the cover of its
+     first coordinate (a misplaced tuple would be invisible to routed
+     reads that restrict their scatter to the cover).
+   - F021: a tuple whose cover names several shards (a cross-subtree
+     generalization) must be present with the same sign on every
+     covered shard that has a directory — a missing or opposite-signed
+     replica is cross-shard divergence.
+
+   Node ids are catalog-local, so tuples are compared across shards by
+   node label, exactly like the peer-divergence checks above. *)
+
+let trim_dir d =
+  let n = String.length d in
+  let rec last i = if i > 0 && d.[i - 1] = '/' then last (i - 1) else i in
+  let k = last n in
+  if k = n then d else String.sub d 0 k
+
+let ddl_signature cat =
+  let hs =
+    Catalog.hierarchies cat
+    |> List.map (fun h ->
+           (Hr_util.Symbol.name (Hierarchy.domain h), rendered_hierarchy h))
+    |> List.sort compare
+  in
+  let rs =
+    Catalog.relations cat
+    |> List.map (fun r -> (Relation.name r, Schema.names (Relation.schema r)))
+    |> List.sort compare
+  in
+  (hs, rs)
+
+(* A tuple's coordinates as labels in its own catalog — the
+   process-independent identity used to find its replica on a peer. *)
+let tuple_labels schema (t : Relation.tuple) =
+  List.init (Schema.arity schema) (fun i ->
+      Hierarchy.node_label (Schema.hierarchy schema i) (Item.coord t.Relation.item i))
+
+let tuple_string schema (t : Relation.tuple) =
+  Printf.sprintf "%s(%s)"
+    (match t.Relation.sign with Types.Pos -> "+" | Types.Neg -> "-")
+    (String.concat ", " (tuple_labels schema t))
+
+(* The replica of [t] on a peer shard, found by label. [None] means a
+   label does not resolve there (hierarchy divergence — F024's
+   business); [Some sign] is the sign the peer stores, if any. *)
+let find_on_peer peer_rel labels =
+  let schema = Relation.schema peer_rel in
+  let coords =
+    List.mapi (fun i l -> Hierarchy.find (Schema.hierarchy schema i) l) labels
+  in
+  if List.exists Option.is_none coords then None
+  else
+    let coords = Array.of_list (List.map Option.get coords) in
+    Some
+      (List.find_map
+         (fun (p : Relation.tuple) ->
+           if Item.coords p.Relation.item = coords then Some p.Relation.sign
+           else None)
+         (Relation.tuples peer_rel))
+
+let check_sharded acc ~dir ~primary map_path =
+  match Shard_map.load map_path with
+  | Error msg ->
+    emit acc Critical "F022" map_path "shard map does not load: %s" msg
+  | Ok map ->
+    let states =
+      List.filter_map
+        (fun (s : Shard_map.shard) ->
+          match s.Shard_map.dir with
+          | None ->
+            emit acc Warning "F023" map_path
+              "shard %d (%s:%d) declares no data directory; its placement \
+               cannot be verified offline"
+              s.Shard_map.id s.Shard_map.host s.Shard_map.port;
+            None
+          | Some sdir ->
+            let st =
+              if trim_dir sdir = trim_dir dir then primary else inspect acc sdir
+            in
+            let materialized =
+              match st with Some { s_cat = Some cat; _ } -> Some cat | _ -> None
+            in
+            (match materialized with
+            | None ->
+              (* [inspect] already reported why (F001/F003/F010/...);
+                 this finding ties the failure back to the map. *)
+              emit acc Critical "F023" sdir
+                "shard %d's directory cannot be materialized; its placement \
+                 cannot be verified"
+                s.Shard_map.id
+            | Some _ -> ());
+            Option.map (fun cat -> (s, cat)) materialized)
+        map.Shard_map.shards
+    in
+    (* F024: all materialized shards must agree on DDL. *)
+    (match states with
+    | [] -> ()
+    | ((s0 : Shard_map.shard), c0) :: rest ->
+      let sig0 = ddl_signature c0 in
+      List.iter
+        (fun ((s : Shard_map.shard), c) ->
+          if ddl_signature c <> sig0 then
+            emit acc Critical "F024"
+              (Printf.sprintf "shard %d vs shard %d" s0.Shard_map.id s.Shard_map.id)
+              "shards disagree on DDL (hierarchies or relation schemas); the \
+               router replicates every DDL statement, so a shard missed one")
+        rest);
+    (* F020 + F021 per stored tuple. *)
+    let reported = Hashtbl.create 16 in
+    List.iter
+      (fun ((s : Shard_map.shard), cat) ->
+        List.iter
+          (fun rel ->
+            let schema = Relation.schema rel in
+            if Schema.arity schema > 0 then
+              let h = Schema.hierarchy schema 0 in
+              let where =
+                Printf.sprintf "shard %d (%s): relation %s" s.Shard_map.id
+                  (Option.value s.Shard_map.dir ~default:"?")
+                  (Relation.name rel)
+              in
+              List.iter
+                (fun (t : Relation.tuple) ->
+                  let cover = Shard_map.cover map h (Item.coord t.Relation.item 0) in
+                  if not (List.mem s.Shard_map.id cover) then
+                    emit acc Critical "F020" where
+                      "misplaced tuple %s: its first coordinate routes to \
+                       shard(s) [%s], not here"
+                      (tuple_string schema t)
+                      (String.concat ", " (List.map string_of_int cover))
+                  else
+                    let labels = tuple_labels schema t in
+                    List.iter
+                      (fun peer_id ->
+                        if peer_id <> s.Shard_map.id then
+                          match
+                            List.find_opt
+                              (fun ((p : Shard_map.shard), _) ->
+                                p.Shard_map.id = peer_id)
+                              states
+                          with
+                          | None -> () (* no directory: F023 already said so *)
+                          | Some (peer, peer_cat) -> (
+                            (* sign-free key: a +/- disagreement would
+                               otherwise be reported once from each side *)
+                            let key =
+                              ( Relation.name rel,
+                                labels,
+                                min s.Shard_map.id peer_id,
+                                max s.Shard_map.id peer_id )
+                            in
+                            if not (Hashtbl.mem reported key) then begin
+                              Hashtbl.add reported key ();
+                              match Catalog.find_relation peer_cat (Relation.name rel) with
+                              | None -> () (* relation set divergence: F024 *)
+                              | Some peer_rel -> (
+                                match find_on_peer peer_rel labels with
+                                | None -> () (* label unresolvable: F024 *)
+                                | Some None ->
+                                  emit acc Critical "F021" where
+                                    "cross-subtree tuple %s covers shard %d but \
+                                     is absent there"
+                                    (tuple_string schema t) peer.Shard_map.id
+                                | Some (Some sign) ->
+                                  if sign <> t.Relation.sign then
+                                    emit acc Critical "F021" where
+                                      "cross-subtree tuple %s has the opposite \
+                                       sign on shard %d"
+                                      (tuple_string schema t) peer.Shard_map.id)
+                            end))
+                      cover)
+                (Relation.tuples rel))
+          (Catalog.relations cat))
+      states
+
 (* ---- driver ---------------------------------------------------------- *)
 
 let run ?against dir =
@@ -485,6 +671,10 @@ let run ?against dir =
   in
   (match against with
   | None -> ()
+  | Some peer when Shard_map.looks_like_map peer -> (
+    try check_sharded acc ~dir ~primary:st peer
+    with e ->
+      emit acc Critical "F000" peer "internal error: %s" (Printexc.to_string e))
   | Some peer -> (
     try
       match (st, inspect acc peer) with

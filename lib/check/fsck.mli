@@ -26,6 +26,14 @@
     - optionally, a peer directory (primary vs replica) materializes to
       the same flattened state at the greatest common LSN.
 
+    When [--against] names a {!Shard_map} file instead of a directory,
+    the run verifies a sharded deployment instead (codes F020–F024):
+    every shard directory listed in the map passes the battery above,
+    all shards agree on DDL, every stored tuple lies on a shard in the
+    cover of its first coordinate, and cross-subtree tuples are
+    replicated with consistent signs on every covered shard
+    (docs/SHARDING.md).
+
     Finding codes are stable (CI greps them); the catalog lives in
     [docs/FSCK.md]. *)
 
@@ -52,7 +60,9 @@ type report = {
 
 val run : ?against:string -> string -> report
 (** Verifies [dir]; with [against], also verifies the peer directory and
-    cross-checks the two for divergence at their greatest common LSN.
+    cross-checks the two for divergence at their greatest common LSN —
+    or, when [against] is a regular file, loads it as a {!Shard_map}
+    and verifies the sharded deployment it describes.
     Never raises — unexpected exceptions become an [F000] finding.
     Counted in the [fsck.*] metrics (docs/OBSERVABILITY.md). *)
 

@@ -1,0 +1,133 @@
+module Hierarchy = Hr_hierarchy.Hierarchy
+
+type shard = { id : int; host : string; port : int; dir : string option }
+type t = { shards : shard list; subtrees : (string * int) list; default : int }
+
+(* ---- parsing --------------------------------------------------------- *)
+
+exception Bad of string
+
+let bad fmt = Format.kasprintf (fun m -> raise (Bad m)) fmt
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 -> n
+  | _ -> bad "malformed %s %S" what s
+
+let parse_endpoint s =
+  match String.rindex_opt s ':' with
+  | None -> bad "malformed endpoint %S (want host:port)" s
+  | Some i ->
+    let host = String.sub s 0 i in
+    let port = parse_int "port" (String.sub s (i + 1) (String.length s - i - 1)) in
+    if host = "" then bad "malformed endpoint %S (empty host)" s;
+    (host, port)
+
+let parse text =
+  let shards = ref [] and subtrees = ref [] and default = ref None in
+  let declared id = List.exists (fun s -> s.id = id) !shards in
+  let directive lineno line =
+    match words line with
+    | [] -> ()
+    | "shard" :: id :: endpoint :: rest ->
+      let id = parse_int "shard id" id in
+      if declared id then bad "line %d: duplicate shard %d" lineno id;
+      let host, port = parse_endpoint endpoint in
+      let dir =
+        match rest with
+        | [] -> None
+        | [ d ] -> Some d
+        | _ -> bad "line %d: trailing words after shard directive" lineno
+      in
+      shards := { id; host; port; dir } :: !shards
+    | [ "subtree"; name; id ] ->
+      let id = parse_int "shard id" id in
+      if not (declared id) then
+        bad "line %d: subtree %s names undeclared shard %d" lineno name id;
+      if List.mem_assoc name !subtrees then
+        bad "line %d: duplicate subtree %s" lineno name;
+      subtrees := (name, id) :: !subtrees
+    | [ "default"; id ] ->
+      let id = parse_int "shard id" id in
+      if not (declared id) then bad "line %d: default names undeclared shard %d" lineno id;
+      if !default <> None then bad "line %d: duplicate default directive" lineno;
+      default := Some id
+    | w :: _ -> bad "line %d: unknown directive %S" lineno w
+  in
+  match
+    String.split_on_char '\n' text
+    |> List.iteri (fun i line -> directive (i + 1) (strip_comment line))
+  with
+  | exception Bad m -> Error m
+  | () ->
+    let shards = List.sort (fun a b -> compare a.id b.id) !shards in
+    if shards = [] then Error "shard map declares no shards"
+    else
+      let default =
+        match !default with Some d -> d | None -> (List.hd shards).id
+      in
+      Ok { shards; subtrees = List.rev !subtrees; default }
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error m
+  | text -> parse text
+
+let render t =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "shard %d %s:%d%s\n" s.id s.host s.port
+           (match s.dir with None -> "" | Some d -> " " ^ d)))
+    t.shards;
+  List.iter
+    (fun (name, id) -> Buffer.add_string b (Printf.sprintf "subtree %s %d\n" name id))
+    t.subtrees;
+  Buffer.add_string b (Printf.sprintf "default %d\n" t.default);
+  Buffer.contents b
+
+(* ---- lookups --------------------------------------------------------- *)
+
+let shard t id = List.find_opt (fun s -> s.id = id) t.shards
+let ids t = List.map (fun s -> s.id) t.shards
+
+(* The routing rule. A declared root that merely intersects [n] may hold
+   conflicting or inherited facts relevant to [n], so its shard is
+   covered; only a root that subsumes [n] outright makes [n] "at home"
+   somewhere, hence the default shard steps in exactly when none does.
+   This keeps both invariants the merge relies on: every tuple relevant
+   to a node is on some covered shard, and any two conflicting tuples
+   share at least one covered shard (their first coordinates intersect,
+   so every root subsuming one intersects the other). *)
+let cover t h n =
+  let covered = ref [] and subsumed = ref false in
+  List.iter
+    (fun (name, id) ->
+      match Hierarchy.find h name with
+      | None -> ()
+      | Some r ->
+        if Hierarchy.intersects h r n && not (List.mem id !covered) then
+          covered := id :: !covered;
+        if Hierarchy.subsumes h r n then subsumed := true)
+    t.subtrees;
+  if (not !subsumed) && not (List.mem t.default !covered) then
+    covered := t.default :: !covered;
+  List.sort compare !covered
+
+let looks_like_map path = Sys.file_exists path && not (Sys.is_directory path)

@@ -1,0 +1,66 @@
+(** Durable shard maps: which backend shard owns which hierarchy subtree.
+
+    A shard map is a small text file shared by the router
+    ([hrdb_server --router --shard-map FILE]) and the offline verifier
+    ([hrdb fsck DIR --against FILE]). It lists the backend shards and
+    assigns each named subtree root to one of them; tuples are routed by
+    the subtree(s) their first coordinate falls under (see
+    [docs/SHARDING.md]).
+
+    Format, one directive per line ([#] starts a comment):
+
+    {v
+    shard <id> <host>:<port> [<data-dir>]
+    subtree <node-name> <shard-id>
+    default <shard-id>
+    v}
+
+    [shard] declares a backend. The optional data directory is only used
+    by fsck (the router talks to shards over the wire); omitting it
+    skips that shard's offline placement checks. [subtree] pins the
+    subtree rooted at [<node-name>] (a class in some hierarchy) to a
+    shard. [default] names the shard that owns every node no declared
+    subtree root subsumes; it defaults to the lowest declared shard id. *)
+
+type shard = {
+  id : int;
+  host : string;
+  port : int;
+  dir : string option;  (** data directory, for offline fsck *)
+}
+
+type t = {
+  shards : shard list;  (** sorted by id, ids unique *)
+  subtrees : (string * int) list;  (** subtree root name -> owning shard *)
+  default : int;  (** owner of nodes under no declared subtree *)
+}
+
+val parse : string -> (t, string) result
+(** Parses the text of a shard map. [Error] describes the first problem
+    (syntax, duplicate shard id, directive referencing an undeclared
+    shard, no shards at all). *)
+
+val load : string -> (t, string) result
+(** [parse] over a file's contents; [Error] on unreadable files. *)
+
+val render : t -> string
+(** Canonical text for a map ([parse (render t)] round-trips). *)
+
+val shard : t -> int -> shard option
+val ids : t -> int list
+(** Declared shard ids, ascending. *)
+
+val cover :
+  t -> Hr_hierarchy.Hierarchy.t -> Hr_hierarchy.Hierarchy.node -> int list
+(** [cover map h n] is the ascending list of shards a tuple whose first
+    coordinate is [n] must live on: every shard whose declared subtree
+    root (resolved by name in [h]; names absent from [h] are ignored)
+    intersects [n], plus the default shard when no declared root
+    subsumes [n]. Never empty. A singleton means [n] is local to one
+    shard (the paper's exception locality); several shards mean the
+    tuple is a cross-subtree generalization and is replicated. *)
+
+val looks_like_map : string -> bool
+(** Whether a path names a regular file (as opposed to a database
+    directory) — how [hrdb fsck --against] decides between peer-replica
+    mode and shard-map mode. *)

@@ -7,6 +7,11 @@ let repl_snapshot = "REPL_SNAPSHOT"
 let repl_record = "REPL_RECORD"
 let repl_ack = "REPL_ACK"
 
+let shard_pull = "SHARD_PULL"
+let shard_part = "SHARD_PART"
+let shard_exec = "SHARD_EXEC"
+let shard_ack = "SHARD_ACK"
+
 (* ---- blocking I/O ----------------------------------------------------- *)
 
 let write_all fd s =

@@ -47,6 +47,34 @@ val repl_ack : string
 (** [REPL_ACK] (replica → primary): payload is the highest durably
     applied LSN as a decimal string. *)
 
+(** {1 Sharding frame tags}
+
+    The router ↔ shard protocol (see [docs/SHARDING.md]). Replies carry
+    the answering shard's head LSN so the router can tag per-shard
+    progress ([shard.<id>.lsn] gauges) and fsck can correlate. *)
+
+val shard_pull : string
+(** [SHARD_PULL] (router → shard): payload is one relation name; the
+    shard answers {!shard_part} with that relation's stored tuples. *)
+
+val shard_part : string
+(** [SHARD_PART] (shard → router): payload is
+    ["<lsn>\n<tuple-lines>"] — the shard's head LSN, then one line per
+    stored tuple: [+] or [-], a space, and the comma-joined decimal
+    node ids of the item's coordinates. Sent only once every statement
+    the shard acknowledged is durable. An unknown relation answers
+    [ERR]. *)
+
+val shard_exec : string
+(** [SHARD_EXEC] (router → shard): payload is an HRQL script to apply;
+    the shard answers {!shard_ack} (or [ERR] with the evaluator's
+    message on failure). *)
+
+val shard_ack : string
+(** [SHARD_ACK] (shard → router): payload is ["<lsn>\n<reply>"] — the
+    shard's head LSN after applying, then the evaluator's reply lines.
+    Like {!shard_part}, withheld until the covering fsync. *)
+
 (** {1 Blocking I/O} *)
 
 val frame : string -> string -> string

@@ -185,6 +185,11 @@ let catalog t =
   | Memory cat -> cat
   | Durable db -> Hr_storage.Db.catalog db
 
+let head_lsn t =
+  match t.backend with
+  | Memory _ -> 0
+  | Durable db -> Hr_storage.Db.lsn db
+
 let lint_catalog cat script = Hr_analysis.Lint.analyze_script ~catalog:cat script
 let lint t script = lint_catalog (catalog t) script
 
@@ -469,6 +474,46 @@ let handle t conn tag payload =
            end
            else lsn);
         ship t db conn))
+  | tag when tag = Wire.shard_pull -> (
+    (* Router gather: the stored extension of one relation as compact
+       tuple lines. Runs inline against the live catalog so a router
+       that just routed a write to this shard reads it back; the held
+       mechanics below delay the reply past the covering fsync, so the
+       router never merges state a crash could still lose. *)
+    let name = String.trim payload in
+    match Catalog.find_relation (catalog t) name with
+    | None ->
+      Hr_obs.Metrics.incr m_errors;
+      send_conn t conn "ERR" (Printf.sprintf "unknown relation %s" name)
+    | Some rel ->
+      let b = Buffer.create 256 in
+      List.iter
+        (fun { Relation.item; sign } ->
+          Buffer.add_char b (match sign with Types.Pos -> '+' | Types.Neg -> '-');
+          Buffer.add_char b ' ';
+          Array.iteri
+            (fun i c ->
+              if i > 0 then Buffer.add_char b ',';
+              Buffer.add_string b (string_of_int c))
+            (Item.coords item);
+          Buffer.add_char b '\n')
+        (Relation.tuples rel);
+      send_conn t conn Wire.shard_part
+        (Wire.lsn_prefixed (head_lsn t) (Buffer.contents b)))
+  | tag when tag = Wire.shard_exec -> (
+    (* Router write path: like EXEC but the ack carries this shard's
+       head LSN so the router can track per-shard progress. Always
+       inline — the payload is (almost) always mutating. *)
+    match (if t.read_only then Hr_storage.Db.script_mutation payload else None) with
+    | Some src ->
+      send_conn t conn "ERR"
+        (Printf.sprintf "read-only replica: refusing mutating statement %S (execute it on the primary)" src)
+    | None -> (
+      match run_script t payload with
+      | Ok outputs ->
+        send_conn t conn Wire.shard_ack
+          (Wire.lsn_prefixed (head_lsn t) (String.concat "\n" outputs))
+      | Error msg -> send_conn t conn "ERR" msg))
   | tag when tag = Wire.repl_ack -> (
     match Wire.parse_lsn payload with
     | Error msg ->

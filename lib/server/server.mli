@@ -34,6 +34,17 @@
     read-only and runs inside the event loop, so it can never race a
     checkpoint. In-memory backends answer [ERR].
 
+    {b Sharding} (protocol in [docs/SHARDING.md]): every server also
+    answers the two backend-shard frames a router
+    ({!Hr_shard.Router} / [hrdb_server --router]) fans out.
+    [SHARD_PULL] carries one relation name and answers [SHARD_PART]
+    with the relation's stored tuple lines, LSN-prefixed with this
+    shard's head; [SHARD_EXEC] carries an HRQL script and answers
+    [SHARD_ACK] (LSN-prefixed evaluator reply) or [ERR]. Both run
+    inline on the event loop against the live catalog, and their
+    replies obey the group-commit hold: a router never observes state
+    that is not yet durable on the shard.
+
     {b Replication} (durable backends only; protocol and failure matrix
     in [docs/REPLICATION.md]): a [REPL_SUBSCRIBE] frame carrying the
     subscriber's last applied LSN turns its connection into a

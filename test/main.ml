@@ -41,6 +41,7 @@ let () =
       ("fsck", Test_fsck.suite);
       ("server", Test_server.suite);
       ("repl", Test_repl.suite);
+      ("shard", Test_shard.suite);
       (* must stay last: mc spawns OCaml 5 domains, and Unix.fork — which
          the server/repl suites use — is forbidden for the rest of the
          process once any domain has ever been created *)

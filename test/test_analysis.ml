@@ -299,11 +299,12 @@ let test_golden () =
   Alcotest.(check string) "full report matches" expected actual;
   let all_codes = codes script in
   Alcotest.(check (list string))
-    "all twenty-seven codes, in order"
+    "all twenty-eight codes, in order"
     [
       "E001"; "E002"; "E003"; "E004"; "E005"; "E006"; "E007"; "E008"; "E009";
       "E010"; "W101"; "W102"; "W103"; "W104"; "W105"; "W106"; "W107"; "W108";
       "W109"; "H201"; "H202"; "H203"; "P300"; "P301"; "P302"; "P303"; "P304";
+      "P305";
     ]
     all_codes
 

@@ -245,7 +245,7 @@ let test_estimate_over_wire () =
   Fun.protect
     ~finally:(fun () -> Server.close server)
     (fun () ->
-      let conn = Server.Client.connect ~port:(Server.port server) () in
+      let conn = Server.Client.connect ~timeout:10.0 ~port:(Server.port server) () in
       (match
          request_via_poll server conn "EXEC"
            "CREATE DOMAIN d; CREATE CLASS c UNDER d;\n\

@@ -28,7 +28,7 @@ let wait_child pid = ignore (Unix.waitpid [] pid)
 
 let test_round_trip () =
   let port, pid = spawn_server 1 in
-  let conn = Server.Client.connect ~port () in
+  let conn = Server.Client.connect ~timeout:10.0 ~port () in
   (match Server.Client.exec conn "CREATE DOMAIN d;" with
   | Ok out -> Alcotest.(check string) "created" "domain d created" out
   | Error e -> Alcotest.failf "exec: %s" e);
@@ -43,7 +43,7 @@ let test_round_trip () =
 
 let test_errors_propagate () =
   let port, pid = spawn_server 1 in
-  let conn = Server.Client.connect ~port () in
+  let conn = Server.Client.connect ~timeout:10.0 ~port () in
   (match Server.Client.exec conn "SELECT * FROM nope;" with
   | Ok _ -> Alcotest.fail "expected error"
   | Error msg -> Alcotest.(check bool) "message" true (String.length msg > 0));
@@ -64,7 +64,7 @@ let test_durable_backend () =
       Sys.rmdir dir)
     (fun () ->
       let port, pid = spawn_server ~dir 1 in
-      let conn = Server.Client.connect ~port () in
+      let conn = Server.Client.connect ~timeout:10.0 ~port () in
       (match
          Server.Client.exec conn
            "CREATE DOMAIN d; CREATE INSTANCE x OF d; CREATE RELATION r (v: d); INSERT INTO r VALUES (+ x);"
@@ -87,7 +87,7 @@ let contains ~needle hay =
 
 let test_lint_over_the_wire () =
   let port, pid = spawn_server 1 in
-  let conn = Server.Client.connect ~port () in
+  let conn = Server.Client.connect ~timeout:10.0 ~port () in
   (match Server.Client.exec conn "CREATE DOMAIN d; CREATE INSTANCE x OF d; CREATE RELATION r (v: d); INSERT INTO r VALUES (+ x);" with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "setup: %s" e);
@@ -113,7 +113,7 @@ let test_lint_over_the_wire () =
 let test_fsck_over_the_wire () =
   (* in-memory backends refuse the frame *)
   let port, pid = spawn_server 1 in
-  let conn = Server.Client.connect ~port () in
+  let conn = Server.Client.connect ~timeout:10.0 ~port () in
   (match Server.Client.fsck conn with
   | Ok _ -> Alcotest.fail "memory backend should refuse FSCK"
   | Error msg ->
@@ -130,7 +130,7 @@ let test_fsck_over_the_wire () =
       Sys.rmdir dir)
     (fun () ->
       let port, pid = spawn_server ~dir 1 in
-      let conn = Server.Client.connect ~port () in
+      let conn = Server.Client.connect ~timeout:10.0 ~port () in
       (match Server.Client.exec conn "CREATE DOMAIN d; CREATE INSTANCE x OF d;" with
       | Ok _ -> ()
       | Error e -> Alcotest.failf "setup: %s" e);

@@ -1,0 +1,387 @@
+(* Sharding tests: the shard map's cover rule, and a real 3-shard
+   deployment — forked shard servers plus a forked router — checked for
+   routing determinism, cross-subtree replication fan-out, byte-identity
+   with a single-node server, degraded reads after a shard dies, and the
+   offline placement verifier ([hrdb fsck --against MAP], F020/F021). *)
+
+module Server = Hr_server.Server
+module Client = Server.Client
+module Router = Hr_shard.Router
+module Shard_map = Hr_check.Shard_map
+module Fsck = Hr_check.Fsck
+module Wire = Hr_frames.Wire
+module Hierarchy = Hr_hierarchy.Hierarchy
+module Eval = Hr_query.Eval
+open Hierel
+
+(* ---- shard map unit tests -------------------------------------------- *)
+
+let sample_map =
+  "# comment\n\
+   shard 0 127.0.0.1:7800 /tmp/s0\n\
+   shard 1 127.0.0.1:7801\n\
+   shard 2 127.0.0.1:7802 /tmp/s2\n\
+   subtree penguin 1\n\
+   subtree sparrow 2\n\
+   default 0\n"
+
+let test_map_parse () =
+  match Shard_map.parse sample_map with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok map ->
+    Alcotest.(check (list int)) "ids" [ 0; 1; 2 ] (Shard_map.ids map);
+    Alcotest.(check int) "default" 0 map.Shard_map.default;
+    Alcotest.(check (list (pair string int)))
+      "subtrees"
+      [ ("penguin", 1); ("sparrow", 2) ]
+      map.Shard_map.subtrees;
+    (match Shard_map.shard map 1 with
+    | Some s ->
+      Alcotest.(check int) "port" 7801 s.Shard_map.port;
+      Alcotest.(check bool) "no dir" true (s.Shard_map.dir = None)
+    | None -> Alcotest.fail "shard 1 missing");
+    (* render round-trips *)
+    (match Shard_map.parse (Shard_map.render map) with
+    | Ok map' ->
+      Alcotest.(check string) "round trip" (Shard_map.render map)
+        (Shard_map.render map')
+    | Error e -> Alcotest.failf "re-parse: %s" e)
+
+let test_map_rejects () =
+  let bad text = match Shard_map.parse text with Ok _ -> false | Error _ -> true in
+  Alcotest.(check bool) "no shards" true (bad "default 0\n");
+  Alcotest.(check bool) "dup id" true
+    (bad "shard 0 h:1\nshard 0 h:2\n");
+  Alcotest.(check bool) "undeclared subtree owner" true
+    (bad "shard 0 h:1\nsubtree x 9\n");
+  Alcotest.(check bool) "undeclared default" true (bad "shard 0 h:1\ndefault 9\n");
+  Alcotest.(check bool) "garbage" true (bad "shard zero h:1\n")
+
+let test_cover () =
+  let cat = Catalog.create () in
+  (match
+     Eval.run_script cat
+       "CREATE DOMAIN animal; CREATE CLASS bird UNDER animal;\n\
+        CREATE CLASS penguin UNDER bird; CREATE CLASS sparrow UNDER bird;\n\
+        CREATE INSTANCE tweety OF penguin; CREATE INSTANCE jack OF sparrow;\n\
+        CREATE INSTANCE rex OF animal;"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "seed: %s" e);
+  let h = Catalog.hierarchy cat "animal" in
+  let map =
+    match Shard_map.parse sample_map with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "map: %s" e
+  in
+  let cover name = Shard_map.cover map h (Hierarchy.find_exn h name) in
+  (* exception locality: subtree members live on exactly one shard *)
+  Alcotest.(check (list int)) "tweety" [ 1 ] (cover "tweety");
+  Alcotest.(check (list int)) "penguin" [ 1 ] (cover "penguin");
+  Alcotest.(check (list int)) "jack" [ 2 ] (cover "jack");
+  (* nothing subsumes rex: the default shard owns it *)
+  Alcotest.(check (list int)) "rex" [ 0 ] (cover "rex");
+  (* a cross-subtree generalization replicates everywhere it reaches *)
+  Alcotest.(check (list int)) "bird" [ 0; 1; 2 ] (cover "bird");
+  Alcotest.(check (list int)) "animal" [ 0; 1; 2 ] (cover "animal");
+  (* determinism *)
+  Alcotest.(check (list int)) "stable" (cover "bird") (cover "bird")
+
+(* ---- forked 3-shard deployment --------------------------------------- *)
+
+let spawn_server ?dir () =
+  let server =
+    match dir with
+    | Some dir -> Server.create_durable ~port:0 ~dir ()
+    | None -> Server.create_memory ~port:0 ()
+  in
+  let port = Server.port server in
+  match Unix.fork () with
+  | 0 ->
+    (try Server.serve_forever server with _ -> ());
+    Unix._exit 0
+  | pid -> (port, pid)
+
+let spawn_router map =
+  let router = Router.create ~port:0 ~timeout:5.0 ~map () in
+  let port = Router.port router in
+  match Unix.fork () with
+  | 0 ->
+    (try Router.serve_forever router with _ -> ());
+    Unix._exit 0
+  | pid -> (port, pid)
+
+let kill pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let temp_dir tag =
+  let d = Filename.temp_file ("hrshard_" ^ tag) "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+(* A 3-shard deployment over the penguin/sparrow split. Returns
+   (map, map_file, router port, shard ports, all pids, dirs). *)
+let deploy ?(durable = false) () =
+  let dirs =
+    if durable then List.map temp_dir [ "s0"; "s1"; "s2" ] else []
+  in
+  let shards =
+    if durable then List.map (fun d -> spawn_server ~dir:d ()) dirs
+    else List.init 3 (fun _ -> spawn_server ())
+  in
+  let ports = List.map fst shards in
+  let map_text =
+    String.concat "\n"
+      (List.concat
+         [
+           List.mapi
+             (fun i p ->
+               Printf.sprintf "shard %d 127.0.0.1:%d%s" i p
+                 (if durable then " " ^ List.nth dirs i else ""))
+             ports;
+           [ "subtree penguin 1"; "subtree sparrow 2"; "default 0"; "" ];
+         ])
+  in
+  let map =
+    match Shard_map.parse map_text with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "deploy map: %s" e
+  in
+  let map_file = Filename.temp_file "hrshard" ".map" in
+  let oc = open_out map_file in
+  output_string oc map_text;
+  close_out oc;
+  let rport, rpid = spawn_router map in
+  (map, map_file, rport, ports, rpid :: List.map snd shards, dirs)
+
+let ddl =
+  "CREATE DOMAIN animal; CREATE CLASS bird UNDER animal;\n\
+   CREATE CLASS penguin UNDER bird; CREATE CLASS sparrow UNDER bird;\n\
+   CREATE INSTANCE tweety OF penguin; CREATE INSTANCE opus OF penguin;\n\
+   CREATE INSTANCE jack OF sparrow; CREATE INSTANCE rex OF animal;\n\
+   CREATE RELATION flies (who: animal);"
+
+let exec_ok conn script =
+  match Client.exec conn script with
+  | Ok out -> out
+  | Error e -> Alcotest.failf "exec %S: %s" script e
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec find i =
+    i + n <= String.length haystack
+    && (String.sub haystack i n = needle || find (i + 1))
+  in
+  find 0
+
+(* The stored tuples of [rel] on one shard, via the router's own pull
+   frame: "<sign> <comma-joined node ids>" lines, sorted. *)
+let pull_tuples port rel =
+  let conn = Client.connect ~timeout:10.0 ~port () in
+  Fun.protect
+    ~finally:(fun () -> Client.close conn)
+    (fun () ->
+      Client.send conn Wire.shard_pull rel;
+      match Client.recv_any conn with
+      | Error e -> Alcotest.failf "pull %s: %s" rel e
+      | Ok (tag, payload) ->
+        Alcotest.(check string) "pull reply tag" Wire.shard_part tag;
+        let body =
+          match String.index_opt payload '\n' with
+          | Some i -> String.sub payload (i + 1) (String.length payload - i - 1)
+          | None -> Alcotest.failf "pull %s: no LSN prefix in %S" rel payload
+        in
+        String.split_on_char '\n' body
+        |> List.filter (fun l -> l <> "")
+        |> List.sort compare)
+
+let test_routing_and_fanout () =
+  let _, _, rport, ports, pids, _ = deploy () in
+  Fun.protect
+    ~finally:(fun () -> List.iter kill pids)
+    (fun () ->
+      let conn = Client.connect ~timeout:10.0 ~port:rport () in
+      ignore (exec_ok conn ddl);
+      ignore (exec_ok conn "INSERT INTO flies VALUES (+ tweety);");
+      ignore (exec_ok conn "INSERT INTO flies VALUES (+ jack);");
+      ignore (exec_ok conn "INSERT INTO flies VALUES (+ rex);");
+      ignore (exec_ok conn "INSERT INTO flies VALUES (- ALL bird);");
+      Client.close conn;
+      let t0, t1, t2 =
+        match List.map (fun p -> pull_tuples p "flies") ports with
+        | [ a; b; c ] -> (a, b, c)
+        | _ -> assert false
+      in
+      (* exception locality: each instance tuple is stored on exactly
+         the shard owning its subtree, nowhere else *)
+      Alcotest.(check int) "default shard: rex + replica" 2 (List.length t0);
+      Alcotest.(check int) "penguin shard: tweety + replica" 2 (List.length t1);
+      Alcotest.(check int) "sparrow shard: jack + replica" 2 (List.length t2);
+      (* the cross-subtree (- ALL bird) replicated to all three: its
+         line is the one common to every shard *)
+      let common =
+        List.filter (fun l -> List.mem l t1 && List.mem l t2) t0
+      in
+      Alcotest.(check int) "one replicated tuple" 1 (List.length common);
+      Alcotest.(check bool) "the replica is the negation" true
+        (String.length (List.hd common) > 0 && (List.hd common).[0] = '-'))
+
+(* Every statement answered by the router must be byte-identical to a
+   single-node server running the same script — including errors,
+   cross-subtree queries, and repartitioned LET/CONSOLIDATE results. *)
+let test_byte_identity () =
+  let _, _, rport, _, pids, _ = deploy () in
+  let sport, spid = spawn_server () in
+  Fun.protect
+    ~finally:(fun () -> List.iter kill (spid :: pids))
+    (fun () ->
+      let r = Client.connect ~timeout:10.0 ~port:rport () in
+      let s = Client.connect ~timeout:10.0 ~port:sport () in
+      let statements =
+        [
+          ddl;
+          "INSERT INTO flies VALUES (+ ALL bird), (+ rex);";
+          "INSERT INTO flies VALUES (- tweety);";
+          "SELECT * FROM flies;";
+          "SELECT * FROM flies WHERE who = tweety;";
+          "SELECT * FROM flies WHERE who = jack;";
+          "SELECT * FROM flies WHERE who = ALL bird;";
+          "ASK flies (tweety);";
+          "ASK flies (opus);";
+          "ASK flies (rex);";
+          "EXPLAIN flies (tweety);";
+          "CHECK flies;";
+          "SHOW RELATIONS;";
+          "SHOW HIERARCHY animal;";
+          "LET grounded = SELECT flies WHERE who = ALL penguin;";
+          "SELECT * FROM grounded;";
+          "CONSOLIDATE flies;";
+          "SELECT * FROM flies;";
+          "EXPLICATE grounded;";
+          "SELECT * FROM grounded;";
+          "DELETE FROM flies VALUES (rex);";
+          "SELECT * FROM flies WHERE who = rex;";
+          "DROP RELATION grounded;";
+          "SELECT * FROM nosuch;";
+          "INSERT INTO flies VALUES (+ nope);";
+          "EXPLAIN ESTIMATE flies;";
+        ]
+      in
+      List.iter
+        (fun stmt ->
+          let got = Client.exec r stmt in
+          let want = Client.exec s stmt in
+          match (got, want) with
+          | Ok g, Ok w ->
+            Alcotest.(check string) (Printf.sprintf "OK %S" stmt) w g
+          | Error g, Error w ->
+            Alcotest.(check string) (Printf.sprintf "ERR %S" stmt) w g
+          | Ok g, Error w ->
+            Alcotest.failf "%S: router Ok %S, single node Error %S" stmt g w
+          | Error g, Ok w ->
+            Alcotest.failf "%S: router Error %S, single node Ok %S" stmt g w)
+        statements;
+      (* EXPLAIN ANALYZE is the one deliberate departure: the router
+         appends its per-shard breakdown *)
+      (match Client.exec r "EXPLAIN ANALYZE flies;" with
+      | Ok out ->
+        Alcotest.(check bool) "per-shard breakdown" true
+          (contains out "per-shard breakdown")
+      | Error e -> Alcotest.failf "analyze: %s" e);
+      Client.close r;
+      Client.close s)
+
+let test_degraded_reads () =
+  let _, _, rport, _, pids, _ = deploy () in
+  Fun.protect
+    ~finally:(fun () -> List.iter kill pids)
+    (fun () ->
+      let conn = Client.connect ~timeout:10.0 ~port:rport () in
+      ignore (exec_ok conn ddl);
+      ignore (exec_ok conn "INSERT INTO flies VALUES (+ tweety), (+ jack);");
+      (* kill the sparrow shard (index 2 of [router; s0; s1; s2]) *)
+      kill (List.nth pids 3);
+      (* reads confined to live shards keep answering *)
+      Alcotest.(check bool) "penguin subtree still answers" true
+        (contains (exec_ok conn "SELECT * FROM flies WHERE who = tweety;")
+           "tweety");
+      (* reads that need the dead shard fail loudly, naming it *)
+      (match Client.exec conn "SELECT * FROM flies WHERE who = jack;" with
+      | Ok out -> Alcotest.failf "expected degraded error, got %S" out
+      | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "names the dead shard: %s" msg)
+          true
+          (contains msg "unreachable"));
+      (* and writes to the surviving subtree still commit *)
+      ignore (exec_ok conn "INSERT INTO flies VALUES (+ opus);");
+      Alcotest.(check string) "write after partial failure"
+        "+ (by (opus))"
+        (exec_ok conn "ASK flies (opus);");
+      Client.close conn)
+
+(* Seeded misplacement: fsck in shard-map mode must pass on the healthy
+   deployment and catch tuples planted on the wrong shard. *)
+let test_fsck_placement () =
+  let _, map_file, rport, ports, pids, dirs = deploy ~durable:true () in
+  Fun.protect
+    ~finally:(fun () -> List.iter kill pids)
+    (fun () ->
+      let conn = Client.connect ~timeout:10.0 ~port:rport () in
+      ignore (exec_ok conn ddl);
+      ignore (exec_ok conn "INSERT INTO flies VALUES (+ tweety), (+ jack), (+ rex);");
+      ignore (exec_ok conn "INSERT INTO flies VALUES (+ ALL bird);");
+      Client.close conn;
+      let codes report =
+        List.map (fun f -> f.Fsck.code) report.Fsck.findings
+        |> List.sort_uniq compare
+      in
+      (* healthy: no placement findings *)
+      let clean = Fsck.run ~against:map_file (List.hd dirs) in
+      Alcotest.(check (list string)) "healthy deployment is clean" []
+        (codes clean);
+      (* plant a misplaced tuple: jack (sparrow subtree, shard 2) stored
+         directly on shard 1, bypassing the router *)
+      let s1 = Client.connect ~timeout:10.0 ~port:(List.nth ports 1) () in
+      ignore (exec_ok s1 "INSERT INTO flies VALUES (+ jack);");
+      Client.close s1;
+      (* drop a replicated tuple on shard 0 only: the (+ ALL bird)
+         replica set is now incomplete *)
+      let s0 = Client.connect ~timeout:10.0 ~port:(List.hd ports) () in
+      ignore (exec_ok s0 "DELETE FROM flies VALUES (ALL bird);");
+      Client.close s0;
+      let report = Fsck.run ~against:map_file (List.hd dirs) in
+      let cs = codes report in
+      Alcotest.(check bool) "F020 misplacement caught" true
+        (List.mem "F020" cs);
+      Alcotest.(check bool) "F021 divergence caught" true (List.mem "F021" cs);
+      Alcotest.(check bool) "criticals" true (Fsck.has_critical report))
+
+let test_fsck_map_errors () =
+  let bad = Filename.temp_file "hrshard" ".map" in
+  let oc = open_out bad in
+  output_string oc "shard zero nonsense\n";
+  close_out oc;
+  let dir = temp_dir "fsck" in
+  let report = Fsck.run ~against:bad dir in
+  Alcotest.(check bool) "F022 on an unparsable map" true
+    (List.exists (fun f -> f.Fsck.code = "F022") report.Fsck.findings)
+
+let suite =
+  [
+    Alcotest.test_case "shard map parses and round-trips" `Quick test_map_parse;
+    Alcotest.test_case "shard map rejects malformed input" `Quick test_map_rejects;
+    Alcotest.test_case "cover rule: locality and replication" `Quick test_cover;
+    Alcotest.test_case "routing and cross-subtree fan-out" `Quick
+      test_routing_and_fanout;
+    Alcotest.test_case "scatter-gather is byte-identical to one node" `Quick
+      test_byte_identity;
+    Alcotest.test_case "degraded reads around a dead shard" `Quick
+      test_degraded_reads;
+    Alcotest.test_case "fsck --against map catches misplacement" `Quick
+      test_fsck_placement;
+    Alcotest.test_case "fsck --against rejects a bad map" `Quick
+      test_fsck_map_errors;
+  ]

@@ -248,7 +248,7 @@ let test_server_frames_registry () =
         (fun () ->
           let frames0 = Metrics.counter_value "server.frames_served" in
           let connections0 = Metrics.counter_value "server.connections" in
-          let conn = Server.Client.connect ~port:(Server.port server) () in
+          let conn = Server.Client.connect ~timeout:10.0 ~port:(Server.port server) () in
           let requests =
             [
               ("EXEC", "CREATE DOMAIN srvsoak;");
