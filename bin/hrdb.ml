@@ -17,9 +17,11 @@ module Lint = Hr_analysis.Lint
 module Diagnostic = Hr_analysis.Diagnostic
 open Hierel
 
-(* Installs the EXPLAIN ESTIMATE hook into Hr_query.Eval — the module
-   must be referenced for its initializer to be linked. *)
+(* Installs the EXPLAIN ESTIMATE and EXPLAIN EFFECTS hooks into
+   Hr_query.Eval — the modules must be referenced for their
+   initializers to be linked. *)
 let () = Hr_analysis.Estimate.ensure_registered ()
+let () = Hr_analysis.Effect.ensure_registered ()
 
 let banner durable =
   Printf.sprintf
@@ -40,6 +42,7 @@ let help =
   CONSOLIDATE r;   EXPLICATE r [ON (attr)];   CHECK r;
   COUNT r [BY attr];   EXPLAIN PLAN <expr>;   EXPLAIN ANALYZE <expr>;
   EXPLAIN ESTIMATE <expr>;   price the plan statically, run nothing (docs/COST.md)
+  EXPLAIN EFFECTS <stmt>;    show the statement's read/write cone footprint (docs/EFFECTS.md)
   SHOW HIERARCHY d;   SHOW RELATIONS;   SHOW HIERARCHIES;
   EXPLAIN r (x, y);   DROP RELATION r;
   STATS;   STATS JSON;   STATS RESET;     engine metrics (docs/OBSERVABILITY.md)
@@ -245,7 +248,13 @@ let lint_main pos_files opt_files strict format explain_code =
       print_string (Hr_analysis.Codes.render entry);
       0
     | None ->
-      Printf.eprintf "hrdb lint: unknown diagnostic code %S\n" code;
+      Printf.eprintf "hrdb lint: unknown diagnostic code %S\nKnown codes:\n" code;
+      List.iter
+        (fun (e : Hr_analysis.Codes.entry) ->
+          Printf.eprintf "  %-5s %-13s %s\n" e.Hr_analysis.Codes.code
+            ("(" ^ e.Hr_analysis.Codes.severity ^ ")")
+            e.Hr_analysis.Codes.title)
+        Hr_analysis.Codes.all;
       2)
   | None -> (
   match opt_files @ pos_files with
@@ -306,9 +315,11 @@ let lint_opt_files =
 let format_arg =
   Arg.(
     value
-    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
     & info [ "format" ] ~docv:"FMT"
-        ~doc:"Output format: $(b,text) (human-readable) or $(b,json).")
+        ~doc:
+          "Output format: $(b,text) (human-readable), $(b,json), or \
+           $(b,sarif) (SARIF 2.1.0, for CI annotation upload).")
 
 let lint_strict_arg =
   Arg.(
@@ -317,16 +328,6 @@ let lint_strict_arg =
         ~doc:
           "Also fail (exit 1) when any warning-severity diagnostic is \
            reported. Hints and perf notes never affect the exit code.")
-
-(* lint grows a sarif variant; fsck keeps the shared text/json pair. *)
-let lint_format_arg =
-  Arg.(
-    value
-    & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
-    & info [ "format" ] ~docv:"FMT"
-        ~doc:
-          "Output format: $(b,text) (human-readable), $(b,json), or \
-           $(b,sarif) (SARIF 2.1.0, for CI annotation upload).")
 
 let explain_code_arg =
   Arg.(
@@ -359,16 +360,41 @@ let lint_cmd =
     (Cmd.info "lint" ~doc ~man)
     Term.(
       const lint_main $ lint_pos_files $ lint_opt_files $ lint_strict_arg
-      $ lint_format_arg $ explain_code_arg)
+      $ format_arg $ explain_code_arg)
 
 (* ---- the fsck subcommand ---------------------------------------------- *)
+
+(* SARIF output reuses the lint emitter: each finding becomes one
+   result at a dummy span (fsck findings are about files and objects,
+   not source lines), grouped by the file/object it concerns so the
+   artifact URI is meaningful in CI annotations. *)
+let fsck_sarif (report : Hr_check.Fsck.report) =
+  let module Fsck = Hr_check.Fsck in
+  let diag (f : Fsck.finding) =
+    let mk =
+      match f.Fsck.severity with
+      | Fsck.Critical -> Diagnostic.error
+      | Fsck.Warning -> Diagnostic.warning
+    in
+    (f.Fsck.where, mk ~code:f.Fsck.code Hr_query.Loc.dummy f.Fsck.message)
+  in
+  let by_where = List.map diag report.Fsck.findings in
+  let files = List.sort_uniq String.compare (List.map fst by_where) in
+  let results =
+    List.map
+      (fun w ->
+        (w, List.filter_map (fun (w', d) -> if w' = w then Some d else None) by_where))
+      files
+  in
+  Hr_analysis.Sarif.render ~tool:"hrdb-fsck" ~info_uri:"docs/FSCK.md" results
 
 let fsck_main dir against format =
   let module Fsck = Hr_check.Fsck in
   let report = Fsck.run ?against dir in
   (match format with
   | `Text -> print_string (Fsck.render_text report)
-  | `Json -> print_string (Fsck.render_json report));
+  | `Json -> print_string (Fsck.render_json report)
+  | `Sarif -> print_string (fsck_sarif report));
   if Fsck.has_critical report then 2 else if not (Fsck.clean report) then 1 else 0
 
 let fsck_dir_arg =
@@ -494,7 +520,7 @@ let exec_cmd =
 (* ---- the replica subcommand ------------------------------------------- *)
 
 let replica_main primary_host primary_port dir port backoff_max checkpoint_every
-    verify =
+    verify apply_domains =
   let module Replica = Hr_repl.Replica in
   (* --verify: fsck the local directory before serving from it. A dir
      that does not hold a database yet (first bootstrap) is skipped. *)
@@ -515,7 +541,7 @@ let replica_main primary_host primary_port dir port backoff_max checkpoint_every
   end;
   let cfg =
     Replica.config ~primary_host ~primary_port ~dir ~port ~backoff_max
-      ~checkpoint_every ()
+      ~checkpoint_every ~apply_domains ()
   in
   let replica = Replica.create cfg in
   Printf.printf
@@ -564,6 +590,15 @@ let replica_checkpoint_every_arg =
     & info [ "checkpoint-every" ] ~docv:"N"
         ~doc:"Checkpoint the local database every $(docv) applied records.")
 
+let replica_apply_domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "apply-domains" ] ~docv:"K"
+        ~doc:
+          "Apply commuting groups of replicated records across $(docv) OCaml \
+           5 domains (docs/EFFECTS.md). 1 (the default) applies records \
+           sequentially.")
+
 let replica_verify_arg =
   Arg.(
     value & flag
@@ -591,7 +626,8 @@ let replica_cmd =
     Term.(
       const replica_main $ replica_primary_host_arg $ replica_primary_port_arg
       $ replica_dir_arg $ replica_port_arg $ replica_backoff_max_arg
-      $ replica_checkpoint_every_arg $ replica_verify_arg)
+      $ replica_checkpoint_every_arg $ replica_verify_arg
+      $ replica_apply_domains_arg)
 
 let shell_term = Term.(const main $ file_arg $ interactive_arg $ dir_arg $ strict_arg)
 

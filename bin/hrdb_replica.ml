@@ -12,7 +12,8 @@
 
 module Replica = Hr_repl.Replica
 
-let main primary_host primary_port dir port backoff_max checkpoint_every verify =
+let main primary_host primary_port dir port backoff_max checkpoint_every verify
+    apply_domains =
   (* --verify: fsck the local directory before serving from it. A dir
      that does not hold a database yet (first bootstrap) is skipped. *)
   let looks_like_db d =
@@ -32,7 +33,7 @@ let main primary_host primary_port dir port backoff_max checkpoint_every verify 
   end;
   let cfg =
     Replica.config ~primary_host ~primary_port ~dir ~port ~backoff_max
-      ~checkpoint_every ()
+      ~checkpoint_every ~apply_domains ()
   in
   let replica = Replica.create cfg in
   Printf.printf
@@ -82,6 +83,15 @@ let checkpoint_every_arg =
     & info [ "checkpoint-every" ] ~docv:"N"
         ~doc:"Checkpoint the local database every $(docv) applied records.")
 
+let apply_domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "apply-domains" ] ~docv:"K"
+        ~doc:
+          "Apply commuting groups of replicated records across $(docv) OCaml \
+           5 domains (docs/EFFECTS.md). 1 (the default) applies records \
+           sequentially.")
+
 let verify_arg =
   Arg.(
     value & flag
@@ -97,6 +107,6 @@ let cmd =
     (Cmd.info "hrdb_replica" ~version:"1.0.0" ~doc)
     Term.(
       const main $ primary_host_arg $ primary_port_arg $ dir_arg $ port_arg
-      $ backoff_max_arg $ checkpoint_every_arg $ verify_arg)
+      $ backoff_max_arg $ checkpoint_every_arg $ verify_arg $ apply_domains_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -199,6 +199,23 @@ let all =
        INSERT INTO dives VALUES (+ ALL fish);\n\
        INSERT INTO dives VALUES (- nemo);"
       "Negate a strict subset, or delete the positive row instead.";
+    w "W110" "conflicting statement pair"
+      "The commutativity oracle (docs/EFFECTS.md) proves the two \
+       statements write overlapping hierarchy cones that neither \
+       subsumes: their outcome depends on statement order (ambiguity \
+       acceptance is order-sensitive), so reordering or batching them \
+       is unsafe. Subsumption-related overlaps — the paper's exception \
+       idiom, a negation carved under its generalization — are \
+       deliberately not reported."
+      "CREATE DOMAIN animal; CREATE CLASS bird UNDER animal;\n\
+       CREATE CLASS swimmer UNDER animal;\n\
+       CREATE CLASS penguin UNDER bird;\n\
+       CREATE ISA penguin UNDER swimmer;\n\
+       CREATE RELATION dives (who: animal);\n\
+       INSERT INTO dives VALUES (+ ALL swimmer);\n\
+       INSERT INTO dives VALUES (- ALL bird);"
+      "Make the intended order explicit (keep the statements adjacent), \
+       or disambiguate the shared cone with a preference edge.";
     (* ---- hints ------------------------------------------------------- *)
     h "H201" "bare class value"
       "An insert row uses a class name without ALL. The row applies to \
@@ -283,6 +300,20 @@ let all =
        SELECT * FROM lives WHERE where_at = zoo;"
       "Select on the first attribute too when possible, or order the \
        schema so the most-selected attribute comes first.";
+    p "P306" "batch is provably parallelizable"
+      "A run of consecutive mutating statements pairwise commutes (the \
+       oracle proved every write-cone pair disjoint): a replica applies \
+       them across domains (hrdb_replica --apply-domains K) and the \
+       shard router overlaps them, so batching them in one round trip \
+       loses nothing. Advisory, like every P code."
+      "CREATE DOMAIN animal; CREATE CLASS bird UNDER animal;\n\
+       CREATE CLASS fish UNDER animal;\n\
+       CREATE RELATION flies (who: animal);\n\
+       CREATE RELATION swims (who: animal);\n\
+       INSERT INTO flies VALUES (+ ALL bird);\n\
+       INSERT INTO swims VALUES (+ ALL fish);"
+      "Nothing to fix — pipeline the run (docs/EFFECTS.md) if the \
+       round trips matter.";
     (* ---- fsck findings (docs/FSCK.md) -------------------------------- *)
     fc "F000" "internal fsck error"
       "A check raised; never expected." "Please report the directory layout that triggers it.";

@@ -65,8 +65,9 @@ let rule code =
       ]
 
 (* Aggregates every (file, diagnostics) pair into a single run, the
-   shape CI upload actions expect for one analysis step. *)
-let render results =
+   shape CI upload actions expect for one analysis step. The driver
+   identity is parametric so [hrdb fsck] can reuse the emitter. *)
+let render ?(tool = "hrdb-lint") ?(info_uri = "docs/LINT.md") results =
   let fired =
     List.sort_uniq String.compare
       (List.concat_map
@@ -92,9 +93,8 @@ let render results =
                          ( "driver",
                            J.Obj
                              [
-                               ("name", J.String "hrdb-lint");
-                               ( "informationUri",
-                                 J.String "docs/LINT.md" );
+                               ("name", J.String tool);
+                               ("informationUri", J.String info_uri);
                                ("rules", J.List (List.map rule fired));
                              ] );
                        ] );

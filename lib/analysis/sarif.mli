@@ -4,8 +4,11 @@
     and perf notes map to [note]. Rule metadata for every code that
     fired is embedded from {!Codes}. *)
 
-val render : (string * Diagnostic.t list) list -> string
+val render :
+  ?tool:string -> ?info_uri:string -> (string * Diagnostic.t list) list -> string
 (** [render results] aggregates per-file diagnostics into one SARIF log
     with a single run; the first component of each pair is the artifact
-    URI (the script path, or ["<stdin>"]). The output ends with a
-    newline. *)
+    URI (the script path, or ["<stdin>"]). [tool] names the SARIF driver
+    (default ["hrdb-lint"]; [hrdb fsck --format sarif] passes
+    ["hrdb-fsck"]) and [info_uri] its documentation link (default
+    ["docs/LINT.md"]). The output ends with a newline. *)

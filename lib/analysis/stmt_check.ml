@@ -343,7 +343,8 @@ let reads_of = function
   | Ast.Create_domain _ | Ast.Create_class _ | Ast.Create_instance _
   | Ast.Create_isa _ | Ast.Create_preference _ | Ast.Create_relation _
   | Ast.Drop_relation _ | Ast.Insert _ | Ast.Delete _ | Ast.Show_hierarchy _
-  | Ast.Show_relations | Ast.Show_hierarchies | Ast.Stats _ | Ast.Stats_reset ->
+  | Ast.Show_relations | Ast.Show_hierarchies | Ast.Stats _ | Ast.Stats_reset
+  | Ast.Explain_effects _ ->
     []
 
 (* W106: a row this script asserted is unconditionally destroyed (exact
@@ -577,6 +578,9 @@ let check sim ~emit { Ast.stmt; sloc = loc } =
   | Ast.Explain_plan expr | Ast.Explain_analyze expr | Ast.Explain_estimate expr ->
     ignore (infer_schema sim ~emit expr)
   | Ast.Stats _ | Ast.Stats_reset -> ()
+  (* EXPLAIN EFFECTS never executes its statement; the footprint
+     analysis itself is total, so there is nothing to pre-check. *)
+  | Ast.Explain_effects _ -> ()
   | Ast.Count { expr; by } -> (
     match infer_schema sim ~emit expr, by with
     | Some attrs, Some attr ->

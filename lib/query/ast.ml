@@ -60,6 +60,9 @@ type statement =
   | Explain_estimate of query_expr
       (** price the optimized plan statically — per-node estimated rows
           and cost, no evaluation *)
+  | Explain_effects of statement
+      (** print the statement's abstract footprint (hierarchy-cone
+          read/write atoms) without executing it — docs/EFFECTS.md *)
   | Count of { expr : query_expr; by : string option }
   | Diff of { prev : query_expr; next : query_expr }
   | Stats of { json : bool }  (** snapshot of the metrics registry *)
@@ -68,6 +71,21 @@ type statement =
 type located_statement = { stmt : statement; sloc : Loc.t }
 
 let value_name = function All s | Atom s -> s
+
+(* Whether executing the statement can change durable catalog state —
+   the WAL-logging predicate (storage) and the effect analysis agree on
+   this single definition. EXPLAIN EFFECTS only inspects its nested
+   statement, so it is a read whatever the statement is. *)
+let mutating = function
+  | Create_domain _ | Create_class _ | Create_instance _ | Create_isa _
+  | Create_preference _ | Create_relation _ | Drop_relation _ | Insert _
+  | Delete _ | Let_binding _ | Consolidate _ | Explicate _ ->
+    true
+  | Select_query _ | Ask _ | Check _ | Show_hierarchy _ | Show_relations
+  | Show_hierarchies | Explain _ | Explain_plan _ | Explain_analyze _
+  | Explain_estimate _ | Explain_effects _ | Count _ | Diff _ | Stats _
+  | Stats_reset ->
+    false
 
 let at ?(loc = Loc.dummy) expr = { expr; eloc = loc }
 (** Wrap an expression node, defaulting to an unknown span — the

@@ -25,7 +25,7 @@ let keywords =
     "CONSOLIDATE"; "EXPLICATE"; "CHECK"; "SHOW"; "HIERARCHY"; "HIERARCHIES";
     "RELATIONS"; "EXPLAIN"; "DROP"; "OFF-PATH"; "ON-PATH"; "NO-PREEMPTION";
     "CONSOLIDATED"; "EXPLICATED"; "COUNT"; "PLAN"; "BY"; "AND"; "DIFF";
-    "ANALYZE"; "ESTIMATE"; "STATS"; "JSON"; "RESET";
+    "ANALYZE"; "ESTIMATE"; "EFFECTS"; "STATS"; "JSON"; "RESET";
   ]
 
 let is_ident_char c =

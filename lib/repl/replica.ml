@@ -22,11 +22,12 @@ type config = {
   backoff_max : float;
   connect_timeout : float;
   checkpoint_every : int;
+  apply_domains : int;
 }
 
 let config ?(primary_host = "127.0.0.1") ?(host = "127.0.0.1") ?(port = 0)
     ?(backoff_min = 0.05) ?(backoff_max = 2.0) ?(connect_timeout = 5.0)
-    ?(checkpoint_every = 512) ~primary_port ~dir () =
+    ?(checkpoint_every = 512) ?(apply_domains = 1) ~primary_port ~dir () =
   {
     primary_host;
     primary_port;
@@ -37,6 +38,7 @@ let config ?(primary_host = "127.0.0.1") ?(host = "127.0.0.1") ?(port = 0)
     backoff_max;
     connect_timeout;
     checkpoint_every;
+    apply_domains;
   }
 
 type upstream =
@@ -59,6 +61,7 @@ let create cfg =
     Server.create_for_db ~host:cfg.host ~read_only:true ~port:cfg.port ~db:database ()
   in
   Hr_obs.Metrics.set g_applied (Db.lsn database);
+  Apply.set_domains_gauge cfg.apply_domains;
   {
     cfg;
     database;
@@ -115,27 +118,35 @@ let maybe_checkpoint t =
 
 (* Divergence — a record the primary logged and replayed cleanly fails
    here — means the two catalogs no longer agree and silently continuing
-   would serve wrong answers. Fail loudly. *)
-let apply_record t ~lsn stmt =
-  if lsn > applied_lsn t then begin
-    (match Db.apply_replicated t.database ~lsn stmt with
+   would serve wrong answers. Fail loudly.
+
+   Records are collected per decoder drain into a burst and flushed
+   through {!Apply.apply_batch}: with [apply_domains > 1] the burst is
+   partitioned into commuting groups applied across domains; at the
+   default 1 the flush is exactly the historical record-by-record
+   apply (and never spawns a domain). *)
+let flush_burst t burst =
+  match List.rev !burst with
+  | [] -> ()
+  | records ->
+    burst := [];
+    (match Apply.apply_batch ~domains:t.cfg.apply_domains t.database records with
     | Ok () -> ()
-    | Error msg ->
-      failwith
-        (Printf.sprintf "replica diverged applying LSN %d (%S): %s" lsn stmt msg));
-    Hr_obs.Metrics.incr m_applied;
-    Hr_obs.Metrics.set g_applied lsn;
+    | Error msg -> failwith ("replica diverged applying " ^ msg));
+    Hr_obs.Metrics.add m_applied (List.length records);
+    Hr_obs.Metrics.set g_applied (applied_lsn t);
     maybe_checkpoint t
-  end
+
+let push_record t burst ~lsn stmt =
+  let last =
+    match !burst with
+    | { Apply.lsn; _ } :: _ -> lsn
+    | [] -> applied_lsn t
+  in
+  if lsn > last then burst := { Apply.lsn; stmt } :: !burst
 
 let handle_frame t (tag, payload) =
-  if tag = Wire.repl_record then (
-    match Wire.parse_lsn_prefixed payload with
-    | Ok (lsn, stmt) ->
-      apply_record t ~lsn stmt;
-      true
-    | Error msg -> failwith ("malformed REPL_RECORD from primary: " ^ msg))
-  else if tag = Wire.repl_snapshot then (
+  if tag = Wire.repl_snapshot then (
     match Wire.parse_lsn_prefixed payload with
     | Ok (lsn, image) -> (
       match Db.install_snapshot t.database ~lsn image with
@@ -167,11 +178,23 @@ let service_upstream t fd dec =
   | n -> (
     Wire.Decoder.feed dec upstream_chunk n;
     let before = applied_lsn t in
+    (* Burst collection: consecutive REPL_RECORD frames of one drain
+       become one Apply batch; any other frame (or the end of the
+       buffered input) flushes first, so a snapshot bootstrap never
+       overtakes records already received. *)
+    let burst = ref [] in
     let rec drain () =
       match Wire.Decoder.next dec with
+      | Ok (Some (tag, payload)) when tag = Wire.repl_record -> (
+        match Wire.parse_lsn_prefixed payload with
+        | Ok (lsn, stmt) ->
+          push_record t burst ~lsn stmt;
+          drain ()
+        | Error msg -> failwith ("malformed REPL_RECORD from primary: " ^ msg))
       | Ok (Some frame) ->
+        flush_burst t burst;
         if handle_frame t frame then drain ()
-      | Ok None -> ()
+      | Ok None -> flush_burst t burst
       | Error msg -> failwith ("malformed frame from primary: " ^ msg)
     in
     match drain () with

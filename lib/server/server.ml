@@ -207,6 +207,17 @@ let explain_estimate_catalog cat payload =
 
 let explain_estimate t payload = explain_estimate_catalog (catalog t) payload
 
+(* An EFFECTS frame carries one whole statement (mutations included —
+   nothing is executed, only footprinted, so a read-only replica serves
+   it too). *)
+let explain_effects_catalog cat payload =
+  match Hr_query.Parser.parse_statement payload with
+  | exception Hr_query.Parser.Parse_error { msg; _ } -> Error ("parse error: " ^ msg)
+  | exception Hr_query.Lexer.Lex_error { msg; _ } -> Error ("lex error: " ^ msg)
+  | located -> Ok (Hr_analysis.Effect.explain cat located.Hr_query.Ast.stmt)
+
+let explain_effects t payload = explain_effects_catalog (catalog t) payload
+
 let stats_body payload =
   let snap = Hr_obs.Metrics.snapshot () in
   if String.lowercase_ascii (String.trim payload) = "json" then
@@ -348,6 +359,12 @@ let read_job t kind payload () =
       | Error msg ->
         Hr_obs.Metrics.incr m_errors;
         (false, msg))
+    | `Effects -> (
+      match explain_effects_catalog v.Hr_exec.Version.catalog payload with
+      | Ok out -> (true, out)
+      | Error msg ->
+        Hr_obs.Metrics.incr m_errors;
+        (false, msg))
     | `Stats -> (true, stats_body payload)
   in
   Hr_obs.Metrics.set g_pinned_lag
@@ -421,6 +438,14 @@ let handle t conn tag payload =
     if can_offload t conn then offload t conn (read_job t `Estimate payload)
     else (
       match explain_estimate t payload with
+      | Ok body -> send_conn t conn "OK" body
+      | Error msg ->
+        Hr_obs.Metrics.incr m_errors;
+        send_conn t conn "ERR" msg)
+  | "EFFECTS" ->
+    if can_offload t conn then offload t conn (read_job t `Effects payload)
+    else (
+      match explain_effects t payload with
       | Ok body -> send_conn t conn "OK" body
       | Error msg ->
         Hr_obs.Metrics.incr m_errors;
@@ -898,6 +923,7 @@ module Client = struct
   let exec conn script = request conn "EXEC" script
   let lint conn script = request conn "LINT" script
   let explain_estimate conn expr = request conn "ESTIMATE" expr
+  let explain_effects conn stmt = request conn "EFFECTS" stmt
   let stats ?(json = false) conn = request conn "STATS" (if json then "json" else "")
   let fsck ?(json = false) conn = request conn "FSCK" (if json then "json" else "")
 

@@ -112,7 +112,13 @@ let shard_send t sc tag payload =
    [ERR] raises {!Reply_err}; anything else is a protocol violation and
    the shard is dropped. *)
 let shard_recv t sc ~expected =
-  let c = match sc.conn with Some c -> c | None -> assert false in
+  (* [None] can happen mid-round: an earlier pipelined reply marked the
+     shard down while this statement's reply was still owed. *)
+  let c =
+    match sc.conn with
+    | Some c -> c
+    | None -> raise (Shard_down (sc, "down"))
+  in
   match Client.recv_any c with
   | Error msg -> mark_down t sc msg
   | Ok ("ERR", payload) -> raise (Reply_err payload)
@@ -537,7 +543,11 @@ let exec_stmt t stmt =
     | Ast.Explain_analyze _, Ok out when infos <> [] ->
       Ok (out ^ "\n" ^ per_shard_section t infos)
     | _ -> r)
-  | Ast.Show_hierarchy _ | Ast.Show_hierarchies | Ast.Stats _ | Ast.Stats_reset ->
+  (* EXPLAIN EFFECTS resolves cones against the router's own catalog —
+     the router owns the DAG and every relation schema (DDL is
+     broadcast), which is all a footprint needs. *)
+  | Ast.Show_hierarchy _ | Ast.Show_hierarchies | Ast.Stats _ | Ast.Stats_reset
+  | Ast.Explain_effects _ ->
     Eval.exec t.cat stmt
 
 let exec_located t { Ast.stmt; sloc } =
@@ -567,41 +577,82 @@ let exec_script t payload =
 
 (* ---- the fast path ---------------------------------------------------- *)
 
-(* A script that is exactly one INSERT or DELETE whose every row covers
-   the same single, currently-connected shard: forward the rendered
-   statement as-is and relay the shard's reply. Everything the
-   classifier cannot prove cheap falls back to the synchronous path. *)
-let classify_fast t payload =
-  let single_cover rel values_list =
-    match Catalog.find_relation t.cat rel with
-    | None -> None
-    | Some r -> (
-      let schema = Relation.schema r in
-      match values_list with
-      | [] -> None
-      | first :: rest -> (
-        match cover_of_row t schema first with
-        | [ sid ]
-          when (shard_of t sid).conn <> None
-               && List.for_all
-                    (fun vs -> cover_of_row t schema vs = [ sid ])
-                    rest ->
-          Some sid
-        | _ -> None
-        | exception _ -> None))
+(* A script that is exactly one INSERT or DELETE over connected shards
+   can be pipelined: its SHARD_EXEC frames go out before any earlier
+   statement's reply is awaited. [Single] (every row covers the same
+   one shard) needs no further proof — per-shard FIFO preserves arrival
+   order. [Scatter] (rows covering several shards) additionally carries
+   per-shard sub-statements and compensation scripts; whether it may
+   join the pipelined run is decided by the commutativity oracle at
+   admission time (see {!poll}). Everything else falls back to the
+   synchronous path. *)
+type pipelined =
+  | Single of int * string  (* covering shard, rendered statement *)
+  | Scatter of (int * string * string option) list * string
+      (* per covered shard: sub-statement + the script compensating it
+         (inserts only); plus the synthesized success reply *)
+
+let classify_pipelined t payload =
+  let plan rel covers ~render ~compensate ~reply_fmt =
+    let sids =
+      List.sort_uniq compare (List.concat_map (fun (_, cover) -> cover) covers)
+    in
+    if
+      sids = []
+      || not (List.for_all (fun sid -> (shard_of t sid).conn <> None) sids)
+    then None
+    else
+      match sids with
+      | [ sid ] -> Some (Single (sid, render (List.map fst covers)))
+      | _ ->
+        let parts =
+          List.map
+            (fun sid ->
+              let rows =
+                List.filter_map
+                  (fun (r, cover) -> if List.mem sid cover then Some r else None)
+                  covers
+              in
+              (sid, render rows, compensate rows))
+            sids
+        in
+        Some (Scatter (parts, Printf.sprintf reply_fmt (List.length covers) rel))
+  in
+  let footprint stmt =
+    try Hr_analysis.Effect.footprint ~find:(Catalog.find_relation t.cat) stmt
+    with _ -> Hr_analysis.Footprint.Opaque "footprint analysis failed"
   in
   match Parser.parse payload with
   | exception _ -> None
   | [ { Ast.stmt = Ast.Insert { rel; rows } as stmt; sloc } ] -> (
     match
-      single_cover rel (List.map (fun (row : Ast.signed_row) -> row.Ast.values) rows)
+      let schema = Relation.schema (Catalog.relation t.cat rel) in
+      plan rel
+        (List.map
+           (fun (r : Ast.signed_row) -> (r, cover_of_row t schema r.Ast.values))
+           rows)
+        ~render:(fun rows ->
+          Render.insert rel
+            (List.map (fun (r : Ast.signed_row) -> (r.Ast.sign, r.Ast.values)) rows))
+        ~compensate:(fun rows ->
+          Some
+            (Render.delete rel
+               (List.map (fun (r : Ast.signed_row) -> r.Ast.values) rows)))
+        ~reply_fmt:(format_of_string "%d tuple(s) inserted into %s")
     with
-    | Some sid -> Some (sid, sloc, Render.statement stmt)
-    | None -> None)
+    | Some cls -> Some (sloc, footprint stmt, cls)
+    | None | (exception _) -> None)
   | [ { Ast.stmt = Ast.Delete { rel; rows } as stmt; sloc } ] -> (
-    match single_cover rel rows with
-    | Some sid -> Some (sid, sloc, Render.statement stmt)
-    | None -> None)
+    match
+      let schema = Relation.schema (Catalog.relation t.cat rel) in
+      plan rel
+        (List.map (fun values -> (values, cover_of_row t schema values)) rows)
+        ~render:(fun rows -> Render.delete rel rows)
+        ~compensate:(fun _ -> None)
+        ~reply_fmt:(format_of_string "%d tuple(s) deleted from %s")
+    with
+    | Some cls -> Some (sloc, footprint stmt, cls)
+    | None | (exception _) -> None)
   | _ -> None
 
 (* ---- client connections ----------------------------------------------- *)
@@ -676,6 +727,17 @@ let handle_frame t c tag payload =
 
 type pending =
   | Fast of client * shard * Loc.t
+  | Multi of {
+      mc : client;
+      msloc : Loc.t;
+      mparts : (shard * string option) list;
+          (* shards the statement actually reached, in send order, each
+             with the script compensating it (inserts only) *)
+      mok : string;  (* synthesized success reply *)
+      mfail : string option;
+          (* a send failed partway: the statement is already doomed and
+             every shard that acks it must be compensated *)
+    }
   | Sync of client * string * string
   | Fail of client * string
 
@@ -719,10 +781,28 @@ let poll ?(timeout = 0.05) t =
        leading run of fast-path mutations is dispatched immediately —
        their SHARD_EXEC frames are all in flight before any reply is
        awaited, which is where the K-shard write speedup comes from.
-       The first frame that needs the synchronous path ends the run:
-       later frames must not send to shards before it does, or the
-       per-shard reply FIFOs would interleave. *)
+       Single-shard mutations always pipeline (per-shard FIFO preserves
+       arrival order); a multi-shard mutation joins the run only when
+       the commutativity oracle proves it commutes with {e every}
+       statement already in it — then even its rollback (on partial
+       failure, deferred past the run) commutes with everything applied
+       after it, so compensation stays sound. Once any multi-shard
+       member is in, later single-shard candidates must commute with
+       the multi-shard members for the same reason. The first frame
+       that cannot be admitted ends the run: later frames must not send
+       to shards before it does, or the per-shard reply FIFOs would
+       interleave. *)
     let pendings = ref [] and fast_ok = ref true in
+    (* footprints of every admitted member / of the multi-shard ones *)
+    let run_fps = ref [] and multi_fps = ref [] in
+    let commutes_all fp fps =
+      List.for_all
+        (fun fp' ->
+          match Hr_analysis.Effect.commutes_fp fp fp' with
+          | Hr_analysis.Effect.Commute -> true
+          | Hr_analysis.Effect.Conflict _ | Hr_analysis.Effect.Unknown _ -> false)
+        fps
+    in
     List.iter
       (fun c ->
         let rec drain () =
@@ -734,16 +814,39 @@ let poll ?(timeout = 0.05) t =
             Metrics.incr m_frames;
             let p =
               match
-                if !fast_ok && tag = "EXEC" then classify_fast t payload else None
+                if !fast_ok && tag = "EXEC" then classify_pipelined t payload
+                else None
               with
-              | Some (sid, sloc, script) -> (
+              | Some (sloc, fp, Single (sid, script))
+                when commutes_all fp !multi_fps -> (
                 let sc = shard_of t sid in
                 match shard_send t sc Wire.shard_exec script with
                 | () ->
                   Metrics.incr m_mutations;
+                  if !multi_fps <> [] then Hr_analysis.Effect.note_router_overlap ();
+                  run_fps := fp :: !run_fps;
                   Fast (c, sc, sloc)
                 | exception Shard_down (sc, msg) -> Fail (c, down_msg sc msg))
-              | None ->
+              | Some (sloc, fp, Scatter (parts, mok))
+                when commutes_all fp !run_fps ->
+                Metrics.incr m_mutations;
+                Metrics.observe h_fanout (List.length parts);
+                if !run_fps <> [] then Hr_analysis.Effect.note_router_overlap ();
+                run_fps := fp :: !run_fps;
+                multi_fps := fp :: !multi_fps;
+                let sent = ref [] and mfail = ref None in
+                (try
+                   List.iter
+                     (fun (sid, script, comp) ->
+                       let sc = shard_of t sid in
+                       shard_send t sc Wire.shard_exec script;
+                       sent := (sc, comp) :: !sent)
+                     parts
+                 with Shard_down (sc, msg) -> mfail := Some (down_msg sc msg));
+                Multi
+                  { mc = c; msloc = sloc; mparts = List.rev !sent; mok;
+                    mfail = !mfail }
+              | Some _ | None ->
                 fast_ok := false;
                 Sync (c, tag, payload)
             in
@@ -752,7 +855,24 @@ let poll ?(timeout = 0.05) t =
         in
         if not c.closing then drain ())
       t.clients;
-    (* Phase B: answer in order. *)
+    (* Phase B: answer in order. Compensations of partially failed
+       multi-shard members are deferred until every pipelined reply is
+       consumed (running them earlier would desynchronize the per-shard
+       FIFOs) but before any synchronous member executes (those were
+       not oracle-checked, so they must not observe rolled-back rows).
+       All pipelined members precede all synchronous ones in
+       [pendings], so flushing at the first [Sync] covers both. *)
+    let deferred = ref [] in
+    let flush_compensations () =
+      List.iter
+        (fun (sc, script) ->
+          try
+            shard_send t sc Wire.shard_exec script;
+            ignore (shard_recv t sc ~expected:Wire.shard_ack)
+          with Reply_err _ | Shard_down _ -> ())
+        (List.rev !deferred);
+      deferred := []
+    in
     List.iter
       (fun p ->
         match p with
@@ -765,11 +885,44 @@ let poll ?(timeout = 0.05) t =
               (Format.asprintf "at %a: %s" Loc.pp_prose sloc (strip_located msg))
           | exception Shard_down (sc, msg) ->
             reply t c "ERR" (down_msg sc msg))
-        | Sync (c, tag, payload) -> handle_frame t c tag payload
+        | Multi { mc = c; msloc; mparts; mok; mfail } -> (
+          let results =
+            List.map
+              (fun (sc, comp) ->
+                match shard_recv t sc ~expected:Wire.shard_ack with
+                | (_ : string) -> (sc, comp, Ok ())
+                | exception Reply_err msg -> (sc, comp, Error (strip_located msg))
+                | exception Shard_down (_, msg) -> (sc, comp, Error msg))
+              mparts
+          in
+          let failure =
+            match mfail with
+            | Some _ as f -> f
+            | None ->
+              List.find_map
+                (fun (_, _, r) ->
+                  match r with Error m -> Some m | Ok () -> None)
+                results
+          in
+          match failure with
+          | None -> reply t c "OK" mok
+          | Some msg ->
+            Metrics.incr m_errors;
+            List.iter
+              (fun (sc, comp, r) ->
+                match (r, comp) with
+                | Ok (), Some script -> deferred := (sc, script) :: !deferred
+                | _ -> ())
+              results;
+            reply t c "ERR" (Format.asprintf "at %a: %s" Loc.pp_prose msloc msg))
+        | Sync (c, tag, payload) ->
+          flush_compensations ();
+          handle_frame t c tag payload
         | Fail (c, msg) ->
           Metrics.incr m_errors;
           reply t c "ERR" msg)
       (List.rev !pendings);
+    flush_compensations ();
     List.iter (fun c -> if List.mem c.fd writable then drain_client c) t.clients;
     List.iter
       (fun c ->
@@ -790,9 +943,11 @@ let serve_forever t =
 
 let create ?(host = "127.0.0.1") ?(timeout = 5.0)
     ?(max_backlog = Wire.max_frame + (4 * 1024 * 1024)) ~port ~map () =
-  (* EXPLAIN ESTIMATE statements evaluate through the local Eval path;
-     force the estimator's registration the same way the CLI does. *)
+  (* EXPLAIN ESTIMATE / EXPLAIN EFFECTS statements evaluate through the
+     local Eval path; force both registrations the same way the CLI
+     does. *)
   Hr_analysis.Estimate.ensure_registered ();
+  Hr_analysis.Effect.ensure_registered ();
   let socket = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt socket Unix.SO_REUSEADDR true;
   Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));

@@ -148,15 +148,9 @@ let open_dir ?(auto_checkpoint_every = 10_000) ?(fsync = true) dir =
 let catalog t = t.catalog
 let dir t = t.dir
 
-let mutating = function
-  | Ast.Create_domain _ | Ast.Create_class _ | Ast.Create_instance _ | Ast.Create_isa _
-  | Ast.Create_preference _ | Ast.Create_relation _ | Ast.Drop_relation _ | Ast.Insert _
-  | Ast.Delete _ | Ast.Let_binding _ | Ast.Consolidate _ | Ast.Explicate _ ->
-    true
-  | Ast.Select_query _ | Ast.Ask _ | Ast.Check _ | Ast.Show_hierarchy _ | Ast.Show_relations
-  | Ast.Show_hierarchies | Ast.Explain _ | Ast.Explain_plan _ | Ast.Explain_analyze _
-  | Ast.Explain_estimate _ | Ast.Count _ | Ast.Diff _ | Ast.Stats _ | Ast.Stats_reset ->
-    false
+(* The single definition lives in the AST (the effect analysis shares
+   it); kept under its historical name here for the storage callers. *)
+let mutating = Ast.mutating
 
 (* The WAL stores each mutating statement's source text, so the script is
    split into statements here (HRQL has no string literals, making ';' an
@@ -332,3 +326,21 @@ let apply_replicated t ~lsn source =
       Hr_obs.Metrics.set g_lsn lsn;
       Ok ()
     | Error msg -> Error msg
+
+(* The bookkeeping half of [apply_replicated] without the evaluation:
+   for callers (the parallel WAL apply in lib/repl) that evaluated the
+   record against a snapshot and installed the result themselves, but
+   must still preserve the local WAL's contiguity discipline (fsck
+   F007) record by record, in the primary's LSN order. *)
+let log_replicated t ~lsn source =
+  if lsn <= t.lsn then
+    Error (Printf.sprintf "duplicate record: LSN %d already applied (at %d)" lsn t.lsn)
+  else begin
+    Hr_obs.Metrics.incr m_statements;
+    Wal.append t.wal ~lsn source;
+    tail_push t { Wal.lsn; stmt = source };
+    t.pending <- t.pending + 1;
+    t.lsn <- lsn;
+    Hr_obs.Metrics.set g_lsn lsn;
+    Ok ()
+  end

@@ -140,9 +140,19 @@ val apply_replicated : t -> lsn:int -> string -> (unit, string) result
     failed here) and the caller should treat it as fatal. Statements at
     or below the current {!lsn} are rejected as duplicates. *)
 
+val log_replicated : t -> lsn:int -> string -> (unit, string) result
+(** The bookkeeping half of {!apply_replicated} without the evaluation:
+    appends one primary record to the local WAL (buffered; {!sync}
+    before acking) and advances the LSN. For callers that evaluated the
+    record against a catalog snapshot and installed the result
+    themselves — the parallel WAL apply in [lib/repl] — so the local
+    log keeps its record-by-record contiguity (fsck F007) whatever the
+    evaluation strategy was. Duplicate LSNs are rejected. *)
+
 val mutating : Hr_query.Ast.statement -> bool
 (** Whether a statement changes durable state (and hence is logged and
-    replicated). Exposed for read-only front ends. *)
+    replicated). An alias of {!Hr_query.Ast.mutating}, exposed for
+    read-only front ends. *)
 
 val script_mutation : string -> string option
 (** The source text of the first mutating statement in a script, if any

@@ -42,8 +42,9 @@ let () =
       ("server", Test_server.suite);
       ("repl", Test_repl.suite);
       ("shard", Test_shard.suite);
-      (* must stay last: mc spawns OCaml 5 domains, and Unix.fork — which
-         the server/repl suites use — is forbidden for the rest of the
-         process once any domain has ever been created *)
+      (* the rest spawn OCaml 5 domains, and Unix.fork — which the
+         server/repl/shard suites use — is forbidden for the rest of
+         the process once any domain has ever been created *)
+      ("effect", Test_effect.suite);
       ("mc", Test_mc.suite);
     ]

@@ -109,8 +109,11 @@ let test_w102 () =
    ^ "INSERT INTO flies VALUES (+ ALL bird);\nINSERT INTO flies VALUES (+ opus);");
   (* an intersecting negation makes the subsumed row load-bearing: it is
      the disambiguating assertion, exactly the paper's Respects example —
-     the W104 on the negation is expected, the resolving row is NOT dead *)
-  check_codes "subsumed row that resolves a conflict is not dead" [ "W104" ]
+     the W104 on the negation is expected (plus W110: the incomparable
+     opposite writes are also order-sensitive), the resolving row is
+     NOT dead *)
+  check_codes "subsumed row that resolves a conflict is not dead"
+    [ "W104"; "W110" ]
     (world
    ^ "CREATE CLASS swimmer UNDER animal; CREATE ISA penguin UNDER swimmer;\n\
       INSERT INTO flies VALUES (+ ALL bird);\n\
@@ -131,7 +134,10 @@ let test_w103 () =
       INSERT INTO flies VALUES (- ALL penguin);")
 
 let test_w104 () =
-  check_codes "incomparable opposite rows over a shared descendant" [ "W104" ]
+  (* the same incomparable pair is order-sensitive, so the effect pass
+     adds W110 *)
+  check_codes "incomparable opposite rows over a shared descendant"
+    [ "W104"; "W110" ]
     (world
    ^ "CREATE CLASS swimmer UNDER animal; CREATE ISA penguin UNDER swimmer;\n\
       INSERT INTO flies VALUES (+ ALL bird);\n\
@@ -298,13 +304,17 @@ let test_golden () =
   let actual = Diagnostic.render_text (Lint.analyze_script script) in
   Alcotest.(check string) "full report matches" expected actual;
   let all_codes = codes script in
+  (* report order: the effect pass (W110 / P306) interleaves with the
+     per-statement codes — P306 first fires on the seeding block, W110
+     rides along with the W104 pair, and later P306 runs straddle the
+     W/H sections *)
   Alcotest.(check (list string))
-    "all twenty-eight codes, in order"
+    "all thirty codes, in order"
     [
-      "E001"; "E002"; "E003"; "E004"; "E005"; "E006"; "E007"; "E008"; "E009";
-      "E010"; "W101"; "W102"; "W103"; "W104"; "W105"; "W106"; "W107"; "W108";
-      "W109"; "H201"; "H202"; "H203"; "P300"; "P301"; "P302"; "P303"; "P304";
-      "P305";
+      "P306"; "E001"; "E002"; "E003"; "E004"; "E005"; "E006"; "E007"; "E008";
+      "E009"; "E010"; "W101"; "W102"; "W103"; "W104"; "W110"; "W105"; "W106";
+      "W107"; "P306"; "W108"; "W109"; "P306"; "H201"; "H202"; "H203"; "P306";
+      "P300"; "P301"; "P302"; "P303"; "P304"; "P305"; "P306";
     ]
     all_codes
 

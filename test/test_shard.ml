@@ -12,7 +12,27 @@ module Fsck = Hr_check.Fsck
 module Wire = Hr_frames.Wire
 module Hierarchy = Hr_hierarchy.Hierarchy
 module Eval = Hr_query.Eval
+module Prng = Hr_util.Prng
 open Hierel
+
+(* Replay contract shared with test_fuzz/test_effect: one integer seed
+   drives the randomized byte-identity workload below; replay a failure
+   exactly with [HRDB_TEST_SEED=n dune runtest]. *)
+let seed =
+  match Sys.getenv_opt "HRDB_TEST_SEED" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None ->
+      failwith (Printf.sprintf "HRDB_TEST_SEED must be an integer, got %S" s))
+  | None ->
+    Int64.to_int
+      (Int64.rem (Int64.of_float (Unix.gettimeofday () *. 1e6)) 0xFFFFFFL)
+
+let () =
+  Printf.eprintf
+    "test_shard: workload RNG seed %d (replay with HRDB_TEST_SEED=%d)\n%!" seed
+    seed
 
 (* ---- shard map unit tests -------------------------------------------- *)
 
@@ -293,6 +313,83 @@ let test_byte_identity () =
       Client.close r;
       Client.close s)
 
+(* Randomized byte-identity under the router's commutativity-driven
+   write pipelining: batches of several mutations per round-trip are
+   exactly what the oracle overlaps across shards, so any unsound
+   admission shows up as a divergence from the single node. The final
+   SELECT after every batch forces a synchronizing read, so per-batch
+   state is compared, not just the end state. *)
+let test_randomized_identity () =
+  let _, _, rport, _, pids, _ = deploy () in
+  let sport, spid = spawn_server () in
+  Fun.protect
+    ~finally:(fun () -> List.iter kill (spid :: pids))
+    (fun () ->
+      let r = Client.connect ~timeout:10.0 ~port:rport () in
+      let s = Client.connect ~timeout:10.0 ~port:sport () in
+      let rng = Prng.create (Int64.of_int (seed lxor 0x5AD)) in
+      let instances = [| "tweety"; "opus"; "jack"; "rex" |] in
+      let classes = [| "bird"; "penguin"; "sparrow"; "animal" |] in
+      let value () =
+        if Prng.bernoulli rng 0.4 then "ALL " ^ Prng.pick rng classes
+        else Prng.pick rng instances
+      in
+      let mutation () =
+        if Prng.bernoulli rng 0.75 then
+          Printf.sprintf "INSERT INTO flies VALUES (%s %s);"
+            (if Prng.bernoulli rng 0.7 then "+" else "-")
+            (value ())
+        else Printf.sprintf "DELETE FROM flies VALUES (%s);" (value ())
+      in
+      let compare_exec stmt =
+        match (Client.exec r stmt, Client.exec s stmt) with
+        | Ok g, Ok w ->
+          Alcotest.(check string)
+            (Printf.sprintf "OK (seed %d) %S" seed stmt)
+            w g
+        | Error g, Error w ->
+          Alcotest.(check string)
+            (Printf.sprintf "ERR (seed %d) %S" seed stmt)
+            w g
+        | Ok g, Error w ->
+          Alcotest.failf "(seed %d) %S: router Ok %S, single node Error %S"
+            seed stmt g w
+        | Error g, Ok w ->
+          Alcotest.failf "(seed %d) %S: router Error %S, single node Ok %S"
+            seed stmt g w
+      in
+      compare_exec ddl;
+      for _ = 1 to 12 do
+        (* one burst of single-statement EXEC frames sent back-to-back
+           before any reply is read: this is the shape the router's
+           phase-A admission pipelines (Singles ride per-shard FIFOs,
+           Scatters join only when the oracle proves Commute) *)
+        let batch = List.init (2 + Prng.int rng 4) (fun _ -> mutation ()) in
+        List.iter
+          (fun stmt ->
+            Client.send r "EXEC" stmt;
+            Client.send s "EXEC" stmt)
+          batch;
+        List.iter
+          (fun stmt ->
+            let got = Client.recv r and want = Client.recv s in
+            if got <> want then
+              Alcotest.failf
+                "(seed %d) pipelined %S: router %s, single node %s" seed stmt
+                (match got with
+                | Ok g -> Printf.sprintf "Ok %S" g
+                | Error g -> Printf.sprintf "Error %S" g)
+                (match want with
+                | Ok w -> Printf.sprintf "Ok %S" w
+                | Error w -> Printf.sprintf "Error %S" w))
+          batch;
+        compare_exec "SELECT * FROM flies;"
+      done;
+      compare_exec "CONSOLIDATE flies;";
+      compare_exec "SELECT * FROM flies;";
+      Client.close r;
+      Client.close s)
+
 let test_degraded_reads () =
   let _, _, rport, _, pids, _ = deploy () in
   Fun.protect
@@ -378,6 +475,8 @@ let suite =
       test_routing_and_fanout;
     Alcotest.test_case "scatter-gather is byte-identical to one node" `Quick
       test_byte_identity;
+    Alcotest.test_case "randomized pipelined writes match one node" `Quick
+      test_randomized_identity;
     Alcotest.test_case "degraded reads around a dead shard" `Quick
       test_degraded_reads;
     Alcotest.test_case "fsck --against map catches misplacement" `Quick
