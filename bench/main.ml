@@ -1397,6 +1397,98 @@ let bench_replica_apply () =
        " (fewer cores than domains: interleaving only, no speedup expected)"
      else "")
 
+(* ---- C19: incremental checkpoint — page writes track the delta ---------- *)
+
+(* The tentpole claim of the paged store: [Db.checkpoint] flushes only
+   dirty pages plus the meta/root pages, so a small delta after a big load
+   costs a small, size-independent number of page writes — where the old
+   snapshot codec rewrote the whole database every time. Two scales 10x
+   apart; the large scale must show the incremental checkpoint at least
+   5x cheaper in page writes than its own full (first) checkpoint. *)
+let bench_incremental_checkpoint () =
+  section "C19 — incremental checkpoint: page writes track the delta, not the database";
+  let temp_dir () =
+    let dir = Filename.temp_file "hrbench_c19" "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o755;
+    dir
+  in
+  let rm_rf dir =
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  in
+  let load_script n =
+    let buf = Buffer.create (n * 64) in
+    Buffer.add_string buf "CREATE DOMAIN c19;\nCREATE CLASS c19c UNDER c19;\n";
+    for i = 0 to n - 1 do
+      Buffer.add_string buf (Printf.sprintf "CREATE INSTANCE c19i%05d OF c19c;\n" i)
+    done;
+    Buffer.add_string buf "CREATE RELATION c19r (v: c19);\n";
+    for i = 0 to n - 1 do
+      Buffer.add_string buf (Printf.sprintf "INSERT INTO c19r VALUES (+ c19i%05d);\n" i)
+    done;
+    Buffer.contents buf
+  in
+  (* ~20-statement delta: flip the sign of ten existing items, a real net
+     change the checkpoint diff must persist *)
+  let delta_script =
+    String.concat "\n"
+      (List.init 10 (fun i ->
+           Printf.sprintf
+             "DELETE FROM c19r VALUES (c19i%05d);\nINSERT INTO c19r VALUES (- c19i%05d);"
+             (i * 7) (i * 7)))
+  in
+  let run_scale n =
+    let dir = temp_dir () in
+    Fun.protect
+      ~finally:(fun () -> rm_rf dir)
+      (fun () ->
+        let db = Hr_storage.Db.open_dir ~fsync:false dir in
+        Fun.protect
+          ~finally:(fun () -> Hr_storage.Db.close db)
+          (fun () ->
+            (match Hr_storage.Db.exec db (load_script n) with
+            | Ok _ -> ()
+            | Error m -> failwith ("C19 load: " ^ m));
+            let t0 = Unix.gettimeofday () in
+            Hr_storage.Db.checkpoint db;
+            let full_s = Unix.gettimeofday () -. t0 in
+            let full_written, total = Hr_storage.Db.last_checkpoint_pages db in
+            (match Hr_storage.Db.exec db delta_script with
+            | Ok _ -> ()
+            | Error m -> failwith ("C19 delta: " ^ m));
+            let t1 = Unix.gettimeofday () in
+            Hr_storage.Db.checkpoint db;
+            let incr_s = Unix.gettimeofday () -. t1 in
+            let incr_written, _ = Hr_storage.Db.last_checkpoint_pages db in
+            Format.printf
+              "N=%-5d full ckpt: %4d/%4d pages in %6.2f ms   delta ckpt (20 stmts): %4d \
+               pages in %6.2f ms@."
+              n full_written total (full_s *. 1e3) incr_written (incr_s *. 1e3);
+            collected :=
+              (Printf.sprintf "C19 full checkpoint N=%d page writes" n,
+               float_of_int full_written)
+              :: (Printf.sprintf "C19 delta checkpoint N=%d page writes" n,
+                  float_of_int incr_written)
+              :: (Printf.sprintf "C19 full checkpoint N=%d ns" n, full_s *. 1e9)
+              :: (Printf.sprintf "C19 delta checkpoint N=%d ns" n, incr_s *. 1e9)
+              :: !collected;
+            (full_written, incr_written, incr_s)))
+  in
+  let _ = run_scale 300 in
+  let full, incr, incr_s = run_scale 3000 in
+  if incr * 5 > full then
+    failwith
+      (Printf.sprintf
+         "C19: incremental checkpoint wrote %d pages, full wrote %d — expected >= 5x \
+          fewer"
+         incr full);
+  Format.printf
+    "delta checkpoint wrote %.1fx fewer pages than the full rewrite at N=3000 (%.2f \
+     ms); checkpoint cost is proportional to the delta.@."
+    (float_of_int full /. float_of_int incr)
+    (incr_s *. 1e3)
+
 let experiments =
   [
     ("C1", bench_storage);
@@ -1414,6 +1506,7 @@ let experiments =
     ("C13", bench_semantic_net);
     ("C14", bench_group_commit);
     ("C15", bench_estimator);
+    ("C19", bench_incremental_checkpoint);
     ("F", check_figures);
     (* C17 forks shard and router subprocesses, so it must precede any
        experiment that spawns a domain *)

@@ -1,6 +1,8 @@
 module Wal = Hr_storage.Wal
 module Snapshot = Hr_storage.Snapshot
 module Graph_store = Hr_storage.Graph_store
+module Page_store = Hr_storage.Page_store
+module Pager = Hr_storage.Pager
 module Hierarchy = Hr_hierarchy.Hierarchy
 module Eval = Hr_query.Eval
 module J = Hr_obs.Jsonout
@@ -35,6 +37,7 @@ type report = {
 let severity_label = function Critical -> "critical" | Warning -> "warning"
 
 let snapshot_path dir = Filename.concat dir "snapshot.bin"
+let pages_path dir = Filename.concat dir "pages.db"
 let wal_path dir = Filename.concat dir "wal.log"
 let meta_path dir = Filename.concat dir "meta"
 let graphs_path dir = Filename.concat dir "graphs.bin"
@@ -94,6 +97,47 @@ let check_meta acc dir =
       | _ ->
         emit acc Warning "F002" path "meta is malformed: %S" line;
         0)
+
+(* Page-level battery (F025–F029) for paged directories: open the page
+   store, sweep the page seals, B-tree, index↔heap agreement and
+   free-space map, and hand back the materialized catalog plus the LSN
+   the store covers through. A partial trailing page is a warning —
+   only a crash mid-extension leaves one, and the commit ordering
+   (data flushed before the meta-root swap) guarantees no committed
+   state references it. *)
+let check_pages acc dir =
+  let path = pages_path dir in
+  let size = (Unix.stat path).Unix.st_size in
+  if size mod Pager.page_size <> 0 then
+    emit acc Warning "F025" path
+      "partial trailing page: file is %d byte(s), %d past a page boundary \
+       (crash mid-extension; unreferenced by any committed root)"
+      size (size mod Pager.page_size);
+  match Page_store.open_ path with
+  | exception Page_store.Corrupt msg ->
+    emit acc Critical "F025" path "page store does not open: %s" msg;
+    None
+  | store ->
+    Fun.protect
+      ~finally:(fun () -> Page_store.close store)
+      (fun () ->
+        List.iter
+          (fun { Page_store.kind; detail } ->
+            match kind with
+            | Page_store.Checksum -> emit acc Critical "F025" path "%s" detail
+            | Page_store.Dangling_tid -> emit acc Critical "F026" path "%s" detail
+            | Page_store.Duplicate_tid -> emit acc Critical "F027" path "%s" detail
+            | Page_store.Btree_order -> emit acc Critical "F028" path "%s" detail
+            | Page_store.Freemap -> emit acc Warning "F029" path "%s" detail)
+          (Page_store.check store);
+        match Page_store.to_catalog store with
+        | cat -> Some (cat, Page_store.base_lsn store)
+        | exception e ->
+          (* any escape here is corrupt page content the sweeps above
+             have usually already pinned down *)
+          emit acc Critical "F025" path "page store does not materialize: %s"
+            (match e with Page_store.Corrupt m -> m | e -> Printexc.to_string e);
+          None)
 
 let check_snapshot acc dir =
   let path = snapshot_path dir in
@@ -184,6 +228,29 @@ let check_published acc dir ~head =
           | _ -> ())
         (String.split_on_char '\n' contents)
 
+(* WAL replay onto a freshly materialized base state (page store or
+   legacy snapshot); a record that fails means the base and the log
+   disagree. *)
+let replay_records acc dir ~base_lsn scan cat =
+  let live = List.filter (fun { Wal.lsn; _ } -> lsn > base_lsn) scan.Wal.records in
+  let ok =
+    List.for_all
+      (fun { Wal.lsn; stmt } ->
+        match Eval.run_script cat stmt with
+        | Ok _ -> true
+        | Error msg ->
+          emit acc Critical "F010" (wal_path dir)
+            "record LSN %d (%S) fails to replay onto the checkpoint: %s" lsn stmt msg;
+          false
+        | exception e ->
+          emit acc Critical "F010" (wal_path dir)
+            "record LSN %d (%S) fails to replay onto the checkpoint: %s" lsn stmt
+            (Printexc.to_string e);
+          false)
+      live
+  in
+  if ok then Some cat else None
+
 (* Replay onto a second decode of the snapshot: the caller keeps the
    pristine decoded catalog for the graphs.bin comparison. *)
 let materialize acc dir ~base_lsn scan =
@@ -196,25 +263,7 @@ let materialize acc dir ~base_lsn scan =
   in
   match cat with
   | None -> None
-  | Some cat ->
-    let live = List.filter (fun { Wal.lsn; _ } -> lsn > base_lsn) scan.Wal.records in
-    let ok =
-      List.for_all
-        (fun { Wal.lsn; stmt } ->
-          match Eval.run_script cat stmt with
-          | Ok _ -> true
-          | Error msg ->
-            emit acc Critical "F010" (wal_path dir)
-              "record LSN %d (%S) fails to replay onto the snapshot: %s" lsn stmt msg;
-            false
-          | exception e ->
-            emit acc Critical "F010" (wal_path dir)
-              "record LSN %d (%S) fails to replay onto the snapshot: %s" lsn stmt
-              (Printexc.to_string e);
-            false)
-        live
-    in
-    if ok then Some cat else None
+  | Some cat -> replay_records acc dir ~base_lsn scan cat
 
 (* ---- semantic checks on a materialized catalog ---------------------- *)
 
@@ -349,9 +398,29 @@ let inspect acc dir =
     None
   end
   else begin
-    let base_lsn = check_meta acc dir in
+    let meta_base = check_meta acc dir in
+    let paged = Sys.file_exists (pages_path dir) in
     let snap = check_snapshot acc dir in
-    if base_lsn > 0 && snap = None && not (Sys.file_exists (snapshot_path dir)) then
+    let pages = if paged then check_pages acc dir else None in
+    (* The effective base is the page store's committed LSN when there
+       is one: a crash between the page commit and the meta rewrite
+       legitimately leaves meta one checkpoint behind. The reverse —
+       meta claiming coverage the store does not have — is real
+       corruption. *)
+    let base_lsn =
+      match pages with
+      | Some (_, store_base) ->
+        if meta_base > store_base then
+          emit acc Critical "F009" (meta_path dir)
+            "meta records base_lsn %d but the page store only covers through LSN %d"
+            meta_base store_base;
+        store_base
+      | None -> meta_base
+    in
+    if
+      (not paged) && base_lsn > 0 && snap = None
+      && not (Sys.file_exists (snapshot_path dir))
+    then
       emit acc Critical "F009" (meta_path dir)
         "meta records base_lsn %d but there is no snapshot to cover LSNs 1..%d"
         base_lsn base_lsn;
@@ -360,7 +429,11 @@ let inspect acc dir =
       List.fold_left (fun h { Wal.lsn; _ } -> max h lsn) base_lsn scan.Wal.records
     in
     check_published acc dir ~head;
-    let cat = materialize acc dir ~base_lsn scan in
+    let cat =
+      match pages with
+      | Some (cat, _) -> replay_records acc dir ~base_lsn scan cat
+      | None -> materialize acc dir ~base_lsn scan
+    in
     (match cat with
     | Some cat ->
       List.iter (check_hierarchy acc dir) (Catalog.hierarchies cat);
@@ -395,15 +468,26 @@ let rendered_extension rel =
   let schema = Relation.schema rel in
   Flatten.extension_list rel |> List.map (Item.to_string schema) |> List.sort compare
 
-(* The peer state at LSN [at]: snapshot + the records up to [at]. *)
+(* The peer state at LSN [at]: the checkpoint base (page store or
+   legacy snapshot) + the records up to [at]. *)
 let materialize_at st ~at =
   if st.s_base > at then
     Error
-      (Printf.sprintf "snapshot covers through LSN %d, past the common LSN %d"
+      (Printf.sprintf "checkpoint covers through LSN %d, past the common LSN %d"
          st.s_base at)
   else
     let cat =
-      if Sys.file_exists (snapshot_path st.s_dir) then
+      if Sys.file_exists (pages_path st.s_dir) then
+        match Page_store.open_ (pages_path st.s_dir) with
+        | exception Page_store.Corrupt msg -> Error ("pages: " ^ msg)
+        | store ->
+          Fun.protect
+            ~finally:(fun () -> Page_store.close store)
+            (fun () ->
+              match Page_store.to_catalog store with
+              | cat -> Ok cat
+              | exception Page_store.Corrupt msg -> Error ("pages: " ^ msg))
+      else if Sys.file_exists (snapshot_path st.s_dir) then
         match Snapshot.read_file (snapshot_path st.s_dir) with
         | cat -> Ok cat
         | exception Snapshot.Corrupt_snapshot msg -> Error ("snapshot: " ^ msg)

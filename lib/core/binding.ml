@@ -1,19 +1,23 @@
 module Hierarchy = Hr_hierarchy.Hierarchy
 
 let m_verdicts = Hr_obs.Metrics.counter "core.binding.verdicts"
+let m_index_probes = Hr_obs.Metrics.counter "core.binding.index_probes"
 
 type verdict =
   | Asserted of Types.sign * Relation.tuple list
   | Unasserted
   | Conflict of { positive : Relation.tuple list; negative : Relation.tuple list }
 
+(* Strictly-subsuming tuples via the relation's memoized bucket index
+   ({!Relation.candidates}) rather than a full-body scan; candidates come
+   back in structural order, so filtering preserves the order the old
+   linear scan produced. *)
 let relevant rel item =
+  Hr_obs.Metrics.incr m_index_probes;
   let schema = Relation.schema rel in
-  List.rev
-    (Relation.fold
-       (fun (t : Relation.tuple) acc ->
-         if Item.strictly_subsumes schema t.item item then t :: acc else acc)
-       rel [])
+  List.filter
+    (fun (t : Relation.tuple) -> Item.strictly_subsumes schema t.item item)
+    (Relation.candidates rel item)
 
 (* Off-path binders: minimal relevant tuples under the binding order
    (isa + preference reachability). *)

@@ -30,7 +30,9 @@ type verdict =
 
 val relevant : Relation.t -> Item.t -> Relation.tuple list
 (** Tuples whose item strictly subsumes the argument (the nodes of its
-    tuple-binding graph other than the item itself). *)
+    tuple-binding graph other than the item itself). Served by the
+    relation's memoized bucket index ({!Relation.candidates}); each call
+    bumps the [core.binding.index_probes] counter. *)
 
 val verdict : ?semantics:Types.semantics -> Relation.t -> Item.t -> verdict
 

@@ -56,6 +56,16 @@ val fold : (tuple -> 'a -> 'a) -> t -> 'a -> 'a
 val iter : (tuple -> unit) -> t -> unit
 val filter : (tuple -> bool) -> t -> t
 
+val candidates : t -> Item.t -> tuple list
+(** Tuples that may subsume [item], in structural item order — a superset
+    of the subsuming tuples obtained by probing a memoized per-attribute
+    bucket index (hierarchy node of the cheapest coordinate -> tuples), so
+    binding lookups need not scan the whole body. The caller still applies
+    the full (strict) subsumption test. The index is built lazily on the
+    first probe and shared by all readers of this relation value; any
+    update produces a fresh value with its own (unbuilt) index, so stale
+    reads are impossible. *)
+
 val of_tuples : ?name:string -> Schema.t -> (Types.sign * string list) list -> t
 (** Build from signed rows of names; convenient for tests and examples. *)
 

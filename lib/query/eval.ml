@@ -94,6 +94,7 @@ type analyzed = {
   a_subs : int;  (* hierarchy.subsumption_checks delta *)
   a_reach : int;  (* graph.reach.queries delta *)
   a_verdicts : int;  (* core.binding.verdicts delta *)
+  a_probes : int;  (* core.binding.index_probes delta *)
   a_time_ns : int;
   a_children : analyzed list;
 }
@@ -117,6 +118,7 @@ let rec analyze_raw cat e =
   let subs0 = subs "hierarchy.subsumption_checks" in
   let reach0 = subs "graph.reach.queries" in
   let verd0 = subs "core.binding.verdicts" in
+  let probe0 = subs "core.binding.index_probes" in
   let rel, children =
     let one sub = let r, a = analyze_raw cat sub in (r, [ a ]) in
     let two a b op =
@@ -153,6 +155,7 @@ let rec analyze_raw cat e =
       a_subs = subs "hierarchy.subsumption_checks" - subs0;
       a_reach = subs "graph.reach.queries" - reach0;
       a_verdicts = subs "core.binding.verdicts" - verd0;
+      a_probes = subs "core.binding.index_probes" - probe0;
       a_time_ns = Hr_obs.Metrics.now_ns () - t0;
       a_children = children;
     } )
@@ -161,9 +164,10 @@ let render_analyzed root =
   let buf = Buffer.create 512 in
   let rec walk depth a =
     Buffer.add_string buf
-      (Printf.sprintf "%s%s  rows=%d subsumption=%d reach=%d verdicts=%d time=%.3fms\n"
+      (Printf.sprintf
+         "%s%s  rows=%d subsumption=%d reach=%d verdicts=%d probes=%d time=%.3fms\n"
          (String.make (2 * depth) ' ')
-         a.a_label a.a_rows a.a_subs a.a_reach a.a_verdicts
+         a.a_label a.a_rows a.a_subs a.a_reach a.a_verdicts a.a_probes
          (float_of_int a.a_time_ns /. 1e6));
     List.iter (walk (depth + 1)) a.a_children
   in

@@ -10,6 +10,13 @@ let g_lsn = Hr_obs.Metrics.gauge "storage.db.lsn"
 type t = {
   dir : string;
   mutable catalog : Catalog.t;
+  mutable store : Page_store.t;
+  (* O(1) capture of the catalog as of the last checkpoint: a relation
+     whose current binding is physically identical was not touched, so
+     the checkpoint delta skips it without reading a tuple. *)
+  mutable last_ckpt : Catalog.t;
+  mutable ckpt_written : int;
+  mutable ckpt_total : int;
   mutable wal : Wal.t;
   mutable pending : int;
   mutable lsn : int;
@@ -37,6 +44,7 @@ type t = {
 let tail_cap = 4096
 
 let snapshot_path dir = Filename.concat dir "snapshot.bin"
+let pages_path dir = Filename.concat dir "pages.db"
 let wal_path dir = Filename.concat dir "wal.log"
 let lock_path dir = Filename.concat dir "LOCK"
 let meta_path dir = Filename.concat dir "meta"
@@ -82,18 +90,53 @@ let write_meta dir base_lsn =
   close_out oc;
   Sys.rename tmp (meta_path dir)
 
+(* Build a paged store for [catalog] beside [pages], then rename it into
+   place: a crash mid-build leaves only a dead .tmp (removed on the next
+   open), never a half-written pages.db. *)
+let build_store ~fsync ~base_lsn pages catalog =
+  let tmp = pages ^ ".tmp" in
+  let s = Page_store.create tmp in
+  Page_store.apply_catalog s catalog;
+  Page_store.set_ddl s catalog;
+  ignore (Page_store.commit s ~fsync ~base_lsn ());
+  Page_store.close s;
+  Sys.rename tmp pages;
+  (* reopen + to_catalog primes the store's TID maps for later deltas *)
+  let s = Page_store.open_ pages in
+  (s, Page_store.to_catalog s)
+
 let open_dir ?(auto_checkpoint_every = 10_000) ?(fsync = true) dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let lock_fd = acquire_lock dir in
-  let catalog =
-    (* Trusted load: the checkpointer only writes snapshots of catalogs
-       whose relations were validated at [define_relation] time, and the
-       CRC trailer guards the bytes. [fsck] re-runs the full check. *)
-    if Sys.file_exists (snapshot_path dir) then
-      Snapshot.read_file ~check:false (snapshot_path dir)
-    else Catalog.create ()
+  let pages = pages_path dir in
+  if Sys.file_exists (pages ^ ".tmp") then Sys.remove (pages ^ ".tmp");
+  let store, catalog =
+    if Sys.file_exists pages then begin
+      (* Trusted load: pages were sealed (CRC) by the committer; [fsck]
+         re-runs the deep checks. Recovery reads the page store and
+         replays the WAL tail onto it — no monolithic snapshot decode. *)
+      let s = Page_store.open_ pages in
+      (s, Page_store.to_catalog s)
+    end
+    else begin
+      (* First open of a legacy (snapshot.bin) or fresh directory:
+         migrate into a paged store. The snapshot codec survives as the
+         interchange/bootstrap format; the stale files are removed so
+         they cannot shadow the paged state. *)
+      let catalog =
+        if Sys.file_exists (snapshot_path dir) then
+          Snapshot.read_file ~check:false (snapshot_path dir)
+        else Catalog.create ()
+      in
+      let sc = build_store ~fsync ~base_lsn:(read_meta dir) pages catalog in
+      if Sys.file_exists (snapshot_path dir) then Sys.remove (snapshot_path dir);
+      if Sys.file_exists (graphs_path dir) then Sys.remove (graphs_path dir);
+      sc
+    end
   in
-  let base_lsn = read_meta dir in
+  let base_lsn = Page_store.base_lsn store in
+  (* capture the page store's state before replay mutates the catalog *)
+  let last_ckpt = Catalog.snapshot catalog in
   let scan = Wal.recover (wal_path dir) in
   let records = scan.Wal.records in
   (match scan.Wal.tail with
@@ -132,6 +175,10 @@ let open_dir ?(auto_checkpoint_every = 10_000) ?(fsync = true) dir =
   {
     dir;
     catalog;
+    store;
+    last_ckpt;
+    ckpt_written = 0;
+    ckpt_total = 0;
     wal = Wal.open_ ~fsync (wal_path dir);
     pending = List.length records;
     lsn;
@@ -199,16 +246,39 @@ let log_statement t source =
 let checkpoint t =
   Hr_obs.Metrics.incr m_checkpoints;
   (* Wal.close below syncs buffered appends before the file is truncated;
-     everything up to [t.lsn] is durable once the snapshot is written. *)
+     everything up to [t.lsn] is durable once the pages commit. *)
   t.synced_lsn <- t.lsn;
-  Snapshot.write_file t.catalog (snapshot_path t.dir);
-  Graph_store.write_file t.catalog (graphs_path t.dir);
+  (* Delta, not rewrite: only relations whose binding changed since the
+     last checkpoint are diffed, and only their changed tuples touch a
+     page. A crash after the page commit but before the WAL truncation
+     cannot double-apply — replay skips LSNs at or below the store's
+     base_lsn. *)
+  List.iter
+    (fun rel ->
+      match Catalog.find_relation t.last_ckpt (Relation.name rel) with
+      | Some old when old == rel -> ()
+      | Some old -> Page_store.apply_relation t.store ~old rel
+      | None -> Page_store.apply_relation t.store rel)
+    (Catalog.relations t.catalog);
+  List.iter
+    (fun old ->
+      match Catalog.find_relation t.catalog (Relation.name old) with
+      | Some _ -> ()
+      | None -> Page_store.drop_relation t.store (Relation.name old))
+    (Catalog.relations t.last_ckpt);
+  Page_store.set_ddl t.store t.catalog;
+  let written, total = Page_store.commit t.store ~fsync:t.fsync ~base_lsn:t.lsn () in
+  t.ckpt_written <- written;
+  t.ckpt_total <- total;
   write_meta t.dir t.lsn;
   Wal.close t.wal;
   Wal.truncate (wal_path t.dir);
   t.wal <- Wal.open_ ~fsync:t.fsync (wal_path t.dir);
   t.base_lsn <- t.lsn;
-  t.pending <- 0
+  t.pending <- 0;
+  t.last_ckpt <- Catalog.snapshot t.catalog
+
+let last_checkpoint_pages t = (t.ckpt_written, t.ckpt_total)
 
 (* A long-lived primary would otherwise grow wal.log without bound (and
    pay for it at the next recovery); the tail keeps checkpointed records
@@ -270,6 +340,7 @@ let commit_many t scripts =
 
 let close t =
   Wal.close t.wal;
+  Page_store.close t.store;
   (try Unix.lockf t.lock_fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
   Unix.close t.lock_fd
 
@@ -295,9 +366,14 @@ let install_snapshot t ~lsn image =
   match Snapshot.decode image with
   | exception Snapshot.Corrupt_snapshot msg -> Error ("corrupt snapshot image: " ^ msg)
   | catalog ->
+    (* A replica image replaces everything: rebuild the paged store from
+       scratch (tmp + rename, same crash safety as migration) rather
+       than diffing against state the primary no longer vouches for. *)
+    Page_store.close t.store;
+    let store, catalog = build_store ~fsync:t.fsync ~base_lsn:lsn (pages_path t.dir) catalog in
+    t.store <- store;
     t.catalog <- catalog;
-    Snapshot.write_file catalog (snapshot_path t.dir);
-    Graph_store.write_file catalog (graphs_path t.dir);
+    t.last_ckpt <- Catalog.snapshot catalog;
     write_meta t.dir lsn;
     Wal.close t.wal;
     Wal.truncate (wal_path t.dir);

@@ -1,20 +1,27 @@
-(** A durable database: binary snapshot + write-ahead log + HRQL.
+(** A durable database: paged tuple store + write-ahead log + HRQL.
 
-    A database lives in a directory holding [snapshot.bin] (the last
-    checkpoint, {!Snapshot} format), [wal.log] (statements applied
-    since, {!Wal} format) and [meta] (the LSN the snapshot is valid
-    through). {!open_dir} loads the snapshot and replays the log;
-    {!exec} runs HRQL statements, appending each successful mutating
-    statement to the log before acknowledging it (so acknowledged
-    implies replayable — rejected updates are never logged and cannot
-    poison recovery); {!checkpoint} rewrites the snapshot and truncates
-    the log. Reopening after a crash (including one that tore the last
-    log record) recovers every acknowledged statement.
+    A database lives in a directory holding [pages.db] (the
+    {!Page_store}: shadow-paged slotted tuple pages, B-tree index,
+    free-space map and DDL blob), [wal.log] (statements applied since
+    the last checkpoint, {!Wal} format) and [meta] (the LSN the store is
+    valid through). {!open_dir} loads the page store and replays the log
+    onto it; {!exec} runs HRQL statements, appending each successful
+    mutating statement to the log before acknowledging it (so
+    acknowledged implies replayable — rejected updates are never logged
+    and cannot poison recovery); {!checkpoint} writes only the pages
+    dirtied since the previous checkpoint and truncates the log.
+    Reopening after a crash (including one that tore the last log
+    record, or one that died mid-checkpoint before the meta-root swap)
+    recovers every acknowledged statement.
+
+    Directories written by pre-paged builds ([snapshot.bin]) are
+    migrated on first open; the {!Snapshot} codec survives as the
+    interchange format for replica bootstrap and [fsck --against].
 
     Every logged statement carries a {e log sequence number} (LSN):
     monotone from 1 over the whole life of the directory, never reset by
     checkpoints. [lsn t] is the last statement applied, [base_lsn t] the
-    statement the snapshot covers through; the WAL holds exactly
+    statement the page store covers through; the WAL holds exactly
     [base_lsn+1 .. lsn]. LSNs are the replication protocol's addresses
     (see [docs/REPLICATION.md]): {!records_since} serves a subscriber's
     catch-up, {!install_snapshot} and {!apply_replicated} are the
@@ -95,9 +102,21 @@ val synced_lsn : t -> int
     diverge the pair on a primary crash. *)
 
 val checkpoint : t -> unit
-(** Writes [snapshot.bin] and the [graphs.bin] subsumption-graph sidecar
-    ({!Graph_store}), records [base_lsn = lsn] in [meta] and truncates
-    [wal.log]. *)
+(** Incremental page-level checkpoint: diffs each relation against its
+    binding at the previous checkpoint (relations whose binding is
+    physically unchanged are skipped without reading a tuple), applies
+    the changed tuples to the page store, and commits only the dirty
+    pages plus a fresh page table and meta root (write-new-then-swap-root
+    — a crash at any point leaves the previous checkpoint intact).
+    Records [base_lsn = lsn] in [meta] and truncates [wal.log]. Cost is
+    proportional to the data changed since the last checkpoint, not to
+    the database size. *)
+
+val last_checkpoint_pages : t -> int * int
+(** [(pages_written, pages_total)] from the most recent {!checkpoint}
+    (or [install_snapshot]/migration commit) in this process — [(0, 0)]
+    before the first. The bench harness and STATS read this to verify
+    checkpoint cost tracks the delta. *)
 
 val close : t -> unit
 
@@ -128,7 +147,7 @@ val snapshot_image : t -> string
 
 val install_snapshot : t -> lsn:int -> string -> (unit, string) result
 (** Replica bootstrap: replaces the whole catalog with the decoded
-    image, persists it as the local snapshot valid through [lsn], and
+    image, rebuilds the paged store from it (valid through [lsn]), and
     truncates the local log. All previous local state is discarded. *)
 
 val apply_replicated : t -> lsn:int -> string -> (unit, string) result

@@ -31,15 +31,16 @@ let append t row =
       else Pager.allocate t.pager
     end
   in
-  let page = Bytes.copy (Pager.read_page t.pager target) in
-  let count = get_u16 page 0 in
-  let used = get_u16 page 2 in
-  let off = header_bytes + used in
-  set_u16 page off len;
-  Bytes.blit_string row 0 page (off + 2) len;
-  set_u16 page 0 (count + 1);
-  set_u16 page 2 (used + 2 + len);
-  Pager.write_page t.pager target page
+  (* mutate the pooled page in place — the old full-page [Bytes.copy]
+     per row made bulk loads O(page_size) per append *)
+  Pager.with_page t.pager target (fun page ->
+      let count = get_u16 page 0 in
+      let used = get_u16 page 2 in
+      let off = header_bytes + used in
+      set_u16 page off len;
+      Bytes.blit_string row 0 page (off + 2) len;
+      set_u16 page 0 (count + 1);
+      set_u16 page 2 (used + 2 + len))
 
 let scan t f =
   for page_no = 0 to Pager.page_count t.pager - 1 do

@@ -4,42 +4,65 @@ let page_size = 4096
    sees I/O across every open pager. [writebacks] counts only dirty
    pages written back by flush/eviction — allocation's materializing
    write is deliberately excluded, keeping "reads >= writebacks" a real
-   invariant for fault-in-then-flush workloads. *)
+   invariant for fault-in-then-flush workloads. [evictions] counts pool
+   slots recycled (clean or dirty); dirty evictions also count one
+   writeback. *)
 let m_disk_reads = Hr_obs.Metrics.counter "storage.pager.disk_reads"
 let m_disk_writes = Hr_obs.Metrics.counter "storage.pager.disk_writes"
 let m_pool_hits = Hr_obs.Metrics.counter "storage.pager.pool_hits"
 let m_allocations = Hr_obs.Metrics.counter "storage.pager.allocations"
 let m_writebacks = Hr_obs.Metrics.counter "storage.pager.writebacks"
+let m_evictions = Hr_obs.Metrics.counter "storage.pager.evictions"
 
-type slot = { mutable page_no : int; mutable data : bytes; mutable dirty : bool }
+(* Pool slots form an intrusive doubly-linked list in recency order
+   (head = most recent), so a touch is an O(1) unlink + push instead of
+   the O(pool) list rebuild the first version did on every access. *)
+type slot = {
+  page_no : int;
+  mutable data : bytes;
+  mutable dirty : bool;
+  mutable prev : slot option; (* toward the head (more recent) *)
+  mutable next : slot option; (* toward the tail (least recent) *)
+}
 
 type t = {
   fd : Unix.file_descr;
   mutable pages : int;
   pool_pages : int;
   pool : (int, slot) Hashtbl.t; (* page_no -> slot *)
-  mutable lru : int list; (* most recent first *)
+  mutable head : slot option; (* most recently used *)
+  mutable tail : slot option; (* least recently used *)
   mutable disk_reads : int;
   mutable disk_writes : int;
   mutable pool_hits : int;
+  mutable evictions : int;
 }
 
-let create ?(pool_pages = 64) path =
+let create ?(pool_pages = 64) ?(repair_partial = false) path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   let size = (Unix.fstat fd).Unix.st_size in
   if size mod page_size <> 0 then begin
-    Unix.close fd;
-    invalid_arg (Printf.sprintf "Pager.create: %s has a partial page" path)
+    if repair_partial then
+      (* a crash mid-extension left a trailing partial page; nothing
+         durable can reference pages past the last full one, so cutting
+         back to the boundary is safe *)
+      Unix.ftruncate fd (size - (size mod page_size))
+    else begin
+      Unix.close fd;
+      invalid_arg (Printf.sprintf "Pager.create: %s has a partial page" path)
+    end
   end;
   {
     fd;
     pages = size / page_size;
     pool_pages = max 1 pool_pages;
     pool = Hashtbl.create 64;
-    lru = [];
+    head = None;
+    tail = None;
     disk_reads = 0;
     disk_writes = 0;
     pool_hits = 0;
+    evictions = 0;
   }
 
 let page_count t = t.pages
@@ -71,23 +94,39 @@ let disk_read t page_no =
   Hr_obs.Metrics.incr m_disk_reads;
   data
 
-let touch t page_no = t.lru <- page_no :: List.filter (fun p -> p <> page_no) t.lru
+(* ---- O(1) recency list ------------------------------------------------ *)
+
+let unlink t slot =
+  (match slot.prev with Some p -> p.next <- slot.next | None -> t.head <- slot.next);
+  (match slot.next with Some n -> n.prev <- slot.prev | None -> t.tail <- slot.prev);
+  slot.prev <- None;
+  slot.next <- None
+
+let push_front t slot =
+  slot.next <- t.head;
+  slot.prev <- None;
+  (match t.head with Some h -> h.prev <- Some slot | None -> t.tail <- Some slot);
+  t.head <- Some slot
+
+let touch t slot =
+  if t.head != Some slot then begin
+    unlink t slot;
+    push_front t slot
+  end
 
 let evict_if_needed t =
-  if Hashtbl.length t.pool > t.pool_pages then begin
-    match List.rev t.lru with
-    | [] -> ()
-    | victim :: _ ->
-      (match Hashtbl.find_opt t.pool victim with
-      | Some slot ->
-        if slot.dirty then begin
-          Hr_obs.Metrics.incr m_writebacks;
-          disk_write t victim slot.data
-        end;
-        Hashtbl.remove t.pool victim
-      | None -> ());
-      t.lru <- List.filter (fun p -> p <> victim) t.lru
-  end
+  if Hashtbl.length t.pool > t.pool_pages then
+    match t.tail with
+    | None -> ()
+    | Some victim ->
+      if victim.dirty then begin
+        Hr_obs.Metrics.incr m_writebacks;
+        disk_write t victim.page_no victim.data
+      end;
+      unlink t victim;
+      Hashtbl.remove t.pool victim.page_no;
+      t.evictions <- t.evictions + 1;
+      Hr_obs.Metrics.incr m_evictions
 
 let slot_of t page_no =
   check_page t page_no;
@@ -95,13 +134,13 @@ let slot_of t page_no =
   | Some slot ->
     t.pool_hits <- t.pool_hits + 1;
     Hr_obs.Metrics.incr m_pool_hits;
-    touch t page_no;
+    touch t slot;
     slot
   | None ->
     let data = disk_read t page_no in
-    let slot = { page_no; data; dirty = false } in
+    let slot = { page_no; data; dirty = false; prev = None; next = None } in
     Hashtbl.replace t.pool page_no slot;
-    touch t page_no;
+    push_front t slot;
     evict_if_needed t;
     slot
 
@@ -121,6 +160,13 @@ let write_page t page_no data =
   slot.data <- data;
   slot.dirty <- true
 
+let with_page t page_no f =
+  let slot = slot_of t page_no in
+  (* dirty before running [f]: even a partial mutation must reach disk
+     rather than be silently dropped by a clean eviction *)
+  slot.dirty <- true;
+  f slot.data
+
 let flush t =
   Hashtbl.iter
     (fun page_no slot ->
@@ -131,6 +177,8 @@ let flush t =
       end)
     t.pool
 
+let fsync t = Unix.fsync t.fd
+
 let close t =
   flush t;
   Unix.close t.fd
@@ -138,3 +186,4 @@ let close t =
 let reads_from_disk t = t.disk_reads
 let writes_to_disk t = t.disk_writes
 let hits t = t.pool_hits
+let evictions t = t.evictions

@@ -21,19 +21,17 @@ let encode_hierarchy w h =
   W.string w (label (Hierarchy.root h));
   (* nodes in topological order so parents precede children on decode *)
   let order =
-    let rec visit seen acc v =
-      if List.mem v seen then (seen, acc)
-      else
-        let seen, acc =
-          List.fold_left (fun (s, a) p -> visit s a p) (v :: seen, acc) (Hierarchy.parents h v)
-        in
-        (seen, v :: acc)
+    let seen = Hashtbl.create 256 in
+    let acc = ref [] in
+    let rec visit v =
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        List.iter visit (Hierarchy.parents h v);
+        acc := v :: !acc
+      end
     in
-    let seen, acc =
-      List.fold_left (fun (s, a) v -> visit s a v) ([], []) (Hierarchy.nodes h)
-    in
-    ignore seen;
-    List.rev acc
+    List.iter visit (Hierarchy.nodes h);
+    List.rev !acc
   in
   let non_root = List.filter (fun v -> v <> Hierarchy.root h) order in
   W.list w

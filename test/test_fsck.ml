@@ -123,19 +123,41 @@ let test_redundant_isa_edge () =
       Alcotest.(check (list string)) "F012 and nothing else" [ "F012" ] (codes r);
       Alcotest.(check bool) "warning only" false (Fsck.has_critical r))
 
+(* Checkpoints are paged now, so the legacy-format checks (F003/F004,
+   F014/F015) construct by hand exactly what a pre-paged build's
+   checkpoint left behind: snapshot.bin + graphs.bin + truncated WAL. *)
+let build_catalog stmts =
+  let cat = Hierel.Catalog.create () in
+  List.iter
+    (fun s ->
+      match Hr_query.Eval.run_script cat s with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "build_catalog: %s" e)
+    stmts;
+  cat
+
+let write_legacy dir cat =
+  Hr_storage.Snapshot.write_file cat (Filename.concat dir "snapshot.bin");
+  Hr_storage.Graph_store.write_file cat (graphs dir);
+  write_bytes (wal dir) "";
+  write_bytes (meta dir) "base_lsn=0\npublished_lsn=0\n"
+
 let test_stale_graphs_sidecar () =
   with_temp_dir (fun dir ->
-      let db = seed dir in
-      Db.checkpoint db;
-      let old = read_bytes (graphs dir) in
-      exec db "INSERT INTO flies VALUES (- ALL penguin);";
-      Db.checkpoint db;
-      Db.close db;
-      (* the sidecar from the earlier checkpoint no longer matches the
+      write_legacy dir (build_catalog (world @ [ "INSERT INTO flies VALUES (- ALL penguin);" ]));
+      (* a sidecar from before the negation no longer matches the
          snapshot's subsumption graphs *)
-      write_bytes (graphs dir) old;
+      Hr_storage.Graph_store.write_file (build_catalog world) (graphs dir);
       let r = Fsck.run dir in
       Alcotest.(check (list string)) "F014 and nothing else" [ "F014" ] (codes r);
+      Alcotest.(check bool) "critical" true (Fsck.has_critical r))
+
+let test_legacy_meta_without_snapshot () =
+  with_temp_dir (fun dir ->
+      write_bytes (wal dir) "";
+      write_bytes (meta dir) "base_lsn=5\n";
+      let r = Fsck.run dir in
+      Alcotest.(check (list string)) "F009 and nothing else" [ "F009" ] (codes r);
       Alcotest.(check bool) "critical" true (Fsck.has_critical r))
 
 let test_mismatched_base_lsn () =
@@ -144,11 +166,18 @@ let test_mismatched_base_lsn () =
       Db.checkpoint db;
       exec db "INSERT INTO flies VALUES (+ opus);";
       Db.close db;
+      (* meta claiming coverage past what the page store committed is
+         corruption; the reverse (meta one checkpoint behind, the crash
+         window between the page commit and the meta rewrite) is
+         tolerated by design. *)
       let base = List.length world in
-      write_bytes (meta dir) (Printf.sprintf "base_lsn=%d\n" (base - 2));
+      write_bytes (meta dir) (Printf.sprintf "base_lsn=%d\n" (base + 2));
       let r = Fsck.run dir in
       Alcotest.(check bool) "F009 reported" true (List.mem "F009" (codes r));
-      Alcotest.(check bool) "critical" true (Fsck.has_critical r))
+      Alcotest.(check bool) "critical" true (Fsck.has_critical r);
+      write_bytes (meta dir) (Printf.sprintf "base_lsn=%d\n" (base - 2));
+      let r = Fsck.run dir in
+      Alcotest.(check (list string)) "stale meta tolerated" [] (codes r))
 
 (* The published-version watermark claims visibility beyond the durable
    head: a reader could have been served state that a crash then lost.
@@ -213,12 +242,68 @@ let test_torn_tail_truncated_on_reopen () =
 
 let test_missing_graphs_sidecar () =
   with_temp_dir (fun dir ->
-      let db = seed dir in
-      Db.checkpoint db;
-      Db.close db;
+      write_legacy dir (build_catalog world);
       Sys.remove (graphs dir);
       let r = Fsck.run dir in
       Alcotest.(check (list string)) "F015 and nothing else" [ "F015" ] (codes r);
+      Alcotest.(check bool) "warning only" false (Fsck.has_critical r))
+
+(* ---- seeded page-store corruption (F025–F029) -------------------------- *)
+
+module Page_store = Hr_storage.Page_store
+
+(* Each injection edits the committed pages of a closed store (through
+   the Testing hooks, which re-seal CRCs where the fault is not the CRC
+   itself), so exactly one page-level invariant breaks at a time. *)
+let with_injected_fault inject f =
+  with_temp_dir (fun dir ->
+      let db = seed dir in
+      (* a couple more tuples so the first leaf has several entries *)
+      exec db "INSERT INTO flies VALUES (+ opus);";
+      exec db "INSERT INTO flies VALUES (- tweety);";
+      Db.checkpoint db;
+      Db.close db;
+      let s = Page_store.open_ (Filename.concat dir "pages.db") in
+      inject s;
+      Page_store.close s;
+      f (Fsck.run dir))
+
+let test_page_checksum () =
+  with_injected_fault Page_store.Testing.corrupt_page (fun r ->
+      Alcotest.(check bool) "F025 reported" true (List.mem "F025" (codes r));
+      Alcotest.(check bool) "critical" true (Fsck.has_critical r))
+
+let test_dangling_tid () =
+  with_injected_fault
+    (fun s -> ignore (Page_store.Testing.kill_slot s))
+    (fun r ->
+      Alcotest.(check bool) "F026 reported" true (List.mem "F026" (codes r));
+      Alcotest.(check bool) "critical" true (Fsck.has_critical r))
+
+let test_duplicate_tid () =
+  with_injected_fault Page_store.Testing.dup_btree_ref (fun r ->
+      Alcotest.(check bool) "F027 reported" true (List.mem "F027" (codes r));
+      Alcotest.(check bool) "critical" true (Fsck.has_critical r))
+
+let test_btree_order () =
+  with_injected_fault Page_store.Testing.swap_btree_keys (fun r ->
+      Alcotest.(check bool) "F028 reported" true (List.mem "F028" (codes r));
+      Alcotest.(check bool) "critical" true (Fsck.has_critical r))
+
+let test_freemap_skew () =
+  with_injected_fault Page_store.Testing.skew_freemap (fun r ->
+      Alcotest.(check (list string)) "F029 and nothing else" [ "F029" ] (codes r);
+      Alcotest.(check bool) "warning only" false (Fsck.has_critical r))
+
+let test_partial_trailing_page () =
+  with_temp_dir (fun dir ->
+      let db = seed dir in
+      Db.checkpoint db;
+      Db.close db;
+      let pages = Filename.concat dir "pages.db" in
+      write_bytes pages (read_bytes pages ^ String.make 100 '\x7f');
+      let r = Fsck.run dir in
+      Alcotest.(check (list string)) "F025 and nothing else" [ "F025" ] (codes r);
       Alcotest.(check bool) "warning only" false (Fsck.has_critical r))
 
 let test_ambiguous_relation () =
@@ -406,6 +491,15 @@ let suite =
     Alcotest.test_case "seeded: redundant isa edge" `Quick test_redundant_isa_edge;
     Alcotest.test_case "seeded: stale graphs sidecar" `Quick test_stale_graphs_sidecar;
     Alcotest.test_case "seeded: mismatched base_lsn" `Quick test_mismatched_base_lsn;
+    Alcotest.test_case "legacy meta without snapshot" `Quick
+      test_legacy_meta_without_snapshot;
+    Alcotest.test_case "seeded: page checksum (F025)" `Quick test_page_checksum;
+    Alcotest.test_case "seeded: dangling TID (F026)" `Quick test_dangling_tid;
+    Alcotest.test_case "seeded: duplicate TID (F027)" `Quick test_duplicate_tid;
+    Alcotest.test_case "seeded: B-tree order (F028)" `Quick test_btree_order;
+    Alcotest.test_case "seeded: free-map skew (F029)" `Quick test_freemap_skew;
+    Alcotest.test_case "partial trailing page is a warning" `Quick
+      test_partial_trailing_page;
     Alcotest.test_case "seeded: published version beyond durable head" `Quick
       test_published_beyond_durable;
     Alcotest.test_case "torn tail is a warning" `Quick test_torn_tail_is_warning;
